@@ -1,0 +1,40 @@
+//! Section IV-B statistic: BET size relative to the source statement count
+//! for every benchmark — the paper reports an average of 88% and never more
+//! than 2×, independent of the input size.
+
+use xflow::{ModeledApp, Scale};
+use xflow_bench::{maybe_write_json, opts, FigureData};
+use std::collections::HashMap;
+
+fn main() {
+    let opts = opts();
+    println!("=== BET size vs source statements (paper: avg ≈ 88%, max < 2×) ===\n");
+    println!("{:<10} {:>10} {:>10} {:>8} {:>22}", "workload", "skeleton", "BET", "ratio", "input-size invariant?");
+    let mut ratios = Vec::new();
+    let mut labels = Vec::new();
+    for w in xflow_workloads::all() {
+        let small = ModeledApp::from_workload(&w, Scale::Test).expect("pipeline");
+        let large = ModeledApp::from_workload(&w, Scale::Eval).expect("pipeline");
+        let stmts = small.translation.skeleton.source_statement_count();
+        let ratio = small.bet_size_ratio();
+        let invariant = small.bet.len() == large.bet.len();
+        println!(
+            "{:<10} {:>10} {:>10} {:>7.2}x {:>22}",
+            w.name,
+            stmts,
+            small.bet.len(),
+            ratio,
+            if invariant { "yes" } else { "NO" }
+        );
+        ratios.push(ratio);
+        labels.push(w.name.to_string());
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    println!("\naverage ratio: {avg:.2} (paper: 0.88)   maximum: {max:.2} (paper: < 2)");
+    let mut series: HashMap<String, Vec<f64>> = HashMap::new();
+    series.insert("ratio".into(), ratios);
+    series.insert("summary_avg_max".into(), vec![avg, max]);
+    let data = FigureData { experiment: "betsize".into(), workload: "all".into(), machine: "-".into(), series, labels };
+    maybe_write_json(&opts, "betsize", &data);
+}

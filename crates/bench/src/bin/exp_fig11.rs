@@ -1,0 +1,6 @@
+//! Figure 11: srad hot spot coverage curves (Prof, Modl(p), Modl(m)) on BG/Q.
+
+fn main() {
+    let opts = xflow_bench::opts();
+    xflow_bench::coverage_figure("Figure 11", "srad", &xflow::bgq(), &opts);
+}

@@ -1,0 +1,45 @@
+//! Figure 5: SORD hot spot selection on Xeon — the mirror of Figure 4 with
+//! the cross-machine curve Prof.X(q) (BG/Q-suggested spots under Xeon's
+//! measured profile).
+
+use xflow_bench::{eval_run, maybe_write_json, names_of, opts, render_series, workload, FigureData, TOP_K};
+use xflow_hotspot::coverage_curve;
+
+fn main() {
+    let opts = opts();
+    let w = workload("sord");
+    let here = eval_run(&w, &xflow::xeon(), opts.scale);
+    let there = eval_run(&w, &xflow::bgq(), opts.scale);
+    let cross = coverage_curve(&there.cmp.measured_ranking, &here.measured.oracle, TOP_K);
+
+    println!("=== Figure 5: SORD hot spot selections on Xeon ===\n");
+    println!(
+        "{}",
+        render_series(
+            "cumulative Xeon runtime coverage of the top-k selection",
+            &[
+                ("Prof.X", &here.cmp.prof_curve),
+                ("Modl(p)", &here.cmp.modl_p_curve),
+                ("Modl(m)", &here.cmp.modl_m_curve),
+                ("Prof.X(q)", &cross),
+                ("Q(k)", &here.cmp.quality),
+            ],
+        )
+    );
+    let data = FigureData {
+        experiment: "fig5".into(),
+        workload: "SORD".into(),
+        machine: "Xeon".into(),
+        series: [
+            ("prof".to_string(), here.cmp.prof_curve.clone()),
+            ("modl_p".to_string(), here.cmp.modl_p_curve.clone()),
+            ("modl_m".to_string(), here.cmp.modl_m_curve.clone()),
+            ("prof_cross".to_string(), cross),
+            ("quality".to_string(), here.cmp.quality.clone()),
+        ]
+        .into_iter()
+        .collect(),
+        labels: names_of(&here, &here.cmp.measured_ranking, TOP_K),
+    };
+    maybe_write_json(&opts, "fig5", &data);
+}

@@ -1,0 +1,7 @@
+//! Figure 6: model-projected performance breakdown (computation, memory
+//! access, overlap) for each SORD hot spot on BG/Q.
+
+fn main() {
+    let opts = xflow_bench::opts();
+    xflow_bench::breakdown_figure("Figure 6", "sord", &xflow::bgq(), &opts);
+}

@@ -1,0 +1,7 @@
+//! Figure 7: model-projected breakdown for each SORD hot spot on Xeon —
+//! compared with Figure 6 the memory share rises, as the paper observes.
+
+fn main() {
+    let opts = xflow_bench::opts();
+    xflow_bench::breakdown_figure("Figure 7", "sord", &xflow::xeon(), &opts);
+}

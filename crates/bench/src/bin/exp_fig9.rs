@@ -1,0 +1,23 @@
+//! Figure 9: the SORD hot path on BG/Q — all control flow reaching the hot
+//! spots from main, with expected repetitions and branch probabilities.
+
+use xflow_bench::{eval_run, opts, workload};
+use xflow::EVAL_CRITERIA;
+
+fn main() {
+    let opts = opts();
+    let w = workload("sord");
+    let m = xflow::bgq();
+    let run = eval_run(&w, &m, opts.scale);
+    let sel = run.mp.select(&run.app.units, EVAL_CRITERIA);
+
+    println!("=== Figure 9: SORD hot path on {} ===\n", m.name);
+    println!(
+        "selection: coverage {:.1}% of projected runtime in {:.1}% of the source\n",
+        sel.coverage() * 100.0,
+        sel.leanness() * 100.0
+    );
+    print!("{}", xflow::hot_path_report(&run.app, &sel));
+    println!("\n(×N = expected trips; p = probability of reaching the node; ENR =");
+    println!(" expected number of repetitions; [...] = context values at the spot)");
+}

@@ -1,0 +1,50 @@
+//! Table I: top-10 hot spots of every benchmark on BG/Q and Xeon —
+//! measured (Prof) vs model-projected (Modl) rankings side by side, plus
+//! the cross-machine overlap the paper highlights (only ~4 of SORD's top
+//! 10 spots are shared between machines).
+
+use xflow_bench::{eval_run, machines, maybe_write_json, opts, render_series, FigureData, TOP_K};
+use xflow_hotspot::top_k_overlap;
+
+fn main() {
+    let opts = opts();
+    println!("=== Table I: hot spot rankings, Prof vs Modl, both machines ===\n");
+
+    for w in xflow_workloads::all() {
+        let mut measured_rankings = Vec::new();
+        for m in machines() {
+            let run = eval_run(&w, &m, opts.scale);
+            println!("--- {} on {} ---", w.name, m.name);
+            println!("{}", run.cmp.format_table(&run.app.units, TOP_K));
+            println!(
+                "model/measured top-10 overlap: {}/10   Q(5) = {:.1}%\n",
+                run.cmp.top_k_overlap(TOP_K),
+                run.cmp.quality_at(5) * 100.0
+            );
+            measured_rankings.push((m.name.clone(), run.cmp.measured_ranking.clone(), run));
+        }
+        let (qa, qb) = (&measured_rankings[0], &measured_rankings[1]);
+        let shared = top_k_overlap(&qa.1, &qb.1, TOP_K);
+        let same_pos = qa
+            .1
+            .iter()
+            .zip(qb.1.iter())
+            .take(TOP_K)
+            .filter(|(a, b)| a == b)
+            .count();
+        println!(
+            ">>> {}: measured top-10 set overlap {}↔{}: {shared}/10; same rank position: {same_pos}/10\n             >>> (paper: hot spot selections are not portable across machines)\n",
+            w.name, qa.0, qb.0
+        );
+        let data = FigureData {
+            experiment: "table1".into(),
+            workload: w.name.into(),
+            machine: "both".into(),
+            series: [("cross_machine_overlap".to_string(), vec![shared as f64])].into_iter().collect(),
+            labels: qa.1.iter().take(TOP_K).map(|&u| qa.2.app.units.name(u)).collect(),
+        };
+        maybe_write_json(&opts, &format!("table1_{}", w.name.to_lowercase()), &data);
+    }
+
+    let _ = render_series; // (see figure binaries)
+}

@@ -1,0 +1,35 @@
+//! Run every experiment in sequence — the one-command regeneration of the
+//! paper's full evaluation. Equivalent to invoking each `exp_*` binary;
+//! shares the `--scale`/`--json` options.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1", "exp_table2", "exp_fig4", "exp_fig5", "exp_fig6", "exp_fig7", "exp_fig8",
+    "exp_fig9", "exp_fig10", "exp_fig11", "exp_fig12", "exp_fig13", "exp_betsize", "exp_quality",
+    "exp_scaling", "exp_ablation", "exp_reuse",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n════════════════════════ {exp} ════════════════════════");
+        let status = Command::new(dir.join(exp)).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{exp} failed: {other:?} (build all bins first: cargo build --release -p xflow-bench)");
+                failed.push(*exp);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

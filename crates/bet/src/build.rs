@@ -1,0 +1,801 @@
+//! BET construction from a Block Skeleton Tree and an input binding
+//! (paper Section IV-B).
+//!
+//! The builder conceptually traverses the BST starting at `main`, mounting
+//! callee BSTs at call sites with arguments bound from the current context.
+//! Loops become single nodes carrying expected trip counts — bodies are
+//! modeled **once**, with the induction variable held as a symbolic range —
+//! so construction time is independent of the input data size. Branches
+//! split probability-weighted contexts; `return`/`break`/`continue` move
+//! probability mass out of the fall-through path and promote it to the
+//! enclosing function/loop, where it shortens expected trip counts via the
+//! truncated-geometric formula.
+
+use crate::context::{cond_prob, expected_trips_with_break, merge_contexts, Ctx};
+use crate::node::{Bet, BetKind, BetNode, BetNodeId, ConcreteOps};
+use xflow_skeleton as sk;
+use xflow_skeleton::expr::{Env, Value};
+
+/// Construction limits.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildConfig {
+    /// Maximum simultaneously tracked contexts per block.
+    pub max_contexts: usize,
+    /// Maximum function-mount depth (recursion guard).
+    pub max_depth: u32,
+    /// Maximum BET nodes (runaway guard).
+    pub max_nodes: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self { max_contexts: 16, max_depth: 64, max_nodes: 4_000_000 }
+    }
+}
+
+/// Construction failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The skeleton has no `main` function.
+    NoMain,
+    /// A `call` references an unknown function.
+    UnknownFunction(String),
+    /// The node budget was exhausted (pathological context explosion).
+    TooManyNodes(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoMain => write!(f, "skeleton has no `main` function"),
+            BuildError::UnknownFunction(n) => write!(f, "call to unknown function `{n}`"),
+            BuildError::TooManyNodes(n) => write!(f, "BET exceeded the node budget of {n}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Build the BET of a skeleton program for one input binding.
+///
+/// `inputs` seeds the initial context (the paper's "initial context with the
+/// values of input variables of array dimensions").
+pub fn build(prog: &sk::Program, inputs: &Env) -> Result<Bet, BuildError> {
+    build_with_config(prog, inputs, BuildConfig::default())
+}
+
+/// [`build`] with explicit limits.
+pub fn build_with_config(prog: &sk::Program, inputs: &Env, cfg: BuildConfig) -> Result<Bet, BuildError> {
+    let main = prog.main().ok_or(BuildError::NoMain)?;
+    let mut b = Builder { prog, cfg, bet: Bet::new() };
+    let root = b.bet.push(BetNode {
+        id: BetNodeId(0),
+        parent: None,
+        stmt: None,
+        kind: BetKind::Root,
+        prob: 1.0,
+        iters: 1.0,
+        parallel: false,
+        children: Vec::new(),
+        context: Vec::new(),
+    });
+    let entry = Ctx::new(inputs.clone());
+    b.build_block(&main.body, root, vec![entry], 0)?;
+    Ok(b.bet)
+}
+
+/// Probability mass leaving a block through non-fall-through edges, relative
+/// to one entry of the block.
+#[derive(Debug, Clone, Copy, Default)]
+struct EscapeMass {
+    brk: f64,
+    cont: f64,
+    ret: f64,
+}
+
+struct Builder<'p> {
+    prog: &'p sk::Program,
+    cfg: BuildConfig,
+    bet: Bet,
+}
+
+impl<'p> Builder<'p> {
+    fn push(&mut self, node: BetNode) -> Result<BetNodeId, BuildError> {
+        if self.bet.len() >= self.cfg.max_nodes {
+            return Err(BuildError::TooManyNodes(self.cfg.max_nodes));
+        }
+        Ok(self.bet.push(node))
+    }
+
+    fn make(
+        &self,
+        parent: BetNodeId,
+        stmt: Option<sk::StmtId>,
+        kind: BetKind,
+        prob: f64,
+        iters: f64,
+        ctx: &Ctx,
+    ) -> BetNode {
+        BetNode {
+            id: BetNodeId(0),
+            parent: Some(parent),
+            stmt,
+            kind,
+            prob,
+            iters,
+            parallel: false,
+            children: Vec::new(),
+            context: ctx.snapshot(),
+        }
+    }
+
+    /// Evaluate an expression in a context; unknown values become `default`
+    /// with a warning.
+    fn eval_or(&mut self, e: &sk::Expr, env: &Env, default: f64, what: &str) -> f64 {
+        match e.eval(env) {
+            Ok(v) => v,
+            Err(err) => {
+                self.bet.warnings.push(format!("{what}: {err}; assumed {default}"));
+                default
+            }
+        }
+    }
+
+    /// Model a block for a set of entry contexts under `parent`. Returns the
+    /// fall-through contexts and the escaped probability mass.
+    fn build_block(
+        &mut self,
+        block: &sk::Block,
+        parent: BetNodeId,
+        entry: Vec<Ctx>,
+        depth: u32,
+    ) -> Result<(Vec<Ctx>, EscapeMass), BuildError> {
+        let mut ctxs = entry;
+        let mut escape = EscapeMass::default();
+
+        for stmt in &block.stmts {
+            if ctxs.is_empty() {
+                break; // no live probability mass remains
+            }
+            match &stmt.kind {
+                sk::StmtKind::Let { var, value } => {
+                    for ctx in &mut ctxs {
+                        match value.eval(&ctx.env) {
+                            Ok(v) => {
+                                ctx.env.insert(var.clone(), Value::Scalar(v));
+                            }
+                            Err(_) => {
+                                // value is unknowable in this context
+                                ctx.env.remove(var);
+                            }
+                        }
+                    }
+                }
+                sk::StmtKind::Comp(ops) => {
+                    // one node per distinct evaluated cost
+                    for ctx in &ctxs {
+                        let concrete = ConcreteOps {
+                            flops: ops.flops.eval_or_default(&ctx.env, 1.0).max(0.0),
+                            iops: ops.iops.eval_or_default(&ctx.env, 1.0).max(0.0),
+                            loads: ops.loads.eval_or_default(&ctx.env, 1.0).max(0.0),
+                            stores: ops.stores.eval_or_default(&ctx.env, 1.0).max(0.0),
+                            divs: ops.divs.eval_or_default(&ctx.env, 1.0).max(0.0),
+                            elem_bytes: ops.dtype_bytes.eval_or_default(&ctx.env, 8.0).max(1.0),
+                        };
+                        let node =
+                            self.make(parent, Some(stmt.id), BetKind::Comp { ops: concrete }, ctx.prob, 1.0, ctx);
+                        self.push(node)?;
+                    }
+                }
+                sk::StmtKind::LibCall { func, calls, work } => {
+                    for ctx in &ctxs {
+                        let calls = self.eval_or(calls, &ctx.env, 1.0, "lib call count").max(0.0);
+                        let work = self.eval_or(work, &ctx.env, 1.0, "lib work").max(0.0);
+                        let node = self.make(
+                            parent,
+                            Some(stmt.id),
+                            BetKind::Lib { func: func.clone(), calls, work },
+                            ctx.prob,
+                            1.0,
+                            ctx,
+                        );
+                        self.push(node)?;
+                    }
+                }
+                sk::StmtKind::Call { func, args } => {
+                    let callee =
+                        self.prog.function(func).ok_or_else(|| BuildError::UnknownFunction(func.clone()))?;
+                    for ctx in ctxs.clone() {
+                        if depth >= self.cfg.max_depth {
+                            self.bet.warnings.push(format!(
+                                "mount depth limit ({}) reached at call to `{func}`; subtree truncated",
+                                self.cfg.max_depth
+                            ));
+                            continue;
+                        }
+                        // bind arguments into a fresh callee environment
+                        let mut callee_env = Env::new();
+                        for (param, arg) in callee.params.iter().zip(args) {
+                            if let Ok(v) = arg.eval(&ctx.env) {
+                                callee_env.insert(param.clone(), Value::Scalar(v));
+                            }
+                        }
+                        let node = self.make(
+                            parent,
+                            Some(stmt.id),
+                            BetKind::Call { func: func.clone() },
+                            ctx.prob,
+                            1.0,
+                            &Ctx { env: callee_env.clone(), prob: ctx.prob },
+                        );
+                        let call_node = self.push(node)?;
+                        // the callee's return mass terminates inside the mount
+                        let _ = self.build_block(&callee.body, call_node, vec![Ctx::new(callee_env)], depth + 1)?;
+                    }
+                }
+                sk::StmtKind::Loop { var, lo, hi, step, parallel, body } => {
+                    for ctx in ctxs.clone().into_iter() {
+                        let lo_v = self.eval_or(lo, &ctx.env, 0.0, "loop lower bound");
+                        let hi_v = self.eval_or(hi, &ctx.env, 0.0, "loop upper bound");
+                        let st_v = self.eval_or(step, &ctx.env, 1.0, "loop step").max(f64::MIN_POSITIVE);
+                        let trips = Value::Range { lo: lo_v, hi: hi_v, step: st_v }.trip_count();
+                        self.model_loop(
+                            stmt,
+                            parent,
+                            &ctx,
+                            trips,
+                            Some((var.as_str(), lo_v, hi_v, st_v)),
+                            *parallel,
+                            body,
+                            depth,
+                            &mut ctxs,
+                            &mut escape,
+                        )?;
+                    }
+                }
+                sk::StmtKind::While { trips, body } => {
+                    for ctx in ctxs.clone().into_iter() {
+                        let trips = self.eval_or(trips, &ctx.env, 0.0, "while trip count").max(0.0);
+                        self.model_loop(stmt, parent, &ctx, trips, None, false, body, depth, &mut ctxs, &mut escape)?;
+                    }
+                }
+                sk::StmtKind::Branch { arms, else_body } => {
+                    let mut survivors: Vec<Ctx> = Vec::new();
+                    for ctx in ctxs.clone().into_iter() {
+                        let mut remaining = 1.0f64; // mass not yet claimed by an arm
+                        for (i, arm) in arms.iter().enumerate() {
+                            if remaining <= 1e-12 {
+                                break;
+                            }
+                            let p = match cond_prob(&arm.cond, &ctx.env) {
+                                Some(p) => p,
+                                None => {
+                                    self.bet.warnings.push(format!(
+                                        "branch condition at stmt #{} is not statically analyzable; assuming 0.5",
+                                        stmt.id.0
+                                    ));
+                                    0.5
+                                }
+                            };
+                            let arm_mass = ctx.prob * remaining * p;
+                            remaining *= 1.0 - p;
+                            if arm_mass <= 1e-12 {
+                                continue;
+                            }
+                            let node = self.make(
+                                parent,
+                                Some(stmt.id),
+                                BetKind::Arm { index: Some(i) },
+                                arm_mass,
+                                1.0,
+                                &ctx,
+                            );
+                            let arm_node = self.push(node)?;
+                            let (outs, esc) =
+                                self.build_block(&arm.body, arm_node, vec![Ctx { env: ctx.env.clone(), prob: 1.0 }], depth)?;
+                            escape.brk += arm_mass * esc.brk;
+                            escape.cont += arm_mass * esc.cont;
+                            escape.ret += arm_mass * esc.ret;
+                            for out in outs {
+                                survivors.push(Ctx { env: out.env, prob: arm_mass * out.prob });
+                            }
+                        }
+                        // else / fall-through path
+                        let else_mass = ctx.prob * remaining;
+                        if else_mass > 1e-12 {
+                            match else_body {
+                                Some(e) => {
+                                    let node =
+                                        self.make(parent, Some(stmt.id), BetKind::Arm { index: None }, else_mass, 1.0, &ctx);
+                                    let arm_node = self.push(node)?;
+                                    let (outs, esc) = self.build_block(
+                                        e,
+                                        arm_node,
+                                        vec![Ctx { env: ctx.env.clone(), prob: 1.0 }],
+                                        depth,
+                                    )?;
+                                    escape.brk += else_mass * esc.brk;
+                                    escape.cont += else_mass * esc.cont;
+                                    escape.ret += else_mass * esc.ret;
+                                    for out in outs {
+                                        survivors.push(Ctx { env: out.env, prob: else_mass * out.prob });
+                                    }
+                                }
+                                None => survivors.push(Ctx { env: ctx.env.clone(), prob: else_mass }),
+                            }
+                        }
+                    }
+                    ctxs = merge_contexts(survivors, self.cfg.max_contexts, &mut self.bet.warnings);
+                }
+                sk::StmtKind::Return { prob } => {
+                    for ctx in &mut ctxs {
+                        let p = self.eval_or(prob, &ctx.env, 1.0, "return probability").clamp(0.0, 1.0);
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        let mass = ctx.prob * p;
+                        let node = self.make(parent, Some(stmt.id), BetKind::Return, mass, 1.0, ctx);
+                        self.push(node)?;
+                        escape.ret += mass;
+                        ctx.prob *= 1.0 - p;
+                    }
+                    ctxs.retain(|c| c.prob > 1e-12);
+                }
+                sk::StmtKind::Break { prob } => {
+                    for ctx in &mut ctxs {
+                        let p = self.eval_or(prob, &ctx.env, 1.0, "break probability").clamp(0.0, 1.0);
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        let mass = ctx.prob * p;
+                        let node = self.make(parent, Some(stmt.id), BetKind::Break, mass, 1.0, ctx);
+                        self.push(node)?;
+                        escape.brk += mass;
+                        ctx.prob *= 1.0 - p;
+                    }
+                    ctxs.retain(|c| c.prob > 1e-12);
+                }
+                sk::StmtKind::Continue { prob } => {
+                    for ctx in &mut ctxs {
+                        let p = self.eval_or(prob, &ctx.env, 1.0, "continue probability").clamp(0.0, 1.0);
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        let mass = ctx.prob * p;
+                        let node = self.make(parent, Some(stmt.id), BetKind::Continue, mass, 1.0, ctx);
+                        self.push(node)?;
+                        escape.cont += mass;
+                        ctx.prob *= 1.0 - p;
+                    }
+                    ctxs.retain(|c| c.prob > 1e-12);
+                }
+            }
+        }
+        Ok((ctxs, escape))
+    }
+
+    /// Shared modeling of `loop` and `while` statements.
+    #[allow(clippy::too_many_arguments)]
+    fn model_loop(
+        &mut self,
+        stmt: &sk::Stmt,
+        parent: BetNodeId,
+        ctx: &Ctx,
+        nominal_trips: f64,
+        range: Option<(&str, f64, f64, f64)>,
+        parallel: bool,
+        body: &sk::Block,
+        depth: u32,
+        out_ctxs: &mut Vec<Ctx>,
+        escape: &mut EscapeMass,
+    ) -> Result<(), BuildError> {
+        // replace this context's entry in the outgoing set
+        if let Some(pos) = out_ctxs.iter().position(|c| c.same_env(ctx) && c.prob == ctx.prob) {
+            out_ctxs.remove(pos);
+        }
+        let mut node = self.make(parent, Some(stmt.id), BetKind::Loop, ctx.prob, nominal_trips.max(0.0), ctx);
+        node.parallel = parallel;
+        let loop_node = self.push(node)?;
+
+        // body environment: induction variable becomes a symbolic range
+        let mut body_env = ctx.env.clone();
+        if let Some((var, lo, hi, step)) = range {
+            body_env.insert(var.to_string(), Value::Range { lo, hi, step });
+        }
+        let (body_out, body_esc) =
+            self.build_block(body, loop_node, vec![Ctx { env: body_env, prob: 1.0 }], depth)?;
+
+        // breaks and returns shorten the expected trip count
+        let exit_p = (body_esc.brk + body_esc.ret).clamp(0.0, 1.0);
+        let eff_trips = expected_trips_with_break(nominal_trips.max(0.0), exit_p);
+        self.bet.node_mut(loop_node).iters = eff_trips;
+
+        // probability the loop is escaped via return (terminates the
+        // function, not just the loop): promoted to the enclosing block
+        let ret_escape = if body_esc.ret > 0.0 {
+            1.0 - (1.0 - body_esc.ret.clamp(0.0, 1.0)).powf(eff_trips.max(1.0))
+        } else {
+            0.0
+        };
+        escape.ret += ctx.prob * ret_escape;
+
+        // fall-through: variables assigned in one modeled pass persist; the
+        // induction variable takes its final value
+        let survive = ctx.prob * (1.0 - ret_escape);
+        if survive > 1e-12 {
+            // merge body-out envs (weighted by their fall-through probability)
+            let mut env_after = match body_out.into_iter().max_by(|a, b| {
+                a.prob.partial_cmp(&b.prob).unwrap_or(std::cmp::Ordering::Equal)
+            }) {
+                Some(c) => c.env,
+                None => ctx.env.clone(),
+            };
+            if let Some((var, _, hi, _)) = range {
+                env_after.insert(var.to_string(), Value::Scalar(hi));
+            }
+            out_ctxs.push(Ctx { env: env_after, prob: survive });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BetKind;
+    use xflow_skeleton::expr::env_from;
+    use xflow_skeleton::parse;
+
+    fn build_src(src: &str, inputs: &[(&str, f64)]) -> Bet {
+        let prog = parse(src).unwrap();
+        build(&prog, &env_from(inputs.iter().copied())).unwrap()
+    }
+
+    fn find<'a>(bet: &'a Bet, tag: &str) -> Vec<&'a BetNode> {
+        bet.iter().filter(|n| n.kind.tag() == tag).collect()
+    }
+
+    #[test]
+    fn single_comp_program() {
+        let bet = build_src("func main() { comp { flops: 4, loads: 2 } }", &[]);
+        assert_eq!(bet.len(), 2); // root + comp
+        let comps = find(&bet, "comp");
+        assert_eq!(comps.len(), 1);
+        match &comps[0].kind {
+            BetKind::Comp { ops } => {
+                assert_eq!(ops.flops, 4.0);
+                assert_eq!(ops.loads, 2.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn loop_is_single_node_with_input_dependent_trips() {
+        let src = "func main() { loop i = 0 .. n { comp { flops: 1 } } }";
+        let small = build_src(src, &[("n", 10.0)]);
+        let large = build_src(src, &[("n", 1_000_000.0)]);
+        // identical structure regardless of input size
+        assert_eq!(small.len(), large.len());
+        assert_eq!(find(&small, "loop")[0].iters, 10.0);
+        assert_eq!(find(&large, "loop")[0].iters, 1_000_000.0);
+        // ENR of the body reflects the trip count
+        let enr = large.enr();
+        let comp = find(&large, "comp")[0];
+        assert_eq!(enr[comp.id.0 as usize], 1_000_000.0);
+    }
+
+    #[test]
+    fn call_mounts_callee_with_bound_arguments() {
+        let src = r#"
+func main() {
+  let n = N
+  call work(n * 2)
+}
+func work(m) {
+  loop j = 0 .. m { comp { flops: 1 } }
+}
+"#;
+        let bet = build_src(src, &[("N", 8.0)]);
+        let calls = find(&bet, "call");
+        assert_eq!(calls.len(), 1);
+        // the mounted loop sees m = 16
+        let loops = find(&bet, "loop");
+        assert_eq!(loops[0].iters, 16.0);
+        // argument value is recorded in the mount context
+        assert!(calls[0].context.iter().any(|(k, v)| k == "m" && *v == 16.0));
+    }
+
+    #[test]
+    fn multiple_call_sites_mount_separately_with_different_contexts() {
+        let src = r#"
+func main() {
+  call work(10)
+  call work(50)
+}
+func work(m) {
+  loop j = 0 .. m { comp { flops: 1 } }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let loops = find(&bet, "loop");
+        assert_eq!(loops.len(), 2);
+        let mut trips: Vec<f64> = loops.iter().map(|l| l.iters).collect();
+        trips.sort_by(f64::total_cmp);
+        assert_eq!(trips, vec![10.0, 50.0]);
+    }
+
+    #[test]
+    fn probabilistic_branch_splits_mass() {
+        let src = r#"
+func main() {
+  if prob(0.3) { comp { flops: 1 } }
+  else { comp { flops: 2 } }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let arms = find(&bet, "arm");
+        assert_eq!(arms.len(), 2);
+        let probs: Vec<f64> = arms.iter().map(|a| a.prob).collect();
+        assert!(probs.contains(&0.3));
+        assert!(probs.contains(&0.7));
+    }
+
+    #[test]
+    fn deterministic_branch_on_context_value() {
+        let src = r#"
+func main() {
+  let n = N
+  if (n < 100) { comp { flops: 1 } }
+  else { comp { flops: 2 } }
+}
+"#;
+        let bet = build_src(src, &[("N", 5.0)]);
+        let arms = find(&bet, "arm");
+        // only the taken arm materializes (probability 1), else arm has 0 mass
+        assert_eq!(arms.len(), 1);
+        assert_eq!(arms[0].prob, 1.0);
+        assert_eq!(arms[0].kind, BetKind::Arm { index: Some(0) });
+    }
+
+    #[test]
+    fn range_condition_yields_fractional_arm() {
+        let src = r#"
+func main() {
+  loop i = 0 .. 100 {
+    if (i < 25) { comp { flops: 1 } }
+  }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let arm = find(&bet, "arm")[0];
+        assert!((arm.prob - 0.25).abs() < 0.02, "{}", arm.prob);
+        // ENR of the guarded comp ≈ 25
+        let enr = bet.enr();
+        let comp = find(&bet, "comp")[0];
+        assert!((enr[comp.id.0 as usize] - 25.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn branch_context_forking_like_figure_2() {
+        // the paper's pedagogical example: a branch assigns `knob`
+        // differently, and a later call is modeled once per context
+        let src = r#"
+func main() {
+  if prob(0.6) { let knob = 1 }
+  else { let knob = 2 }
+  call foo(knob)
+}
+func foo(k) {
+  loop i = 0 .. k * 10 { comp { flops: 1 } }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let calls = find(&bet, "call");
+        assert_eq!(calls.len(), 2, "two contexts must mount foo twice");
+        let mut probs: Vec<f64> = calls.iter().map(|c| c.prob).collect();
+        probs.sort_by(f64::total_cmp);
+        assert!((probs[0] - 0.4).abs() < 1e-9);
+        assert!((probs[1] - 0.6).abs() < 1e-9);
+        let mut trips: Vec<f64> = find(&bet, "loop").iter().map(|l| l.iters).collect();
+        trips.sort_by(f64::total_cmp);
+        assert_eq!(trips, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn return_kills_following_statements() {
+        let src = r#"
+func main() {
+  comp { flops: 1 }
+  return
+  comp { flops: 99 }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let comps = find(&bet, "comp");
+        assert_eq!(comps.len(), 1, "statements after an unconditional return must not be modeled");
+    }
+
+    #[test]
+    fn probabilistic_return_scales_following_mass() {
+        let src = r#"
+func main() {
+  return prob(0.25)
+  comp { flops: 1 }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let comp = find(&bet, "comp")[0];
+        assert!((comp.prob - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_shortens_expected_trips() {
+        let src = r#"
+func main() {
+  loop i = 0 .. 1000 {
+    comp { flops: 1 }
+    break prob(0.01)
+  }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let l = find(&bet, "loop")[0];
+        // E = (1 - 0.99^1000)/0.01 ≈ 99.996
+        assert!((l.iters - 100.0).abs() < 2.0, "{}", l.iters);
+    }
+
+    #[test]
+    fn break_inside_branch_promotes_through_arm() {
+        let src = r#"
+func main() {
+  loop i = 0 .. 1000 {
+    if prob(0.02) { break }
+    comp { flops: 1 }
+  }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let l = find(&bet, "loop")[0];
+        // per-iteration exit prob 0.02 → ≈ 50 expected trips
+        assert!((l.iters - 50.0).abs() < 2.0, "{}", l.iters);
+        // the comp after the branch runs with prob 0.98 per iteration
+        let comp = find(&bet, "comp")[0];
+        assert!((comp.prob - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn return_inside_loop_escapes_function() {
+        let src = r#"
+func main() {
+  loop i = 0 .. 10 {
+    return prob(0.5)
+  }
+  comp { flops: 1 }
+}
+"#;
+        let bet = build_src(src, &[]);
+        // survival after the loop ≈ (1-0.5)^E with E ≈ 2 trips ⇒ tiny
+        let comp = find(&bet, "comp")[0];
+        assert!(comp.prob < 0.3, "{}", comp.prob);
+        let l = find(&bet, "loop")[0];
+        assert!(l.iters < 3.0, "{}", l.iters);
+    }
+
+    #[test]
+    fn while_uses_profiled_trip_expression() {
+        let src = "func main() { while trips(n / 2) { comp { flops: 1 } } }";
+        let bet = build_src(src, &[("n", 64.0)]);
+        assert_eq!(find(&bet, "loop")[0].iters, 32.0);
+    }
+
+    #[test]
+    fn empty_loop_runs_zero_times() {
+        let bet = build_src("func main() { loop i = 5 .. 5 { comp { flops: 1 } } }", &[]);
+        assert_eq!(find(&bet, "loop")[0].iters, 0.0);
+        let enr = bet.enr();
+        let comp = find(&bet, "comp")[0];
+        assert_eq!(enr[comp.id.0 as usize], 0.0);
+    }
+
+    #[test]
+    fn bet_size_independent_of_input() {
+        let src = r#"
+func main() {
+  let n = N
+  loop i = 0 .. n {
+    loop j = 0 .. n {
+      comp { flops: 8, loads: 4, stores: 2 }
+      if prob(0.1) { lib exp(1) }
+    }
+  }
+}
+"#;
+        let sizes: Vec<usize> = [10.0, 1e3, 1e6, 1e9]
+            .iter()
+            .map(|&n| build_src(src, &[("n", 0.0), ("N", n)]).len())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn unknown_branch_condition_warns_and_halves() {
+        let src = r#"
+func main() {
+  if (mystery < 3) { comp { flops: 1 } }
+}
+"#;
+        let bet = build_src(src, &[]);
+        assert!(bet.warnings.iter().any(|w| w.contains("not statically analyzable")));
+        let arm = find(&bet, "arm")[0];
+        assert_eq!(arm.prob, 0.5);
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let prog = parse("func main() { call ghost() }").unwrap();
+        assert_eq!(build(&prog, &Env::new()).unwrap_err(), BuildError::UnknownFunction("ghost".into()));
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let prog = parse("func main() { call f() } func f() { call f() }").unwrap();
+        let bet = build_with_config(&prog, &Env::new(), BuildConfig { max_depth: 8, ..Default::default() }).unwrap();
+        assert!(bet.warnings.iter().any(|w| w.contains("depth limit")));
+        assert!(bet.len() <= 16);
+    }
+
+    #[test]
+    fn node_budget_enforced() {
+        // wide context forking via chained branches with distinct lets
+        let src = r#"
+func main() {
+  if prob(0.5) { let a = 1 } else { let a = 2 }
+  if prob(0.5) { let b = 1 } else { let b = 2 }
+  call f(a, b)
+}
+func f(x, y) { comp { flops: x + y } }
+"#;
+        let prog = parse(src).unwrap();
+        let err =
+            build_with_config(&prog, &Env::new(), BuildConfig { max_nodes: 3, ..Default::default() }).unwrap_err();
+        assert!(matches!(err, BuildError::TooManyNodes(3)));
+    }
+
+    #[test]
+    fn switch_arm_probabilities_are_conditional() {
+        let src = r#"
+func main() {
+  switch {
+    case prob(0.5) { comp { flops: 1 } }
+    case prob(0.5) { comp { flops: 2 } }
+    default { comp { flops: 3 } }
+  }
+}
+"#;
+        let bet = build_src(src, &[]);
+        let arms = find(&bet, "arm");
+        // arm0 0.5, arm1 0.5*0.5 = 0.25, else 0.25
+        let mut probs: Vec<f64> = arms.iter().map(|a| a.prob).collect();
+        probs.sort_by(f64::total_cmp);
+        assert_eq!(probs, vec![0.25, 0.25, 0.5]);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_variable_final_value_after_loop() {
+        let src = r#"
+func main() {
+  let n = 10
+  loop i = 0 .. n { comp { flops: 1 } }
+  if (i >= n) { comp { flops: 7 } }
+}
+"#;
+        let bet = build_src(src, &[]);
+        // i == n after the loop, so the guard holds deterministically
+        let comps = find(&bet, "comp");
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().any(|c| matches!(&c.kind, BetKind::Comp { ops } if ops.flops == 7.0 && c.prob == 1.0)));
+    }
+}

@@ -1,0 +1,389 @@
+//! Execution contexts and statistical condition evaluation.
+//!
+//! A context is the set of variable values that affect branch outcomes, loop
+//! boundaries, and data accesses (paper Section IV-A), together with the
+//! probability of executing under those values. Loop induction variables are
+//! held symbolically as ranges; deterministic comparisons over a range
+//! evaluate to the *fraction of iterations* satisfying the comparison, which
+//! is how e.g. `if (i >= 50)` inside `loop i = 0 .. 100` yields 0.5 without
+//! iterating.
+
+use xflow_skeleton::expr::{Env, Expr, Value};
+use xflow_skeleton::{CmpOp, Cond};
+
+/// One execution context: variable values plus the probability of reaching
+/// the current program point with them (relative to the enclosing block's
+/// entry).
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    pub env: Env,
+    pub prob: f64,
+}
+
+impl Ctx {
+    /// Fresh full-probability context over an environment.
+    pub fn new(env: Env) -> Self {
+        Self { env, prob: 1.0 }
+    }
+
+    /// Snapshot of scalar values, sorted by name, for node reporting.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .env
+            .iter()
+            .map(|(k, val)| (k.clone(), val.expected()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Two contexts are mergeable when their environments agree.
+    pub fn same_env(&self, other: &Ctx) -> bool {
+        if self.env.len() != other.env.len() {
+            return false;
+        }
+        self.env.iter().all(|(k, v)| other.env.get(k) == Some(v))
+    }
+}
+
+/// Merge contexts with identical environments (summing probabilities) and
+/// bound the context population. When over `cap`, the lowest-probability
+/// contexts are folded into the most probable one — a controlled loss of
+/// context detail that keeps the BET size independent of branch counts.
+pub fn merge_contexts(mut ctxs: Vec<Ctx>, cap: usize, warnings: &mut Vec<String>) -> Vec<Ctx> {
+    let mut merged: Vec<Ctx> = Vec::with_capacity(ctxs.len().min(cap));
+    for c in ctxs.drain(..) {
+        if c.prob <= 1e-12 {
+            continue;
+        }
+        match merged.iter_mut().find(|m| m.same_env(&c)) {
+            Some(m) => m.prob += c.prob,
+            None => merged.push(c),
+        }
+    }
+    if merged.len() > cap {
+        merged.sort_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap_or(std::cmp::Ordering::Equal));
+        let overflow: f64 = merged[cap..].iter().map(|c| c.prob).sum();
+        warnings.push(format!(
+            "context population exceeded {cap}; folded {} low-probability contexts ({overflow:.4} mass) into the dominant one",
+            merged.len() - cap
+        ));
+        merged.truncate(cap);
+        merged[0].prob += overflow;
+    }
+    merged
+}
+
+/// Affine summary of an expression with respect to one range variable:
+/// `value(i) = at_lo + slope·(i − lo)` when linear in `i`.
+enum RangeEval {
+    /// No range variables involved; a plain scalar.
+    Scalar(f64),
+    /// Linear in exactly one range variable.
+    Affine { lo_val: f64, hi_val: f64, trips: f64 },
+    /// Not analyzable.
+    Unknown,
+}
+
+/// Evaluate an expression, tracking linearity in range-valued variables.
+fn range_eval(e: &Expr, env: &Env) -> RangeEval {
+    match e {
+        Expr::Num(n) => RangeEval::Scalar(*n),
+        Expr::Var(v) => match env.get(v) {
+            Some(Value::Scalar(s)) => RangeEval::Scalar(*s),
+            Some(Value::Range { lo, hi, step }) => {
+                let trips = Value::Range { lo: *lo, hi: *hi, step: *step }.trip_count();
+                if trips <= 0.0 {
+                    RangeEval::Scalar(*lo)
+                } else {
+                    // value at first and last iteration
+                    RangeEval::Affine { lo_val: *lo, hi_val: lo + step * (trips - 1.0), trips }
+                }
+            }
+            None => RangeEval::Unknown,
+        },
+        Expr::Neg(inner) => match range_eval(inner, env) {
+            RangeEval::Scalar(s) => RangeEval::Scalar(-s),
+            RangeEval::Affine { lo_val, hi_val, trips } => {
+                RangeEval::Affine { lo_val: -lo_val, hi_val: -hi_val, trips }
+            }
+            RangeEval::Unknown => RangeEval::Unknown,
+        },
+        Expr::Binary(l, op, r) => {
+            use xflow_skeleton::BinOp::*;
+            let lv = range_eval(l, env);
+            let rv = range_eval(r, env);
+            match (lv, rv, op) {
+                (RangeEval::Scalar(a), RangeEval::Scalar(b), _) => match op {
+                    Add => RangeEval::Scalar(a + b),
+                    Sub => RangeEval::Scalar(a - b),
+                    Mul => RangeEval::Scalar(a * b),
+                    Div => {
+                        if b == 0.0 {
+                            RangeEval::Unknown
+                        } else {
+                            RangeEval::Scalar(a / b)
+                        }
+                    }
+                    Mod => {
+                        if b == 0.0 {
+                            RangeEval::Unknown
+                        } else {
+                            RangeEval::Scalar(a % b)
+                        }
+                    }
+                },
+                // affine ∘ scalar stays affine for +, -, ·, ÷
+                (RangeEval::Affine { lo_val, hi_val, trips }, RangeEval::Scalar(s), Add) => {
+                    RangeEval::Affine { lo_val: lo_val + s, hi_val: hi_val + s, trips }
+                }
+                (RangeEval::Affine { lo_val, hi_val, trips }, RangeEval::Scalar(s), Sub) => {
+                    RangeEval::Affine { lo_val: lo_val - s, hi_val: hi_val - s, trips }
+                }
+                (RangeEval::Affine { lo_val, hi_val, trips }, RangeEval::Scalar(s), Mul) => {
+                    RangeEval::Affine { lo_val: lo_val * s, hi_val: hi_val * s, trips }
+                }
+                (RangeEval::Affine { lo_val, hi_val, trips }, RangeEval::Scalar(s), Div) if s != 0.0 => {
+                    RangeEval::Affine { lo_val: lo_val / s, hi_val: hi_val / s, trips }
+                }
+                (RangeEval::Scalar(s), RangeEval::Affine { lo_val, hi_val, trips }, Add) => {
+                    RangeEval::Affine { lo_val: s + lo_val, hi_val: s + hi_val, trips }
+                }
+                (RangeEval::Scalar(s), RangeEval::Affine { lo_val, hi_val, trips }, Sub) => {
+                    RangeEval::Affine { lo_val: s - lo_val, hi_val: s - hi_val, trips }
+                }
+                (RangeEval::Scalar(s), RangeEval::Affine { lo_val, hi_val, trips }, Mul) => {
+                    RangeEval::Affine { lo_val: s * lo_val, hi_val: s * hi_val, trips }
+                }
+                _ => RangeEval::Unknown,
+            }
+        }
+        Expr::Call(..) => match e.eval(env) {
+            Ok(v) => RangeEval::Scalar(v),
+            Err(_) => RangeEval::Unknown,
+        },
+    }
+}
+
+/// Probability that `lhs op rhs` holds in the context, handling three cases:
+/// both sides scalar (0 or 1), one side affine in a loop range (fraction of
+/// iterations), otherwise unknown (`None`).
+pub fn cmp_prob(lhs: &Expr, op: CmpOp, rhs: &Expr, env: &Env) -> Option<f64> {
+    let l = range_eval(lhs, env);
+    let r = range_eval(rhs, env);
+    match (l, r) {
+        (RangeEval::Scalar(a), RangeEval::Scalar(b)) => Some(if op.apply(a, b) { 1.0 } else { 0.0 }),
+        (RangeEval::Affine { lo_val, hi_val, trips }, RangeEval::Scalar(s)) => {
+            Some(affine_fraction(lo_val, hi_val, trips, op, s))
+        }
+        (RangeEval::Scalar(s), RangeEval::Affine { lo_val, hi_val, trips }) => {
+            // mirror the comparison: s op x  ⇔  x op' s
+            let mirrored = match op {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+                CmpOp::Eq => CmpOp::Eq,
+                CmpOp::Ne => CmpOp::Ne,
+            };
+            Some(affine_fraction(lo_val, hi_val, trips, mirrored, s))
+        }
+        _ => None,
+    }
+}
+
+/// Fraction of a linear sweep `lo_val → hi_val` over `trips` uniformly
+/// spaced points satisfying `x op threshold`.
+fn affine_fraction(lo_val: f64, hi_val: f64, trips: f64, op: CmpOp, threshold: f64) -> f64 {
+    if trips <= 1.0 {
+        return if op.apply(lo_val, threshold) { 1.0 } else { 0.0 };
+    }
+    match op {
+        CmpOp::Eq => {
+            let (a, b) = (lo_val.min(hi_val), lo_val.max(hi_val));
+            if (a..=b).contains(&threshold) {
+                1.0 / trips
+            } else {
+                0.0
+            }
+        }
+        CmpOp::Ne => 1.0 - affine_fraction(lo_val, hi_val, trips, CmpOp::Eq, threshold),
+        _ => {
+            // count endpoints satisfying, interpolate linearly between
+            let lo_ok = op.apply(lo_val, threshold);
+            let hi_ok = op.apply(hi_val, threshold);
+            match (lo_ok, hi_ok) {
+                (true, true) => 1.0,
+                (false, false) => 0.0,
+                _ => {
+                    // crossing point as a fraction of the sweep
+                    let span = hi_val - lo_val;
+                    if span == 0.0 {
+                        return if lo_ok { 1.0 } else { 0.0 };
+                    }
+                    let t = ((threshold - lo_val) / span).clamp(0.0, 1.0);
+                    if lo_ok {
+                        t
+                    } else {
+                        1.0 - t
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Probability that a branch condition holds in a context. `None` marks a
+/// genuinely unknown outcome (the caller falls back to 0.5 with a warning).
+pub fn cond_prob(cond: &Cond, env: &Env) -> Option<f64> {
+    match cond {
+        Cond::Prob(p) => p.eval(env).ok().map(|v| v.clamp(0.0, 1.0)),
+        Cond::Cmp { lhs, op, rhs } => cmp_prob(lhs, *op, rhs, env),
+    }
+}
+
+/// Expected iterations of a loop whose per-iteration exit probability is
+/// `p`, truncated at `n` iterations: `E = (1 − (1−p)^n) / p`, which is `n`
+/// as `p → 0` and `1/p` for large `n` (paper Section IV-B break modeling).
+pub fn expected_trips_with_break(n: f64, p: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return n;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let e = (1.0 - (1.0 - p).powf(n)) / p;
+    e.min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xflow_skeleton::expr::env_from;
+    use xflow_skeleton::Expr;
+
+    fn range_env(var: &str, lo: f64, hi: f64) -> Env {
+        let mut env = Env::new();
+        env.insert(var.to_string(), Value::Range { lo, hi, step: 1.0 });
+        env
+    }
+
+    #[test]
+    fn scalar_comparison_is_deterministic() {
+        let env = env_from([("n", 10.0)]);
+        let p = cmp_prob(&Expr::var("n"), CmpOp::Lt, &Expr::num(100.0), &env);
+        assert_eq!(p, Some(1.0));
+        let p = cmp_prob(&Expr::var("n"), CmpOp::Gt, &Expr::num(100.0), &env);
+        assert_eq!(p, Some(0.0));
+    }
+
+    #[test]
+    fn range_comparison_yields_fraction() {
+        // i in 0..100, i >= 50 → half the iterations
+        let env = range_env("i", 0.0, 100.0);
+        let p = cmp_prob(&Expr::var("i"), CmpOp::Ge, &Expr::num(50.0), &env).unwrap();
+        assert!((p - 0.5).abs() < 0.02, "{p}");
+        let p = cmp_prob(&Expr::var("i"), CmpOp::Lt, &Expr::num(25.0), &env).unwrap();
+        assert!((p - 0.25).abs() < 0.02, "{p}");
+    }
+
+    #[test]
+    fn affine_transformed_range() {
+        // i in 0..10; i*10 + 5 < 50 → i < 4.5 → i in {0..4} ≈ 0.5
+        let env = range_env("i", 0.0, 10.0);
+        let lhs = Expr::var("i").mul(Expr::num(10.0)).add(Expr::num(5.0));
+        let p = cmp_prob(&lhs, CmpOp::Lt, &Expr::num(50.0), &env).unwrap();
+        assert!((p - 0.5).abs() < 0.1, "{p}");
+    }
+
+    #[test]
+    fn equality_on_range_is_one_over_n() {
+        let env = range_env("i", 0.0, 100.0);
+        let p = cmp_prob(&Expr::var("i"), CmpOp::Eq, &Expr::num(42.0), &env).unwrap();
+        assert!((p - 0.01).abs() < 1e-9);
+        let p = cmp_prob(&Expr::var("i"), CmpOp::Eq, &Expr::num(500.0), &env).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn mirrored_comparison() {
+        // 50 <= i over i in 0..100 is the same as i >= 50
+        let env = range_env("i", 0.0, 100.0);
+        let p = cmp_prob(&Expr::num(50.0), CmpOp::Le, &Expr::var("i"), &env).unwrap();
+        assert!((p - 0.5).abs() < 0.02, "{p}");
+    }
+
+    #[test]
+    fn unknown_variables_are_none() {
+        let env = Env::new();
+        assert_eq!(cmp_prob(&Expr::var("x"), CmpOp::Lt, &Expr::num(1.0), &env), None);
+    }
+
+    #[test]
+    fn cond_prob_probabilistic() {
+        let env = Env::new();
+        assert_eq!(cond_prob(&Cond::Prob(Expr::num(0.3)), &env), Some(0.3));
+        assert_eq!(cond_prob(&Cond::Prob(Expr::num(1.5)), &env), Some(1.0)); // clamped
+        assert_eq!(cond_prob(&Cond::Prob(Expr::var("missing")), &env), None);
+    }
+
+    #[test]
+    fn expected_trips_limits() {
+        assert_eq!(expected_trips_with_break(100.0, 0.0), 100.0);
+        assert_eq!(expected_trips_with_break(0.0, 0.5), 0.0);
+        assert_eq!(expected_trips_with_break(100.0, 1.0), 1.0);
+        // small p·n ⇒ ≈ n
+        let e = expected_trips_with_break(10.0, 0.001);
+        assert!((e - 10.0).abs() < 0.1, "{e}");
+        // large n ⇒ ≈ 1/p
+        let e = expected_trips_with_break(1e6, 0.01);
+        assert!((e - 100.0).abs() < 1.0, "{e}");
+        // always ≤ n
+        assert!(expected_trips_with_break(5.0, 0.01) <= 5.0);
+    }
+
+    #[test]
+    fn merge_contexts_sums_identical_envs() {
+        let env = env_from([("x", 1.0)]);
+        let mut warnings = Vec::new();
+        let merged = merge_contexts(
+            vec![Ctx { env: env.clone(), prob: 0.25 }, Ctx { env: env.clone(), prob: 0.5 }],
+            8,
+            &mut warnings,
+        );
+        assert_eq!(merged.len(), 1);
+        assert!((merged[0].prob - 0.75).abs() < 1e-12);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn merge_contexts_caps_population() {
+        let mut ctxs = Vec::new();
+        for k in 0..20 {
+            ctxs.push(Ctx { env: env_from([("x", k as f64)]), prob: 0.05 });
+        }
+        let mut warnings = Vec::new();
+        let merged = merge_contexts(ctxs, 4, &mut warnings);
+        assert_eq!(merged.len(), 4);
+        let total: f64 = merged.iter().map(|c| c.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass preserved, got {total}");
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn zero_probability_contexts_dropped() {
+        let mut warnings = Vec::new();
+        let merged = merge_contexts(vec![Ctx { env: Env::new(), prob: 0.0 }], 8, &mut warnings);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn snapshot_sorted() {
+        let ctx = Ctx::new(env_from([("b", 2.0), ("a", 1.0)]));
+        let snap = ctx.snapshot();
+        assert_eq!(snap, vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # xflow-bet — the Bayesian Execution Tree
+//!
+//! The paper's central data structure (Section IV): a *statically built*
+//! model of a program's dynamic execution flow. Construction conceptually
+//! traverses the Block Skeleton Tree from `main`, mounting callee trees at
+//! call sites with per-invocation contexts, collapsing loops into single
+//! nodes carrying expected trip counts, and splitting probability-weighted
+//! contexts at branches. `return`/`break`/`continue` move probability mass
+//! out of the fall-through path and shorten expected trip counts via a
+//! truncated-geometric expectation.
+//!
+//! Two properties the paper relies on hold by construction and are enforced
+//! by this crate's tests:
+//!
+//! * **input-size independence** — the tree's node count does not grow with
+//!   loop trip counts, only with code structure and context forks;
+//! * **probability conservation** — the mass of all paths leaving a branch
+//!   equals the mass entering it.
+//!
+//! ```
+//! use xflow_skeleton::{parse, env_from};
+//!
+//! let prog = parse(r#"
+//! func main() {
+//!     let n = N
+//!     loop i = 0 .. n {
+//!         comp { flops: 6, loads: 3, stores: 1 }
+//!         if prob(0.125) { lib exp(1) }
+//!     }
+//! }
+//! "#).unwrap();
+//! let bet = xflow_bet::build(&prog, &env_from([("N", 1_000_000.0)])).unwrap();
+//! let enr = bet.enr();
+//! // the comp block repeats a million times, yet the tree has 5 nodes
+//! assert_eq!(bet.len(), 5);
+//! assert!(enr.iter().cloned().fold(0.0, f64::max) >= 1_000_000.0);
+//! ```
+
+pub mod build;
+pub mod context;
+pub mod node;
+
+pub use build::{build, build_with_config, BuildConfig, BuildError};
+pub use context::{cond_prob, expected_trips_with_break, merge_contexts, Ctx};
+pub use node::{Bet, BetKind, BetNode, BetNodeId, ConcreteOps};

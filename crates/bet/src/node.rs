@@ -1,0 +1,301 @@
+//! BET node arena and derived quantities (ENR, size statistics).
+
+use serde::{Deserialize, Serialize};
+use xflow_skeleton::StmtId;
+
+/// Identifier of a node inside one [`Bet`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BetNodeId(pub u32);
+
+/// Concrete per-invocation operation counts of a BET node (the evaluated
+/// counterpart of a skeleton `comp` block in one context).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConcreteOps {
+    pub flops: f64,
+    pub iops: f64,
+    pub loads: f64,
+    pub stores: f64,
+    pub divs: f64,
+    pub elem_bytes: f64,
+}
+
+impl ConcreteOps {
+    /// Sum of all operation counts (used for merge keys and sanity checks).
+    pub fn total(&self) -> f64 {
+        self.flops + self.iops + self.loads + self.stores
+    }
+}
+
+/// What a BET node models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BetKind {
+    /// The root: the mount of `main`.
+    Root,
+    /// A mounted function invocation (`call` site).
+    Call { func: String },
+    /// A loop with an expected trip count (stored in [`BetNode::iters`]).
+    Loop,
+    /// One branch arm (index within the branch, `None` = else).
+    Arm { index: Option<usize> },
+    /// A computation block with evaluated operation counts.
+    Comp { ops: ConcreteOps },
+    /// A library call with evaluated invocation count and per-call work.
+    Lib { func: String, calls: f64, work: f64 },
+    /// Early exit points, kept for hot-path context.
+    Return,
+    Break,
+    Continue,
+}
+
+impl BetKind {
+    /// Short display tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BetKind::Root => "root",
+            BetKind::Call { .. } => "call",
+            BetKind::Loop => "loop",
+            BetKind::Arm { .. } => "arm",
+            BetKind::Comp { .. } => "comp",
+            BetKind::Lib { .. } => "lib",
+            BetKind::Return => "return",
+            BetKind::Break => "break",
+            BetKind::Continue => "continue",
+        }
+    }
+}
+
+/// A node of the Bayesian Execution Tree.
+///
+/// `prob` is the conditional probability that the node executes once, given
+/// one execution of its parent block (one *iteration*, when the parent is a
+/// loop). `iters` is the expected trip count for loop nodes and 1 otherwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BetNode {
+    pub id: BetNodeId,
+    pub parent: Option<BetNodeId>,
+    /// The skeleton statement this node instantiates (None for the root).
+    pub stmt: Option<StmtId>,
+    pub kind: BetKind,
+    /// Conditional probability of execution given the parent.
+    pub prob: f64,
+    /// Expected iterations (loops only; 1 otherwise).
+    pub iters: f64,
+    /// Whether this is a parallel (`parloop`) node whose iterations may
+    /// execute concurrently.
+    pub parallel: bool,
+    pub children: Vec<BetNodeId>,
+    /// Snapshot of scalar context values at instantiation (sorted by name).
+    pub context: Vec<(String, f64)>,
+}
+
+/// The Bayesian Execution Tree: an arena of nodes rooted at `main`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Bet {
+    nodes: Vec<BetNode>,
+    /// Modeling notes accumulated during construction (unknown branch
+    /// probabilities, context merges, depth limits hit).
+    pub warnings: Vec<String>,
+}
+
+impl Bet {
+    /// Create an empty tree (builder use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node, wiring it under its parent. Returns its id.
+    pub fn push(&mut self, mut node: BetNode) -> BetNodeId {
+        let id = BetNodeId(self.nodes.len() as u32);
+        node.id = id;
+        if let Some(p) = node.parent {
+            self.nodes[p.0 as usize].children.push(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// The root node id (always 0 for a built tree).
+    pub fn root(&self) -> BetNodeId {
+        BetNodeId(0)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: BetNodeId) -> &BetNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: BetNodeId) -> &mut BetNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true for built trees).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate over all nodes in creation (pre-order) order.
+    pub fn iter(&self) -> impl Iterator<Item = &BetNode> {
+        self.nodes.iter()
+    }
+
+    /// Expected number of repetitions of every node:
+    /// `ENR(n) = prob(n) × mult(parent) × ENR(parent)` with `mult` being the
+    /// expected trip count for loop parents and 1 otherwise; `ENR(root) = 1`
+    /// (paper Section V-A).
+    pub fn enr(&self) -> Vec<f64> {
+        let mut enr = vec![0.0; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.parent {
+                None => enr[i] = 1.0,
+                Some(p) => {
+                    let parent = &self.nodes[p.0 as usize];
+                    let mult = if matches!(parent.kind, BetKind::Loop) { parent.iters } else { 1.0 };
+                    enr[i] = n.prob * mult * enr[p.0 as usize];
+                }
+            }
+        }
+        enr
+    }
+
+    /// Available parallelism per node: the product of expected trip counts
+    /// of enclosing *parallel* loops (1.0 when the node is purely
+    /// sequential). The projection clamps this with the machine's core
+    /// count to obtain the effective thread count of each block.
+    pub fn available_parallelism(&self) -> Vec<f64> {
+        let mut par = vec![1.0; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let inherited = match n.parent {
+                None => 1.0,
+                Some(p) => {
+                    let parent = &self.nodes[p.0 as usize];
+                    let own = par[p.0 as usize];
+                    if matches!(parent.kind, BetKind::Loop) && parent.parallel {
+                        own * parent.iters.max(1.0)
+                    } else {
+                        own
+                    }
+                }
+            };
+            par[i] = inherited;
+        }
+        par
+    }
+
+    /// Path from a node to the root (inclusive), leaf first.
+    pub fn ancestry(&self, id: BetNodeId) -> Vec<BetNodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur.0 as usize].parent {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Size ratio of the BET relative to the skeleton's statement count —
+    /// the paper reports an average of 88% and a maximum below 2×.
+    pub fn size_ratio(&self, skeleton_stmts: usize) -> f64 {
+        if skeleton_stmts == 0 {
+            0.0
+        } else {
+            self.nodes.len() as f64 / skeleton_stmts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(parent: Option<BetNodeId>, kind: BetKind, prob: f64, iters: f64) -> BetNode {
+        BetNode {
+            id: BetNodeId(0),
+            parent,
+            stmt: None,
+            kind,
+            prob,
+            iters,
+            parallel: false,
+            children: vec![],
+            context: vec![],
+        }
+    }
+
+    #[test]
+    fn push_wires_children() {
+        let mut bet = Bet::new();
+        let root = bet.push(leaf(None, BetKind::Root, 1.0, 1.0));
+        let c1 = bet.push(leaf(Some(root), BetKind::Comp { ops: ConcreteOps::default() }, 1.0, 1.0));
+        assert_eq!(bet.node(root).children, vec![c1]);
+        assert_eq!(bet.node(c1).parent, Some(root));
+        assert_eq!(bet.len(), 2);
+    }
+
+    #[test]
+    fn enr_multiplies_through_loops_and_probs() {
+        let mut bet = Bet::new();
+        let root = bet.push(leaf(None, BetKind::Root, 1.0, 1.0));
+        let l = bet.push(leaf(Some(root), BetKind::Loop, 1.0, 100.0));
+        let arm = bet.push(leaf(Some(l), BetKind::Arm { index: Some(0) }, 0.25, 1.0));
+        let comp = bet.push(leaf(Some(arm), BetKind::Comp { ops: ConcreteOps::default() }, 1.0, 1.0));
+        let enr = bet.enr();
+        assert_eq!(enr[root.0 as usize], 1.0);
+        assert_eq!(enr[l.0 as usize], 1.0);
+        // loop body arm runs 100 × 0.25 = 25 times
+        assert_eq!(enr[arm.0 as usize], 25.0);
+        assert_eq!(enr[comp.0 as usize], 25.0);
+    }
+
+    #[test]
+    fn nested_loops_compound() {
+        let mut bet = Bet::new();
+        let root = bet.push(leaf(None, BetKind::Root, 1.0, 1.0));
+        let outer = bet.push(leaf(Some(root), BetKind::Loop, 1.0, 10.0));
+        let inner = bet.push(leaf(Some(outer), BetKind::Loop, 1.0, 20.0));
+        let body = bet.push(leaf(Some(inner), BetKind::Comp { ops: ConcreteOps::default() }, 1.0, 1.0));
+        let enr = bet.enr();
+        assert_eq!(enr[inner.0 as usize], 10.0);
+        assert_eq!(enr[body.0 as usize], 200.0);
+    }
+
+    #[test]
+    fn ancestry_runs_to_root() {
+        let mut bet = Bet::new();
+        let root = bet.push(leaf(None, BetKind::Root, 1.0, 1.0));
+        let a = bet.push(leaf(Some(root), BetKind::Loop, 1.0, 5.0));
+        let b = bet.push(leaf(Some(a), BetKind::Comp { ops: ConcreteOps::default() }, 1.0, 1.0));
+        assert_eq!(bet.ancestry(b), vec![b, a, root]);
+        assert_eq!(bet.ancestry(root), vec![root]);
+    }
+
+    #[test]
+    fn available_parallelism_multiplies_through_parallel_loops() {
+        let mut bet = Bet::new();
+        let root = bet.push(leaf(None, BetKind::Root, 1.0, 1.0));
+        let mut par_loop = leaf(Some(root), BetKind::Loop, 1.0, 64.0);
+        par_loop.parallel = true;
+        let pl = bet.push(par_loop);
+        let seq_loop = bet.push(leaf(Some(pl), BetKind::Loop, 1.0, 8.0));
+        let comp = bet.push(leaf(Some(seq_loop), BetKind::Comp { ops: ConcreteOps::default() }, 1.0, 1.0));
+        let par = bet.available_parallelism();
+        assert_eq!(par[root.0 as usize], 1.0);
+        assert_eq!(par[pl.0 as usize], 1.0); // the loop node itself is entered once
+        assert_eq!(par[seq_loop.0 as usize], 64.0);
+        assert_eq!(par[comp.0 as usize], 64.0); // sequential loop adds nothing
+    }
+
+    #[test]
+    fn size_ratio() {
+        let mut bet = Bet::new();
+        bet.push(leaf(None, BetKind::Root, 1.0, 1.0));
+        bet.push(leaf(Some(BetNodeId(0)), BetKind::Loop, 1.0, 5.0));
+        assert_eq!(bet.size_ratio(4), 0.5);
+        assert_eq!(bet.size_ratio(0), 0.0);
+    }
+}

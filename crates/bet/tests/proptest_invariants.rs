@@ -1,0 +1,180 @@
+//! Property tests for BET construction over randomly generated skeletons:
+//! probabilities stay in [0, 1], expected trip counts are bounded by the
+//! nominal range, ENR values are finite and non-negative, and the tree size
+//! is independent of the numeric inputs.
+
+use proptest::prelude::*;
+use xflow_bet::{build, build_with_config, BetKind, BuildConfig};
+use xflow_skeleton::ast::*;
+use xflow_skeleton::expr::{env_from, Expr};
+
+fn prob_lit() -> impl Strategy<Value = f64> {
+    (0u32..=100).prop_map(|p| p as f64 / 100.0)
+}
+
+fn bound_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..2000).prop_map(|v| Expr::Num(v as f64)),
+        Just(Expr::var("n")),
+        (1i64..8).prop_map(|d| Expr::var("n").div(Expr::Num(d as f64))),
+        (0i64..50).prop_map(|c| Expr::var("n").add(Expr::Num(c as f64))),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum G {
+    Comp(f64, f64),
+    Lib(&'static str, f64),
+    Let(String, Expr),
+    Loop(String, Expr, Vec<G>),
+    While(Expr, Vec<G>),
+    Branch(Vec<(f64, Vec<G>)>, Option<Vec<G>>),
+    Return(f64),
+    Break(f64),
+    Continue(f64),
+}
+
+fn gen_stmt(in_loop: bool) -> impl Strategy<Value = G> {
+    let base = prop_oneof![
+        ((0u32..200), (0u32..100)).prop_map(|(f, l)| G::Comp(f as f64, l as f64)),
+        (prop_oneof![Just("exp"), Just("rand"), Just("sqrt")], 1u32..10)
+            .prop_map(|(n, c)| G::Lib(n, c as f64)),
+        ("[a-d]", (0u32..100)).prop_map(|(v, k)| G::Let(v, Expr::Num(k as f64))),
+        prob_lit().prop_map(G::Return),
+    ];
+    let leaf = if in_loop {
+        prop_oneof![base, prob_lit().prop_map(G::Break), prob_lit().prop_map(G::Continue)].boxed()
+    } else {
+        base.boxed()
+    };
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..4);
+        prop_oneof![
+            ("[i-k]", bound_expr(), block.clone()).prop_map(|(v, hi, b)| G::Loop(v, hi, b)),
+            (bound_expr(), block.clone()).prop_map(|(t, b)| G::While(t, b)),
+            (prop::collection::vec((prob_lit(), block.clone()), 1..3), prop::option::of(block))
+                .prop_map(|(arms, e)| G::Branch(arms, e)),
+        ]
+    })
+}
+
+fn assemble(stmts: &[G], prog: &mut Program) -> Block {
+    let mut out = Vec::new();
+    for g in stmts {
+        let id = prog.fresh_stmt_id();
+        let kind = match g {
+            G::Comp(f, l) => StmtKind::Comp(OpStats {
+                flops: Expr::Num(*f),
+                loads: Expr::Num(*l),
+                ..Default::default()
+            }),
+            G::Lib(n, c) => {
+                StmtKind::LibCall { func: n.to_string(), calls: Expr::Num(*c), work: Expr::Num(1.0) }
+            }
+            G::Let(v, e) => StmtKind::Let { var: v.clone(), value: e.clone() },
+            G::Loop(v, hi, b) => StmtKind::Loop {
+                var: v.clone(),
+                lo: Expr::Num(0.0),
+                hi: hi.clone(),
+                step: Expr::Num(1.0),
+                parallel: false,
+                body: assemble(b, prog),
+            },
+            G::While(t, b) => StmtKind::While { trips: t.clone(), body: assemble(b, prog) },
+            G::Branch(arms, e) => StmtKind::Branch {
+                arms: arms
+                    .iter()
+                    .map(|(p, b)| BranchArm { cond: Cond::Prob(Expr::Num(*p)), body: assemble(b, prog) })
+                    .collect(),
+                else_body: e.as_ref().map(|b| assemble(b, prog)),
+            },
+            G::Return(p) => StmtKind::Return { prob: Expr::Num(*p) },
+            G::Break(p) => StmtKind::Break { prob: Expr::Num(*p) },
+            G::Continue(p) => StmtKind::Continue { prob: Expr::Num(*p) },
+        };
+        out.push(Stmt { id, label: None, kind });
+    }
+    Block { stmts: out }
+}
+
+fn gen_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(gen_stmt(false), 1..6).prop_map(|body| {
+        let mut prog = Program::new();
+        let body = assemble(&body, &mut prog);
+        prog.add_function(Function { id: FuncId(0), name: "main".into(), params: vec![], body }).unwrap();
+        prog
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn probabilities_and_trips_are_sane(prog in gen_program(), n in 1u32..1000) {
+        let bet = build(&prog, &env_from([("n", n as f64)])).unwrap();
+        let enr = bet.enr();
+        for node in bet.iter() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&node.prob), "prob {}", node.prob);
+            prop_assert!(node.iters >= 0.0 && node.iters.is_finite(), "iters {}", node.iters);
+            let e = enr[node.id.0 as usize];
+            prop_assert!(e.is_finite() && e >= 0.0, "enr {e}");
+        }
+    }
+
+    #[test]
+    fn loop_iters_bounded_by_nominal_range(prog in gen_program(), n in 1u32..1000) {
+        let bet = build(&prog, &env_from([("n", n as f64)])).unwrap();
+        for node in bet.iter() {
+            if matches!(node.kind, BetKind::Loop) {
+                // effective trips never exceed what the bounds allow plus
+                // rounding (break/return only shorten loops)
+                prop_assert!(node.iters <= 2.0 * (n as f64) + 2100.0, "{}", node.iters);
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_input_invariant(prog in gen_program()) {
+        let small = build(&prog, &env_from([("n", 4.0)])).unwrap();
+        let large = build(&prog, &env_from([("n", 4_000_000.0)])).unwrap();
+        prop_assert_eq!(small.len(), large.len());
+    }
+
+    #[test]
+    fn branch_children_mass_bounded_by_parent(prog in gen_program(), n in 1u32..1000) {
+        let bet = build(&prog, &env_from([("n", n as f64)])).unwrap();
+        // For every branch statement: the total probability of its arm
+        // nodes under one parent never exceeds the contexts' mass (≤ 1 per
+        // sibling group plus fp tolerance).
+        use std::collections::HashMap;
+        let mut arm_mass: HashMap<(u32, u32), f64> = HashMap::new(); // (parent, stmt)
+        for node in bet.iter() {
+            if let (BetKind::Arm { .. }, Some(stmt), Some(parent)) = (&node.kind, node.stmt, node.parent) {
+                *arm_mass.entry((parent.0, stmt.0)).or_insert(0.0) += node.prob;
+            }
+        }
+        for ((_, _), mass) in arm_mass {
+            prop_assert!(mass <= 1.0 + 1e-6, "arm mass {mass}");
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic(prog in gen_program(), n in 1u32..1000) {
+        let a = build(&prog, &env_from([("n", n as f64)])).unwrap();
+        let b = build(&prog, &env_from([("n", n as f64)])).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        let ea = a.enr();
+        let eb = b.enr();
+        prop_assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn node_budget_is_respected(prog in gen_program(), n in 1u32..1000) {
+        let cfg = BuildConfig { max_nodes: 64, ..Default::default() };
+        match build_with_config(&prog, &env_from([("n", n as f64)]), cfg) {
+            Ok(bet) => prop_assert!(bet.len() <= 64),
+            Err(xflow_bet::BuildError::TooManyNodes(64)) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Hot path extraction (paper Section V-C).
+//!
+//! Each hot spot corresponds to one or more BET nodes (one per invocation
+//! context). Back-tracing every such node to the root yields per-spot paths;
+//! merging shared prefixes produces the *hot path* — a stripped-down version
+//! of the workload containing only the hot spots and the control flow that
+//! reaches them, annotated with trip counts, probabilities, and context
+//! values. This is the bird's-eye view of Figure 9 and the skeleton from
+//! which mini-applications can be constructed.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use xflow_bet::{Bet, BetKind, BetNodeId};
+use xflow_skeleton::StmtId;
+
+/// A merged hot path over a BET.
+#[derive(Debug, Clone)]
+pub struct HotPath {
+    /// Nodes on the path, keyed by BET node; values are ordered children.
+    children: BTreeMap<BetNodeId, Vec<BetNodeId>>,
+    /// Hot spot annotations: BET node → (rank, coverage fraction).
+    spots: HashMap<BetNodeId, (usize, f64)>,
+    root: BetNodeId,
+}
+
+impl HotPath {
+    /// Number of nodes on the merged path (including interior nodes).
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when no hot spots were found.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// BET node ids on the path.
+    pub fn node_ids(&self) -> impl Iterator<Item = BetNodeId> + '_ {
+        self.children.keys().copied()
+    }
+
+    /// Whether a BET node is one of the hot spots (vs. interior control flow).
+    pub fn is_hotspot(&self, id: BetNodeId) -> bool {
+        self.spots.contains_key(&id)
+    }
+
+    /// Ordered path children of a node (empty when the node is a leaf or
+    /// not on the path).
+    pub fn children(&self, id: BetNodeId) -> &[BetNodeId] {
+        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The root BET node the path starts from.
+    pub fn path_root(&self) -> BetNodeId {
+        self.root
+    }
+}
+
+/// Extract the merged hot path for a set of selected hot spot statements.
+///
+/// `ranked_stmts` is the selection in rank order; every BET node that
+/// instantiates one of those statements with positive probability becomes a
+/// leaf of the path.
+pub fn extract(bet: &Bet, ranked_stmts: &[StmtId]) -> HotPath {
+    let rank_of: HashMap<StmtId, usize> = ranked_stmts.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let enr = bet.enr();
+
+    // total time proxy per hot spot node for annotation: ENR-weighted ops
+    let mut spots: HashMap<BetNodeId, (usize, f64)> = HashMap::new();
+    let mut on_path: BTreeMap<BetNodeId, Vec<BetNodeId>> = BTreeMap::new();
+
+    for node in bet.iter() {
+        let Some(stmt) = node.stmt else { continue };
+        let Some(&rank) = rank_of.get(&stmt) else { continue };
+        if !matches!(node.kind, BetKind::Comp { .. } | BetKind::Lib { .. }) {
+            continue;
+        }
+        if enr[node.id.0 as usize] <= 0.0 {
+            continue;
+        }
+        spots.insert(node.id, (rank, enr[node.id.0 as usize]));
+        // back-trace to the root, recording parent→child edges
+        let path = bet.ancestry(node.id);
+        for pair in path.windows(2) {
+            let (child, parent) = (pair[0], pair[1]);
+            let kids = on_path.entry(parent).or_default();
+            if !kids.contains(&child) {
+                kids.push(child);
+            }
+        }
+        on_path.entry(node.id).or_default();
+    }
+
+    // order children by BET creation order (pre-order ≈ program order)
+    for kids in on_path.values_mut() {
+        kids.sort();
+    }
+
+    HotPath { children: on_path, spots, root: bet.root() }
+}
+
+/// Render the hot path as an ASCII tree with ENR, probabilities, trip
+/// counts, and context values (the Figure 9 view).
+pub fn render(path: &HotPath, bet: &Bet, names: &HashMap<StmtId, String>) -> String {
+    let mut out = String::new();
+    if path.is_empty() {
+        out.push_str("(empty hot path: no hot spots selected)\n");
+        return out;
+    }
+    let enr = bet.enr();
+    render_node(path, bet, names, &enr, path.root, "", true, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_node(
+    path: &HotPath,
+    bet: &Bet,
+    names: &HashMap<StmtId, String>,
+    enr: &[f64],
+    id: BetNodeId,
+    prefix: &str,
+    is_last: bool,
+    out: &mut String,
+) {
+    let node = bet.node(id);
+    let connector = if prefix.is_empty() {
+        ""
+    } else if is_last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+
+    let name = node
+        .stmt
+        .and_then(|s| names.get(&s))
+        .cloned()
+        .unwrap_or_else(|| match &node.kind {
+            BetKind::Root => "main".to_string(),
+            other => other.tag().to_string(),
+        });
+
+    let mut line = format!("{prefix}{connector}{name}");
+    match &node.kind {
+        BetKind::Loop => {
+            let _ = write!(line, " ×{:.0}", node.iters);
+        }
+        BetKind::Call { func } => {
+            let _ = write!(line, " → {func}()");
+        }
+        BetKind::Lib { func, calls, .. } => {
+            let _ = write!(line, " [lib {func} ×{calls:.0}]");
+        }
+        _ => {}
+    }
+    if node.prob < 0.999 {
+        let _ = write!(line, " p={:.3}", node.prob);
+    }
+    if let Some((rank, _)) = path.spots.get(&id) {
+        let _ = write!(line, "  ◄ HOT #{} (ENR {:.3e})", rank + 1, enr[id.0 as usize]);
+        // a couple of context values help track algorithmic causes
+        let ctx: Vec<String> =
+            node.context.iter().take(3).map(|(k, v)| format!("{k}={v}")).collect();
+        if !ctx.is_empty() {
+            let _ = write!(line, " [{}]", ctx.join(", "));
+        }
+    }
+    out.push_str(&line);
+    out.push('\n');
+
+    let kids = match path.children.get(&id) {
+        Some(k) => k,
+        None => return,
+    };
+    let child_prefix = if prefix.is_empty() {
+        String::new()
+    } else {
+        format!("{prefix}{}", if is_last { "   " } else { "│  " })
+    };
+    let child_prefix = if prefix.is_empty() && !kids.is_empty() { "".to_string() } else { child_prefix };
+    for (i, &kid) in kids.iter().enumerate() {
+        let last = i + 1 == kids.len();
+        let p = if prefix.is_empty() { " ".to_string() } else { child_prefix.clone() };
+        render_node(path, bet, names, enr, kid, &p, last, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xflow_bet::build;
+    use xflow_skeleton::expr::env_from;
+    use xflow_skeleton::parse;
+
+    const SRC: &str = r#"
+func main() {
+  @setup: comp { flops: 5 }
+  loop t = 0 .. 100 {
+    call update(t)
+    if prob(0.25) {
+      @fix: comp { flops: 50, loads: 10 }
+    }
+  }
+}
+func update(t) {
+  @stress: loop i = 0 .. 1000 { @kernel: comp { flops: 8, loads: 4, stores: 2 } }
+}
+"#;
+
+    fn setup() -> (xflow_skeleton::Program, Bet) {
+        let prog = parse(SRC).unwrap();
+        let bet = build(&prog, &env_from([("x", 0.0)])).unwrap();
+        (prog, bet)
+    }
+
+    #[test]
+    fn path_contains_hotspot_and_ancestry() {
+        let (prog, bet) = setup();
+        let kernel = prog.stmt_by_label("kernel").unwrap();
+        let path = extract(&bet, &[kernel]);
+        assert!(!path.is_empty());
+        // ancestry: root, loop t, call update, loop i, comp kernel = 5 nodes
+        assert_eq!(path.len(), 5);
+        // exactly one hot spot leaf
+        let hot: Vec<_> = path.node_ids().filter(|&id| path.is_hotspot(id)).collect();
+        assert_eq!(hot.len(), 1);
+    }
+
+    #[test]
+    fn merged_paths_share_prefixes() {
+        let (prog, bet) = setup();
+        let kernel = prog.stmt_by_label("kernel").unwrap();
+        let fix = prog.stmt_by_label("fix").unwrap();
+        let merged = extract(&bet, &[kernel, fix]);
+        let single = extract(&bet, &[kernel]);
+        // fix adds its arm + comp (2 nodes) to the shared spine
+        assert_eq!(merged.len(), single.len() + 2);
+    }
+
+    #[test]
+    fn cold_stmts_excluded() {
+        let (prog, bet) = setup();
+        let setup_stmt = prog.stmt_by_label("setup").unwrap();
+        let path = extract(&bet, &[setup_stmt]);
+        // setup is top-level: root + comp
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn render_mentions_ranks_trips_and_probs() {
+        let (prog, bet) = setup();
+        let kernel = prog.stmt_by_label("kernel").unwrap();
+        let fix = prog.stmt_by_label("fix").unwrap();
+        let path = extract(&bet, &[kernel, fix]);
+        let names = prog.stmt_names();
+        let text = render(&path, &bet, &names);
+        assert!(text.contains("HOT #1"), "{text}");
+        assert!(text.contains("HOT #2"), "{text}");
+        assert!(text.contains("×100"), "{text}");
+        assert!(text.contains("×1000"), "{text}");
+        assert!(text.contains("p=0.250"), "{text}");
+        assert!(text.contains("update"), "{text}");
+    }
+
+    #[test]
+    fn empty_selection_renders_placeholder() {
+        let (_, bet) = setup();
+        let path = extract(&bet, &[]);
+        assert!(path.is_empty());
+        let text = render(&path, &bet, &HashMap::new());
+        assert!(text.contains("empty hot path"));
+    }
+
+    #[test]
+    fn enr_annotation_reflects_repetitions() {
+        let (prog, bet) = setup();
+        let kernel = prog.stmt_by_label("kernel").unwrap();
+        let path = extract(&bet, &[kernel]);
+        let names = prog.stmt_names();
+        let text = render(&path, &bet, &names);
+        // kernel repeats 100 × 1000 = 1e5 times
+        assert!(text.contains("1.000e5") || text.contains("1e5") || text.contains("100000"), "{text}");
+    }
+}

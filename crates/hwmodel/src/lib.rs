@@ -1,0 +1,33 @@
+//! # xflow-hw — parameterized hardware performance models
+//!
+//! The projection side of the xflow framework: machine descriptions
+//! ([`MachineModel`], with [`bgq`]/[`xeon`] presets matching the paper's
+//! evaluation platforms), the extended roofline model ([`Roofline`],
+//! Section V-A of the paper), ablation model variants, and semi-analytical
+//! library-function models ([`LibraryRegistry`], Section IV-C).
+//!
+//! Projection never executes anything on the target machine — it maps a
+//! block's operation statistics to `T = Tc + Tm − To` using only the scalar
+//! machine parameters, which is what makes the analysis portable to
+//! hardware that does not exist yet.
+//!
+//! ```
+//! use xflow_hw::{bgq, BlockMetrics, PerfModel, Roofline};
+//!
+//! let block = BlockMetrics { flops: 64.0, loads: 16.0, stores: 8.0, elem_bytes: 8.0, ..Default::default() };
+//! let t = Roofline.project(&bgq(), &block);
+//! assert!(t.total >= t.tc.max(t.tm));
+//! assert!(t.total <= t.tc + t.tm);
+//! ```
+
+pub mod library;
+pub mod machine;
+pub mod network;
+pub mod refined;
+pub mod roofline;
+
+pub use library::{InstrMix, LibraryRegistry, UnknownLibrary};
+pub use machine::{bgq, generic, knl, xeon, CacheLevel, MachineBuilder, MachineModel};
+pub use network::{bgq_torus, ideal, infiniband, NetworkModel};
+pub use refined::RefinedModel;
+pub use roofline::{BlockMetrics, BlockTime, ClassicRoofline, DivAwareRoofline, PerfModel, Roofline, VectorAwareRoofline};

@@ -1,0 +1,114 @@
+//! Interconnect models for multi-node projection (the paper's future-work
+//! extension: "project hot regions and performance bottlenecks for
+//! multi-node execution").
+//!
+//! A [`NetworkModel`] is the postal model — `T(b) = latency + b / bandwidth`
+//! — with a topology contention factor for networks where neighbor
+//! exchanges share links. It deliberately stays first-order, matching the
+//! roofline philosophy of the compute side.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order interconnect description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Display name.
+    pub name: String,
+    /// One-way message latency in microseconds.
+    pub latency_us: f64,
+    /// Per-link bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Effective fraction of link bandwidth available to a neighbor
+    /// exchange under typical contention (1.0 = dedicated links).
+    pub efficiency: f64,
+}
+
+impl NetworkModel {
+    /// Time to transfer `bytes` point-to-point, in seconds.
+    pub fn transfer_seconds(&self, bytes: f64) -> f64 {
+        self.latency_us * 1e-6 + bytes.max(0.0) / (self.bandwidth_gbs * 1e9 * self.efficiency)
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if !(self.latency_us >= 0.0) {
+            errs.push(format!("latency_us must be non-negative, got {}", self.latency_us));
+        }
+        if !(self.bandwidth_gbs > 0.0) {
+            errs.push(format!("bandwidth_gbs must be positive, got {}", self.bandwidth_gbs));
+        }
+        if !(0.0 < self.efficiency && self.efficiency <= 1.0) {
+            errs.push(format!("efficiency must be in (0,1], got {}", self.efficiency));
+        }
+        errs
+    }
+}
+
+/// Preset: Blue Gene/Q's 5-D torus (2 GB/s per link per direction, ~2.5 µs
+/// MPI latency, neighbor exchanges ride dedicated torus links).
+pub fn bgq_torus() -> NetworkModel {
+    NetworkModel { name: "BG/Q torus".into(), latency_us: 2.5, bandwidth_gbs: 2.0, efficiency: 0.9 }
+}
+
+/// Preset: QDR InfiniBand-class fat tree (4 GB/s, ~1.5 µs, moderate
+/// contention at scale).
+pub fn infiniband() -> NetworkModel {
+    NetworkModel { name: "InfiniBand".into(), latency_us: 1.5, bandwidth_gbs: 4.0, efficiency: 0.7 }
+}
+
+/// An idealized zero-latency, (practically) infinite-bandwidth network —
+/// the upper bound used to separate communication cost from load imbalance.
+pub fn ideal() -> NetworkModel {
+    NetworkModel { name: "ideal".into(), latency_us: 0.0, bandwidth_gbs: 1e9, efficiency: 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for n in [bgq_torus(), infiniband(), ideal()] {
+            assert!(n.validate().is_empty(), "{}", n.name);
+        }
+    }
+
+    #[test]
+    fn postal_model_components() {
+        let n = NetworkModel { name: "t".into(), latency_us: 10.0, bandwidth_gbs: 1.0, efficiency: 1.0 };
+        // latency-dominated small message
+        let small = n.transfer_seconds(8.0);
+        assert!((small - 10.0e-6 - 8e-9).abs() < 1e-12);
+        // bandwidth-dominated large message
+        let large = n.transfer_seconds(1e9);
+        assert!((large - (10.0e-6 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn efficiency_scales_bandwidth_term_only() {
+        let full = NetworkModel { name: "a".into(), latency_us: 5.0, bandwidth_gbs: 2.0, efficiency: 1.0 };
+        let half = NetworkModel { efficiency: 0.5, ..full.clone() };
+        let bytes = 1e8;
+        let bw_full = full.transfer_seconds(bytes) - 5e-6;
+        let bw_half = half.transfer_seconds(bytes) - 5e-6;
+        assert!((bw_half / bw_full - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_network_is_effectively_free() {
+        assert!(ideal().transfer_seconds(1e9) < 1e-6);
+    }
+
+    #[test]
+    fn negative_bytes_treated_as_zero() {
+        let n = bgq_torus();
+        assert_eq!(n.transfer_seconds(-5.0), n.transfer_seconds(0.0));
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let bad = NetworkModel { name: "x".into(), latency_us: -1.0, bandwidth_gbs: 0.0, efficiency: 2.0 };
+        assert_eq!(bad.validate().len(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the roofline model family: algebraic bounds of the
+//! extended-overlap formula and monotonicity in workload and machine
+//! parameters, over randomized machines and block metrics.
+
+use proptest::prelude::*;
+use xflow_hw::{
+    generic, BlockMetrics, CacheLevel, ClassicRoofline, DivAwareRoofline, MachineModel, PerfModel, Roofline,
+    VectorAwareRoofline,
+};
+
+fn machine() -> impl Strategy<Value = MachineModel> {
+    (
+        0.5f64..4.0,   // freq
+        1u32..=8,      // issue
+        1u32..=8,      // lanes
+        1u32..=4,      // flops/cycle
+        1.0f64..64.0,  // bw
+        50.0f64..400.0, // dram lat
+        0.5f64..1.0,   // l1 hit
+        0.5f64..1.0,   // llc hit
+        1.0f64..16.0,  // mlp
+        0.0f64..=1.0,  // veff
+    )
+        .prop_map(|(freq, issue, lanes, fpc, bw, lat, l1h, llch, mlp, veff)| {
+            let mut m = generic();
+            m.freq_ghz = freq;
+            m.issue_width = issue as f64;
+            m.vector_lanes = lanes as f64;
+            m.scalar_flops_per_cycle = fpc as f64;
+            m.dram_bw_gbs = bw;
+            m.dram_latency_cycles = lat;
+            m.l1_hit_rate = l1h;
+            m.llc_hit_rate = llch;
+            m.mlp = mlp;
+            m.vector_efficiency = veff;
+            m.l1 = CacheLevel { size_bytes: 32 * 1024, line_bytes: 64, assoc: 8, latency_cycles: 4.0 };
+            m
+        })
+}
+
+fn metrics() -> impl Strategy<Value = BlockMetrics> {
+    (0u32..100_000, 0u32..50_000, 0u32..50_000, 0u32..20_000, prop_oneof![Just(4.0), Just(8.0), Just(16.0)])
+        .prop_map(|(flops, iops, loads, stores, bytes)| BlockMetrics {
+            flops: flops as f64,
+            iops: iops as f64,
+            loads: loads as f64,
+            stores: stores as f64,
+            divs: (flops / 10) as f64,
+            elem_bytes: bytes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn extended_roofline_bounds(m in machine(), b in metrics()) {
+        prop_assert!(m.validate().is_empty(), "{:?}", m.validate());
+        let t = Roofline.project(&m, &b);
+        prop_assert!(t.tc >= 0.0 && t.tm >= 0.0 && t.overlap >= 0.0);
+        // max(Tc, Tm) ≤ T ≤ Tc + Tm
+        prop_assert!(t.total + 1e-18 >= t.tc.max(t.tm) - 1e-12 * t.total.abs());
+        prop_assert!(t.total <= t.tc + t.tm + 1e-18);
+        // overlap can never exceed the smaller component
+        prop_assert!(t.overlap <= t.tc.min(t.tm) + 1e-18);
+        prop_assert!(t.total.is_finite());
+    }
+
+    #[test]
+    fn more_work_respects_lower_bounds(m in machine(), b in metrics()) {
+        // NOTE: the *extended* roofline is deliberately non-monotone in the
+        // flop count near the overlap transition — extra flops raise the
+        // overlap degree δ and can hide more memory time (a property of the
+        // paper's formula, T = Tc + Tm − min(Tc,Tm)·δ). What must hold:
+        // the classic roofline is monotone, and the extended total never
+        // falls below the larger component.
+        let t0 = ClassicRoofline.project(&m, &b).total;
+        let mut bigger = b;
+        bigger.flops += 128.0;
+        bigger.loads += 64.0;
+        let t1c = ClassicRoofline.project(&m, &bigger).total;
+        prop_assert!(t1c + 1e-18 >= t0, "classic must be monotone: {t1c} < {t0}");
+        let t1 = Roofline.project(&m, &bigger);
+        prop_assert!(t1.total + 1e-18 >= t1.tc.max(t1.tm) - 1e-12 * t1.total.abs());
+        // and with memory fixed, pure flop growth does grow Tc
+        prop_assert!(t1.tc + 1e-18 >= Roofline.project(&m, &b).tc);
+    }
+
+    #[test]
+    fn faster_clock_never_slower(m in machine(), b in metrics()) {
+        let t0 = Roofline.project(&m, &b);
+        let mut faster = m.clone();
+        faster.freq_ghz *= 2.0;
+        let t1 = Roofline.project(&faster, &b);
+        // only cycle-denominated terms shrink; bandwidth terms are
+        // frequency-independent, so total never grows
+        prop_assert!(t1.total <= t0.total + 1e-18);
+    }
+
+    #[test]
+    fn more_bandwidth_never_slower(m in machine(), b in metrics()) {
+        let t0 = Roofline.project(&m, &b).total;
+        let mut fat = m.clone();
+        fat.dram_bw_gbs *= 4.0;
+        let t1 = Roofline.project(&fat, &b).total;
+        prop_assert!(t1 <= t0 + 1e-18);
+    }
+
+    #[test]
+    fn classic_is_a_lower_bound(m in machine(), b in metrics()) {
+        let classic = ClassicRoofline.project(&m, &b).total;
+        let extended = Roofline.project(&m, &b).total;
+        prop_assert!(classic <= extended + 1e-18);
+    }
+
+    #[test]
+    fn div_aware_never_cheaper(m in machine(), b in metrics()) {
+        let base = Roofline.project(&m, &b).total;
+        let div = DivAwareRoofline.project(&m, &b).total;
+        prop_assert!(div + 1e-18 >= base);
+    }
+
+    #[test]
+    fn vector_aware_never_slower_than_scalar_model(m in machine(), b in metrics()) {
+        // full vectorization can only help relative to a machine with the
+        // same parameters but no assumed vectorization
+        let mut scalar_m = m.clone();
+        scalar_m.vector_efficiency = 0.0;
+        let scalar = Roofline.project(&scalar_m, &b).total;
+        let vector = VectorAwareRoofline.project(&scalar_m, &b).total;
+        prop_assert!(vector <= scalar + 1e-18);
+    }
+
+    #[test]
+    fn projection_scales_linearly(m in machine(), b in metrics()) {
+        // doubling every metric at most doubles the time (sub-additivity of
+        // the overlap) and at least keeps it (monotonicity)
+        let t1 = Roofline.project(&m, &b).total;
+        let mut double = b;
+        double.flops *= 2.0;
+        double.iops *= 2.0;
+        double.loads *= 2.0;
+        double.stores *= 2.0;
+        double.divs *= 2.0;
+        let t2 = Roofline.project(&m, &double).total;
+        prop_assert!(t2 <= 2.0 * t1 + 1e-15);
+        prop_assert!(t2 + 1e-18 >= t1);
+    }
+}

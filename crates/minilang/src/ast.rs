@@ -1,0 +1,365 @@
+//! Abstract syntax of *minilang*, the small C-like source language.
+//!
+//! Minilang stands in for the Fortran/C production codes of the paper: it is
+//! the language the analysis engine consumes (translation to skeletons), the
+//! branch profiler executes (the gcov substitute), and the ground-truth
+//! simulator drives. It has f64 scalars, flat f64 arrays, functions with
+//! scalar/array parameters and scalar returns, `for`/`while`/`if`/`switch`-
+//! free structured control flow, and a small math library.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stable identifier of a minilang statement (dense, pre-order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MStmtId(pub u32);
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply to concrete values.
+    pub fn apply(self, l: f64, r: f64) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+}
+
+/// Pure math built-ins. `Rnd` is the C `rand()` stand-in (uniform [0,1));
+/// all are modeled as opaque library functions by the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Builtin {
+    Exp,
+    Log,
+    Sqrt,
+    Sin,
+    Cos,
+    Pow,
+    Abs,
+    Min,
+    Max,
+    Floor,
+    Rnd,
+}
+
+impl Builtin {
+    /// Library-registry name of the builtin (`None` for the free ones that
+    /// compile to one or two instructions rather than a library call).
+    pub fn lib_name(self) -> Option<&'static str> {
+        match self {
+            Builtin::Exp => Some("exp"),
+            Builtin::Log => Some("log"),
+            Builtin::Sqrt => Some("sqrt"),
+            Builtin::Sin => Some("sin"),
+            Builtin::Cos => Some("cos"),
+            Builtin::Pow => Some("pow"),
+            Builtin::Rnd => Some("rand"),
+            Builtin::Abs | Builtin::Min | Builtin::Max | Builtin::Floor => None,
+        }
+    }
+
+    /// Parse from source name.
+    pub fn from_name(s: &str) -> Option<Builtin> {
+        Some(match s {
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "sqrt" => Builtin::Sqrt,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "pow" => Builtin::Pow,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "floor" => Builtin::Floor,
+            "rnd" => Builtin::Rnd,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Pow | Builtin::Min | Builtin::Max => 2,
+            Builtin::Rnd => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// Minilang expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Scalar variable read.
+    Var(String),
+    /// Array element read: `a[idx]`.
+    Index(String, Box<Expr>),
+    /// Array length: `len(a)`.
+    Len(String),
+    /// Named scalar input with default: `input("N", 64)`.
+    Input(String, f64),
+    /// Binary arithmetic.
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Comparison, yields 0.0/1.0.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical and (short-circuit).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or (short-circuit).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// Math builtin call.
+    Call(Builtin, Vec<Expr>),
+    /// User-function call (returns the function's return value, 0.0 if the
+    /// function returns without a value).
+    CallFn(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience literal.
+    pub fn num(v: f64) -> Expr {
+        Expr::Num(v)
+    }
+
+    /// Convenience variable.
+    pub fn var(s: &str) -> Expr {
+        Expr::Var(s.to_string())
+    }
+}
+
+/// A block of statements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// A minilang statement with id and optional `@label:`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    pub id: MStmtId,
+    pub label: Option<String>,
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// `let x = expr;` — scalar binding.
+    LetScalar { name: String, init: Expr },
+    /// `let a = zeros(len);` — array allocation (zero-filled).
+    LetArray { name: String, len: Expr },
+    /// `x = expr;` — scalar assignment.
+    AssignScalar { name: String, value: Expr },
+    /// `a[idx] = expr;` — element assignment.
+    AssignIndex { name: String, index: Expr, value: Expr },
+    /// `a[idx] += expr;`-style compound assignment, kept explicit because it
+    /// reads *and* writes the element (two accesses).
+    UpdateIndex { name: String, index: Expr, op: BinOp, value: Expr },
+    /// `for v in lo .. hi [step s] { … }`; `parallel` marks `parfor`
+    /// loops whose iterations are independent and may run concurrently.
+    For { var: String, lo: Expr, hi: Expr, step: Expr, parallel: bool, body: Block },
+    /// `while cond { … }`.
+    While { cond: Expr, body: Block },
+    /// `if c { } else if c2 { } else { }`.
+    If { arms: Vec<(Expr, Block)>, else_body: Option<Block> },
+    /// `foo(a, n);` — call for effect, result discarded.
+    CallProc { name: String, args: Vec<Expr> },
+    /// `return;` / `return expr;`
+    Return { value: Option<Expr> },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `print(expr);` — debugging aid, free in all models.
+    Print { expr: Expr },
+}
+
+impl StmtKind {
+    /// Keyword naming the statement kind.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            StmtKind::LetScalar { .. } | StmtKind::LetArray { .. } => "let",
+            StmtKind::AssignScalar { .. } | StmtKind::AssignIndex { .. } | StmtKind::UpdateIndex { .. } => "assign",
+            StmtKind::For { .. } => "for",
+            StmtKind::While { .. } => "while",
+            StmtKind::If { .. } => "if",
+            StmtKind::CallProc { .. } => "call",
+            StmtKind::Return { .. } => "return",
+            StmtKind::Break => "break",
+            StmtKind::Continue => "continue",
+            StmtKind::Print { .. } => "print",
+        }
+    }
+}
+
+/// A function definition. Parameters are dynamically typed: they bind to
+/// whatever value class (scalar or array) the caller passes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Block,
+}
+
+/// A complete minilang program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    pub functions: Vec<Function>,
+    by_name: HashMap<String, usize>,
+    next_stmt_id: u32,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a function; errors on duplicates.
+    pub fn add_function(&mut self, f: Function) -> Result<(), String> {
+        if self.by_name.contains_key(&f.name) {
+            return Err(format!("duplicate function `{}`", f.name));
+        }
+        self.by_name.insert(f.name.clone(), self.functions.len());
+        self.functions.push(f);
+        Ok(())
+    }
+
+    /// Look up a function.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.by_name.get(name).map(|&i| &self.functions[i])
+    }
+
+    /// The `main` entry point.
+    pub fn main(&self) -> Option<&Function> {
+        self.function("main")
+    }
+
+    /// Allocate the next statement id (parser use).
+    pub fn fresh_stmt_id(&mut self) -> MStmtId {
+        let id = MStmtId(self.next_stmt_id);
+        self.next_stmt_id += 1;
+        id
+    }
+
+    /// Number of statement ids allocated.
+    pub fn stmt_count(&self) -> u32 {
+        self.next_stmt_id
+    }
+
+    /// Visit all statements in pre-order.
+    pub fn visit_stmts<'a>(&'a self, mut f: impl FnMut(&'a Function, &'a Stmt)) {
+        fn walk<'a>(func: &'a Function, b: &'a Block, f: &mut impl FnMut(&'a Function, &'a Stmt)) {
+            for s in &b.stmts {
+                f(func, s);
+                match &s.kind {
+                    StmtKind::For { body, .. } | StmtKind::While { body, .. } => walk(func, body, f),
+                    StmtKind::If { arms, else_body } => {
+                        for (_, b) in arms {
+                            walk(func, b, f);
+                        }
+                        if let Some(e) = else_body {
+                            walk(func, e, f);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for func in &self.functions {
+            walk(func, &func.body, &mut f);
+        }
+    }
+
+    /// Map statement id → human-readable name (label if present).
+    pub fn stmt_names(&self) -> HashMap<MStmtId, String> {
+        let mut m = HashMap::new();
+        self.visit_stmts(|f, s| {
+            let n = match &s.label {
+                Some(l) => l.clone(),
+                None => format!("{}:{}#{}", f.name, s.kind.keyword(), s.id.0),
+            };
+            m.insert(s.id, n);
+        });
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_round_trip() {
+        for b in [
+            Builtin::Exp,
+            Builtin::Log,
+            Builtin::Sqrt,
+            Builtin::Sin,
+            Builtin::Cos,
+            Builtin::Pow,
+            Builtin::Abs,
+            Builtin::Min,
+            Builtin::Max,
+            Builtin::Floor,
+            Builtin::Rnd,
+        ] {
+            if let Some(n) = b.lib_name() {
+                // lib-modeled builtins must parse back from their names
+                // except rand whose source spelling is `rnd`.
+                let source_name = if b == Builtin::Rnd { "rnd" } else { n };
+                assert_eq!(Builtin::from_name(source_name), Some(b));
+            }
+        }
+        assert_eq!(Builtin::from_name("nope"), None);
+    }
+
+    #[test]
+    fn builtin_arities() {
+        assert_eq!(Builtin::Rnd.arity(), 0);
+        assert_eq!(Builtin::Exp.arity(), 1);
+        assert_eq!(Builtin::Pow.arity(), 2);
+        assert_eq!(Builtin::Min.arity(), 2);
+    }
+
+    #[test]
+    fn program_function_registry() {
+        let mut p = Program::new();
+        p.add_function(Function { name: "main".into(), params: vec![], body: Block::default() }).unwrap();
+        assert!(p.main().is_some());
+        assert!(p.add_function(Function { name: "main".into(), params: vec![], body: Block::default() }).is_err());
+    }
+
+    #[test]
+    fn cmp_apply() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(!CmpOp::Ge.apply(1.0, 2.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+    }
+}

@@ -1,0 +1,1028 @@
+//! Tree-walking interpreter for minilang with built-in profiling.
+//!
+//! The interpreter serves two roles from the paper:
+//!
+//! 1. **Branch profiler (gcov substitute, Section III-B):** every run
+//!    collects a [`Profile`] — per-branch arm frequencies, per-loop trip and
+//!    break/continue statistics, dynamic operation counts, and library call
+//!    counts. The translator folds these into the generated skeleton.
+//! 2. **Execution driver for the ground-truth simulator:** a [`Tracer`]
+//!    receives every operation and memory access (with flat addresses) as it
+//!    happens, attributed to the source statement, which `xflow-sim` turns
+//!    into per-block "measured" cycles.
+//!
+//! Operation accounting rules (the translator's static counts mirror these):
+//! arithmetic in *value* position counts as flops (divides also count as
+//! divs), arithmetic in *index/bound* position counts as iops, array element
+//! reads/writes count as loads/stores (scalars live in registers — the paper
+//! explicitly does not model stack traffic), comparisons count as one flop,
+//! logical connectives as one iop, and `abs`/`min`/`max`/`floor` as one flop.
+//! `exp`/`log`/`sqrt`/`sin`/`cos`/`pow`/`rnd` are opaque library calls.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Named scalar inputs for a run (consumed by `input("name", default)`).
+#[derive(Debug, Clone, Default)]
+pub struct InputSpec(HashMap<String, f64>);
+
+impl InputSpec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(name, value)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        Self(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Set one input.
+    pub fn set(&mut self, name: &str, value: f64) -> &mut Self {
+        self.0.insert(name.to_string(), value);
+        self
+    }
+
+    /// Fetch an input value, falling back to the program's default.
+    pub fn get_or(&self, name: &str, default: f64) -> f64 {
+        self.0.get(name).copied().unwrap_or(default)
+    }
+
+    /// Iterate over explicitly set inputs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.0.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Receives fine-grained execution events. All methods have no-op defaults
+/// so profiling-only runs pay nothing for unused hooks.
+pub trait Tracer {
+    /// Arithmetic retired by `stmt`: flops/iops/divs (divs ⊂ flops).
+    fn ops(&mut self, _stmt: MStmtId, _flops: u32, _iops: u32, _divs: u32) {}
+    /// 8-byte load from `addr`.
+    fn load(&mut self, _stmt: MStmtId, _addr: u64) {}
+    /// 8-byte store to `addr`.
+    fn store(&mut self, _stmt: MStmtId, _addr: u64) {}
+    /// Opaque library call with its (first) scalar argument — the argument
+    /// lets cost models reproduce input-dependent instruction counts
+    /// (range-reduction iterations etc., paper Section IV-C).
+    fn lib_call(&mut self, _stmt: MStmtId, _name: &'static str, _arg: f64) {}
+}
+
+/// A tracer that ignores everything (profiling-only runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {}
+
+/// Dynamic operation counts attributed to one statement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    pub flops: u64,
+    pub iops: u64,
+    pub divs: u64,
+    pub loads: u64,
+    pub stores: u64,
+}
+
+impl OpCounts {
+    /// Total dynamic operations.
+    pub fn total(&self) -> u64 {
+        self.flops + self.iops + self.loads + self.stores
+    }
+}
+
+/// Outcome statistics of one `if` statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchStats {
+    /// Times each arm's condition was the first to hold.
+    pub arm_hits: Vec<u64>,
+    /// Times all conditions failed (else taken or fall-through).
+    pub else_hits: u64,
+}
+
+impl BranchStats {
+    /// Total evaluations of the branch.
+    pub fn evals(&self) -> u64 {
+        self.arm_hits.iter().sum::<u64>() + self.else_hits
+    }
+
+    /// Empirical probability that arm `i` is taken.
+    pub fn arm_prob(&self, i: usize) -> f64 {
+        let n = self.evals();
+        if n == 0 {
+            0.0
+        } else {
+            self.arm_hits.get(i).copied().unwrap_or(0) as f64 / n as f64
+        }
+    }
+}
+
+/// Trip statistics of one loop statement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopStats {
+    /// Times the loop statement was entered.
+    pub entries: u64,
+    /// Total body iterations across all entries.
+    pub iterations: u64,
+    /// Iterations ended by `break`.
+    pub breaks: u64,
+    /// Iterations ended by `continue`.
+    pub continues: u64,
+}
+
+impl LoopStats {
+    /// Mean iterations per entry.
+    pub fn avg_trips(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.entries as f64
+        }
+    }
+
+    /// Per-iteration break probability.
+    pub fn break_prob(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.breaks as f64 / self.iterations as f64
+        }
+    }
+
+    /// Per-iteration continue probability.
+    pub fn continue_prob(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.continues as f64 / self.iterations as f64
+        }
+    }
+}
+
+/// Everything one profiled run learns about the program's dynamic behavior.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Profile {
+    /// Branch outcome statistics per `if` statement.
+    pub branches: HashMap<MStmtId, BranchStats>,
+    /// Trip statistics per `for`/`while` statement.
+    pub loops: HashMap<MStmtId, LoopStats>,
+    /// Dynamic op counts per statement.
+    pub stmt_ops: HashMap<MStmtId, OpCounts>,
+    /// Execution counts per statement.
+    pub stmt_exec: HashMap<MStmtId, u64>,
+    /// Library call counts by function name.
+    pub lib_calls: HashMap<String, u64>,
+    /// Values printed by `print(...)`, for functional assertions in tests.
+    pub printed: Vec<f64>,
+}
+
+impl Profile {
+    /// Total dynamic operations across all statements.
+    pub fn total_ops(&self) -> u64 {
+        self.stmt_ops.values().map(OpCounts::total).sum()
+    }
+}
+
+/// Runtime failure during interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    UnboundVariable(String),
+    NotAnArray(String),
+    NotAScalar(String),
+    IndexOutOfBounds { array: String, index: f64, len: usize },
+    UnknownFunction(String),
+    ArityMismatch { func: String, expected: usize, got: usize },
+    NegativeArrayLength { array: String, len: f64 },
+    StepLimitExceeded(u64),
+    RecursionLimitExceeded(u32),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            RuntimeError::NotAnArray(v) => write!(f, "`{v}` is not an array"),
+            RuntimeError::NotAScalar(v) => write!(f, "`{v}` is an array, expected a scalar"),
+            RuntimeError::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` (len {len})")
+            }
+            RuntimeError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            RuntimeError::ArityMismatch { func, expected, got } => {
+                write!(f, "`{func}` takes {expected} argument(s), got {got}")
+            }
+            RuntimeError::NegativeArrayLength { array, len } => {
+                write!(f, "array `{array}` created with negative length {len}")
+            }
+            RuntimeError::StepLimitExceeded(n) => write!(f, "execution exceeded the step limit of {n}"),
+            RuntimeError::RecursionLimitExceeded(n) => write!(f, "recursion deeper than {n} frames"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A runtime value: scalar or shared array (shared with the bytecode VM).
+#[derive(Debug, Clone)]
+pub(crate) enum Val {
+    Num(f64),
+    Arr(ArrRef),
+}
+
+/// Shared array with a flat base address for the memory trace.
+#[derive(Debug, Clone)]
+pub(crate) struct ArrRef {
+    pub(crate) data: Rc<RefCell<Vec<f64>>>,
+    pub(crate) base: u64,
+}
+
+/// Deterministic splitmix64 generator backing `rnd()` (shared with the VM
+/// so both engines draw identical sequences).
+#[derive(Debug, Clone)]
+pub(crate) struct Lcg(pub(crate) u64);
+
+impl Lcg {
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        // splitmix64 step — deterministic across platforms.
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(f64),
+}
+
+/// Configuration limits for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum dynamic statements executed (runaway guard).
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_depth: u32,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self { max_steps: 2_000_000_000, max_depth: 256 }
+    }
+}
+
+/// The interpreter. Generic over the tracer so profiling-only runs are
+/// monomorphized without the event hooks.
+pub struct Interp<'p, T: Tracer> {
+    prog: &'p Program,
+    inputs: &'p InputSpec,
+    tracer: T,
+    profile: Profile,
+    rng: Lcg,
+    next_base: u64,
+    steps: u64,
+    depth: u32,
+    limits: Limits,
+    cur_stmt: MStmtId,
+}
+
+/// Profile a program without tracing (the "local profiled run").
+pub fn profile(prog: &Program, inputs: &InputSpec) -> Result<Profile, RuntimeError> {
+    let (p, _, _) = run(prog, inputs, NullTracer)?;
+    Ok(p)
+}
+
+/// Run a program with a tracer; returns the profile, the tracer, and main's
+/// return value.
+pub fn run<T: Tracer>(prog: &Program, inputs: &InputSpec, tracer: T) -> Result<(Profile, T, f64), RuntimeError> {
+    run_with_limits(prog, inputs, tracer, Limits::default())
+}
+
+/// [`run`] with explicit execution limits.
+pub fn run_with_limits<T: Tracer>(
+    prog: &Program,
+    inputs: &InputSpec,
+    tracer: T,
+    limits: Limits,
+) -> Result<(Profile, T, f64), RuntimeError> {
+    let mut interp = Interp {
+        prog,
+        inputs,
+        tracer,
+        profile: Profile::default(),
+        rng: Lcg(0x5EED_1234_ABCD_0001),
+        next_base: 0x1000, // leave page zero unused
+        steps: 0,
+        depth: 0,
+        limits,
+        cur_stmt: MStmtId(0),
+    };
+    let ret = interp.call("main", Vec::new())?;
+    Ok((interp.profile, interp.tracer, ret))
+}
+
+impl<'p, T: Tracer> Interp<'p, T> {
+    fn call(&mut self, name: &str, args: Vec<Val>) -> Result<f64, RuntimeError> {
+        let f = self.prog.function(name).ok_or_else(|| RuntimeError::UnknownFunction(name.to_string()))?;
+        if f.params.len() != args.len() {
+            return Err(RuntimeError::ArityMismatch { func: name.to_string(), expected: f.params.len(), got: args.len() });
+        }
+        if self.depth >= self.limits.max_depth {
+            return Err(RuntimeError::RecursionLimitExceeded(self.limits.max_depth));
+        }
+        self.depth += 1;
+        let mut scope: HashMap<String, Val> = f.params.iter().cloned().zip(args).collect();
+        let flow = self.exec_block(&f.body, &mut scope)?;
+        self.depth -= 1;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => 0.0,
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), RuntimeError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(RuntimeError::StepLimitExceeded(self.limits.max_steps));
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, b: &Block, scope: &mut HashMap<String, Val>) -> Result<Flow, RuntimeError> {
+        for s in &b.stmts {
+            match self.exec_stmt(s, scope)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, scope: &mut HashMap<String, Val>) -> Result<Flow, RuntimeError> {
+        self.tick()?;
+        self.cur_stmt = s.id;
+        *self.profile.stmt_exec.entry(s.id).or_insert(0) += 1;
+        match &s.kind {
+            StmtKind::LetScalar { name, init } => {
+                let v = self.eval(init, scope, false)?;
+                scope.insert(name.clone(), Val::Num(v));
+                Ok(Flow::Normal)
+            }
+            StmtKind::LetArray { name, len } => {
+                let l = self.eval(len, scope, true)?;
+                if l < 0.0 {
+                    return Err(RuntimeError::NegativeArrayLength { array: name.clone(), len: l });
+                }
+                let n = l as usize;
+                let base = self.next_base;
+                self.next_base += (n as u64) * 8 + 64; // pad so arrays don't share lines
+                scope.insert(name.clone(), Val::Arr(ArrRef { data: Rc::new(RefCell::new(vec![0.0; n])), base }));
+                Ok(Flow::Normal)
+            }
+            StmtKind::AssignScalar { name, value } => {
+                let v = self.eval(value, scope, false)?;
+                match scope.get_mut(name) {
+                    Some(Val::Num(slot)) => {
+                        *slot = v;
+                        Ok(Flow::Normal)
+                    }
+                    Some(Val::Arr(_)) => Err(RuntimeError::NotAScalar(name.clone())),
+                    None => {
+                        // implicit declaration on first assignment
+                        scope.insert(name.clone(), Val::Num(v));
+                        Ok(Flow::Normal)
+                    }
+                }
+            }
+            StmtKind::AssignIndex { name, index, value } => {
+                let idx = self.eval(index, scope, true)?;
+                let v = self.eval(value, scope, false)?;
+                self.store_elem(name, idx, v, scope)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::UpdateIndex { name, index, op, value } => {
+                let idx = self.eval(index, scope, true)?;
+                let v = self.eval(value, scope, false)?;
+                let old = self.load_elem(name, idx, scope)?;
+                let new = self.apply_bin(*op, old, v, false);
+                self.store_elem(name, idx, new, scope)?;
+                Ok(Flow::Normal)
+            }
+            // `parfor` executes sequentially here: the interpreter is the
+            // functional/profiling reference; parallelism only affects the
+            // *projected* wall time, not the work performed.
+            StmtKind::For { var, lo, hi, step, parallel: _, body } => {
+                let lo = self.eval(lo, scope, true)?;
+                let hi = self.eval(hi, scope, true)?;
+                let st = self.eval(step, scope, true)?.max(f64::MIN_POSITIVE);
+                let loop_id = s.id;
+                self.profile.loops.entry(loop_id).or_default().entries += 1;
+                let mut i = lo;
+                let mut flow = Flow::Normal;
+                while i < hi {
+                    self.tick()?;
+                    {
+                        let l = self.profile.loops.entry(loop_id).or_default();
+                        l.iterations += 1;
+                    }
+                    // loop bookkeeping: compare + increment
+                    self.count_ops(loop_id, 0, 2, 0);
+                    scope.insert(var.clone(), Val::Num(i));
+                    match self.exec_block(body, scope)? {
+                        Flow::Normal => {}
+                        Flow::Continue => {
+                            self.profile.loops.entry(loop_id).or_default().continues += 1;
+                        }
+                        Flow::Break => {
+                            self.profile.loops.entry(loop_id).or_default().breaks += 1;
+                            break;
+                        }
+                        Flow::Return(v) => {
+                            flow = Flow::Return(v);
+                            break;
+                        }
+                    }
+                    i += st;
+                }
+                Ok(flow)
+            }
+            StmtKind::While { cond, body } => {
+                let loop_id = s.id;
+                self.profile.loops.entry(loop_id).or_default().entries += 1;
+                let mut flow = Flow::Normal;
+                loop {
+                    self.cur_stmt = loop_id;
+                    let c = self.eval(cond, scope, false)?;
+                    if c == 0.0 {
+                        break;
+                    }
+                    self.tick()?;
+                    self.profile.loops.entry(loop_id).or_default().iterations += 1;
+                    match self.exec_block(body, scope)? {
+                        Flow::Normal => {}
+                        Flow::Continue => {
+                            self.profile.loops.entry(loop_id).or_default().continues += 1;
+                        }
+                        Flow::Break => {
+                            self.profile.loops.entry(loop_id).or_default().breaks += 1;
+                            break;
+                        }
+                        Flow::Return(v) => {
+                            flow = Flow::Return(v);
+                            break;
+                        }
+                    }
+                }
+                Ok(flow)
+            }
+            StmtKind::If { arms, else_body } => {
+                let branch_id = s.id;
+                {
+                    let b = self.profile.branches.entry(branch_id).or_default();
+                    if b.arm_hits.len() < arms.len() {
+                        b.arm_hits.resize(arms.len(), 0);
+                    }
+                }
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    self.cur_stmt = branch_id;
+                    let c = self.eval(cond, scope, false)?;
+                    if c != 0.0 {
+                        self.profile.branches.get_mut(&branch_id).unwrap().arm_hits[i] += 1;
+                        return self.exec_block(body, scope);
+                    }
+                }
+                self.profile.branches.get_mut(&branch_id).unwrap().else_hits += 1;
+                if let Some(e) = else_body {
+                    return self.exec_block(e, scope);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::CallProc { name, args } => {
+                let vals = self.eval_args(name, args, scope)?;
+                self.call(name, vals)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return { value } => {
+                let v = match value {
+                    Some(e) => self.eval(e, scope, false)?,
+                    None => 0.0,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Print { expr } => {
+                let v = self.eval(expr, scope, false)?;
+                self.profile.printed.push(v);
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval_args(
+        &mut self,
+        _func: &str,
+        args: &[Expr],
+        scope: &mut HashMap<String, Val>,
+    ) -> Result<Vec<Val>, RuntimeError> {
+        args.iter()
+            .map(|a| match a {
+                // bare array names pass the array by reference
+                Expr::Var(v) => match scope.get(v) {
+                    Some(val) => Ok(val.clone()),
+                    None => Err(RuntimeError::UnboundVariable(v.clone())),
+                },
+                other => Ok(Val::Num(self.eval(other, scope, false)?)),
+            })
+            .collect()
+    }
+
+    fn count_ops(&mut self, stmt: MStmtId, flops: u32, iops: u32, divs: u32) {
+        let c = self.profile.stmt_ops.entry(stmt).or_default();
+        c.flops += flops as u64;
+        c.iops += iops as u64;
+        c.divs += divs as u64;
+        self.tracer.ops(stmt, flops, iops, divs);
+    }
+
+    fn arr<'a>(scope: &'a HashMap<String, Val>, name: &str) -> Result<&'a ArrRef, RuntimeError> {
+        match scope.get(name) {
+            Some(Val::Arr(a)) => Ok(a),
+            Some(Val::Num(_)) => Err(RuntimeError::NotAnArray(name.to_string())),
+            None => Err(RuntimeError::UnboundVariable(name.to_string())),
+        }
+    }
+
+    fn load_elem(&mut self, name: &str, idx: f64, scope: &HashMap<String, Val>) -> Result<f64, RuntimeError> {
+        let a = Self::arr(scope, name)?;
+        let data = a.data.borrow();
+        let i = idx as usize;
+        if idx < 0.0 || i >= data.len() {
+            return Err(RuntimeError::IndexOutOfBounds { array: name.to_string(), index: idx, len: data.len() });
+        }
+        let v = data[i];
+        let addr = a.base + (i as u64) * 8;
+        drop(data);
+        let c = self.profile.stmt_ops.entry(self.cur_stmt).or_default();
+        c.loads += 1;
+        self.tracer.load(self.cur_stmt, addr);
+        Ok(v)
+    }
+
+    fn store_elem(
+        &mut self,
+        name: &str,
+        idx: f64,
+        value: f64,
+        scope: &HashMap<String, Val>,
+    ) -> Result<(), RuntimeError> {
+        let a = Self::arr(scope, name)?;
+        let mut data = a.data.borrow_mut();
+        let i = idx as usize;
+        if idx < 0.0 || i >= data.len() {
+            return Err(RuntimeError::IndexOutOfBounds { array: name.to_string(), index: idx, len: data.len() });
+        }
+        data[i] = value;
+        let addr = a.base + (i as u64) * 8;
+        drop(data);
+        let c = self.profile.stmt_ops.entry(self.cur_stmt).or_default();
+        c.stores += 1;
+        self.tracer.store(self.cur_stmt, addr);
+        Ok(())
+    }
+
+    fn apply_bin(&mut self, op: BinOp, l: f64, r: f64, idx_ctx: bool) -> f64 {
+        let (flops, iops, divs) = if idx_ctx {
+            (0, 1, 0)
+        } else if op == BinOp::Div {
+            (1, 0, 1)
+        } else {
+            (1, 0, 0)
+        };
+        self.count_ops(self.cur_stmt, flops, iops, divs);
+        match op {
+            BinOp::Add => l + r,
+            BinOp::Sub => l - r,
+            BinOp::Mul => l * r,
+            BinOp::Div => l / r,
+            BinOp::Mod => l % r,
+        }
+    }
+
+    /// Evaluate an expression. `idx_ctx` marks index/bound position where
+    /// arithmetic is integer (address) work.
+    fn eval(&mut self, e: &Expr, scope: &mut HashMap<String, Val>, idx_ctx: bool) -> Result<f64, RuntimeError> {
+        Ok(match e {
+            Expr::Num(n) => *n,
+            Expr::Var(v) => match scope.get(v) {
+                Some(Val::Num(x)) => *x,
+                Some(Val::Arr(_)) => return Err(RuntimeError::NotAScalar(v.clone())),
+                None => return Err(RuntimeError::UnboundVariable(v.clone())),
+            },
+            Expr::Index(name, idx) => {
+                let i = self.eval(idx, scope, true)?;
+                self.load_elem(name, i, scope)?
+            }
+            Expr::Len(name) => {
+                let a = Self::arr(scope, name)?;
+                let n = a.data.borrow().len();
+                n as f64
+            }
+            Expr::Input(name, default) => self.inputs.get_or(name, *default),
+            Expr::Bin(l, op, r) => {
+                let lv = self.eval(l, scope, idx_ctx)?;
+                let rv = self.eval(r, scope, idx_ctx)?;
+                self.apply_bin(*op, lv, rv, idx_ctx)
+            }
+            Expr::Neg(inner) => {
+                let v = self.eval(inner, scope, idx_ctx)?;
+                self.count_ops(self.cur_stmt, if idx_ctx { 0 } else { 1 }, if idx_ctx { 1 } else { 0 }, 0);
+                -v
+            }
+            Expr::Cmp(l, op, r) => {
+                let lv = self.eval(l, scope, idx_ctx)?;
+                let rv = self.eval(r, scope, idx_ctx)?;
+                self.count_ops(self.cur_stmt, 1, 0, 0);
+                if op.apply(lv, rv) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Expr::And(l, r) => {
+                let lv = self.eval(l, scope, idx_ctx)?;
+                self.count_ops(self.cur_stmt, 0, 1, 0);
+                if lv == 0.0 {
+                    0.0
+                } else {
+                    let rv = self.eval(r, scope, idx_ctx)?;
+                    if rv != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            }
+            Expr::Or(l, r) => {
+                let lv = self.eval(l, scope, idx_ctx)?;
+                self.count_ops(self.cur_stmt, 0, 1, 0);
+                if lv != 0.0 {
+                    1.0
+                } else {
+                    let rv = self.eval(r, scope, idx_ctx)?;
+                    if rv != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            }
+            Expr::Not(inner) => {
+                let v = self.eval(inner, scope, idx_ctx)?;
+                self.count_ops(self.cur_stmt, 0, 1, 0);
+                if v == 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Expr::Call(b, args) => {
+                let mut vals = [0.0f64; 2];
+                for (i, a) in args.iter().enumerate().take(2) {
+                    vals[i] = self.eval(a, scope, idx_ctx)?;
+                }
+                match b {
+                    Builtin::Abs => {
+                        self.count_ops(self.cur_stmt, 1, 0, 0);
+                        vals[0].abs()
+                    }
+                    Builtin::Min => {
+                        self.count_ops(self.cur_stmt, 1, 0, 0);
+                        vals[0].min(vals[1])
+                    }
+                    Builtin::Max => {
+                        self.count_ops(self.cur_stmt, 1, 0, 0);
+                        vals[0].max(vals[1])
+                    }
+                    Builtin::Floor => {
+                        self.count_ops(self.cur_stmt, 1, 0, 0);
+                        vals[0].floor()
+                    }
+                    Builtin::Rnd => {
+                        self.lib(b, "rand", 0.0);
+                        self.rng.next_f64()
+                    }
+                    Builtin::Exp => {
+                        self.lib(b, "exp", vals[0]);
+                        vals[0].exp()
+                    }
+                    Builtin::Log => {
+                        self.lib(b, "log", vals[0]);
+                        vals[0].max(f64::MIN_POSITIVE).ln()
+                    }
+                    Builtin::Sqrt => {
+                        self.lib(b, "sqrt", vals[0]);
+                        vals[0].abs().sqrt()
+                    }
+                    Builtin::Sin => {
+                        self.lib(b, "sin", vals[0]);
+                        vals[0].sin()
+                    }
+                    Builtin::Cos => {
+                        self.lib(b, "cos", vals[0]);
+                        vals[0].cos()
+                    }
+                    Builtin::Pow => {
+                        self.lib(b, "pow", vals[0]);
+                        vals[0].powf(vals[1])
+                    }
+                }
+            }
+            Expr::CallFn(name, args) => {
+                let vals = self.eval_args(name, args, scope)?;
+                let saved = self.cur_stmt;
+                let r = self.call(name, vals)?;
+                self.cur_stmt = saved;
+                r
+            }
+        })
+    }
+
+    fn lib(&mut self, b: &Builtin, name: &'static str, arg: f64) {
+        debug_assert_eq!(b.lib_name(), Some(name));
+        *self.profile.lib_calls.entry(name.to_string()).or_insert(0) += 1;
+        self.tracer.lib_call(self.cur_stmt, name, arg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run_src(src: &str) -> Profile {
+        let p = parse(src).unwrap();
+        profile(&p, &InputSpec::new()).unwrap()
+    }
+
+    fn run_src_with(src: &str, inputs: &[(&str, f64)]) -> Profile {
+        let p = parse(src).unwrap();
+        profile(&p, &InputSpec::from_pairs(inputs.iter().copied())).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let prof = run_src("fn main() { let x = 2 + 3 * 4; print(x); }");
+        assert_eq!(prof.printed, vec![14.0]);
+    }
+
+    #[test]
+    fn arrays_round_trip_values() {
+        let prof = run_src(
+            "fn main() { let a = zeros(4); a[0] = 7; a[1] = a[0] * 2; a[1] += 1; print(a[1]); print(len(a)); }",
+        );
+        assert_eq!(prof.printed, vec![15.0, 4.0]);
+    }
+
+    #[test]
+    fn for_loop_iterates_and_profiles() {
+        let src = "fn main() { let s = 0; for i in 0 .. 10 { s = s + i; } print(s); }";
+        let p = parse(src).unwrap();
+        let prof = profile(&p, &InputSpec::new()).unwrap();
+        assert_eq!(prof.printed, vec![45.0]);
+        let loop_stats: Vec<_> = prof.loops.values().collect();
+        assert_eq!(loop_stats.len(), 1);
+        assert_eq!(loop_stats[0].entries, 1);
+        assert_eq!(loop_stats[0].iterations, 10);
+        assert_eq!(loop_stats[0].avg_trips(), 10.0);
+    }
+
+    #[test]
+    fn for_loop_with_step() {
+        let prof = run_src("fn main() { let s = 0; for i in 0 .. 10 step 3 { s = s + 1; } print(s); }");
+        assert_eq!(prof.printed, vec![4.0]); // 0,3,6,9
+    }
+
+    #[test]
+    fn while_loop_and_trip_profile() {
+        let src = "fn main() { let x = 16; while x > 1 { x = x / 2; } print(x); }";
+        let prof = run_src(src);
+        assert_eq!(prof.printed, vec![1.0]);
+        let stats: Vec<_> = prof.loops.values().collect();
+        assert_eq!(stats[0].iterations, 4);
+    }
+
+    #[test]
+    fn branch_profile_counts_arms() {
+        let src = r#"
+fn main() {
+    for i in 0 .. 100 {
+        if i % 4 == 0 { print(0); }
+        else if i % 4 == 1 { print(1); }
+        else { print(2); }
+    }
+}
+"#;
+        let prof = run_src(src);
+        let b = prof.branches.values().next().unwrap();
+        assert_eq!(b.arm_hits, vec![25, 25]);
+        assert_eq!(b.else_hits, 50);
+        assert!((b.arm_prob(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_and_continue_profiled() {
+        let src = r#"
+fn main() {
+    for i in 0 .. 100 {
+        if i == 10 { break; }
+        if i % 2 == 0 { continue; }
+        print(i);
+    }
+}
+"#;
+        let prof = run_src(src);
+        let l = prof.loops.values().next().unwrap();
+        assert_eq!(l.iterations, 11); // 0..=10
+        assert_eq!(l.breaks, 1);
+        assert_eq!(l.continues, 5); // i = 0,2,4,6,8 (i == 10 breaks first)
+        assert_eq!(prof.printed, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn function_calls_with_arrays_by_reference() {
+        let src = r#"
+fn main() {
+    let a = zeros(3);
+    fill(a, 3);
+    print(a[0] + a[1] + a[2]);
+}
+fn fill(buf, n) {
+    for i in 0 .. n { buf[i] = i + 1; }
+}
+"#;
+        let prof = run_src(src);
+        assert_eq!(prof.printed, vec![6.0]);
+    }
+
+    #[test]
+    fn function_return_values() {
+        let src = r#"
+fn main() { print(square(7)); }
+fn square(x) { return x * x; }
+"#;
+        assert_eq!(run_src(src).printed, vec![49.0]);
+    }
+
+    #[test]
+    fn inputs_override_defaults() {
+        let src = r#"fn main() { print(input("N", 4)); }"#;
+        assert_eq!(run_src(src).printed, vec![4.0]);
+        assert_eq!(run_src_with(src, &[("N", 9.0)]).printed, vec![9.0]);
+    }
+
+    #[test]
+    fn rnd_is_deterministic_and_in_unit_interval() {
+        let src = "fn main() { for i in 0 .. 100 { print(rnd()); } }";
+        let a = run_src(src).printed;
+        let b = run_src(src).printed;
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..1.0).contains(&v)));
+        // crude uniformity check
+        let mean: f64 = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.12, "mean {mean}");
+    }
+
+    #[test]
+    fn lib_calls_counted() {
+        let prof = run_src("fn main() { for i in 0 .. 5 { let x = exp(i); let y = rnd(); } }");
+        assert_eq!(prof.lib_calls["exp"], 5);
+        assert_eq!(prof.lib_calls["rand"], 5);
+    }
+
+    #[test]
+    fn op_counting_flops_vs_iops() {
+        // a[i*2] = x + y: index mul = iop, add = flop, store = 1
+        let src = "fn main() { let a = zeros(8); let x = 1; let y = 2; a[1 * 2] = x + y; }";
+        let prof = run_src(src);
+        let total: OpCounts = prof.stmt_ops.values().fold(OpCounts::default(), |mut acc, c| {
+            acc.flops += c.flops;
+            acc.iops += c.iops;
+            acc.loads += c.loads;
+            acc.stores += c.stores;
+            acc.divs += c.divs;
+            acc
+        });
+        assert_eq!(total.stores, 1);
+        assert_eq!(total.loads, 0);
+        assert!(total.iops >= 1);
+        assert!(total.flops >= 1);
+    }
+
+    #[test]
+    fn divide_counts_div() {
+        let prof = run_src("fn main() { let x = 10; let y = x / 3; }");
+        let divs: u64 = prof.stmt_ops.values().map(|c| c.divs).sum();
+        assert_eq!(divs, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let p = parse("fn main() { let a = zeros(2); a[5] = 1; }").unwrap();
+        let err = profile(&p, &InputSpec::new()).unwrap_err();
+        assert!(matches!(err, RuntimeError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let p = parse("fn main() { ghost(); }").unwrap();
+        assert!(matches!(profile(&p, &InputSpec::new()).unwrap_err(), RuntimeError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let p = parse("fn main() { f(1, 2); } fn f(x) { }").unwrap();
+        assert!(matches!(profile(&p, &InputSpec::new()).unwrap_err(), RuntimeError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn step_limit_halts_infinite_loop() {
+        let p = parse("fn main() { while 1 > 0 { let x = 1; } }").unwrap();
+        let err = run_with_limits(&p, &InputSpec::new(), NullTracer, Limits { max_steps: 10_000, max_depth: 16 })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::StepLimitExceeded(_)));
+    }
+
+    #[test]
+    fn recursion_limit_halts() {
+        let p = parse("fn main() { f(); } fn f() { f(); }").unwrap();
+        let err = run_with_limits(&p, &InputSpec::new(), NullTracer, Limits { max_steps: 1_000_000, max_depth: 32 })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::RecursionLimitExceeded(_)));
+    }
+
+    #[test]
+    fn tracer_receives_addresses() {
+        #[derive(Default)]
+        struct Collect {
+            loads: Vec<u64>,
+            stores: Vec<u64>,
+        }
+        impl Tracer for Collect {
+            fn load(&mut self, _s: MStmtId, addr: u64) {
+                self.loads.push(addr);
+            }
+            fn store(&mut self, _s: MStmtId, addr: u64) {
+                self.stores.push(addr);
+            }
+        }
+        let p = parse("fn main() { let a = zeros(4); a[0] = 1; a[2] = a[0]; }").unwrap();
+        let (_, t, _) = run(&p, &InputSpec::new(), Collect::default()).unwrap();
+        assert_eq!(t.stores.len(), 2);
+        assert_eq!(t.loads.len(), 1);
+        // sequential elements are 8 bytes apart
+        assert_eq!(t.stores[1] - t.stores[0], 16);
+        assert_eq!(t.loads[0], t.stores[0]);
+    }
+
+    #[test]
+    fn negative_array_length_is_error() {
+        let p = parse("fn main() { let a = zeros(0 - 5); }").unwrap();
+        assert!(matches!(profile(&p, &InputSpec::new()).unwrap_err(), RuntimeError::NegativeArrayLength { .. }));
+    }
+
+    #[test]
+    fn scalar_passed_by_value() {
+        let src = r#"
+fn main() { let x = 1; bump(x); print(x); }
+fn bump(v) { v = v + 10; }
+"#;
+        assert_eq!(run_src(src).printed, vec![1.0]);
+    }
+
+    #[test]
+    fn short_circuit_and_or() {
+        // `i > 0 && a[i-1] > 0` must not evaluate a[-1] when i == 0.
+        let src = r#"
+fn main() {
+    let a = zeros(3);
+    for i in 0 .. 3 {
+        if i > 0 && a[i - 1] >= 0 { a[i] = 1; }
+    }
+    print(a[0] + a[1] + a[2]);
+}
+"#;
+        assert_eq!(run_src(src).printed, vec![2.0]);
+    }
+}

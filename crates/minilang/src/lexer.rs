@@ -1,0 +1,282 @@
+//! Tokenizer for minilang source. `//` starts a line comment.
+
+use xflow_skeleton::error::{ParseError, Span};
+
+/// Minilang tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    At,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl Tok {
+    /// Printable description for errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Num(n) => format!("number `{n}`"),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::Eof => "end of input".into(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Comma => ",",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::At => "@",
+            Tok::DotDot => "..",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::Ne => "!=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Bang => "!",
+            _ => "?",
+        }
+    }
+}
+
+/// Token with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenize minilang source text.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let sp = Span { line, col };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                if j >= bytes.len() || bytes[j] != b'"' {
+                    return Err(ParseError::new(sp, "unterminated string literal"));
+                }
+                out.push(SpannedTok { tok: Tok::Str(src[start..j].to_string()), span: sp });
+                col += (j + 1 - i) as u32;
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = src[start..i].chars().filter(|&c| c != '_').collect();
+                let n: f64 =
+                    text.parse().map_err(|_| ParseError::new(sp, format!("invalid number `{text}`")))?;
+                col += (i - start) as u32;
+                out.push(SpannedTok { tok: Tok::Num(n), span: sp });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                col += (i - start) as u32;
+                out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_string()), span: sp });
+            }
+            _ => {
+                // two-byte lookahead on raw bytes: indexing the &str here
+                // would panic mid-way through a multi-byte UTF-8 character
+                let two: &[u8] = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { b"" };
+                let (tok, len) = match two {
+                    b".." => (Tok::DotDot, 2),
+                    b"<=" => (Tok::Le, 2),
+                    b">=" => (Tok::Ge, 2),
+                    b"==" => (Tok::EqEq, 2),
+                    b"!=" => (Tok::Ne, 2),
+                    b"&&" => (Tok::AndAnd, 2),
+                    b"||" => (Tok::OrOr, 2),
+                    b"+=" => (Tok::PlusAssign, 2),
+                    b"-=" => (Tok::MinusAssign, 2),
+                    b"*=" => (Tok::StarAssign, 2),
+                    b"/=" => (Tok::SlashAssign, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ',' => Tok::Comma,
+                            ';' => Tok::Semi,
+                            ':' => Tok::Colon,
+                            '@' => Tok::At,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '=' => Tok::Assign,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            '!' => Tok::Bang,
+                            other => {
+                                return Err(ParseError::new(sp, format!("unexpected character `{other}`")))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                i += len;
+                col += len as u32;
+                out.push(SpannedTok { tok, span: sp });
+            }
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, span: Span { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn compound_assignment_operators() {
+        assert_eq!(
+            toks("+= -= *= /="),
+            vec![Tok::PlusAssign, Tok::MinusAssign, Tok::StarAssign, Tok::SlashAssign, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn logical_operators() {
+        assert_eq!(toks("&& || !"), vec![Tok::AndAnd, Tok::OrOr, Tok::Bang, Tok::Eof]);
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(toks(r#""hello" x"#), vec![Tok::Str("hello".into()), Tok::Ident("x".into()), Tok::Eof]);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn line_comments() {
+        assert_eq!(toks("a // b c d\n e"), vec![Tok::Ident("a".into()), Tok::Ident("e".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn slash_still_divides() {
+        assert_eq!(toks("a / b"), vec![Tok::Ident("a".into()), Tok::Slash, Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn brackets_and_range() {
+        assert_eq!(
+            toks("a[0..n]"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LBracket,
+                Tok::Num(0.0),
+                Tok::DotDot,
+                Tok::Ident("n".into()),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # xflow-minilang — the mini source language and analysis engine
+//!
+//! Minilang is this reproduction's stand-in for the Fortran/C production
+//! codes the paper analyzes. The crate provides the full front half of the
+//! paper's workflow (Figure 1):
+//!
+//! * a parser for the small C-like language ([`parse`]),
+//! * a profiling interpreter ([`interp::profile`], [`interp::run`]) that
+//!   plays the role of one local gcov-instrumented run — collecting branch
+//!   outcome frequencies, loop trip counts, and dynamic instruction mixes —
+//!   and that streams operation/memory events to a [`Tracer`] for the
+//!   ground-truth simulator,
+//! * the source-to-skeleton translator ([`translate`]), the ROSE-engine
+//!   substitute that statically characterizes instruction mixes, array
+//!   accesses, and control structure, and folds the profile into the
+//!   generated SKOPE-style skeleton.
+//!
+//! ```
+//! use xflow_minilang::{parse, InputSpec, profile, translate};
+//!
+//! let src = r#"
+//! fn main() {
+//!     let n = input("N", 32);
+//!     let a = zeros(n);
+//!     @kernel: for i in 0 .. n { a[i] = a[i] * 0.5 + 1.0; }
+//! }
+//! "#;
+//! let prog = parse(src).unwrap();
+//! let prof = profile(&prog, &InputSpec::new()).unwrap();
+//! let t = translate(&prog, &prof).unwrap();
+//! assert!(xflow_skeleton::validate(&t.skeleton).is_empty());
+//! ```
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod translate;
+pub mod vm;
+
+pub use ast::{Block, Builtin, Function, MStmtId, Program, Stmt, StmtKind};
+pub use interp::{
+    profile, run, run_with_limits, BranchStats, InputSpec, Limits, LoopStats, NullTracer, OpCounts, Profile,
+    RuntimeError, Tracer,
+};
+pub use parser::parse;
+pub use printer::print;
+pub use translate::{translate, Translation};
+pub use vm::{compile, run_vm, run_vm_with_limits, VmProgram};

@@ -1,0 +1,585 @@
+//! Recursive-descent parser for minilang.
+//!
+//! ```text
+//! program  := fndef*
+//! fndef    := "fn" IDENT "(" [IDENT ("," IDENT)*] ")" block
+//! block    := "{" stmt* "}"
+//! stmt     := ["@" IDENT ":"] core
+//! core     := "let" IDENT "=" ("zeros" "(" expr ")" | expr) ";"
+//!           | IDENT "=" expr ";"
+//!           | IDENT "[" expr "]" ("=" | "+=" | "-=" | "*=" | "/=") expr ";"
+//!           | IDENT "(" args ")" ";"
+//!           | "for" IDENT "in" expr ".." expr ["step" expr] block
+//!           | "while" expr block
+//!           | "if" expr block ("else" "if" expr block)* ["else" block]
+//!           | "return" [expr] ";" | "break" ";" | "continue" ";"
+//!           | "print" "(" expr ")" ";"
+//! expr     := or; or := and ("||" and)*; and := cmp ("&&" cmp)*
+//! cmp      := sum [cmpop sum]; sum := term (("+"|"-") term)*
+//! term     := unary (("*"|"/"|"%") unary)*
+//! unary    := "-" unary | "!" unary | primary
+//! primary  := NUM | "(" expr ")" | "input" "(" STR "," NUM ")"
+//!           | "len" "(" IDENT ")" | IDENT ["(" args ")" | "[" expr "]"]
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedTok, Tok};
+use xflow_skeleton::error::{ParseError, Span};
+
+/// Parse minilang source text.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, prog: Program::new() };
+    while !p.at_eof() {
+        let f = p.fndef()?;
+        let span = p.peek_span();
+        p.prog.add_function(f).map_err(|m| ParseError::new(span, m))?;
+    }
+    if p.prog.main().is_none() {
+        return Err(ParseError::new(Span::default(), "program has no `main` function"));
+    }
+    Ok(p.prog)
+}
+
+const KEYWORDS: &[&str] = &[
+    "fn", "let", "for", "parfor", "in", "step", "while", "if", "else", "return", "break", "continue",
+    "print", "zeros", "input", "len",
+];
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    prog: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.peek_span(), msg)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                if KEYWORDS.contains(&s.as_str()) {
+                    return Err(self.err(format!("`{s}` is a keyword and cannot be used as a name")));
+                }
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek().describe())))
+        }
+    }
+
+    fn fndef(&mut self) -> Result<Function, ParseError> {
+        self.expect_kw("fn")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !matches!(self.peek(), Tok::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let label = if matches!(self.peek(), Tok::At) {
+            self.bump();
+            let l = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            Some(l)
+        } else {
+            None
+        };
+        let id = self.prog.fresh_stmt_id();
+        let kind = self.stmt_kind()?;
+        Ok(Stmt { id, label, kind })
+    }
+
+    fn stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.ident()?;
+            self.expect(&Tok::Assign)?;
+            let kind = if self.at_kw("zeros") {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let len = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                StmtKind::LetArray { name, len }
+            } else {
+                StmtKind::LetScalar { name, init: self.expr()? }
+            };
+            self.expect(&Tok::Semi)?;
+            return Ok(kind);
+        }
+        let parallel_for = self.at_kw("parfor");
+        if parallel_for || self.at_kw("for") {
+            self.bump();
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let lo = self.expr()?;
+            self.expect(&Tok::DotDot)?;
+            let hi = self.expr()?;
+            let step = if self.eat_kw("step") { self.expr()? } else { Expr::Num(1.0) };
+            let body = self.block()?;
+            return Ok(StmtKind::For { var, lo, hi, step, parallel: parallel_for, body });
+        }
+        if self.eat_kw("while") {
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(StmtKind::While { cond, body });
+        }
+        if self.eat_kw("if") {
+            let mut arms = Vec::new();
+            let cond = self.expr()?;
+            let body = self.block()?;
+            arms.push((cond, body));
+            let mut else_body = None;
+            while self.eat_kw("else") {
+                if self.eat_kw("if") {
+                    let c = self.expr()?;
+                    let b = self.block()?;
+                    arms.push((c, b));
+                } else {
+                    else_body = Some(self.block()?);
+                    break;
+                }
+            }
+            return Ok(StmtKind::If { arms, else_body });
+        }
+        if self.eat_kw("return") {
+            let value = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+            self.expect(&Tok::Semi)?;
+            return Ok(StmtKind::Return { value });
+        }
+        if self.eat_kw("break") {
+            self.expect(&Tok::Semi)?;
+            return Ok(StmtKind::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect(&Tok::Semi)?;
+            return Ok(StmtKind::Continue);
+        }
+        if self.eat_kw("print") {
+            self.expect(&Tok::LParen)?;
+            let expr = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            self.expect(&Tok::Semi)?;
+            return Ok(StmtKind::Print { expr });
+        }
+
+        // ident-led statements: assignment, element update, or call
+        let name = self.ident()?;
+        match self.peek().clone() {
+            Tok::Assign => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(StmtKind::AssignScalar { name, value })
+            }
+            Tok::LBracket => {
+                self.bump();
+                let index = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                let op = match self.bump() {
+                    Tok::Assign => None,
+                    Tok::PlusAssign => Some(BinOp::Add),
+                    Tok::MinusAssign => Some(BinOp::Sub),
+                    Tok::StarAssign => Some(BinOp::Mul),
+                    Tok::SlashAssign => Some(BinOp::Div),
+                    other => {
+                        return Err(self
+                            .err(format!("expected assignment operator after index, found {}", other.describe())))
+                    }
+                };
+                let value = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(match op {
+                    None => StmtKind::AssignIndex { name, index, value },
+                    Some(op) => StmtKind::UpdateIndex { name, index, op, value },
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !matches!(self.peek(), Tok::Comma) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(StmtKind::CallProc { name, args })
+            }
+            other => Err(self.err(format!("expected `=`, `[`, or `(` after `{name}`, found {}", other.describe()))),
+        }
+    }
+
+    // --- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Tok::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek(), Tok::AndAnd) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.sum()?;
+        let op = match self.peek() {
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::EqEq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.sum()?;
+        Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                match self.unary()? {
+                    Expr::Num(n) => Ok(Expr::Num(-n)),
+                    e => Ok(Expr::Neg(Box::new(e))),
+                }
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) if name == "input" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let key = match self.bump() {
+                    Tok::Str(s) => s,
+                    other => return Err(self.err(format!("input() needs a string name, found {}", other.describe()))),
+                };
+                self.expect(&Tok::Comma)?;
+                let default = match self.bump() {
+                    Tok::Num(n) => n,
+                    other => return Err(self.err(format!("input() needs a numeric default, found {}", other.describe()))),
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Input(key, default))
+            }
+            Tok::Ident(name) if name == "len" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let arr = self.ident()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Len(arr))
+            }
+            Tok::Ident(name) => {
+                if KEYWORDS.contains(&name.as_str()) {
+                    return Err(self.err(format!("`{name}` is a keyword and cannot appear in an expression")));
+                }
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !matches!(self.peek(), Tok::Comma) {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                        if let Some(b) = Builtin::from_name(&name) {
+                            if args.len() != b.arity() {
+                                return Err(self.err(format!(
+                                    "builtin `{name}` expects {} argument(s), got {}",
+                                    b.arity(),
+                                    args.len()
+                                )));
+                            }
+                            Ok(Expr::Call(b, args))
+                        } else {
+                            Ok(Expr::CallFn(name, args))
+                        }
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(&Tok::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let p = parse("fn main() { let x = 1; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn parse_full_program() {
+        let src = r#"
+// stencil-ish example
+fn main() {
+    let n = input("N", 16);
+    let a = zeros(n * n);
+    let s = 0;
+    @fill: for i in 0 .. n * n {
+        a[i] = rnd();
+    }
+    @smooth: for i in 1 .. n - 1 {
+        for j in 1 .. n - 1 {
+            a[i * n + j] = 0.25 * (a[(i-1)*n+j] + a[(i+1)*n+j] + a[i*n+j-1] + a[i*n+j+1]);
+        }
+    }
+    accumulate(a, n);
+    while s < 0.5 && s >= 0 {
+        s = s + rnd();
+    }
+    if s > 1 {
+        print(s);
+    } else if s == 0 {
+        s = 0.1;
+    } else {
+        s = exp(s);
+    }
+    return;
+}
+
+fn accumulate(buf, n) {
+    let t = 0;
+    for i in 0 .. n {
+        t += 0;
+        buf[i] += t;
+    }
+    return t;
+}
+"#;
+        // note: `t += 0;` is scalar compound — not supported; fixed below.
+        let src = src.replace("t += 0;", "t = t + 1;");
+        let p = parse(&src).unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.main().is_some());
+    }
+
+    #[test]
+    fn compound_index_update() {
+        let p = parse("fn main() { let a = zeros(4); a[0] += 2; a[1] *= 3; }").unwrap();
+        let main = p.main().unwrap();
+        assert!(matches!(&main.body.stmts[1].kind, StmtKind::UpdateIndex { op: BinOp::Add, .. }));
+        assert!(matches!(&main.body.stmts[2].kind, StmtKind::UpdateIndex { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        assert!(parse("fn main() { let x = pow(2); }").is_err());
+        assert!(parse("fn main() { let x = pow(2, 3); }").is_ok());
+        assert!(parse("fn main() { let x = rnd(); }").is_ok());
+    }
+
+    #[test]
+    fn input_and_len() {
+        let p = parse(r#"fn main() { let n = input("N", 8); let a = zeros(n); let m = len(a); }"#).unwrap();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::LetScalar { init: Expr::Input(k, d), .. } => {
+                assert_eq!(k, "N");
+                assert_eq!(*d, 8.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_rejected_as_names() {
+        assert!(parse("fn main() { let for = 1; }").is_err());
+        assert!(parse("fn for() { }").is_err());
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        assert!(parse("fn other() { }").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse("fn main() { let x = 1 }").is_err());
+    }
+
+    #[test]
+    fn logical_precedence() {
+        // a < 1 && b > 2 || c == 3  parses as  Or(And(cmp,cmp), cmp)
+        let p = parse("fn main() { if a < 1 && b > 2 || c == 3 { print(1); } }").unwrap();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::If { arms, .. } => assert!(matches!(&arms[0].0, Expr::Or(_, _))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn labels_parse() {
+        let p = parse("fn main() { @kern: for i in 0 .. 4 { print(i); } }").unwrap();
+        assert_eq!(p.main().unwrap().body.stmts[0].label.as_deref(), Some("kern"));
+    }
+
+    #[test]
+    fn user_call_in_expression() {
+        let p = parse("fn main() { let x = f(1) + 2; } fn f(a) { return a; }").unwrap();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::LetScalar { init, .. } => assert!(matches!(init, Expr::Bin(_, BinOp::Add, _))),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Pretty-printer emitting canonical minilang source text.
+//!
+//! `parse(print(p))` reproduces `p` up to statement ids (which are assigned
+//! in the same pre-order by the parser, so they round-trip too). Used by
+//! tooling that rewrites programs and by the parser property tests.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a program as canonical minilang source.
+pub fn print(prog: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in prog.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let _ = write!(out, "fn {}(", f.name);
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(p);
+        }
+        out.push_str(") {\n");
+        print_block(&f.body, 1, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(b: &Block, depth: usize, out: &mut String) {
+    for s in &b.stmts {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    if let Some(l) = &s.label {
+        let _ = write!(out, "@{l}: ");
+    }
+    match &s.kind {
+        StmtKind::LetScalar { name, init } => {
+            let _ = writeln!(out, "let {name} = {};", expr(init));
+        }
+        StmtKind::LetArray { name, len } => {
+            let _ = writeln!(out, "let {name} = zeros({});", expr(len));
+        }
+        StmtKind::AssignScalar { name, value } => {
+            let _ = writeln!(out, "{name} = {};", expr(value));
+        }
+        StmtKind::AssignIndex { name, index, value } => {
+            let _ = writeln!(out, "{name}[{}] = {};", expr(index), expr(value));
+        }
+        StmtKind::UpdateIndex { name, index, op, value } => {
+            let sym = match op {
+                BinOp::Add => "+=",
+                BinOp::Sub => "-=",
+                BinOp::Mul => "*=",
+                BinOp::Div => "/=",
+                BinOp::Mod => unreachable!("no %= in the language"),
+            };
+            let _ = writeln!(out, "{name}[{}] {sym} {};", expr(index), expr(value));
+        }
+        StmtKind::For { var, lo, hi, step, parallel, body } => {
+            let kw = if *parallel { "parfor" } else { "for" };
+            let _ = write!(out, "{kw} {var} in {} .. {}", expr(lo), expr(hi));
+            if !matches!(step, Expr::Num(n) if *n == 1.0) {
+                let _ = write!(out, " step {}", expr(step));
+            }
+            out.push_str(" {\n");
+            print_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        StmtKind::While { cond, body } => {
+            let _ = write!(out, "while {}", expr(cond));
+            out.push_str(" {\n");
+            print_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        StmtKind::If { arms, else_body } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                if i > 0 {
+                    indent(depth, out);
+                    out.push_str("else ");
+                }
+                let _ = write!(out, "if {}", expr(cond));
+                out.push_str(" {\n");
+                print_block(body, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+            if let Some(e) = else_body {
+                indent(depth, out);
+                out.push_str("else {\n");
+                print_block(e, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::CallProc { name, args } => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&expr(a));
+            }
+            out.push_str(");\n");
+        }
+        StmtKind::Return { value } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "return {};", expr(v));
+            }
+            None => out.push_str("return;\n"),
+        },
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Print { expr: e } => {
+            let _ = writeln!(out, "print({});", expr(e));
+        }
+    }
+}
+
+/// Operator precedence levels used for minimal parenthesization.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Or(..) => 1,
+        Expr::And(..) => 2,
+        Expr::Cmp(..) => 3,
+        Expr::Bin(_, BinOp::Add | BinOp::Sub, _) => 4,
+        Expr::Bin(_, BinOp::Mul | BinOp::Div | BinOp::Mod, _) => 5,
+        Expr::Neg(..) | Expr::Not(..) => 6,
+        _ => 7,
+    }
+}
+
+/// Render an expression with minimal parentheses.
+pub fn expr(e: &Expr) -> String {
+    let mut s = String::new();
+    go(e, 0, &mut s);
+    s
+}
+
+fn go(e: &Expr, parent: u8, out: &mut String) {
+    let my = prec(e);
+    let paren = my < parent;
+    if paren {
+        out.push('(');
+    }
+    match e {
+        Expr::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Expr::Var(v) => out.push_str(v),
+        Expr::Index(a, i) => {
+            let _ = write!(out, "{a}[");
+            go(i, 0, out);
+            out.push(']');
+        }
+        Expr::Len(a) => {
+            let _ = write!(out, "len({a})");
+        }
+        Expr::Input(name, default) => {
+            if default.fract() == 0.0 {
+                let _ = write!(out, "input(\"{name}\", {})", *default as i64);
+            } else {
+                let _ = write!(out, "input(\"{name}\", {default})");
+            }
+        }
+        Expr::Bin(l, op, r) => {
+            go(l, my, out);
+            let sym = match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::Div => " / ",
+                BinOp::Mod => " % ",
+            };
+            out.push_str(sym);
+            go(r, my + 1, out); // left-associative
+        }
+        Expr::Neg(i) => {
+            out.push('-');
+            go(i, my + 1, out);
+        }
+        Expr::Cmp(l, op, r) => {
+            go(l, my + 1, out);
+            let sym = match op {
+                CmpOp::Lt => " < ",
+                CmpOp::Le => " <= ",
+                CmpOp::Gt => " > ",
+                CmpOp::Ge => " >= ",
+                CmpOp::Eq => " == ",
+                CmpOp::Ne => " != ",
+            };
+            out.push_str(sym);
+            go(r, my + 1, out); // comparisons are non-associative
+        }
+        Expr::And(l, r) => {
+            go(l, my, out);
+            out.push_str(" && ");
+            go(r, my + 1, out);
+        }
+        Expr::Or(l, r) => {
+            go(l, my, out);
+            out.push_str(" || ");
+            go(r, my + 1, out);
+        }
+        Expr::Not(i) => {
+            out.push('!');
+            go(i, my + 1, out);
+        }
+        Expr::Call(b, args) => {
+            let name = match b {
+                Builtin::Exp => "exp",
+                Builtin::Log => "log",
+                Builtin::Sqrt => "sqrt",
+                Builtin::Sin => "sin",
+                Builtin::Cos => "cos",
+                Builtin::Pow => "pow",
+                Builtin::Abs => "abs",
+                Builtin::Min => "min",
+                Builtin::Max => "max",
+                Builtin::Floor => "floor",
+                Builtin::Rnd => "rnd",
+            };
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                go(a, 0, out);
+            }
+            out.push(')');
+        }
+        Expr::CallFn(name, args) => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                go(a, 0, out);
+            }
+            out.push(')');
+        }
+    }
+    if paren {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"
+fn main() {
+    let n = input("N", 16);
+    let a = zeros(n * n);
+    @fill: for i in 0 .. n step 2 {
+        a[i] = rnd();
+        a[i] += 1.5;
+    }
+    let s = 0;
+    while s < 10 && n > 2 || s == 0 {
+        s = s + helper(a, n) - 1;
+        if s > 5 { break; } else if !(s < 0) { continue; }
+    }
+    print(s);
+    return;
+}
+
+fn helper(buf, n) {
+    let t = 0;
+    for i in 0 .. n { t = t + buf[i * n % len(buf)]; }
+    return max(t, 0 - t);
+}
+"#;
+
+    #[test]
+    fn round_trip_identical() {
+        let p1 = parse(SRC).unwrap();
+        let text = print(&p1);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(p1, p2, "{text}");
+    }
+
+    #[test]
+    fn print_is_fixed_point() {
+        let p1 = parse(SRC).unwrap();
+        let t1 = print(&p1);
+        let t2 = print(&parse(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn workload_sources_round_trip() {
+        for src in [
+            crate::parser::parse(SRC).map(|_| SRC).unwrap(),
+        ] {
+            let p1 = parse(src).unwrap();
+            let p2 = parse(&print(&p1)).unwrap();
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        let p = parse("fn main() { let x = (1 + 2) * 3; let y = 1 + 2 * 3; }").unwrap();
+        let text = print(&p);
+        assert!(text.contains("(1 + 2) * 3"), "{text}");
+        assert!(text.contains("1 + 2 * 3"), "{text}");
+    }
+
+    #[test]
+    fn logical_and_cmp_mix() {
+        let p = parse("fn main() { if (a < 1 || b > 2) && c == 3 { print(1); } }").unwrap();
+        let text = print(&p);
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p, p2, "{text}");
+        assert!(text.contains("(a < 1 || b > 2) && c == 3"), "{text}");
+    }
+}

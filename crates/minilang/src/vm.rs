@@ -1,0 +1,1036 @@
+//! Bytecode VM for minilang — the fast execution engine.
+//!
+//! The tree-walking interpreter ([`crate::interp`]) is the *reference*
+//! semantics; this module compiles a program once into a flat instruction
+//! stream with resolved variable slots and runs it on a value stack. Both
+//! engines produce **bit-identical** results, profiles, and tracer event
+//! streams: every op-accounting rule, evaluation order, RNG draw, and array
+//! base address matches the reference (enforced by the equivalence tests in
+//! `tests/vm_equivalence.rs`). The VM exists because the ground-truth
+//! simulator interprets every dynamic operation of a workload — at
+//! evaluation scale that is tens of millions of events, where the
+//! tree-walker's per-node dispatch and name lookups dominate.
+
+use crate::ast::*;
+use crate::interp::{
+    ArrRef, InputSpec, Lcg, Limits, Profile, RuntimeError, Tracer, Val,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A compiled program.
+#[derive(Debug, Clone)]
+pub struct VmProgram {
+    funcs: Vec<VmFunc>,
+    entry: usize,
+}
+
+#[derive(Debug, Clone)]
+struct VmFunc {
+    #[allow(dead_code)]
+    name: String,
+    n_params: usize,
+    n_slots: usize,
+    slot_names: Vec<String>,
+    /// `input("NAME", default)` sites referenced by `Op::Input`.
+    input_table: Vec<(String, f64)>,
+    code: Vec<Op>,
+}
+
+/// VM instructions. The stack holds [`Val`]s; arithmetic ops pop their
+/// operands right-then-left.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push a constant number.
+    Num(f64),
+    /// Push the slot's value (scalar or array) — used for call arguments.
+    PushSlot(u16),
+    /// Push the slot's scalar value; errors on arrays / unset slots.
+    LoadScalar(u16),
+    /// Pop a value into a slot.
+    StoreSlot(u16),
+    /// Pop a length, allocate a zero-filled array into the slot.
+    NewArray(u16),
+    /// Push `len(slot)`.
+    Len(u16),
+    /// Push `input(name, default)` — index into the function's input table.
+    Input(u16),
+    /// Pop v, push 0/1 — *uncounted* boolean normalization for `&&`/`||`
+    /// results (the reference returns 0/1 from its own checks without
+    /// charging ops).
+    NormBoolRaw,
+    /// Pop index, push element; one load event.
+    LoadElem(u16),
+    /// Pop value then index; one store event.
+    StoreElem(u16),
+    /// Pop r, l; push `l op r`, counting flops/iops per context.
+    Bin { op: BinOp, idx_ctx: bool },
+    /// Pop v; push `-v` (1 flop / 1 iop).
+    Neg { idx_ctx: bool },
+    /// Pop v; push `!v` (1 iop).
+    Not,
+    /// Pop r, l; push 0/1 (1 flop).
+    Cmp(CmpOp),
+    /// Count one integer op (the `&&`/`||` connective).
+    CountIop,
+    /// One-flop builtins.
+    Abs,
+    Floor,
+    Min,
+    Max,
+    /// Library builtins (lib event with the argument).
+    Lib(Builtin),
+    /// Pop condition; jump if zero.
+    JumpIfZero(usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Statement prologue: tick, stmt_exec += 1, cur_stmt = id.
+    StmtEnter(MStmtId),
+    /// Set attribution without a tick (loop-head condition re-evaluation).
+    SetCur(MStmtId),
+    /// Loop entry profile.
+    LoopEntry(MStmtId),
+    /// Per-iteration (`for`): tick, iterations += 1, 2 iops to the loop.
+    IterTick(MStmtId),
+    /// Per-iteration (`while`): tick + iterations only — the reference
+    /// charges loop bookkeeping iops for counted loops, not for `while`.
+    IterTickWhile(MStmtId),
+    /// Raw (uncounted) loop machinery: pop hi/cur, jump if cur >= hi.
+    JumpIfGeRaw { cur: u16, hi: u16, target: usize },
+    /// Raw cursor advance: slot += step-slot.
+    AdvanceRaw { cur: u16, step: u16 },
+    /// Clamp the step slot to be strictly positive (mirrors the reference).
+    ClampStepRaw(u16),
+    /// Branch entry: size the arm-hit table.
+    BranchEnter { stmt: MStmtId, arms: usize },
+    ArmHit { stmt: MStmtId, arm: usize },
+    ElseHit(MStmtId),
+    BreakProfile(MStmtId),
+    ContinueProfile(MStmtId),
+    /// Pop argc values (reversed) into a fresh frame, push return address.
+    Call { func: usize, argc: usize },
+    /// Return: pop the optional return value (always present — compile
+    /// pushes 0.0 for value-less returns), restore the caller frame.
+    Ret,
+    /// Pop and record a printed value.
+    Print,
+    /// Pop and discard.
+    Pop,
+}
+
+/// Compile a program to bytecode.
+///
+/// Call-graph errors the reference reports at call time (unknown functions,
+/// arity mismatches) surface here at compile time instead.
+pub fn compile(prog: &Program) -> Result<VmProgram, RuntimeError> {
+    let fn_ids: HashMap<&str, usize> =
+        prog.functions.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
+    let entry = *fn_ids.get("main").ok_or_else(|| RuntimeError::UnknownFunction("main".into()))?;
+    let mut funcs = Vec::with_capacity(prog.functions.len());
+    for f in &prog.functions {
+        funcs.push(compile_fn(prog, f, &fn_ids)?);
+    }
+    Ok(VmProgram { funcs, entry })
+}
+
+struct FnCompiler<'p> {
+    prog: &'p Program,
+    fn_ids: &'p HashMap<&'p str, usize>,
+    slots: HashMap<String, u16>,
+    slot_names: Vec<String>,
+    input_table: Vec<(String, f64)>,
+    code: Vec<Op>,
+    loops: Vec<LoopCtx>,
+}
+
+struct LoopCtx {
+    stmt: MStmtId,
+    /// Jump targets to patch with the loop-exit pc.
+    break_patches: Vec<usize>,
+    /// Jump targets to patch with the continue pc.
+    continue_patches: Vec<usize>,
+}
+
+fn compile_fn(
+    prog: &Program,
+    f: &Function,
+    fn_ids: &HashMap<&str, usize>,
+) -> Result<VmFunc, RuntimeError> {
+    let mut c = FnCompiler {
+        prog,
+        fn_ids,
+        slots: HashMap::new(),
+        slot_names: Vec::new(),
+        input_table: Vec::new(),
+        code: Vec::new(),
+        loops: Vec::new(),
+    };
+    for p in &f.params {
+        c.slot(p);
+    }
+    c.block(&f.body)?;
+    // implicit `return 0.0`
+    c.code.push(Op::Num(0.0));
+    c.code.push(Op::Ret);
+    Ok(VmFunc {
+        name: f.name.clone(),
+        n_params: f.params.len(),
+        n_slots: c.slot_names.len(),
+        slot_names: c.slot_names,
+        input_table: c.input_table,
+        code: c.code,
+    })
+}
+
+impl<'p> FnCompiler<'p> {
+    fn slot(&mut self, name: &str) -> u16 {
+        if let Some(&s) = self.slots.get(name) {
+            return s;
+        }
+        let s = self.slot_names.len() as u16;
+        self.slots.insert(name.to_string(), s);
+        self.slot_names.push(name.to_string());
+        s
+    }
+
+    fn hidden_slot(&mut self, tag: &str) -> u16 {
+        let s = self.slot_names.len() as u16;
+        self.slot_names.push(format!("<{tag}{}>", s));
+        s
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), RuntimeError> {
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), RuntimeError> {
+        self.code.push(Op::StmtEnter(s.id));
+        match &s.kind {
+            StmtKind::LetScalar { name, init } | StmtKind::AssignScalar { name, value: init } => {
+                self.expr(init, false)?;
+                let slot = self.slot(name);
+                self.code.push(Op::StoreSlot(slot));
+            }
+            StmtKind::LetArray { name, len } => {
+                self.expr(len, true)?;
+                let slot = self.slot(name);
+                self.code.push(Op::NewArray(slot));
+            }
+            StmtKind::AssignIndex { name, index, value } => {
+                // reference order: index, then value, then store
+                self.expr(index, true)?;
+                self.expr(value, false)?;
+                let slot = self.slot(name);
+                self.code.push(Op::StoreElem(slot));
+            }
+            StmtKind::UpdateIndex { name, index, op, value } => {
+                // reference order: index, value, load old, apply, store.
+                // Compile as: idx; value; idx2 = re-materialize? The
+                // reference evaluates the index expression ONCE — mirror by
+                // stashing it in a hidden slot.
+                let idx_slot = self.hidden_slot("idx");
+                let val_slot = self.hidden_slot("val");
+                self.expr(index, true)?;
+                self.code.push(Op::StoreSlot(idx_slot));
+                self.expr(value, false)?;
+                self.code.push(Op::StoreSlot(val_slot));
+                let arr = self.slot(name);
+                // old = a[idx]
+                self.code.push(Op::LoadScalar(idx_slot));
+                self.code.push(Op::LoadElem(arr));
+                self.code.push(Op::LoadScalar(val_slot));
+                self.code.push(Op::Bin { op: *op, idx_ctx: false });
+                // store back: stack needs [idx, value]
+                let res_slot = self.hidden_slot("res");
+                self.code.push(Op::StoreSlot(res_slot));
+                self.code.push(Op::LoadScalar(idx_slot));
+                self.code.push(Op::LoadScalar(res_slot));
+                self.code.push(Op::StoreElem(arr));
+            }
+            StmtKind::For { var, lo, hi, step, parallel: _, body } => {
+                let cur = self.hidden_slot("cur");
+                let hi_s = self.hidden_slot("hi");
+                let step_s = self.hidden_slot("step");
+                self.expr(lo, true)?;
+                self.code.push(Op::StoreSlot(cur));
+                self.expr(hi, true)?;
+                self.code.push(Op::StoreSlot(hi_s));
+                self.expr(step, true)?;
+                self.code.push(Op::StoreSlot(step_s));
+                self.code.push(Op::ClampStepRaw(step_s));
+                self.code.push(Op::LoopEntry(s.id));
+                let head = self.code.len();
+                let exit_patch = self.code.len();
+                self.code.push(Op::JumpIfGeRaw { cur, hi: hi_s, target: usize::MAX });
+                self.code.push(Op::IterTick(s.id));
+                let var_slot = self.slot(var);
+                self.code.push(Op::LoadScalar(cur));
+                self.code.push(Op::StoreSlot(var_slot));
+                self.loops.push(LoopCtx { stmt: s.id, break_patches: vec![], continue_patches: vec![] });
+                self.block(body)?;
+                let ctx = self.loops.pop().expect("loop ctx");
+                let continue_pc = self.code.len();
+                self.code.push(Op::AdvanceRaw { cur, step: step_s });
+                self.code.push(Op::Jump(head));
+                let exit_pc = self.code.len();
+                if let Op::JumpIfGeRaw { target, .. } = &mut self.code[exit_patch] {
+                    *target = exit_pc;
+                }
+                for p in ctx.break_patches {
+                    self.patch_jump(p, exit_pc);
+                }
+                for p in ctx.continue_patches {
+                    self.patch_jump(p, continue_pc);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.code.push(Op::LoopEntry(s.id));
+                let head = self.code.len();
+                // the reference re-attributes the condition to the while
+                // statement on every check
+                self.code.push(Op::SetCur(s.id));
+                self.expr(cond, false)?;
+                let exit_patch = self.code.len();
+                self.code.push(Op::JumpIfZero(usize::MAX));
+                self.code.push(Op::IterTickWhile(s.id));
+                self.loops.push(LoopCtx { stmt: s.id, break_patches: vec![], continue_patches: vec![] });
+                self.block(body)?;
+                let ctx = self.loops.pop().expect("loop ctx");
+                self.code.push(Op::Jump(head));
+                let exit_pc = self.code.len();
+                self.patch_jump(exit_patch, exit_pc);
+                for p in ctx.break_patches {
+                    self.patch_jump(p, exit_pc);
+                }
+                for p in ctx.continue_patches {
+                    self.patch_jump(p, head);
+                }
+            }
+            StmtKind::If { arms, else_body } => {
+                self.code.push(Op::BranchEnter { stmt: s.id, arms: arms.len() });
+                let mut end_patches = Vec::new();
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    self.code.push(Op::SetCur(s.id));
+                    self.expr(cond, false)?;
+                    let next_patch = self.code.len();
+                    self.code.push(Op::JumpIfZero(usize::MAX));
+                    self.code.push(Op::ArmHit { stmt: s.id, arm: i });
+                    self.block(body)?;
+                    end_patches.push(self.code.len());
+                    self.code.push(Op::Jump(usize::MAX));
+                    let next_pc = self.code.len();
+                    self.patch_jump(next_patch, next_pc);
+                }
+                self.code.push(Op::ElseHit(s.id));
+                if let Some(e) = else_body {
+                    self.block(e)?;
+                }
+                let end = self.code.len();
+                for p in end_patches {
+                    self.patch_jump(p, end);
+                }
+            }
+            StmtKind::CallProc { name, args } => {
+                self.call(name, args)?;
+                self.code.push(Op::Pop);
+            }
+            StmtKind::Return { value } => {
+                match value {
+                    Some(v) => self.expr(v, false)?,
+                    None => self.code.push(Op::Num(0.0)),
+                }
+                self.code.push(Op::Ret);
+            }
+            StmtKind::Break => {
+                let Some(ctx) = self.loops.last_mut() else {
+                    // outside a loop: the reference treats it as a no-op
+                    // flow that unwinds to the function end; approximate
+                    // with a return of 0.0 — validated programs never hit
+                    // this.
+                    self.code.push(Op::Num(0.0));
+                    self.code.push(Op::Ret);
+                    return Ok(());
+                };
+                let loop_id = ctx.stmt;
+                self.code.push(Op::BreakProfile(loop_id));
+                let p = self.code.len();
+                self.code.push(Op::Jump(usize::MAX));
+                self.loops.last_mut().unwrap().break_patches.push(p);
+            }
+            StmtKind::Continue => {
+                let Some(ctx) = self.loops.last_mut() else {
+                    self.code.push(Op::Num(0.0));
+                    self.code.push(Op::Ret);
+                    return Ok(());
+                };
+                let loop_id = ctx.stmt;
+                self.code.push(Op::ContinueProfile(loop_id));
+                let p = self.code.len();
+                self.code.push(Op::Jump(usize::MAX));
+                self.loops.last_mut().unwrap().continue_patches.push(p);
+            }
+            StmtKind::Print { expr } => {
+                self.expr(expr, false)?;
+                self.code.push(Op::Print);
+            }
+        }
+        Ok(())
+    }
+
+    fn patch_jump(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfZero(t) => *t = target,
+            Op::JumpIfGeRaw { target: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<(), RuntimeError> {
+        let &func = self
+            .fn_ids
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnknownFunction(name.to_string()))?;
+        let expected = self.prog.functions[func].params.len();
+        if expected != args.len() {
+            return Err(RuntimeError::ArityMismatch {
+                func: name.to_string(),
+                expected,
+                got: args.len(),
+            });
+        }
+        for a in args {
+            match a {
+                // bare names pass the value (array by reference)
+                Expr::Var(v) => {
+                    let slot = self.slot(v);
+                    self.code.push(Op::PushSlot(slot));
+                }
+                other => self.expr(other, false)?,
+            }
+        }
+        self.code.push(Op::Call { func, argc: args.len() });
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr, idx_ctx: bool) -> Result<(), RuntimeError> {
+        match e {
+            Expr::Num(n) => self.code.push(Op::Num(*n)),
+            Expr::Var(v) => {
+                let slot = self.slot(v);
+                self.code.push(Op::LoadScalar(slot));
+            }
+            Expr::Index(a, idx) => {
+                self.expr(idx, true)?;
+                let slot = self.slot(a);
+                self.code.push(Op::LoadElem(slot));
+            }
+            Expr::Len(a) => {
+                let slot = self.slot(a);
+                self.code.push(Op::Len(slot));
+            }
+            Expr::Input(name, default) => {
+                let idx = self.input_table.len() as u16;
+                self.input_table.push((name.clone(), *default));
+                self.code.push(Op::Input(idx));
+            }
+            Expr::Bin(l, op, r) => {
+                self.expr(l, idx_ctx)?;
+                self.expr(r, idx_ctx)?;
+                self.code.push(Op::Bin { op: *op, idx_ctx });
+            }
+            Expr::Neg(i) => {
+                self.expr(i, idx_ctx)?;
+                self.code.push(Op::Neg { idx_ctx });
+            }
+            Expr::Cmp(l, op, r) => {
+                self.expr(l, idx_ctx)?;
+                self.expr(r, idx_ctx)?;
+                self.code.push(Op::Cmp(*op));
+            }
+            Expr::And(l, r) => {
+                // reference: eval lhs, count 1 iop, short-circuit
+                self.expr(l, idx_ctx)?;
+                self.code.push(Op::CountIop);
+                let short = self.code.len();
+                self.code.push(Op::JumpIfZero(usize::MAX));
+                self.expr(r, idx_ctx)?;
+                self.code.push(Op::NormBoolRaw);
+                let end = self.code.len();
+                self.code.push(Op::Jump(usize::MAX));
+                let short_pc = self.code.len();
+                self.code.push(Op::Num(0.0));
+                let end_pc = self.code.len();
+                self.patch_jump(short, short_pc);
+                self.patch_jump(end, end_pc);
+            }
+            Expr::Or(l, r) => {
+                self.expr(l, idx_ctx)?;
+                self.code.push(Op::CountIop);
+                // jump to "true" if lhs non-zero: invert via JumpIfZero to rhs
+                let to_rhs = self.code.len();
+                self.code.push(Op::JumpIfZero(usize::MAX));
+                self.code.push(Op::Num(1.0));
+                let end = self.code.len();
+                self.code.push(Op::Jump(usize::MAX));
+                let rhs_pc = self.code.len();
+                self.patch_jump(to_rhs, rhs_pc);
+                self.expr(r, idx_ctx)?;
+                self.code.push(Op::NormBoolRaw);
+                let end_pc = self.code.len();
+                self.patch_jump(end, end_pc);
+            }
+            Expr::Not(i) => {
+                self.expr(i, idx_ctx)?;
+                self.code.push(Op::Not);
+            }
+            Expr::Call(b, args) => {
+                for a in args.iter().take(2) {
+                    self.expr(a, idx_ctx)?;
+                }
+                match b {
+                    Builtin::Abs => self.code.push(Op::Abs),
+                    Builtin::Floor => self.code.push(Op::Floor),
+                    Builtin::Min => self.code.push(Op::Min),
+                    Builtin::Max => self.code.push(Op::Max),
+                    lib => {
+                        if lib == &Builtin::Rnd {
+                            // rnd() takes no arguments; nothing on the stack
+                        }
+                        self.code.push(Op::Lib(*lib));
+                    }
+                }
+            }
+            Expr::CallFn(name, args) => self.call(name, args)?,
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+struct Frame {
+    func: usize,
+    pc: usize,
+    slots: Vec<Val>,
+    saved_cur: MStmtId,
+}
+
+/// Run a compiled program (see [`crate::run`] for the reference engine).
+pub fn run_vm<T: Tracer>(
+    vm: &VmProgram,
+    inputs: &InputSpec,
+    tracer: T,
+) -> Result<(Profile, T, f64), RuntimeError> {
+    run_vm_with_limits(vm, inputs, tracer, Limits::default())
+}
+
+/// [`run_vm`] with explicit execution limits.
+pub fn run_vm_with_limits<T: Tracer>(
+    vm: &VmProgram,
+    inputs: &InputSpec,
+    mut tracer: T,
+    limits: Limits,
+) -> Result<(Profile, T, f64), RuntimeError> {
+    let mut profile = Profile::default();
+    let mut rng = Lcg(0x5EED_1234_ABCD_0001);
+    let mut next_base: u64 = 0x1000;
+    let mut steps: u64 = 0;
+    let mut cur_stmt = MStmtId(0);
+    let mut stack: Vec<Val> = Vec::with_capacity(64);
+    let entry = &vm.funcs[vm.entry];
+    let mut frames = vec![Frame {
+        func: vm.entry,
+        pc: 0,
+        slots: vec![Val::Num(f64::NAN); 0],
+        saved_cur: cur_stmt,
+    }];
+    frames[0].slots = unset_slots(entry.n_slots);
+
+    macro_rules! pop_num {
+        () => {
+            match stack.pop().expect("stack underflow") {
+                Val::Num(v) => v,
+                Val::Arr(_) => return Err(RuntimeError::NotAScalar("<array on stack>".into())),
+            }
+        };
+    }
+
+    loop {
+        let frame = frames.last_mut().expect("frame");
+        let func = &vm.funcs[frame.func];
+        debug_assert!(frame.pc < func.code.len());
+        let op = &func.code[frame.pc];
+        frame.pc += 1;
+        match op {
+            Op::Num(n) => stack.push(Val::Num(*n)),
+            Op::PushSlot(s) => {
+                if is_unset(&frame.slots[*s as usize]) {
+                    return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()));
+                }
+                stack.push(frame.slots[*s as usize].clone());
+            }
+            Op::LoadScalar(s) => match &frame.slots[*s as usize] {
+                Val::Num(v) if !is_unset_num(*v) => stack.push(Val::Num(*v)),
+                Val::Num(_) => {
+                    return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
+                }
+                Val::Arr(_) => {
+                    return Err(RuntimeError::NotAScalar(func.slot_names[*s as usize].clone()))
+                }
+            },
+            Op::StoreSlot(s) => {
+                let v = stack.pop().expect("stack underflow");
+                frame.slots[*s as usize] = v;
+            }
+            Op::NewArray(s) => {
+                let l = pop_num!();
+                if l < 0.0 {
+                    return Err(RuntimeError::NegativeArrayLength {
+                        array: func.slot_names[*s as usize].clone(),
+                        len: l,
+                    });
+                }
+                let n = l as usize;
+                let base = next_base;
+                next_base += (n as u64) * 8 + 64;
+                frame.slots[*s as usize] =
+                    Val::Arr(ArrRef { data: Rc::new(RefCell::new(vec![0.0; n])), base });
+            }
+            Op::Len(s) => match &frame.slots[*s as usize] {
+                Val::Arr(a) => {
+                    let n = a.data.borrow().len();
+                    stack.push(Val::Num(n as f64));
+                }
+                Val::Num(v) if is_unset_num(*v) => {
+                    return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
+                }
+                Val::Num(_) => {
+                    return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone()))
+                }
+            },
+            Op::Input(idx) => {
+                let (name, default) = &func.input_table[*idx as usize];
+                stack.push(Val::Num(inputs.get_or(name, *default)));
+            }
+            Op::LoadElem(s) => {
+                let idx = pop_num!();
+                let (v, addr) = {
+                    let a = match &frame.slots[*s as usize] {
+                        Val::Arr(a) => a,
+                        Val::Num(x) if is_unset_num(*x) => {
+                            return Err(RuntimeError::UnboundVariable(
+                                func.slot_names[*s as usize].clone(),
+                            ))
+                        }
+                        Val::Num(_) => {
+                            return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone()))
+                        }
+                    };
+                    let data = a.data.borrow();
+                    let i = idx as usize;
+                    if idx < 0.0 || i >= data.len() {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            array: func.slot_names[*s as usize].clone(),
+                            index: idx,
+                            len: data.len(),
+                        });
+                    }
+                    (data[i], a.base + (i as u64) * 8)
+                };
+                let c = profile.stmt_ops.entry(cur_stmt).or_default();
+                c.loads += 1;
+                tracer.load(cur_stmt, addr);
+                stack.push(Val::Num(v));
+            }
+            Op::StoreElem(s) => {
+                let value = pop_num!();
+                let idx = pop_num!();
+                let addr = {
+                    let a = match &frame.slots[*s as usize] {
+                        Val::Arr(a) => a,
+                        Val::Num(x) if is_unset_num(*x) => {
+                            return Err(RuntimeError::UnboundVariable(
+                                func.slot_names[*s as usize].clone(),
+                            ))
+                        }
+                        Val::Num(_) => {
+                            return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone()))
+                        }
+                    };
+                    let mut data = a.data.borrow_mut();
+                    let i = idx as usize;
+                    if idx < 0.0 || i >= data.len() {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            array: func.slot_names[*s as usize].clone(),
+                            index: idx,
+                            len: data.len(),
+                        });
+                    }
+                    data[i] = value;
+                    a.base + (i as u64) * 8
+                };
+                let c = profile.stmt_ops.entry(cur_stmt).or_default();
+                c.stores += 1;
+                tracer.store(cur_stmt, addr);
+            }
+            Op::Bin { op, idx_ctx } => {
+                let r = pop_num!();
+                let l = pop_num!();
+                let (flops, iops, divs) = if *idx_ctx {
+                    (0, 1, 0)
+                } else if *op == BinOp::Div {
+                    (1, 0, 1)
+                } else {
+                    (1, 0, 0)
+                };
+                count(&mut profile, &mut tracer, cur_stmt, flops, iops, divs);
+                let v = match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => l / r,
+                    BinOp::Mod => l % r,
+                };
+                stack.push(Val::Num(v));
+            }
+            Op::Neg { idx_ctx } => {
+                let v = pop_num!();
+                if *idx_ctx {
+                    count(&mut profile, &mut tracer, cur_stmt, 0, 1, 0);
+                } else {
+                    count(&mut profile, &mut tracer, cur_stmt, 1, 0, 0);
+                }
+                stack.push(Val::Num(-v));
+            }
+            Op::Not => {
+                let v = pop_num!();
+                count(&mut profile, &mut tracer, cur_stmt, 0, 1, 0);
+                stack.push(Val::Num(if v == 0.0 { 1.0 } else { 0.0 }));
+            }
+            Op::NormBoolRaw => {
+                let v = pop_num!();
+                stack.push(Val::Num(if v != 0.0 { 1.0 } else { 0.0 }));
+            }
+            Op::Cmp(op) => {
+                let r = pop_num!();
+                let l = pop_num!();
+                count(&mut profile, &mut tracer, cur_stmt, 1, 0, 0);
+                stack.push(Val::Num(if op.apply(l, r) { 1.0 } else { 0.0 }));
+            }
+            Op::CountIop => {
+                count(&mut profile, &mut tracer, cur_stmt, 0, 1, 0);
+            }
+            Op::Abs => {
+                let v = pop_num!();
+                count(&mut profile, &mut tracer, cur_stmt, 1, 0, 0);
+                stack.push(Val::Num(v.abs()));
+            }
+            Op::Floor => {
+                let v = pop_num!();
+                count(&mut profile, &mut tracer, cur_stmt, 1, 0, 0);
+                stack.push(Val::Num(v.floor()));
+            }
+            Op::Min => {
+                let b = pop_num!();
+                let a = pop_num!();
+                count(&mut profile, &mut tracer, cur_stmt, 1, 0, 0);
+                stack.push(Val::Num(a.min(b)));
+            }
+            Op::Max => {
+                let b = pop_num!();
+                let a = pop_num!();
+                count(&mut profile, &mut tracer, cur_stmt, 1, 0, 0);
+                stack.push(Val::Num(a.max(b)));
+            }
+            Op::Lib(b) => {
+                let (v, name, arg) = match b {
+                    Builtin::Rnd => (rng.next_f64(), "rand", 0.0),
+                    Builtin::Exp => {
+                        let a = pop_num!();
+                        (a.exp(), "exp", a)
+                    }
+                    Builtin::Log => {
+                        let a = pop_num!();
+                        (a.max(f64::MIN_POSITIVE).ln(), "log", a)
+                    }
+                    Builtin::Sqrt => {
+                        let a = pop_num!();
+                        (a.abs().sqrt(), "sqrt", a)
+                    }
+                    Builtin::Sin => {
+                        let a = pop_num!();
+                        (a.sin(), "sin", a)
+                    }
+                    Builtin::Cos => {
+                        let a = pop_num!();
+                        (a.cos(), "cos", a)
+                    }
+                    Builtin::Pow => {
+                        let b2 = pop_num!();
+                        let a = pop_num!();
+                        (a.powf(b2), "pow", a)
+                    }
+                    other => unreachable!("{other:?} is not a lib builtin"),
+                };
+                *profile.lib_calls.entry(name.to_string()).or_insert(0) += 1;
+                tracer.lib_call(cur_stmt, name_static(name), arg);
+                stack.push(Val::Num(v));
+            }
+            Op::JumpIfZero(t) => {
+                let v = pop_num!();
+                if v == 0.0 {
+                    frame.pc = *t;
+                }
+            }
+            Op::Jump(t) => frame.pc = *t,
+            Op::StmtEnter(id) => {
+                steps += 1;
+                if steps > limits.max_steps {
+                    return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
+                }
+                cur_stmt = *id;
+                *profile.stmt_exec.entry(*id).or_insert(0) += 1;
+            }
+            Op::SetCur(id) => cur_stmt = *id,
+            Op::LoopEntry(id) => {
+                profile.loops.entry(*id).or_default().entries += 1;
+            }
+            Op::IterTick(id) => {
+                steps += 1;
+                if steps > limits.max_steps {
+                    return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
+                }
+                profile.loops.entry(*id).or_default().iterations += 1;
+                count(&mut profile, &mut tracer, *id, 0, 2, 0);
+            }
+            Op::IterTickWhile(id) => {
+                steps += 1;
+                if steps > limits.max_steps {
+                    return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
+                }
+                profile.loops.entry(*id).or_default().iterations += 1;
+            }
+            Op::JumpIfGeRaw { cur, hi, target } => {
+                let c = raw_num(&frame.slots[*cur as usize]);
+                let h = raw_num(&frame.slots[*hi as usize]);
+                if !(c < h) {
+                    frame.pc = *target;
+                }
+            }
+            Op::AdvanceRaw { cur, step } => {
+                let c = raw_num(&frame.slots[*cur as usize]);
+                let st = raw_num(&frame.slots[*step as usize]);
+                frame.slots[*cur as usize] = Val::Num(c + st);
+            }
+            Op::ClampStepRaw(s) => {
+                let v = raw_num(&frame.slots[*s as usize]);
+                frame.slots[*s as usize] = Val::Num(v.max(f64::MIN_POSITIVE));
+            }
+            Op::BranchEnter { stmt, arms } => {
+                let b = profile.branches.entry(*stmt).or_default();
+                if b.arm_hits.len() < *arms {
+                    b.arm_hits.resize(*arms, 0);
+                }
+            }
+            Op::ArmHit { stmt, arm } => {
+                profile.branches.get_mut(stmt).expect("branch entered").arm_hits[*arm] += 1;
+            }
+            Op::ElseHit(stmt) => {
+                profile.branches.get_mut(stmt).expect("branch entered").else_hits += 1;
+            }
+            Op::BreakProfile(id) => {
+                profile.loops.entry(*id).or_default().breaks += 1;
+            }
+            Op::ContinueProfile(id) => {
+                profile.loops.entry(*id).or_default().continues += 1;
+            }
+            Op::Call { func: callee, argc } => {
+                if frames.len() as u32 >= limits.max_depth {
+                    return Err(RuntimeError::RecursionLimitExceeded(limits.max_depth));
+                }
+                let target = &vm.funcs[*callee];
+                let mut slots = unset_slots(target.n_slots);
+                for i in (0..*argc).rev() {
+                    slots[i] = stack.pop().expect("stack underflow");
+                }
+                debug_assert_eq!(*argc, target.n_params);
+                frames.push(Frame { func: *callee, pc: 0, slots, saved_cur: cur_stmt });
+            }
+            Op::Ret => {
+                let f = frames.pop().expect("frame");
+                cur_stmt = f.saved_cur;
+                if frames.is_empty() {
+                    let ret = pop_num!();
+                    return Ok((profile, tracer, ret));
+                }
+                // return value stays on the stack for the caller
+            }
+            Op::Print => {
+                let v = pop_num!();
+                profile.printed.push(v);
+            }
+            Op::Pop => {
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Saved/restored attribution: the reference restores `cur_stmt` after a
+/// user call *in expression position*; statement calls re-enter on the next
+/// statement anyway, so restoring unconditionally matches both.
+fn count<T: Tracer>(profile: &mut Profile, tracer: &mut T, stmt: MStmtId, flops: u32, iops: u32, divs: u32) {
+    let c = profile.stmt_ops.entry(stmt).or_default();
+    c.flops += flops as u64;
+    c.iops += iops as u64;
+    c.divs += divs as u64;
+    tracer.ops(stmt, flops, iops, divs);
+}
+
+fn raw_num(v: &Val) -> f64 {
+    match v {
+        Val::Num(n) => *n,
+        Val::Arr(_) => f64::NAN,
+    }
+}
+
+fn unset_slots(n: usize) -> Vec<Val> {
+    vec![Val::Num(UNSET); n]
+}
+
+/// Sentinel NaN marking an unset slot (distinct from computed NaNs only in
+/// bit pattern; computed NaNs in user data are astronomically unlikely to
+/// collide and the reference would have produced them identically anyway).
+const UNSET: f64 = f64::from_bits(0x7FF8_DEAD_BEEF_0001);
+
+fn is_unset_num(v: f64) -> bool {
+    v.to_bits() == UNSET.to_bits()
+}
+
+fn is_unset(v: &Val) -> bool {
+    matches!(v, Val::Num(n) if is_unset_num(*n))
+}
+
+fn name_static(n: &str) -> &'static str {
+    match n {
+        "rand" => "rand",
+        "exp" => "exp",
+        "log" => "log",
+        "sqrt" => "sqrt",
+        "sin" => "sin",
+        "cos" => "cos",
+        "pow" => "pow",
+        _ => "lib",
+    }
+}
+
+impl VmProgram {
+    /// Human-readable disassembly (debugging aid; stable enough for tests).
+    pub fn disasm(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.funcs {
+            let _ = writeln!(out, "fn {} (params {}, slots {}):", f.name, f.n_params, f.n_slots);
+            for (pc, op) in f.code.iter().enumerate() {
+                let _ = writeln!(out, "  {pc:>4}: {op:?}");
+            }
+        }
+        out
+    }
+
+    /// Total instruction count across all functions.
+    pub fn code_len(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::NullTracer;
+    use crate::parser::parse;
+
+    #[test]
+    fn compile_resolves_slots_and_entry() {
+        let p = parse("fn main() { let x = 1; let y = x + 2; print(y); }").unwrap();
+        let vm = compile(&p).unwrap();
+        let d = vm.disasm();
+        assert!(d.contains("fn main"), "{d}");
+        assert!(d.contains("StoreSlot"), "{d}");
+        assert!(vm.code_len() > 5);
+    }
+
+    #[test]
+    fn compile_rejects_unknown_function() {
+        let p = parse("fn main() { ghost(); }").unwrap();
+        assert!(matches!(compile(&p), Err(RuntimeError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn compile_rejects_arity_mismatch() {
+        let p = parse("fn main() { f(1, 2); } fn f(x) { }").unwrap();
+        assert!(matches!(compile(&p), Err(RuntimeError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let p = parse("fn main() { while 1 > 0 { let x = 1; } }").unwrap();
+        let vm = compile(&p).unwrap();
+        let err = run_vm_with_limits(
+            &vm,
+            &InputSpec::new(),
+            NullTracer,
+            Limits { max_steps: 5_000, max_depth: 8 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::StepLimitExceeded(_)));
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        let p = parse("fn main() { f(); } fn f() { f(); }").unwrap();
+        let vm = compile(&p).unwrap();
+        let err = run_vm_with_limits(
+            &vm,
+            &InputSpec::new(),
+            NullTracer,
+            Limits { max_steps: 1_000_000, max_depth: 16 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::RecursionLimitExceeded(16)));
+    }
+
+    #[test]
+    fn unset_slot_reads_error_with_the_variable_name() {
+        let p = parse("fn main() { print(mystery); }").unwrap();
+        let vm = compile(&p).unwrap();
+        match run_vm(&vm, &InputSpec::new(), NullTracer) {
+            Err(RuntimeError::UnboundVariable(n)) => assert_eq!(n, "mystery"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_value_propagates() {
+        let p = parse("fn main() { return 6 * 7; }").unwrap();
+        let vm = compile(&p).unwrap();
+        let (_, _, r) = run_vm(&vm, &InputSpec::new(), NullTracer).unwrap();
+        assert_eq!(r, 42.0);
+    }
+
+    #[test]
+    fn inputs_resolve_at_runtime_not_compile_time() {
+        let p = parse(r#"fn main() { return input("N", 5); }"#).unwrap();
+        let vm = compile(&p).unwrap();
+        let (_, _, a) = run_vm(&vm, &InputSpec::new(), NullTracer).unwrap();
+        let (_, _, b) = run_vm(&vm, &InputSpec::from_pairs([("N", 9.0)]), NullTracer).unwrap();
+        assert_eq!(a, 5.0);
+        assert_eq!(b, 9.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Robustness: both front-ends must reject arbitrary garbage with an error,
+//! never a panic, and must produce positioned messages on a corpus of
+//! near-miss programs.
+
+use proptest::prelude::*;
+
+#[test]
+fn near_miss_corpus_errors_cleanly() {
+    let corpus = [
+        // truncations
+        "fn main() {",
+        "fn main() { let x = ",
+        "fn main() { for i in 0 .. ",
+        "fn main() { if a < ",
+        "fn",
+        "",
+        // wrong tokens in statement position
+        "fn main() { 42; }",
+        "fn main() { let = 3; }",
+        "fn main() { x += 1; }", // scalar compound assignment not supported
+        "fn main() { a[0]; }",
+        "fn main() { return return; }",
+        // malformed calls and builtins
+        "fn main() { let x = exp(); }",
+        "fn main() { let x = pow(1); }",
+        "fn main() { let x = input(N, 3); }",
+        "fn main() { let x = input(\"N\"); }",
+        "fn main() { let x = len(3); }",
+        // structure errors
+        "fn main() { } fn main() { }",
+        "fn dup(a, a) { }",
+        "fn main() { } }",
+        "fn main(() { }",
+        // keyword misuse
+        "fn for() { }",
+        "fn main() { let while = 2; }",
+        "fn main() { parfor in 0..3 { } }",
+        // strings
+        "fn main() { let x = input(\"unterminated, 3); }",
+    ];
+    for src in corpus {
+        match std::panic::catch_unwind(|| xflow_minilang::parse(src)) {
+            Ok(Err(e)) => {
+                assert!(!e.message.is_empty(), "{src:?} produced an empty error");
+            }
+            Ok(Ok(_)) => {
+                // a couple of entries may legitimately parse (e.g. fn dup(a, a))
+                // — parsing is syntax-only; interpretation will catch them.
+            }
+            Err(_) => panic!("parser panicked on {src:?}"),
+        }
+    }
+}
+
+#[test]
+fn skeleton_near_miss_corpus_errors_cleanly() {
+    let corpus = [
+        "func main() {",
+        "func main() { comp }",
+        "func main() { comp { flops } }",
+        "func main() { comp { flops: } }",
+        "func main() { loop i = 0 . 3 { } }",
+        "func main() { loop i 0 .. 3 { } }",
+        "func main() { if prob() { } }",
+        "func main() { if (a <) { } }",
+        "func main() { switch { } }",
+        "func main() { lib () }",
+        "func main() { call }",
+        "func x() { } func x() { }",
+        "notakeyword main() { }",
+        "",
+    ];
+    for src in corpus {
+        match std::panic::catch_unwind(|| xflow_skeleton::parse(src)) {
+            Ok(Err(e)) => assert!(!e.message.is_empty(), "{src:?}"),
+            Ok(Ok(_)) => panic!("{src:?} should not parse"),
+            Err(_) => panic!("skeleton parser panicked on {src:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn minilang_parser_never_panics(src in "\\PC{0,200}") {
+        let _ = xflow_minilang::parse(&src);
+    }
+
+    #[test]
+    fn skeleton_parser_never_panics(src in "\\PC{0,200}") {
+        let _ = xflow_skeleton::parse(&src);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("fn"), Just("main"), Just("("), Just(")"), Just("{"), Just("}"),
+            Just("let"), Just("="), Just(";"), Just("for"), Just("in"), Just(".."),
+            Just("if"), Just("else"), Just("+"), Just("*"), Just("["), Just("]"),
+            Just("x"), Just("3"), Just("0.5"), Just("rnd"), Just("zeros"), Just("@"),
+            Just(":"), Just(","), Just("&&"), Just("!"), Just("print"), Just("while"),
+        ], 0..60))
+    {
+        let src = tokens.join(" ");
+        let _ = xflow_minilang::parse(&src);
+        let _ = xflow_skeleton::parse(&src);
+    }
+}

@@ -1,0 +1,250 @@
+//! Property tests for the minilang front-end: print∘parse identity on
+//! generated programs, and determinism/op-accounting invariants of the
+//! interpreter on a constrained runnable program family.
+
+use proptest::prelude::*;
+use xflow_minilang::ast::*;
+use xflow_minilang::{parse, InputSpec};
+
+const KEYWORDS: &[&str] = &[
+    "fn", "let", "for", "parfor", "in", "step", "while", "if", "else", "return", "break", "continue", "print",
+    "zeros", "input", "len", "exp", "log", "sqrt", "sin", "cos", "pow", "abs", "min", "max", "floor", "rnd",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn literal() -> impl Strategy<Value = f64> {
+    prop_oneof![(0i64..10_000).prop_map(|v| v as f64), (0i64..64).prop_map(|v| v as f64 / 4.0)]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Num),
+        ident().prop_map(Expr::Var),
+        (ident(), literal()).prop_map(|(a, _)| Expr::Len(a)),
+        ("[A-Z]{1,4}", literal()).prop_map(|(n, d)| Expr::Input(n, d)),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+                Just(BinOp::Mod)
+            ])
+                .prop_map(|(l, r, op)| Expr::Bin(Box::new(l), op, Box::new(r))),
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne)
+            ])
+                .prop_map(|(l, r, op)| Expr::Cmp(Box::new(l), op, Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+            inner.clone().prop_map(|i| Expr::Not(Box::new(i))),
+            inner.clone().prop_map(|i| match i {
+                Expr::Num(n) => Expr::Num(-n),
+                other => Expr::Neg(Box::new(other)),
+            }),
+            (ident(), inner.clone()).prop_map(|(a, i)| Expr::Index(a, Box::new(i))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Call(Builtin::Min, vec![a, b])),
+            inner.clone().prop_map(|a| Expr::Call(Builtin::Sqrt, vec![a])),
+            (ident(), prop::collection::vec(inner, 0..3))
+                .prop_map(|(f, args)| Expr::CallFn(format!("fx_{f}"), args)),
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+enum GenStmt {
+    LetScalar(String, Expr),
+    LetArray(String, Expr),
+    AssignScalar(String, Expr),
+    AssignIndex(String, Expr, Expr),
+    UpdateIndex(String, Expr, BinOp, Expr),
+    For(String, Expr, Expr, Vec<GenStmt>),
+    While(Expr, Vec<GenStmt>),
+    If(Vec<(Expr, Vec<GenStmt>)>, Option<Vec<GenStmt>>),
+    Call(String, Vec<Expr>),
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Print(Expr),
+}
+
+fn gen_stmt() -> impl Strategy<Value = GenStmt> {
+    let leaf = prop_oneof![
+        (ident(), expr()).prop_map(|(n, e)| GenStmt::LetScalar(n, e)),
+        (ident(), expr()).prop_map(|(n, e)| GenStmt::LetArray(n, e)),
+        (ident(), expr()).prop_map(|(n, e)| GenStmt::AssignScalar(n, e)),
+        (ident(), expr(), expr()).prop_map(|(n, i, e)| GenStmt::AssignIndex(n, i, e)),
+        (ident(), expr(), prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div)], expr())
+            .prop_map(|(n, i, op, e)| GenStmt::UpdateIndex(n, i, op, e)),
+        (ident(), prop::collection::vec(expr(), 0..3)).prop_map(|(n, a)| GenStmt::Call(format!("fx_{n}"), a)),
+        prop::option::of(expr()).prop_map(GenStmt::Return),
+        Just(GenStmt::Break),
+        Just(GenStmt::Continue),
+        expr().prop_map(GenStmt::Print),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..4);
+        prop_oneof![
+            (ident(), expr(), expr(), block.clone()).prop_map(|(v, lo, hi, b)| GenStmt::For(v, lo, hi, b)),
+            (expr(), block.clone()).prop_map(|(c, b)| GenStmt::While(c, b)),
+            (prop::collection::vec((expr(), block.clone()), 1..3), prop::option::of(block))
+                .prop_map(|(arms, e)| GenStmt::If(arms, e)),
+        ]
+    })
+}
+
+fn assemble(stmts: &[GenStmt], prog: &mut Program) -> Block {
+    let mut out = Vec::new();
+    for g in stmts {
+        let id = prog.fresh_stmt_id();
+        let kind = match g {
+            GenStmt::LetScalar(n, e) => StmtKind::LetScalar { name: n.clone(), init: e.clone() },
+            GenStmt::LetArray(n, e) => StmtKind::LetArray { name: n.clone(), len: e.clone() },
+            GenStmt::AssignScalar(n, e) => StmtKind::AssignScalar { name: n.clone(), value: e.clone() },
+            GenStmt::AssignIndex(n, i, e) => {
+                StmtKind::AssignIndex { name: n.clone(), index: i.clone(), value: e.clone() }
+            }
+            GenStmt::UpdateIndex(n, i, op, e) => {
+                StmtKind::UpdateIndex { name: n.clone(), index: i.clone(), op: *op, value: e.clone() }
+            }
+            GenStmt::For(v, lo, hi, b) => StmtKind::For {
+                var: v.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                step: Expr::Num(1.0),
+                parallel: false,
+                body: assemble(b, prog),
+            },
+            GenStmt::While(c, b) => StmtKind::While { cond: c.clone(), body: assemble(b, prog) },
+            GenStmt::If(arms, e) => StmtKind::If {
+                arms: arms.iter().map(|(c, b)| (c.clone(), assemble(b, prog))).collect(),
+                else_body: e.as_ref().map(|b| assemble(b, prog)),
+            },
+            GenStmt::Call(n, a) => StmtKind::CallProc { name: n.clone(), args: a.clone() },
+            GenStmt::Return(v) => StmtKind::Return { value: v.clone() },
+            GenStmt::Break => StmtKind::Break,
+            GenStmt::Continue => StmtKind::Continue,
+            GenStmt::Print(e) => StmtKind::Print { expr: e.clone() },
+        };
+        out.push(Stmt { id, label: None, kind });
+    }
+    Block { stmts: out }
+}
+
+fn gen_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(prop::collection::vec(gen_stmt(), 0..6), 1..3).prop_map(|funcs| {
+        let mut prog = Program::new();
+        for (i, body) in funcs.iter().enumerate() {
+            let name = if i == 0 { "main".to_string() } else { format!("aux_{i}") };
+            let body = assemble(body, &mut prog);
+            prog.add_function(Function { name, params: vec![], body }).unwrap();
+        }
+        prog
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn print_parse_round_trip(prog in gen_program()) {
+        let text = xflow_minilang::print(&prog);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        prop_assert_eq!(&prog, &reparsed, "text:\n{}", text);
+    }
+
+    #[test]
+    fn print_is_fixed_point(prog in gen_program()) {
+        let t1 = xflow_minilang::print(&prog);
+        let t2 = xflow_minilang::print(&parse(&t1).unwrap());
+        prop_assert_eq!(t1, t2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runnable-program family: fixed valid shape, random constants. Checks the
+// interpreter's determinism and op-accounting invariants without generating
+// unbound-variable programs.
+// ---------------------------------------------------------------------------
+
+fn runnable_src(n: u32, thresh: f64, scale: f64) -> String {
+    format!(
+        r#"
+fn main() {{
+    let n = {n};
+    let a = zeros(n);
+    for i in 0 .. n {{ a[i] = rnd() * {scale}; }}
+    let acc = 0;
+    for i in 0 .. n {{
+        if a[i] > {thresh} {{ acc = acc + a[i]; }}
+        else {{ acc = acc - 0.5 * a[i]; }}
+    }}
+    print(acc);
+}}
+"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interpreter_is_deterministic(n in 1u32..64, thresh in 0.0f64..2.0, scale in 0.5f64..2.0) {
+        let src = runnable_src(n, thresh, scale);
+        let prog = parse(&src).unwrap();
+        let a = xflow_minilang::profile(&prog, &InputSpec::new()).unwrap();
+        let b = xflow_minilang::profile(&prog, &InputSpec::new()).unwrap();
+        prop_assert_eq!(&a.printed, &b.printed);
+        prop_assert_eq!(a.total_ops(), b.total_ops());
+        prop_assert_eq!(&a.branches, &b.branches);
+    }
+
+    #[test]
+    fn branch_mass_is_conserved(n in 1u32..64, thresh in 0.0f64..2.0, scale in 0.5f64..2.0) {
+        let src = runnable_src(n, thresh, scale);
+        let prog = parse(&src).unwrap();
+        let prof = xflow_minilang::profile(&prog, &InputSpec::new()).unwrap();
+        for b in prof.branches.values() {
+            // arm hits + else hits account for every evaluation
+            prop_assert_eq!(b.evals(), n as u64);
+            let total_p: f64 = (0..b.arm_hits.len()).map(|i| b.arm_prob(i)).sum::<f64>()
+                + b.else_hits as f64 / b.evals().max(1) as f64;
+            prop_assert!((total_p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn loads_stores_match_structure(n in 1u32..64, thresh in 0.0f64..2.0, scale in 0.5f64..2.0) {
+        let src = runnable_src(n, thresh, scale);
+        let prog = parse(&src).unwrap();
+        let prof = xflow_minilang::profile(&prog, &InputSpec::new()).unwrap();
+        let stores: u64 = prof.stmt_ops.values().map(|c| c.stores).sum();
+        let loads: u64 = prof.stmt_ops.values().map(|c| c.loads).sum();
+        // exactly one store per fill iteration, one load per filter iteration
+        prop_assert_eq!(stores, n as u64);
+        // the filter loads a[i] once in the condition and once in the
+        // taken arm (either arm reads it again)
+        prop_assert_eq!(loads, 2 * n as u64);
+    }
+
+    #[test]
+    fn translation_never_panics_on_runnable_family(n in 1u32..64, thresh in 0.0f64..2.0, scale in 0.5f64..2.0) {
+        let src = runnable_src(n, thresh, scale);
+        let prog = parse(&src).unwrap();
+        let prof = xflow_minilang::profile(&prog, &InputSpec::new()).unwrap();
+        let t = xflow_minilang::translate(&prog, &prof).unwrap();
+        prop_assert!(xflow_skeleton::validate(&t.skeleton).is_empty());
+    }
+}

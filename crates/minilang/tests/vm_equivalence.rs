@@ -1,0 +1,262 @@
+//! The bytecode VM must be observationally identical to the tree-walking
+//! reference: same results, same profiles (op counts, branch/loop stats,
+//! library calls, execution counts), and the same tracer event stream
+//! (operation bundles, load/store addresses, library calls in order).
+
+use xflow_minilang::{compile, parse, run, run_vm, InputSpec, MStmtId, Profile, Tracer};
+
+/// Records every tracer event in order.
+#[derive(Debug, Default, PartialEq)]
+struct EventLog {
+    events: Vec<(u32, &'static str, u64, u64)>,
+}
+
+impl Tracer for EventLog {
+    fn ops(&mut self, stmt: MStmtId, flops: u32, iops: u32, divs: u32) {
+        self.events.push((stmt.0, "ops", ((flops as u64) << 32) | iops as u64, divs as u64));
+    }
+    fn load(&mut self, stmt: MStmtId, addr: u64) {
+        self.events.push((stmt.0, "load", addr, 0));
+    }
+    fn store(&mut self, stmt: MStmtId, addr: u64) {
+        self.events.push((stmt.0, "store", addr, 0));
+    }
+    fn lib_call(&mut self, stmt: MStmtId, name: &'static str, arg: f64) {
+        self.events.push((stmt.0, name, arg.to_bits(), 1));
+    }
+}
+
+fn assert_profiles_equal(a: &Profile, b: &Profile, what: &str) {
+    assert_eq!(a.printed, b.printed, "{what}: printed");
+    assert_eq!(a.stmt_ops, b.stmt_ops, "{what}: stmt_ops");
+    assert_eq!(a.stmt_exec, b.stmt_exec, "{what}: stmt_exec");
+    assert_eq!(a.branches, b.branches, "{what}: branches");
+    assert_eq!(a.loops, b.loops, "{what}: loops");
+    assert_eq!(a.lib_calls, b.lib_calls, "{what}: lib_calls");
+}
+
+fn check(src: &str, inputs: &[(&str, f64)]) {
+    let prog = parse(src).unwrap();
+    let spec = InputSpec::from_pairs(inputs.iter().copied());
+    let (p_ref, t_ref, r_ref) = run(&prog, &spec, EventLog::default()).unwrap();
+    let vm = compile(&prog).unwrap();
+    let (p_vm, t_vm, r_vm) = run_vm(&vm, &spec, EventLog::default()).unwrap();
+    assert_eq!(r_ref.to_bits(), r_vm.to_bits(), "return value");
+    assert_profiles_equal(&p_ref, &p_vm, "profile");
+    assert_eq!(t_ref.events.len(), t_vm.events.len(), "event count");
+    for (i, (a, b)) in t_ref.events.iter().zip(t_vm.events.iter()).enumerate() {
+        assert_eq!(a, b, "event #{i}");
+    }
+}
+
+#[test]
+fn arithmetic_and_builtins() {
+    check(
+        r#"
+fn main() {
+    let x = 2 + 3 * 4 - 6 / 2 % 4;
+    let y = abs(0 - x) + min(x, 3) * max(1, 2) + floor(2.9);
+    let z = exp(0.5) + log(2.0) + sqrt(9.0) + sin(1.0) + cos(1.0) + pow(2.0, 3.0);
+    print(x + y + z);
+    print(rnd());
+    print(rnd());
+}
+"#,
+        &[],
+    );
+}
+
+#[test]
+fn arrays_and_updates() {
+    check(
+        r#"
+fn main() {
+    let n = input("N", 64);
+    let a = zeros(n);
+    let b = zeros(n * 2);
+    for i in 0 .. n {
+        a[i] = rnd() * 10.0;
+        b[i * 2] = a[i];
+        b[i * 2 + 1] += a[i] / 2.0;
+    }
+    print(a[0] + b[1] + b[n]);
+    print(len(a) + len(b));
+}
+"#,
+        &[("N", 37.0)],
+    );
+}
+
+#[test]
+fn control_flow_branches() {
+    check(
+        r#"
+fn main() {
+    let s = 0;
+    for i in 0 .. 200 {
+        if i % 3 == 0 { s = s + 1; }
+        else if i % 3 == 1 { s = s + 2; }
+        else { s = s - 1; }
+        if i > 50 && i < 100 || i == 7 { s = s + 10; }
+        if !(i == 0) { s = s + 0.5; }
+    }
+    print(s);
+}
+"#,
+        &[],
+    );
+}
+
+#[test]
+fn while_break_continue() {
+    check(
+        r#"
+fn main() {
+    let x = 1000;
+    let n = 0;
+    while x > 1 {
+        x = x / 2;
+        n = n + 1;
+        if n > 50 { break; }
+    }
+    print(x + n);
+    let acc = 0;
+    for i in 0 .. 100 {
+        if i % 2 == 0 { continue; }
+        if i == 31 { break; }
+        acc = acc + i;
+    }
+    print(acc);
+}
+"#,
+        &[],
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    check(
+        r#"
+fn main() {
+    let a = zeros(16);
+    fill(a, 16);
+    print(total(a, 16));
+    print(fib(12));
+}
+fn fill(buf, n) {
+    for i in 0 .. n { buf[i] = i * i; }
+}
+fn total(buf, n) {
+    let t = 0;
+    for i in 0 .. n { t = t + buf[i]; }
+    return t;
+}
+fn fib(k) {
+    if k < 2 { return k; }
+    return fib(k - 1) + fib(k - 2);
+}
+"#,
+        &[],
+    );
+}
+
+#[test]
+fn early_returns_and_nested_calls() {
+    check(
+        r#"
+fn main() {
+    for i in 0 .. 20 {
+        print(classify(i));
+    }
+}
+fn classify(v) {
+    if v < 5 { return 0 - v; }
+    if v < 10 {
+        for j in 0 .. v {
+            if j == 7 { return 99; }
+        }
+        return 1;
+    }
+    return v * helper(v);
+}
+fn helper(v) {
+    if v % 2 == 0 { return 2; }
+    return 3;
+}
+"#,
+        &[],
+    );
+}
+
+#[test]
+fn parfor_and_steps() {
+    check(
+        r#"
+fn main() {
+    let a = zeros(50);
+    parfor i in 0 .. 50 { a[i] = i; }
+    let s = 0;
+    for i in 0 .. 50 step 7 { s = s + a[i]; }
+    print(s);
+}
+"#,
+        &[],
+    );
+}
+
+#[test]
+fn all_workloads_match_at_test_scale() {
+    for w in xflow_workloads::all() {
+        let prog = w.program();
+        let spec = w.inputs(xflow_workloads::Scale::Test);
+        let (p_ref, t_ref, r_ref) = run(&prog, &spec, EventLog::default()).unwrap();
+        let vm = compile(&prog).unwrap();
+        let (p_vm, t_vm, r_vm) = run_vm(&vm, &spec, EventLog::default()).unwrap();
+        assert_eq!(r_ref.to_bits(), r_vm.to_bits(), "{}", w.name);
+        assert_profiles_equal(&p_ref, &p_vm, w.name);
+        assert_eq!(t_ref.events.len(), t_vm.events.len(), "{}: event count", w.name);
+        assert_eq!(t_ref, t_vm, "{}: event stream", w.name);
+    }
+}
+
+#[test]
+fn runtime_errors_match() {
+    for (src, what) in [
+        ("fn main() { let a = zeros(2); a[9] = 1; }", "oob"),
+        ("fn main() { let a = zeros(0 - 4); }", "negative len"),
+        ("fn main() { print(nope); }", "unbound"),
+        ("fn main() { let x = 1; print(x[0]); }", "not an array"),
+        ("fn main() { let a = zeros(2); print(a + 1); }", "array as scalar"),
+    ] {
+        let prog = parse(src).unwrap();
+        let spec = InputSpec::new();
+        let r = run(&prog, &spec, xflow_minilang::NullTracer).map(|_| ());
+        let v = compile(&prog)
+            .and_then(|vm| run_vm(&vm, &spec, xflow_minilang::NullTracer).map(|_| ()));
+        assert_eq!(
+            std::mem::discriminant(&r.unwrap_err()),
+            std::mem::discriminant(&v.unwrap_err()),
+            "{what}"
+        );
+    }
+}
+
+#[test]
+fn vm_is_faster_on_heavy_workloads() {
+    // not a strict benchmark — just a sanity check that the VM beats the
+    // tree-walker on a compute-heavy run (both in debug or both in release)
+    let w = xflow_workloads::stassuij();
+    let prog = w.program();
+    let spec = w.inputs(xflow_workloads::Scale::Test);
+    let t0 = std::time::Instant::now();
+    let _ = run(&prog, &spec, xflow_minilang::NullTracer).unwrap();
+    let tree = t0.elapsed();
+    let vm = compile(&prog).unwrap();
+    let t1 = std::time::Instant::now();
+    let _ = run_vm(&vm, &spec, xflow_minilang::NullTracer).unwrap();
+    let fast = t1.elapsed();
+    assert!(
+        fast < tree,
+        "vm ({fast:?}) should not be slower than the tree walker ({tree:?})"
+    );
+}

@@ -1,0 +1,330 @@
+//! # xflow-sim — execution-driven ground-truth simulator
+//!
+//! The reproduction's substitute for the paper's *measured* baselines
+//! (native profilers plus hand-instrumented timers on BG/Q and Xeon,
+//! Section VI). The minilang interpreter executes the program for real; the
+//! simulator consumes its operation and memory-address stream and charges
+//! cycles per source statement with:
+//!
+//! * a real set-associative L1/LLC hierarchy (so caching effects the
+//!   analytical model ignores — cross-block reuse, thrashing — show up),
+//! * full divide latencies (the CFD effect of Section VII-B),
+//! * per-statement *actual* vectorization (the STASSUIJ effect),
+//! * input-dependent library instruction mixes ([`calibrate`]).
+//!
+//! The per-statement cycle totals play the role of the machines' native
+//! profiles; `xflow-hotspot`'s quality metric compares model projections
+//! against them.
+
+pub mod cache;
+pub mod calibrate;
+pub mod cost;
+
+pub use cache::{AccessLevel, CacheArray, Hierarchy};
+pub use calibrate::{calibrate_library, hardware_lib_mix, LibMix, LIB_NAMES};
+pub use cost::{SimConfig, SimTracer};
+
+use std::collections::HashMap;
+use xflow_hw::MachineModel;
+use xflow_minilang::{InputSpec, MStmtId, Profile, Program, RuntimeError};
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Cycles attributed to each source statement.
+    pub stmt_cycles: HashMap<MStmtId, f64>,
+    /// Dynamic instructions retired per statement.
+    pub stmt_instrs: HashMap<MStmtId, u64>,
+    /// L1 misses per statement.
+    pub stmt_l1_misses: HashMap<MStmtId, u64>,
+    /// L1 hits on lines last touched by a *different* statement (the
+    /// paper's Section VII-C cross-block reuse effect).
+    pub stmt_cross_hits: HashMap<MStmtId, u64>,
+    /// L1 hits on lines the same statement touched last.
+    pub stmt_self_hits: HashMap<MStmtId, u64>,
+    /// Cycles attributed to opaque library functions, by name.
+    pub lib_cycles: HashMap<String, f64>,
+    /// Dynamic instructions retired inside library functions, by name.
+    pub lib_instrs: HashMap<String, u64>,
+    /// Total cycles of the run.
+    pub total_cycles: f64,
+    /// Observed L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// Observed LLC hit rate (of accesses that missed L1).
+    pub llc_hit_rate: f64,
+    /// Bytes transferred from DRAM.
+    pub dram_bytes: u64,
+    /// The functional profile of the run (branches, loops, prints).
+    pub profile: Profile,
+    /// Clock frequency used to convert cycles to seconds.
+    pub freq_ghz: f64,
+}
+
+impl SimReport {
+    /// Total wall time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles * 1e-9 / self.freq_ghz
+    }
+
+    /// Per-statement times in seconds.
+    pub fn stmt_seconds(&self) -> HashMap<MStmtId, f64> {
+        let c = 1e-9 / self.freq_ghz;
+        self.stmt_cycles.iter().map(|(&k, &v)| (k, v * c)).collect()
+    }
+
+    /// Issue rate (instructions per cycle) of one statement — the paper's
+    /// Figure 8 left axis.
+    pub fn issue_rate(&self, stmt: MStmtId) -> f64 {
+        let cycles = self.stmt_cycles.get(&stmt).copied().unwrap_or(0.0);
+        if cycles == 0.0 {
+            0.0
+        } else {
+            self.stmt_instrs.get(&stmt).copied().unwrap_or(0) as f64 / cycles
+        }
+    }
+
+    /// Instructions per L1 miss of one statement — Figure 8 right axis
+    /// (∞-safe: returns the instruction count when there were no misses).
+    pub fn instr_per_l1_miss(&self, stmt: MStmtId) -> f64 {
+        let instr = self.stmt_instrs.get(&stmt).copied().unwrap_or(0) as f64;
+        match self.stmt_l1_misses.get(&stmt) {
+            Some(&m) if m > 0 => instr / m as f64,
+            _ => instr,
+        }
+    }
+
+    /// Fraction of a statement's L1 hits that reuse lines brought in by
+    /// *other* statements (0 when the statement never hit in L1).
+    pub fn cross_reuse_fraction(&self, stmt: MStmtId) -> f64 {
+        let cross = self.stmt_cross_hits.get(&stmt).copied().unwrap_or(0) as f64;
+        let own = self.stmt_self_hits.get(&stmt).copied().unwrap_or(0) as f64;
+        if cross + own == 0.0 {
+            0.0
+        } else {
+            cross / (cross + own)
+        }
+    }
+
+    /// Statements ranked by descending cycles.
+    pub fn ranking(&self) -> Vec<MStmtId> {
+        let mut v: Vec<(MStmtId, f64)> = self.stmt_cycles.iter().map(|(&k, &v)| (k, v)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.into_iter().map(|(s, _)| s).collect()
+    }
+}
+
+/// Simulate a program on a machine, producing the measured profile.
+///
+/// Uses the bytecode VM engine — observationally identical to the
+/// tree-walking reference (`xflow-minilang`'s `vm_equivalence` tests hold
+/// both engines to bit-equal profiles and event streams) but several times
+/// faster, which matters because the simulator replays every dynamic
+/// operation of the workload.
+pub fn simulate(
+    prog: &Program,
+    inputs: &InputSpec,
+    machine: &MachineModel,
+    cfg: SimConfig,
+) -> Result<SimReport, RuntimeError> {
+    let tracer = SimTracer::new(machine, cfg);
+    let vm = xflow_minilang::compile(prog)?;
+    let (profile, tracer, _ret) = xflow_minilang::run_vm(&vm, inputs, tracer)?;
+    finish_report(machine, profile, tracer)
+}
+
+/// [`simulate`] on the tree-walking reference engine (for cross-checks).
+pub fn simulate_reference(
+    prog: &Program,
+    inputs: &InputSpec,
+    machine: &MachineModel,
+    cfg: SimConfig,
+) -> Result<SimReport, RuntimeError> {
+    let tracer = SimTracer::new(machine, cfg);
+    let (profile, tracer, _ret) = xflow_minilang::run(prog, inputs, tracer)?;
+    finish_report(machine, profile, tracer)
+}
+
+fn finish_report(
+    machine: &MachineModel,
+    profile: Profile,
+    tracer: SimTracer,
+) -> Result<SimReport, RuntimeError> {
+    let l1_hit = tracer.caches().l1.hit_rate();
+    let llc_hit = tracer.caches().llc.hit_rate();
+    let dram_bytes = tracer.caches().dram_bytes();
+    Ok(SimReport {
+        stmt_cycles: tracer.stmt_cycles,
+        stmt_instrs: tracer.stmt_instrs,
+        stmt_l1_misses: tracer.stmt_l1_misses,
+        stmt_cross_hits: tracer.stmt_cross_hits,
+        stmt_self_hits: tracer.stmt_self_hits,
+        lib_cycles: tracer.lib_cycles,
+        lib_instrs: tracer.lib_instrs,
+        total_cycles: tracer.total_cycles,
+        l1_hit_rate: l1_hit,
+        llc_hit_rate: llc_hit,
+        dram_bytes,
+        profile,
+        freq_ghz: machine.freq_ghz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xflow_hw::{bgq, generic, xeon};
+    use xflow_minilang::parse;
+
+    fn sim(src: &str, inputs: &[(&str, f64)], m: &MachineModel) -> SimReport {
+        let p = parse(src).unwrap();
+        simulate(&p, &InputSpec::from_pairs(inputs.iter().copied()), m, SimConfig::default()).unwrap()
+    }
+
+    const STREAM: &str = r#"
+fn main() {
+    let n = input("N", 4096);
+    let a = zeros(n);
+    @init: for i in 0 .. n { a[i] = i * 0.5; }
+    let s = 0;
+    @sum: for i in 0 .. n { s = s + a[i]; }
+    print(s);
+}
+"#;
+
+    #[test]
+    fn simulation_produces_positive_cycles_and_correct_result() {
+        let r = sim(STREAM, &[("N", 1024.0)], &generic());
+        assert!(r.total_cycles > 0.0);
+        assert!(r.total_seconds() > 0.0);
+        // functional result: sum of 0.5*i for i in 0..1024
+        let expect: f64 = (0..1024).map(|i| i as f64 * 0.5).sum();
+        assert_eq!(r.profile.printed, vec![expect]);
+    }
+
+    #[test]
+    fn second_pass_over_cached_data_is_cheaper() {
+        // working set fits L1 (1024 × 8B = 8 KB < 16-32 KB)
+        let r = sim(STREAM, &[("N", 1024.0)], &generic());
+        let p = parse(STREAM).unwrap();
+        let mut init = None;
+        let mut sum = None;
+        p.visit_stmts(|_, s| match s.label.as_deref() {
+            Some("init") => init = Some(s.id),
+            Some("sum") => sum = Some(s.id),
+            _ => {}
+        });
+        // attribution: loop body stmts carry the memory cost; compare per-
+        // label subtree totals by summing child stmts (body is stmt id + 1)
+        let init_body = MStmtId(init.unwrap().0 + 1);
+        let sum_body_candidates: Vec<f64> = r
+            .stmt_cycles
+            .iter()
+            .filter(|(id, _)| id.0 > sum.unwrap().0)
+            .map(|(_, &c)| c)
+            .collect();
+        let init_cost = r.stmt_cycles.get(&init_body).copied().unwrap_or(0.0);
+        let sum_cost: f64 = sum_body_candidates.iter().sum();
+        assert!(init_cost > sum_cost, "cold init {init_cost} vs warm sum {sum_cost}");
+    }
+
+    #[test]
+    fn cache_hit_rate_reported_realistically() {
+        let r = sim(STREAM, &[("N", 1024.0)], &generic());
+        assert!(r.l1_hit_rate > 0.5, "{}", r.l1_hit_rate);
+        assert!(r.l1_hit_rate < 1.0);
+        assert!(r.dram_bytes > 0);
+    }
+
+    #[test]
+    fn streaming_a_huge_array_misses_more() {
+        let small = sim(STREAM, &[("N", 512.0)], &generic());
+        let huge = sim(STREAM, &[("N", 300_000.0)], &generic());
+        // 2.4 MB working set blows L1
+        assert!(huge.l1_hit_rate < small.l1_hit_rate);
+    }
+
+    #[test]
+    fn faster_clock_means_fewer_seconds_same_cycles() {
+        let q = sim(STREAM, &[("N", 256.0)], &bgq());
+        let x = sim(STREAM, &[("N", 256.0)], &xeon());
+        // same program; compare via seconds conversion sanity
+        assert!((q.total_seconds() - q.total_cycles * 1e-9 / 1.6).abs() < 1e-18);
+        assert!((x.total_seconds() - x.total_cycles * 1e-9 / 1.9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn divide_heavy_code_is_penalized() {
+        let div_src = r#"
+fn main() {
+    let a = zeros(256);
+    for i in 0 .. 256 { a[i] = 1.0 / (i + 1.0); }
+}
+"#;
+        let mul_src = r#"
+fn main() {
+    let a = zeros(256);
+    for i in 0 .. 256 { a[i] = 1.0 * (i + 1.0); }
+}
+"#;
+        let d = sim(div_src, &[], &bgq());
+        let m = sim(mul_src, &[], &bgq());
+        assert!(d.total_cycles > 2.0 * m.total_cycles, "div {} mul {}", d.total_cycles, m.total_cycles);
+    }
+
+    #[test]
+    fn issue_rate_and_l1_miss_stats_available() {
+        let r = sim(STREAM, &[("N", 2048.0)], &generic());
+        let hottest = r.ranking()[0];
+        assert!(r.issue_rate(hottest) > 0.0);
+        assert!(r.instr_per_l1_miss(hottest) > 0.0);
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let a = sim(STREAM, &[("N", 2048.0)], &generic());
+        let b = sim(STREAM, &[("N", 2048.0)], &generic());
+        assert_eq!(a.ranking(), b.ranking());
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn runtime_errors_propagate() {
+        let p = parse("fn main() { let a = zeros(1); a[5] = 0; }").unwrap();
+        assert!(simulate(&p, &InputSpec::new(), &generic(), SimConfig::default()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use xflow_hw::bgq;
+    use xflow_minilang::parse;
+
+    #[test]
+    fn vm_and_reference_engines_agree_end_to_end() {
+        let src = r#"
+fn main() {
+    let n = input("N", 800);
+    let a = zeros(n);
+    for i in 0 .. n { a[i] = rnd(); }
+    let s = 0;
+    for i in 1 .. n - 1 {
+        if a[i] > 0.5 { s = s + exp(a[i]); }
+        else { a[i] = 0.5 * (a[i - 1] + a[i + 1]); }
+    }
+    print(s);
+}
+"#;
+        let prog = parse(src).unwrap();
+        let m = bgq();
+        let fast = simulate(&prog, &InputSpec::new(), &m, SimConfig::default()).unwrap();
+        let refr = simulate_reference(&prog, &InputSpec::new(), &m, SimConfig::default()).unwrap();
+        assert_eq!(fast.total_cycles, refr.total_cycles);
+        assert_eq!(fast.stmt_cycles, refr.stmt_cycles);
+        assert_eq!(fast.stmt_l1_misses, refr.stmt_l1_misses);
+        assert_eq!(fast.lib_cycles, refr.lib_cycles);
+        assert_eq!(fast.l1_hit_rate, refr.l1_hit_rate);
+        assert_eq!(fast.dram_bytes, refr.dram_bytes);
+        assert_eq!(fast.profile.printed, refr.profile.printed);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the cache model and the cost tracer.
+
+use proptest::prelude::*;
+use xflow_hw::CacheLevel;
+use xflow_minilang::{MStmtId, Tracer};
+use xflow_sim::{AccessLevel, CacheArray, Hierarchy, SimConfig, SimTracer};
+
+fn cache_level() -> impl Strategy<Value = CacheLevel> {
+    (
+        prop_oneof![Just(512u64), Just(4096), Just(32768)],
+        prop_oneof![Just(32u32), Just(64), Just(128)],
+        1u32..=8,
+    )
+        .prop_map(|(size, line, assoc)| CacheLevel {
+            size_bytes: size.max((line * assoc) as u64),
+            line_bytes: line,
+            assoc,
+            latency_cycles: 4.0,
+        })
+}
+
+fn trace() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1 << 20), 1..2000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn accounting_is_consistent(level in cache_level(), t in trace()) {
+        let mut c = CacheArray::new(&level);
+        for &a in &t {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), t.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
+    }
+
+    #[test]
+    fn replaying_a_trace_cannot_hit_less(level in cache_level(), t in trace()) {
+        // second pass over the same trace: every line either survived (hit)
+        // or was re-fetched — hits can only accumulate
+        let mut c = CacheArray::new(&level);
+        for &a in &t {
+            c.access(a);
+        }
+        let first_hits = c.hits();
+        for &a in &t {
+            c.access(a);
+        }
+        prop_assert!(c.hits() >= first_hits);
+    }
+
+    #[test]
+    fn small_working_set_converges_to_all_hits(level in cache_level()) {
+        // touch fewer distinct lines than half the capacity, repeatedly
+        let lines = ((level.size_bytes / level.line_bytes as u64) / 2).max(1);
+        let mut c = CacheArray::new(&level);
+        for _ in 0..4 {
+            for i in 0..lines {
+                c.access(i * level.line_bytes as u64);
+            }
+        }
+        // after warmup the last full pass must be hits only
+        let before = c.misses();
+        for i in 0..lines {
+            c.access(i * level.line_bytes as u64);
+        }
+        prop_assert_eq!(c.misses(), before, "no new misses expected");
+    }
+
+    #[test]
+    fn hierarchy_dram_accounting(l1 in cache_level(), t in trace()) {
+        let llc = CacheLevel { size_bytes: 64 * 1024, line_bytes: l1.line_bytes, assoc: 8, latency_cycles: 30.0 };
+        let mut h = Hierarchy::new(&l1, &llc);
+        let mut dram_seen = 0;
+        for &a in &t {
+            if h.access(a) == AccessLevel::Dram {
+                dram_seen += 1;
+            }
+        }
+        prop_assert_eq!(h.dram_accesses(), dram_seen);
+        prop_assert_eq!(h.dram_bytes(), dram_seen * llc.line_bytes as u64);
+    }
+
+    #[test]
+    fn tracer_total_is_sum_of_parts(ops in prop::collection::vec((0u32..3, 0u32..100, 0u64..(1<<16)), 1..500)) {
+        let m = xflow_hw::generic();
+        let mut t = SimTracer::new(&m, SimConfig::default());
+        for &(kind, count, addr) in &ops {
+            match kind {
+                0 => t.ops(MStmtId(count % 7), count, count / 2, 0),
+                1 => t.load(MStmtId(count % 7), addr * 8),
+                _ => t.store(MStmtId(count % 7), addr * 8),
+            }
+        }
+        let sum: f64 = t.stmt_cycles.values().sum::<f64>()
+            + t.lib_cycles.values().sum::<f64>();
+        prop_assert!((sum - t.total_cycles).abs() < 1e-6 * t.total_cycles.max(1.0));
+        prop_assert!(t.total_cycles >= 0.0);
+    }
+
+    #[test]
+    fn lib_costs_attributed_to_names(calls in prop::collection::vec((0usize..3, -5.0f64..5.0), 1..200)) {
+        let m = xflow_hw::generic();
+        let mut t = SimTracer::new(&m, SimConfig::default());
+        let names = ["exp", "rand", "sqrt"];
+        for &(i, arg) in &calls {
+            t.lib_call(MStmtId(0), names[i], arg);
+        }
+        let lib_sum: f64 = t.lib_cycles.values().sum();
+        prop_assert!((lib_sum - t.total_cycles).abs() < 1e-9);
+        prop_assert!(t.stmt_cycles.is_empty());
+    }
+}

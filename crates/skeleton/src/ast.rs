@@ -1,0 +1,366 @@
+//! Abstract syntax of code skeletons — the Block Skeleton Tree (BST).
+//!
+//! A parsed skeleton [`Program`] *is* the paper's BST: every statement node
+//! carries a stable [`StmtId`], statements that encapsulate others (function
+//! bodies, loops, branch arms) own their children, and no input-dependent
+//! information is present. Input-dependent execution flow is derived later by
+//! the BET builder (`xflow-bet`).
+
+use crate::expr::{CmpOp, Expr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stable identifier of a statement within one [`Program`].
+///
+/// Ids are assigned densely in pre-order by the parser/builder, so they can
+/// index into side tables (`Vec`s of per-statement data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StmtId(pub u32);
+
+/// Stable identifier of a function within one [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Static operation statistics of a `comp` block.
+///
+/// Counts are expressions so they may depend on context variables (e.g. a
+/// compute block touching `3 * n` elements). `dtype_bytes` is the element
+/// size used to convert loads/stores into bytes moved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Floating point operations.
+    pub flops: Expr,
+    /// Fixed point (integer) operations.
+    pub iops: Expr,
+    /// Data elements loaded.
+    pub loads: Expr,
+    /// Data elements stored.
+    pub stores: Expr,
+    /// Floating point divides (subset of `flops`). The paper's hardware model
+    /// treats all fp ops equally — this field exists so the ablation model
+    /// that *does* distinguish divides can be compared (Section VII-B, the
+    /// CFD under-projection).
+    pub divs: Expr,
+    /// Bytes per data element.
+    pub dtype_bytes: Expr,
+}
+
+impl Default for OpStats {
+    fn default() -> Self {
+        OpStats {
+            flops: Expr::Num(0.0),
+            iops: Expr::Num(0.0),
+            loads: Expr::Num(0.0),
+            stores: Expr::Num(0.0),
+            divs: Expr::Num(0.0),
+            dtype_bytes: Expr::Num(8.0),
+        }
+    }
+}
+
+/// Branch condition: probabilistic (from profiling) or deterministic
+/// (computable from context values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cond {
+    /// `prob(p)` — taken with probability `p` (an expression in `[0,1]`).
+    Prob(Expr),
+    /// `(lhs op rhs)` — evaluated against the context when possible.
+    Cmp { lhs: Expr, op: CmpOp, rhs: Expr },
+}
+
+/// One `if`/`case` arm of a branch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchArm {
+    pub cond: Cond,
+    pub body: Block,
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A skeleton statement. `label` names the statement for reporting (hot spot
+/// tables print labels when present, `fn:id` otherwise).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    pub id: StmtId,
+    pub label: Option<String>,
+    pub kind: StmtKind,
+}
+
+/// Statement kinds of the skeleton language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// Performance-characteristics block replacing straight-line code.
+    Comp(OpStats),
+    /// Context variable binding: `let x = expr`.
+    Let { var: String, value: Expr },
+    /// Counted loop: `loop v = lo .. hi step s { body }`. `parallel`
+    /// marks a `parloop` whose iterations may execute concurrently across
+    /// the machine's cores (extension; see `xflow-hw`'s parallel roofline).
+    Loop { var: String, lo: Expr, hi: Expr, step: Expr, parallel: bool, body: Block },
+    /// Profiled loop with data-dependent bound: `while trips(expr) { body }`.
+    /// The expression is the expected trip count obtained from profiling.
+    While { trips: Expr, body: Block },
+    /// Multi-arm branch; arms are tested in order, `else_body` is the
+    /// fall-through. `switch` statements desugar to this form.
+    Branch { arms: Vec<BranchArm>, else_body: Option<Block> },
+    /// Call to another skeleton function.
+    Call { func: String, args: Vec<Expr> },
+    /// Call to an opaque library function (modeled semi-analytically).
+    /// `calls` is the number of invocations this statement performs and
+    /// `work` scales the per-call instruction mix (e.g. vector length).
+    LibCall { func: String, calls: Expr, work: Expr },
+    /// Early function return taken with probability `prob`.
+    Return { prob: Expr },
+    /// Loop break taken with probability `prob` (per iteration).
+    Break { prob: Expr },
+    /// Loop continue taken with probability `prob` (per iteration).
+    Continue { prob: Expr },
+}
+
+impl StmtKind {
+    /// Keyword naming the statement kind (used in reports and errors).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            StmtKind::Comp(_) => "comp",
+            StmtKind::Let { .. } => "let",
+            StmtKind::Loop { .. } => "loop",
+            StmtKind::While { .. } => "while",
+            StmtKind::Branch { .. } => "branch",
+            StmtKind::Call { .. } => "call",
+            StmtKind::LibCall { .. } => "lib",
+            StmtKind::Return { .. } => "return",
+            StmtKind::Break { .. } => "break",
+            StmtKind::Continue { .. } => "continue",
+        }
+    }
+}
+
+/// A skeleton function definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    pub id: FuncId,
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Block,
+}
+
+/// A complete skeleton program — the Block Skeleton Tree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    pub functions: Vec<Function>,
+    by_name: HashMap<String, usize>,
+    next_stmt_id: u32,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a function; its `id` is overwritten to the next free slot.
+    ///
+    /// Returns an error message if a function with the same name exists.
+    pub fn add_function(&mut self, mut f: Function) -> Result<FuncId, String> {
+        if self.by_name.contains_key(&f.name) {
+            return Err(format!("duplicate function `{}`", f.name));
+        }
+        let id = FuncId(self.functions.len() as u32);
+        f.id = id;
+        self.by_name.insert(f.name.clone(), self.functions.len());
+        self.functions.push(f);
+        Ok(id)
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.by_name.get(name).map(|&i| &self.functions[i])
+    }
+
+    /// The entry function, conventionally named `main`.
+    pub fn main(&self) -> Option<&Function> {
+        self.function("main")
+    }
+
+    /// Allocate the next statement id (used by parser and builder).
+    pub fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt_id);
+        self.next_stmt_id += 1;
+        id
+    }
+
+    /// Number of statement ids allocated so far.
+    pub fn stmt_count(&self) -> u32 {
+        self.next_stmt_id
+    }
+
+    /// Visit every statement in every function in pre-order.
+    pub fn visit_stmts<'a>(&'a self, mut f: impl FnMut(&'a Function, &'a Stmt)) {
+        fn walk<'a>(func: &'a Function, block: &'a Block, f: &mut impl FnMut(&'a Function, &'a Stmt)) {
+            for s in &block.stmts {
+                f(func, s);
+                match &s.kind {
+                    StmtKind::Loop { body, .. } | StmtKind::While { body, .. } => walk(func, body, f),
+                    StmtKind::Branch { arms, else_body } => {
+                        for arm in arms {
+                            walk(func, &arm.body, f);
+                        }
+                        if let Some(e) = else_body {
+                            walk(func, e, f);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for func in &self.functions {
+            walk(func, &func.body, &mut f);
+        }
+    }
+
+    /// Total number of statements across all functions (the paper's
+    /// "source code statements" denominator for the BET size ratio).
+    pub fn source_statement_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_stmts(|_, _| n += 1);
+        n
+    }
+
+    /// Map from statement id to the name of the enclosing function.
+    pub fn stmt_owner(&self) -> HashMap<StmtId, String> {
+        let mut map = HashMap::new();
+        self.visit_stmts(|f, s| {
+            map.insert(s.id, f.name.clone());
+        });
+        map
+    }
+
+    /// Map from statement id to its label (when present) or a generated
+    /// `function:kind#id` name.
+    pub fn stmt_names(&self) -> HashMap<StmtId, String> {
+        let mut map = HashMap::new();
+        self.visit_stmts(|f, s| {
+            let name = match &s.label {
+                Some(l) => l.clone(),
+                None => format!("{}:{}#{}", f.name, s.kind.keyword(), s.id.0),
+            };
+            map.insert(s.id, name);
+        });
+        map
+    }
+
+    /// Find a statement by its label.
+    pub fn stmt_by_label(&self, label: &str) -> Option<StmtId> {
+        let mut found = None;
+        self.visit_stmts(|_, s| {
+            if s.label.as_deref() == Some(label) {
+                found = Some(s.id);
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(id: u32, kind: StmtKind) -> Stmt {
+        Stmt { id: StmtId(id), label: None, kind }
+    }
+
+    #[test]
+    fn add_and_lookup_functions() {
+        let mut p = Program::new();
+        p.add_function(Function {
+            id: FuncId(0),
+            name: "main".into(),
+            params: vec![],
+            body: Block::new(),
+        })
+        .unwrap();
+        assert!(p.main().is_some());
+        assert!(p.function("nope").is_none());
+        let dup = p.add_function(Function {
+            id: FuncId(0),
+            name: "main".into(),
+            params: vec![],
+            body: Block::new(),
+        });
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn fresh_ids_are_dense() {
+        let mut p = Program::new();
+        assert_eq!(p.fresh_stmt_id(), StmtId(0));
+        assert_eq!(p.fresh_stmt_id(), StmtId(1));
+        assert_eq!(p.stmt_count(), 2);
+    }
+
+    #[test]
+    fn visit_walks_nested_structures() {
+        let mut p = Program::new();
+        let body = Block {
+            stmts: vec![stmt(
+                0,
+                StmtKind::Loop {
+                    var: "i".into(),
+                    lo: Expr::num(0.0),
+                    hi: Expr::var("n"),
+                    step: Expr::num(1.0),
+                    parallel: false,
+                    body: Block {
+                        stmts: vec![
+                            stmt(1, StmtKind::Comp(OpStats::default())),
+                            stmt(
+                                2,
+                                StmtKind::Branch {
+                                    arms: vec![BranchArm {
+                                        cond: Cond::Prob(Expr::num(0.5)),
+                                        body: Block { stmts: vec![stmt(3, StmtKind::Break { prob: Expr::num(1.0) })] },
+                                    }],
+                                    else_body: Some(Block {
+                                        stmts: vec![stmt(4, StmtKind::Continue { prob: Expr::num(1.0) })],
+                                    }),
+                                },
+                            ),
+                        ],
+                    },
+                },
+            )],
+        };
+        p.add_function(Function { id: FuncId(0), name: "main".into(), params: vec![], body }).unwrap();
+        assert_eq!(p.source_statement_count(), 5);
+        let owners = p.stmt_owner();
+        assert_eq!(owners[&StmtId(3)], "main");
+    }
+
+    #[test]
+    fn stmt_names_prefer_labels() {
+        let mut p = Program::new();
+        let body = Block {
+            stmts: vec![
+                Stmt { id: StmtId(0), label: Some("hot".into()), kind: StmtKind::Comp(OpStats::default()) },
+                stmt(1, StmtKind::Return { prob: Expr::num(1.0) }),
+            ],
+        };
+        p.add_function(Function { id: FuncId(0), name: "main".into(), params: vec![], body }).unwrap();
+        let names = p.stmt_names();
+        assert_eq!(names[&StmtId(0)], "hot");
+        assert_eq!(names[&StmtId(1)], "main:return#1");
+        assert_eq!(p.stmt_by_label("hot"), Some(StmtId(0)));
+        assert_eq!(p.stmt_by_label("cold"), None);
+    }
+}

@@ -1,0 +1,433 @@
+//! Programmatic construction API for skeletons.
+//!
+//! The workloads crate and tests build skeletons in code rather than text;
+//! this module provides a fluent builder that assigns statement ids in the
+//! same pre-order discipline as the parser.
+//!
+//! ```
+//! use xflow_skeleton::builder::{ProgramBuilder, Ops};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! pb.func("main", &[], |b| {
+//!     b.let_("n", "N");
+//!     b.labeled("kernel").loop_("i", 0, "n", |b| {
+//!         b.comp(Ops::new().flops(4).loads(2).stores(1));
+//!     });
+//! });
+//! let prog = pb.finish();
+//! assert_eq!(prog.source_statement_count(), 3);
+//! ```
+
+use crate::ast::*;
+use crate::expr::{CmpOp, Expr};
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Self {
+        Expr::Num(v)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Num(v as f64)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Self {
+        Expr::Num(v as f64)
+    }
+}
+
+impl From<u32> for Expr {
+    fn from(v: u32) -> Self {
+        Expr::Num(v as f64)
+    }
+}
+
+impl From<usize> for Expr {
+    fn from(v: usize) -> Self {
+        Expr::Num(v as f64)
+    }
+}
+
+impl From<&str> for Expr {
+    fn from(v: &str) -> Self {
+        Expr::Var(v.to_string())
+    }
+}
+
+/// Fluent constructor for [`OpStats`].
+#[derive(Debug, Clone, Default)]
+pub struct Ops(OpStats);
+
+impl Ops {
+    /// All-zero op statistics (8-byte elements).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn flops(mut self, e: impl Into<Expr>) -> Self {
+        self.0.flops = e.into();
+        self
+    }
+
+    pub fn iops(mut self, e: impl Into<Expr>) -> Self {
+        self.0.iops = e.into();
+        self
+    }
+
+    pub fn loads(mut self, e: impl Into<Expr>) -> Self {
+        self.0.loads = e.into();
+        self
+    }
+
+    pub fn stores(mut self, e: impl Into<Expr>) -> Self {
+        self.0.stores = e.into();
+        self
+    }
+
+    pub fn divs(mut self, e: impl Into<Expr>) -> Self {
+        self.0.divs = e.into();
+        self
+    }
+
+    pub fn bytes(mut self, e: impl Into<Expr>) -> Self {
+        self.0.dtype_bytes = e.into();
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> OpStats {
+        self.0
+    }
+}
+
+impl From<Ops> for OpStats {
+    fn from(o: Ops) -> OpStats {
+        o.0
+    }
+}
+
+/// Top-level builder producing a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    prog: Program,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a function. Panics on duplicate names (builder misuse is a
+    /// programming error, not an input error).
+    pub fn func(&mut self, name: &str, params: &[&str], build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut bb = BlockBuilder { prog: &mut self.prog, stmts: Vec::new(), pending_label: None };
+        build(&mut bb);
+        let body = Block { stmts: bb.stmts };
+        self.prog
+            .add_function(Function {
+                id: FuncId(0),
+                name: name.to_string(),
+                params: params.iter().map(|s| s.to_string()).collect(),
+                body,
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Consume the builder, returning the program.
+    pub fn finish(self) -> Program {
+        self.prog
+    }
+}
+
+/// Builder for a statement sequence.
+pub struct BlockBuilder<'a> {
+    prog: &'a mut Program,
+    stmts: Vec<Stmt>,
+    pending_label: Option<String>,
+}
+
+impl<'a> BlockBuilder<'a> {
+    fn push(&mut self, kind: StmtKind) {
+        let id = self.prog.fresh_stmt_id();
+        let label = self.pending_label.take();
+        self.stmts.push(Stmt { id, label, kind });
+    }
+
+    /// Attach a label to the *next* statement added.
+    pub fn labeled(&mut self, label: &str) -> &mut Self {
+        self.pending_label = Some(label.to_string());
+        self
+    }
+
+    /// `comp { … }` block.
+    pub fn comp(&mut self, ops: impl Into<OpStats>) {
+        self.push(StmtKind::Comp(ops.into()));
+    }
+
+    /// `let var = value`.
+    pub fn let_(&mut self, var: &str, value: impl Into<Expr>) {
+        self.push(StmtKind::Let { var: var.to_string(), value: value.into() });
+    }
+
+    /// `loop var = lo .. hi { … }` (step 1).
+    pub fn loop_(&mut self, var: &str, lo: impl Into<Expr>, hi: impl Into<Expr>, body: impl FnOnce(&mut BlockBuilder)) {
+        self.loop_step(var, lo, hi, 1.0, body)
+    }
+
+    /// `loop var = lo .. hi step s { … }`.
+    pub fn loop_step(
+        &mut self,
+        var: &str,
+        lo: impl Into<Expr>,
+        hi: impl Into<Expr>,
+        step: impl Into<Expr>,
+        body: impl FnOnce(&mut BlockBuilder),
+    ) {
+        // Pre-order: allocate the loop's id before its children's.
+        let id = self.prog.fresh_stmt_id();
+        let label = self.pending_label.take();
+        let mut bb = BlockBuilder { prog: self.prog, stmts: Vec::new(), pending_label: None };
+        body(&mut bb);
+        let body = Block { stmts: bb.stmts };
+        self.stmts.push(Stmt {
+            id,
+            label,
+            kind: StmtKind::Loop {
+                var: var.to_string(),
+                lo: lo.into(),
+                hi: hi.into(),
+                step: step.into(),
+                parallel: false,
+                body,
+            },
+        });
+    }
+
+    /// `parloop var = lo .. hi { … }` — a parallel counted loop whose
+    /// iterations may run concurrently across cores.
+    pub fn parloop(
+        &mut self,
+        var: &str,
+        lo: impl Into<Expr>,
+        hi: impl Into<Expr>,
+        body: impl FnOnce(&mut BlockBuilder),
+    ) {
+        let id = self.prog.fresh_stmt_id();
+        let label = self.pending_label.take();
+        let mut bb = BlockBuilder { prog: self.prog, stmts: Vec::new(), pending_label: None };
+        body(&mut bb);
+        self.stmts.push(Stmt {
+            id,
+            label,
+            kind: StmtKind::Loop {
+                var: var.to_string(),
+                lo: lo.into(),
+                hi: hi.into(),
+                step: Expr::Num(1.0),
+                parallel: true,
+                body: Block { stmts: bb.stmts },
+            },
+        });
+    }
+
+    /// `while trips(e) { … }`.
+    pub fn while_(&mut self, trips: impl Into<Expr>, body: impl FnOnce(&mut BlockBuilder)) {
+        let id = self.prog.fresh_stmt_id();
+        let label = self.pending_label.take();
+        let mut bb = BlockBuilder { prog: self.prog, stmts: Vec::new(), pending_label: None };
+        body(&mut bb);
+        self.stmts.push(Stmt { id, label, kind: StmtKind::While { trips: trips.into(), body: Block { stmts: bb.stmts } } });
+    }
+
+    /// Multi-arm branch; see [`BranchBuilder`].
+    pub fn branch(&mut self, build: impl FnOnce(&mut BranchBuilder)) {
+        let id = self.prog.fresh_stmt_id();
+        let label = self.pending_label.take();
+        let mut br = BranchBuilder { prog: self.prog, arms: Vec::new(), else_body: None };
+        build(&mut br);
+        assert!(!br.arms.is_empty() || br.else_body.is_some(), "branch must have at least one arm");
+        self.stmts.push(Stmt { id, label, kind: StmtKind::Branch { arms: br.arms, else_body: br.else_body } });
+    }
+
+    /// Two-way probabilistic branch convenience: `if prob(p) { then } else { els }`.
+    pub fn if_prob(
+        &mut self,
+        p: impl Into<Expr>,
+        then_body: impl FnOnce(&mut BlockBuilder),
+        else_body: impl FnOnce(&mut BlockBuilder),
+    ) {
+        let p = p.into();
+        self.branch(|br| {
+            br.arm_prob(p.clone(), then_body);
+            br.else_(else_body);
+        });
+    }
+
+    /// One-way probabilistic branch: `if prob(p) { then }`.
+    pub fn when_prob(&mut self, p: impl Into<Expr>, then_body: impl FnOnce(&mut BlockBuilder)) {
+        let p = p.into();
+        self.branch(|br| {
+            br.arm_prob(p, then_body);
+        });
+    }
+
+    /// `call func(args…)`.
+    pub fn call(&mut self, func: &str, args: &[Expr]) {
+        self.push(StmtKind::Call { func: func.to_string(), args: args.to_vec() });
+    }
+
+    /// `lib func(calls, work)`.
+    pub fn lib(&mut self, func: &str, calls: impl Into<Expr>, work: impl Into<Expr>) {
+        self.push(StmtKind::LibCall { func: func.to_string(), calls: calls.into(), work: work.into() });
+    }
+
+    /// `return prob(p)`.
+    pub fn ret(&mut self, prob: impl Into<Expr>) {
+        self.push(StmtKind::Return { prob: prob.into() });
+    }
+
+    /// `break prob(p)`.
+    pub fn brk(&mut self, prob: impl Into<Expr>) {
+        self.push(StmtKind::Break { prob: prob.into() });
+    }
+
+    /// `continue prob(p)`.
+    pub fn cont(&mut self, prob: impl Into<Expr>) {
+        self.push(StmtKind::Continue { prob: prob.into() });
+    }
+}
+
+/// Builder for branch arms.
+pub struct BranchBuilder<'a> {
+    prog: &'a mut Program,
+    arms: Vec<BranchArm>,
+    else_body: Option<Block>,
+}
+
+impl<'a> BranchBuilder<'a> {
+    /// Probabilistic arm: `case prob(p) { … }`.
+    pub fn arm_prob(&mut self, p: impl Into<Expr>, body: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut bb = BlockBuilder { prog: self.prog, stmts: Vec::new(), pending_label: None };
+        body(&mut bb);
+        self.arms.push(BranchArm { cond: Cond::Prob(p.into()), body: Block { stmts: bb.stmts } });
+        self
+    }
+
+    /// Deterministic arm: `case (lhs op rhs) { … }`.
+    pub fn arm_cmp(
+        &mut self,
+        lhs: impl Into<Expr>,
+        op: CmpOp,
+        rhs: impl Into<Expr>,
+        body: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let mut bb = BlockBuilder { prog: self.prog, stmts: Vec::new(), pending_label: None };
+        body(&mut bb);
+        self.arms.push(BranchArm {
+            cond: Cond::Cmp { lhs: lhs.into(), op, rhs: rhs.into() },
+            body: Block { stmts: bb.stmts },
+        });
+        self
+    }
+
+    /// Fall-through arm: `default { … }`.
+    pub fn else_(&mut self, body: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut bb = BlockBuilder { prog: self.prog, stmts: Vec::new(), pending_label: None };
+        body(&mut bb);
+        self.else_body = Some(Block { stmts: bb.stmts });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print;
+
+    #[test]
+    fn builder_matches_parser_output() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], |b| {
+            b.let_("n", "N");
+            b.labeled("outer").loop_("i", 0, "n", |b| {
+                b.comp(Ops::new().flops(4).iops(2).loads(3).stores(1));
+                b.if_prob(
+                    0.3,
+                    |b| b.call("foo", &[Expr::var("n")]),
+                    |b| b.comp(Ops::new().flops(1)),
+                );
+            });
+        });
+        pb.func("foo", &["m"], |b| {
+            b.loop_step("j", 0, "m", 2, |b| {
+                b.comp(Ops::new().flops(8).loads(2).stores(1));
+            });
+        });
+        let built = pb.finish();
+
+        let parsed = parse(&print(&built)).unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn preorder_ids_from_builder() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], |b| {
+            b.loop_("i", 0, 4, |b| {
+                b.comp(Ops::new().flops(1));
+            });
+            b.comp(Ops::new().iops(1));
+        });
+        let p = pb.finish();
+        let main = p.main().unwrap();
+        assert_eq!(main.body.stmts[0].id, StmtId(0));
+        match &main.body.stmts[0].kind {
+            StmtKind::Loop { body, .. } => assert_eq!(body.stmts[0].id, StmtId(1)),
+            _ => unreachable!(),
+        }
+        assert_eq!(main.body.stmts[1].id, StmtId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_function_panics() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], |_| {});
+        pb.func("main", &[], |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn empty_branch_panics() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], |b| {
+            b.branch(|_| {});
+        });
+    }
+
+    #[test]
+    fn switch_style_branch() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", &[], |b| {
+            b.branch(|br| {
+                br.arm_prob(0.2, |b| b.brk(1.0));
+                br.arm_cmp("i", CmpOp::Lt, 10, |b| b.cont(1.0));
+                br.else_(|b| b.ret(0.5));
+            });
+        });
+        let p = pb.finish();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::Branch { arms, else_body } => {
+                assert_eq!(arms.len(), 2);
+                assert!(else_body.is_some());
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Static instruction counting — the *code leanness* denominator.
+//!
+//! The paper's hot-spot selection constrains the fraction of *static*
+//! instructions covered by the selection (code leanness, Section V-B). This
+//! module computes a static instruction weight per statement without any
+//! runtime information: operation-count expressions are evaluated with
+//! unknown variables defaulting to 1, so a `comp { flops: 4 }` weighs 4
+//! regardless of how many loop iterations surround it.
+
+use crate::ast::{Program, Stmt, StmtId, StmtKind};
+use crate::expr::Env;
+use std::collections::HashMap;
+
+/// Per-statement static instruction weights plus the program total.
+#[derive(Debug, Clone)]
+pub struct StaticCounts {
+    per_stmt: HashMap<StmtId, f64>,
+    total: f64,
+}
+
+impl StaticCounts {
+    /// Weight of one statement (0 if unknown).
+    pub fn get(&self, id: StmtId) -> f64 {
+        self.per_stmt.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all statement weights.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Static weight of a *block-rooted subtree*: the statement and all of
+    /// its lexical descendants.
+    pub fn subtree(&self, prog: &Program, root: StmtId) -> f64 {
+        let mut sum = 0.0;
+        let mut stack: Vec<&Stmt> = Vec::new();
+        prog.visit_stmts(|_, s| {
+            if s.id == root {
+                stack.push(s);
+            }
+        });
+        let Some(root_stmt) = stack.pop() else { return 0.0 };
+        collect_subtree(root_stmt, &mut |s| sum += self.get(s.id));
+        sum
+    }
+}
+
+fn collect_subtree<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
+    f(s);
+    match &s.kind {
+        StmtKind::Loop { body, .. } | StmtKind::While { body, .. } => {
+            for c in &body.stmts {
+                collect_subtree(c, f);
+            }
+        }
+        StmtKind::Branch { arms, else_body } => {
+            for arm in arms {
+                for c in &arm.body.stmts {
+                    collect_subtree(c, f);
+                }
+            }
+            if let Some(e) = else_body {
+                for c in &e.stmts {
+                    collect_subtree(c, f);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compute static instruction weights for every statement.
+///
+/// * `comp` blocks weigh `flops + iops + loads + stores` with unbound
+///   variables defaulting to 1 (a per-element body weighs its per-element
+///   op count).
+/// * `lib` calls weigh a nominal 8 instructions — opaque code whose size is
+///   unknown but nonzero.
+/// * control statements (`loop`, `if`, `call`, …) weigh 1 each, matching a
+///   branch/jump instruction.
+pub fn static_counts(prog: &Program) -> StaticCounts {
+    let env = Env::new();
+    let mut per_stmt = HashMap::new();
+    let mut total = 0.0;
+    prog.visit_stmts(|_, s| {
+        let w = match &s.kind {
+            StmtKind::Comp(ops) => {
+                let f = ops.flops.eval_or_default(&env, 1.0).max(0.0);
+                let i = ops.iops.eval_or_default(&env, 1.0).max(0.0);
+                let l = ops.loads.eval_or_default(&env, 1.0).max(0.0);
+                let st = ops.stores.eval_or_default(&env, 1.0).max(0.0);
+                (f + i + l + st).max(1.0)
+            }
+            StmtKind::LibCall { .. } => 8.0,
+            _ => 1.0,
+        };
+        per_stmt.insert(s.id, w);
+        total += w;
+    });
+    StaticCounts { per_stmt, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn comp_weights_sum_ops() {
+        let p = parse("func main() { comp { flops: 4, iops: 2, loads: 3, stores: 1 } }").unwrap();
+        let c = static_counts(&p);
+        assert_eq!(c.total(), 10.0);
+    }
+
+    #[test]
+    fn unbound_vars_default_to_one() {
+        let p = parse("func main() { comp { flops: n * 4 } }").unwrap();
+        let c = static_counts(&p);
+        // n defaults to 1 → 4 flops, others 0 → weight 4.
+        assert_eq!(c.total(), 4.0);
+    }
+
+    #[test]
+    fn control_statements_weigh_one() {
+        let p = parse("func main() { loop i = 0 .. 100 { comp { flops: 2 } } }").unwrap();
+        let c = static_counts(&p);
+        // loop = 1, comp = 2 → 3; iteration count must NOT inflate this.
+        assert_eq!(c.total(), 3.0);
+    }
+
+    #[test]
+    fn lib_calls_weigh_nominal_eight() {
+        let p = parse("func main() { lib exp(1000) }").unwrap();
+        assert_eq!(static_counts(&p).total(), 8.0);
+    }
+
+    #[test]
+    fn subtree_sums_descendants() {
+        let p = parse(
+            "func main() { loop i = 0 .. 10 { comp { flops: 2 } if prob(0.5) { comp { flops: 3 } } } comp { flops: 7 } }",
+        )
+        .unwrap();
+        let c = static_counts(&p);
+        let loop_id = p.main().unwrap().body.stmts[0].id;
+        // loop(1) + comp(2) + if(1) + comp(3) = 7
+        assert_eq!(c.subtree(&p, loop_id), 7.0);
+        assert_eq!(c.total(), 14.0);
+    }
+
+    #[test]
+    fn empty_comp_weighs_at_least_one() {
+        let p = parse("func main() { comp { flops: 0 } }").unwrap();
+        assert_eq!(static_counts(&p).total(), 1.0);
+    }
+}

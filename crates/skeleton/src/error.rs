@@ -1,0 +1,93 @@
+//! Error types for the skeleton language front-end.
+
+use std::fmt;
+
+/// Position of a token or error in skeleton source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Error produced while lexing or parsing skeleton text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Location the error was detected at.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct a parse error at a position.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Self { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error produced while evaluating a skeleton [`Expr`](crate::Expr).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A variable referenced by the expression is absent from the environment.
+    UnboundVariable(String),
+    /// Division (or modulo) by zero.
+    DivisionByZero,
+    /// An intrinsic was called with the wrong number of arguments.
+    BadArity { name: String, expected: usize, got: usize },
+    /// An unknown intrinsic function was referenced.
+    UnknownIntrinsic(String),
+    /// The result is not a finite number.
+    NotFinite,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::BadArity { name, expected, got } => {
+                write!(f, "intrinsic `{name}` expects {expected} argument(s), got {got}")
+            }
+            EvalError::UnknownIntrinsic(name) => write!(f, "unknown intrinsic `{name}`"),
+            EvalError::NotFinite => write!(f, "expression result is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Semantic validation problem found in a parsed [`Program`](crate::Program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// Statement the problem is anchored to, if any.
+    pub stmt: Option<crate::ast::StmtId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stmt {
+            Some(id) => write!(f, "validation error at stmt #{}: {}", id.0, self.message),
+            None => write!(f, "validation error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}

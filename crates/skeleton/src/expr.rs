@@ -1,0 +1,566 @@
+//! Arithmetic expression language used throughout code skeletons.
+//!
+//! Skeleton expressions appear in loop bounds, branch probabilities,
+//! operation counts, and data sizes. They are deliberately tiny: numbers,
+//! variables, the four arithmetic operators plus `%`, unary negation, and a
+//! small set of pure intrinsics (`min`, `max`, `ceil`, `floor`, `log2`,
+//! `pow`, `abs`, `sqrt`).
+//!
+//! Expressions are evaluated against an [`Env`] mapping variable names to
+//! [`Value`]s. A value is either a concrete scalar or a *range* — the
+//! symbolic value of an un-iterated loop induction variable. Ranges evaluate
+//! to their expected (mid-point) value in arithmetic context; comparison
+//! probabilities over ranges are handled by the BET builder.
+
+use crate::error::EvalError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// Operator token as written in skeleton source.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// Binding strength for the pretty-printer / parser (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Add | BinOp::Sub => 1,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 2,
+        }
+    }
+}
+
+/// Comparison operators usable in deterministic branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Operator token as written in skeleton source.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Apply the comparison to two concrete scalars.
+    pub fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// A skeleton arithmetic expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference, resolved against the evaluation environment.
+    Var(String),
+    /// Binary operation.
+    Binary(Box<Expr>, BinOp, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Intrinsic call: `min`, `max`, `ceil`, `floor`, `log2`, `pow`, `abs`, `sqrt`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a numeric literal.
+    pub fn num(v: f64) -> Expr {
+        Expr::Num(v)
+    }
+
+    /// Shorthand for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(Box::new(self), BinOp::Add, Box::new(rhs))
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(Box::new(self), BinOp::Sub, Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(Box::new(self), BinOp::Mul, Box::new(rhs))
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary(Box::new(self), BinOp::Div, Box::new(rhs))
+    }
+
+    /// True if the expression is the literal `0`.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Expr::Num(n) if *n == 0.0)
+    }
+
+    /// Collect the set of free variable names referenced by the expression.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Binary(l, _, r) => {
+                l.free_vars(out);
+                r.free_vars(out);
+            }
+            Expr::Neg(e) => e.free_vars(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate against an environment, using expected values for ranges.
+    pub fn eval(&self, env: &Env) -> Result<f64, EvalError> {
+        let v = match self {
+            Expr::Num(n) => *n,
+            Expr::Var(name) => match env.get(name) {
+                Some(v) => v.expected(),
+                None => return Err(EvalError::UnboundVariable(name.clone())),
+            },
+            Expr::Binary(l, op, r) => {
+                let l = l.eval(env)?;
+                let r = r.eval(env)?;
+                match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => {
+                        if r == 0.0 {
+                            return Err(EvalError::DivisionByZero);
+                        }
+                        l / r
+                    }
+                    BinOp::Mod => {
+                        if r == 0.0 {
+                            return Err(EvalError::DivisionByZero);
+                        }
+                        l % r
+                    }
+                }
+            }
+            Expr::Neg(e) => -e.eval(env)?,
+            Expr::Call(name, args) => eval_intrinsic(name, args, env)?,
+        };
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(EvalError::NotFinite)
+        }
+    }
+
+    /// Recursively fold constant subexpressions: `2 * 3 + n` becomes
+    /// `6 + n`, `min(4, 9)` becomes `4`, and additive/multiplicative
+    /// identities are dropped (`x + 0` → `x`, `x * 1` → `x`). Division and
+    /// modulo by a constant zero are left unfolded so evaluation still
+    /// reports the error.
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Num(_) | Expr::Var(_) => self.clone(),
+            Expr::Neg(inner) => match inner.simplify() {
+                Expr::Num(n) => Expr::Num(-n),
+                e => Expr::Neg(Box::new(e)),
+            },
+            Expr::Binary(l, op, r) => {
+                let l = l.simplify();
+                let r = r.simplify();
+                if let (Expr::Num(a), Expr::Num(b)) = (&l, &r) {
+                    let folded = match op {
+                        BinOp::Add => Some(a + b),
+                        BinOp::Sub => Some(a - b),
+                        BinOp::Mul => Some(a * b),
+                        BinOp::Div if *b != 0.0 => Some(a / b),
+                        BinOp::Mod if *b != 0.0 => Some(a % b),
+                        _ => None,
+                    };
+                    if let Some(v) = folded {
+                        if v.is_finite() {
+                            return Expr::Num(v);
+                        }
+                    }
+                }
+                // identities
+                match (op, &l, &r) {
+                    (BinOp::Add, Expr::Num(z), e) | (BinOp::Add, e, Expr::Num(z)) if *z == 0.0 => {
+                        return e.clone()
+                    }
+                    (BinOp::Sub, e, Expr::Num(z)) if *z == 0.0 => return e.clone(),
+                    (BinOp::Mul, Expr::Num(one), e) | (BinOp::Mul, e, Expr::Num(one)) if *one == 1.0 => {
+                        return e.clone()
+                    }
+                    (BinOp::Div, e, Expr::Num(one)) if *one == 1.0 => return e.clone(),
+                    (BinOp::Mul, Expr::Num(z), _) | (BinOp::Mul, _, Expr::Num(z)) if *z == 0.0 => {
+                        return Expr::Num(0.0)
+                    }
+                    _ => {}
+                }
+                Expr::Binary(Box::new(l), *op, Box::new(r))
+            }
+            Expr::Call(name, args) => {
+                let args: Vec<Expr> = args.iter().map(Expr::simplify).collect();
+                if args.iter().all(|a| matches!(a, Expr::Num(_))) {
+                    let folded = Expr::Call(name.clone(), args.clone());
+                    if let Ok(v) = folded.eval(&Env::new()) {
+                        return Expr::Num(v);
+                    }
+                }
+                Expr::Call(name.clone(), args)
+            }
+        }
+    }
+
+    /// Evaluate with every unbound variable defaulting to `default`.
+    ///
+    /// Used for *static* op counting where runtime values are unknown; the
+    /// paper's leanness criterion only needs source-level magnitudes.
+    pub fn eval_or_default(&self, env: &Env, default: f64) -> f64 {
+        match self.eval(env) {
+            Ok(v) => v,
+            Err(_) => {
+                let mut vars = Vec::new();
+                self.free_vars(&mut vars);
+                let mut patched = env.clone();
+                for v in vars {
+                    patched.entry(v).or_insert(Value::Scalar(default));
+                }
+                self.eval(&patched).unwrap_or(default)
+            }
+        }
+    }
+}
+
+fn eval_intrinsic(name: &str, args: &[Expr], env: &Env) -> Result<f64, EvalError> {
+    let arity = |n: usize| -> Result<Vec<f64>, EvalError> {
+        if args.len() != n {
+            return Err(EvalError::BadArity { name: name.to_string(), expected: n, got: args.len() });
+        }
+        args.iter().map(|a| a.eval(env)).collect()
+    };
+    Ok(match name {
+        "min" => {
+            let a = arity(2)?;
+            a[0].min(a[1])
+        }
+        "max" => {
+            let a = arity(2)?;
+            a[0].max(a[1])
+        }
+        "pow" => {
+            let a = arity(2)?;
+            a[0].powf(a[1])
+        }
+        "ceil" => arity(1)?[0].ceil(),
+        "floor" => arity(1)?[0].floor(),
+        "abs" => arity(1)?[0].abs(),
+        "sqrt" => arity(1)?[0].sqrt(),
+        "log2" => arity(1)?[0].log2(),
+        _ => return Err(EvalError::UnknownIntrinsic(name.to_string())),
+    })
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                Expr::Num(n) => {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        write!(f, "{}", *n as i64)
+                    } else {
+                        write!(f, "{n}")
+                    }
+                }
+                Expr::Var(v) => write!(f, "{v}"),
+                Expr::Binary(l, op, r) => {
+                    let prec = op.precedence();
+                    let need_paren = prec < parent_prec;
+                    if need_paren {
+                        write!(f, "(")?;
+                    }
+                    go(l, prec, f)?;
+                    write!(f, " {} ", op.symbol())?;
+                    // Right side needs parens at equal precedence since all ops
+                    // are left-associative.
+                    go(r, prec + 1, f)?;
+                    if need_paren {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Expr::Neg(inner) => {
+                    write!(f, "-")?;
+                    go(inner, 3, f)
+                }
+                Expr::Call(name, args) => {
+                    write!(f, "{name}(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        go(a, 0, f)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+/// Runtime value of a context variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A concrete scalar.
+    Scalar(f64),
+    /// The symbolic value of a loop induction variable spanning
+    /// `lo, lo+step, …, < hi` (exclusive upper bound, `step > 0`).
+    Range { lo: f64, hi: f64, step: f64 },
+}
+
+impl Value {
+    /// Expected value: the scalar itself, or the mid-point of a range.
+    pub fn expected(self) -> f64 {
+        match self {
+            Value::Scalar(v) => v,
+            Value::Range { lo, hi, .. } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    (lo + hi) / 2.0
+                }
+            }
+        }
+    }
+
+    /// Number of iterations a range value represents (1 for scalars).
+    pub fn trip_count(self) -> f64 {
+        match self {
+            Value::Scalar(_) => 1.0,
+            Value::Range { lo, hi, step } => {
+                if hi <= lo || step <= 0.0 {
+                    0.0
+                } else {
+                    ((hi - lo) / step).ceil()
+                }
+            }
+        }
+    }
+}
+
+/// Evaluation environment: variable name → value.
+pub type Env = HashMap<String, Value>;
+
+/// Build an [`Env`] from `(name, scalar)` pairs.
+pub fn env_from<I, S>(pairs: I) -> Env
+where
+    I: IntoIterator<Item = (S, f64)>,
+    S: Into<String>,
+{
+    pairs.into_iter().map(|(k, v)| (k.into(), Value::Scalar(v))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, f64)]) -> Env {
+        env_from(pairs.iter().map(|&(k, v)| (k, v)))
+    }
+
+    #[test]
+    fn literal_eval() {
+        assert_eq!(Expr::num(3.5).eval(&Env::new()).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn variable_lookup_and_missing() {
+        let e = Expr::var("n");
+        assert_eq!(e.eval(&env(&[("n", 7.0)])).unwrap(), 7.0);
+        assert_eq!(e.eval(&Env::new()), Err(EvalError::UnboundVariable("n".into())));
+    }
+
+    #[test]
+    fn arithmetic_precedence_semantics() {
+        // 2 + 3 * 4 = 14
+        let e = Expr::num(2.0).add(Expr::num(3.0).mul(Expr::num(4.0)));
+        assert_eq!(e.eval(&Env::new()).unwrap(), 14.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = Expr::num(1.0).div(Expr::num(0.0));
+        assert_eq!(e.eval(&Env::new()), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn modulo() {
+        let e = Expr::Binary(Box::new(Expr::num(7.0)), BinOp::Mod, Box::new(Expr::num(4.0)));
+        assert_eq!(e.eval(&Env::new()).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn intrinsics() {
+        let ctx = Env::new();
+        assert_eq!(Expr::Call("min".into(), vec![Expr::num(3.0), Expr::num(5.0)]).eval(&ctx).unwrap(), 3.0);
+        assert_eq!(Expr::Call("max".into(), vec![Expr::num(3.0), Expr::num(5.0)]).eval(&ctx).unwrap(), 5.0);
+        assert_eq!(Expr::Call("ceil".into(), vec![Expr::num(2.1)]).eval(&ctx).unwrap(), 3.0);
+        assert_eq!(Expr::Call("floor".into(), vec![Expr::num(2.9)]).eval(&ctx).unwrap(), 2.0);
+        assert_eq!(Expr::Call("pow".into(), vec![Expr::num(2.0), Expr::num(10.0)]).eval(&ctx).unwrap(), 1024.0);
+        assert_eq!(Expr::Call("log2".into(), vec![Expr::num(8.0)]).eval(&ctx).unwrap(), 3.0);
+        assert_eq!(Expr::Call("abs".into(), vec![Expr::Neg(Box::new(Expr::num(4.0)))]).eval(&ctx).unwrap(), 4.0);
+        assert_eq!(Expr::Call("sqrt".into(), vec![Expr::num(9.0)]).eval(&ctx).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn intrinsic_arity_error() {
+        let e = Expr::Call("min".into(), vec![Expr::num(1.0)]);
+        assert!(matches!(e.eval(&Env::new()), Err(EvalError::BadArity { .. })));
+    }
+
+    #[test]
+    fn unknown_intrinsic_error() {
+        let e = Expr::Call("frobnicate".into(), vec![]);
+        assert!(matches!(e.eval(&Env::new()), Err(EvalError::UnknownIntrinsic(_))));
+    }
+
+    #[test]
+    fn range_value_expected_and_trips() {
+        let r = Value::Range { lo: 0.0, hi: 10.0, step: 1.0 };
+        assert_eq!(r.expected(), 5.0);
+        assert_eq!(r.trip_count(), 10.0);
+        let empty = Value::Range { lo: 5.0, hi: 5.0, step: 1.0 };
+        assert_eq!(empty.trip_count(), 0.0);
+        let strided = Value::Range { lo: 0.0, hi: 10.0, step: 3.0 };
+        assert_eq!(strided.trip_count(), 4.0); // 0,3,6,9
+    }
+
+    #[test]
+    fn eval_uses_range_expected_value() {
+        let mut env = Env::new();
+        env.insert("i".into(), Value::Range { lo: 0.0, hi: 100.0, step: 1.0 });
+        assert_eq!(Expr::var("i").eval(&env).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn eval_or_default_fills_unbound() {
+        let e = Expr::var("n").mul(Expr::num(3.0));
+        assert_eq!(e.eval_or_default(&Env::new(), 1.0), 3.0);
+        assert_eq!(e.eval_or_default(&env(&[("n", 5.0)]), 1.0), 15.0);
+    }
+
+    #[test]
+    fn free_vars_dedup() {
+        let e = Expr::var("a").add(Expr::var("b").mul(Expr::var("a")));
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_round_trips_precedence() {
+        // (2 + 3) * 4 must print parentheses.
+        let e = Expr::num(2.0).add(Expr::num(3.0)).mul(Expr::num(4.0));
+        assert_eq!(e.to_string(), "(2 + 3) * 4");
+        // 2 + 3 * 4 must not.
+        let e2 = Expr::num(2.0).add(Expr::num(3.0).mul(Expr::num(4.0)));
+        assert_eq!(e2.to_string(), "2 + 3 * 4");
+        // Left-assoc subtraction: (a - b) - c prints flat, a - (b - c) keeps parens.
+        let l = Expr::var("a").sub(Expr::var("b")).sub(Expr::var("c"));
+        assert_eq!(l.to_string(), "a - b - c");
+        let r = Expr::var("a").sub(Expr::var("b").sub(Expr::var("c")));
+        assert_eq!(r.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let e = Expr::num(2.0).mul(Expr::num(3.0)).add(Expr::var("n"));
+        assert_eq!(e.simplify(), Expr::num(6.0).add(Expr::var("n")));
+        let full = Expr::num(10.0).sub(Expr::num(4.0)).div(Expr::num(3.0));
+        assert_eq!(full.simplify(), Expr::num(2.0));
+        let call = Expr::Call("min".into(), vec![Expr::num(4.0), Expr::num(9.0)]);
+        assert_eq!(call.simplify(), Expr::num(4.0));
+    }
+
+    #[test]
+    fn simplify_identities() {
+        assert_eq!(Expr::var("x").add(Expr::num(0.0)).simplify(), Expr::var("x"));
+        assert_eq!(Expr::var("x").mul(Expr::num(1.0)).simplify(), Expr::var("x"));
+        assert_eq!(Expr::var("x").mul(Expr::num(0.0)).simplify(), Expr::num(0.0));
+        assert_eq!(Expr::var("x").sub(Expr::num(0.0)).simplify(), Expr::var("x"));
+        assert_eq!(Expr::var("x").div(Expr::num(1.0)).simplify(), Expr::var("x"));
+    }
+
+    #[test]
+    fn simplify_preserves_division_by_zero() {
+        let e = Expr::num(1.0).div(Expr::num(0.0));
+        assert_eq!(e.simplify(), e); // still errors at eval time
+        assert!(e.simplify().eval(&Env::new()).is_err());
+    }
+
+    #[test]
+    fn simplify_preserves_value_on_mixed_exprs() {
+        let e = Expr::num(2.0)
+            .mul(Expr::var("n"))
+            .add(Expr::num(3.0).mul(Expr::num(4.0)))
+            .sub(Expr::num(0.0));
+        let env = env_from([("n", 5.0)]);
+        assert_eq!(e.eval(&env).unwrap(), e.simplify().eval(&env).unwrap());
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Gt.apply(3.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+        assert!(CmpOp::Eq.apply(2.0, 2.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+    }
+}

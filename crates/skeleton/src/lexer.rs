@@ -1,0 +1,274 @@
+//! Hand-rolled tokenizer for skeleton source text.
+
+use crate::error::{ParseError, Span};
+
+/// Token kinds of the skeleton language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Num(f64),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semi,
+    At,
+    DotDot,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Eof,
+}
+
+impl Tok {
+    /// Short printable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Num(n) => format!("number `{n}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::At => "`@`".into(),
+            Tok::DotDot => "`..`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Ne => "`!=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenize skeleton source. `#` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! span {
+        () => {
+            Span { line, col }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let sp = span!();
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                // fractional part — careful not to eat `..`
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // exponent
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = src[start..i].chars().filter(|&c| c != '_').collect();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(sp, format!("invalid number `{text}`")))?;
+                col += (i - start) as u32;
+                out.push(SpannedTok { tok: Tok::Num(n), span: sp });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let sp = span!();
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                col += (i - start) as u32;
+                out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_string()), span: sp });
+            }
+            _ => {
+                let sp = span!();
+                // two-byte lookahead on raw bytes: indexing the &str here
+                // would panic mid-way through a multi-byte UTF-8 character
+                let two: &[u8] = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { b"" };
+                let (tok, len) = match two {
+                    b".." => (Tok::DotDot, 2),
+                    b"<=" => (Tok::Le, 2),
+                    b">=" => (Tok::Ge, 2),
+                    b"==" => (Tok::EqEq, 2),
+                    b"!=" => (Tok::Ne, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            ',' => Tok::Comma,
+                            ':' => Tok::Colon,
+                            ';' => Tok::Semi,
+                            '@' => Tok::At,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '=' => Tok::Assign,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            other => {
+                                return Err(ParseError::new(sp, format!("unexpected character `{other}`")))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                i += len;
+                col += len as u32;
+                out.push(SpannedTok { tok, span: sp });
+            }
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, span: span!() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            toks("( ) { } , : ; @ .. + - * / % = < <= > >= == !="),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Comma,
+                Tok::Colon,
+                Tok::Semi,
+                Tok::At,
+                Tok::DotDot,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Num(42.0), Tok::Eof]);
+        assert_eq!(toks("3.25"), vec![Tok::Num(3.25), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Num(1000.0), Tok::Eof]);
+        assert_eq!(toks("2.5e-1"), vec![Tok::Num(0.25), Tok::Eof]);
+        assert_eq!(toks("1_000"), vec![Tok::Num(1000.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn range_after_number_is_not_a_float() {
+        assert_eq!(toks("0 .. n"), vec![Tok::Num(0.0), Tok::DotDot, Tok::Ident("n".into()), Tok::Eof]);
+        assert_eq!(toks("0..n"), vec![Tok::Num(0.0), Tok::DotDot, Tok::Ident("n".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn identifiers_and_keywords_are_plain_idents() {
+        assert_eq!(
+            toks("func main_2 loop"),
+            vec![Tok::Ident("func".into()), Tok::Ident("main_2".into()), Tok::Ident("loop".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a # comment ( { \n b"), vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.line, 1);
+    }
+}

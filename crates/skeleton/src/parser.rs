@@ -1,0 +1,583 @@
+//! Recursive-descent parser for skeleton source text.
+//!
+//! Grammar (keywords are contextual identifiers):
+//!
+//! ```text
+//! program  := funcdef*
+//! funcdef  := "func" IDENT "(" [IDENT ("," IDENT)*] ")" block
+//! block    := "{" stmt* "}"
+//! stmt     := ["@" IDENT ":"] core [";"]
+//! core     := "comp" "{" [field ":" expr ("," field ":" expr)*] "}"
+//!           | "let" IDENT "=" expr
+//!           | "loop" IDENT "=" expr ".." expr ["step" expr] block
+//!           | "while" "trips" "(" expr ")" block
+//!           | "if" cond block ["else" (ifstmt | block)]
+//!           | "switch" "{" ("case" cond block)* ["default" block] "}"
+//!           | "call" IDENT "(" [expr ("," expr)*] ")"
+//!           | "lib" IDENT "(" expr ["," expr] ")"
+//!           | ("return" | "break" | "continue") ["prob" "(" expr ")"]
+//! cond     := "prob" "(" expr ")" | "(" expr cmpop expr ")"
+//! field    := "flops" | "iops" | "loads" | "stores" | "divs" | "bytes"
+//! ```
+
+use crate::ast::*;
+use crate::error::{ParseError, Span};
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parse skeleton source text into a [`Program`] (the BST).
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, prog: Program::new() };
+    while !p.at_eof() {
+        let f = p.funcdef()?;
+        let span = p.peek_span();
+        p.prog.add_function(f).map_err(|m| ParseError::new(span, m))?;
+    }
+    if p.prog.functions.is_empty() {
+        return Err(ParseError::new(Span::default(), "program contains no functions"));
+    }
+    Ok(p.prog)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    prog: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.peek_span(), msg)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    /// True if the next token is the given contextual keyword.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek().describe())))
+        }
+    }
+
+    fn funcdef(&mut self) -> Result<Function, ParseError> {
+        self.expect_kw("func")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !matches!(self.peek(), Tok::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Function { id: FuncId(0), name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let label = if matches!(self.peek(), Tok::At) {
+            self.bump();
+            let l = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            Some(l)
+        } else {
+            None
+        };
+        // Pre-order id allocation: parent ids precede children ids.
+        let id = self.prog.fresh_stmt_id();
+        let kind = self.stmt_kind()?;
+        // optional trailing semicolon
+        if matches!(self.peek(), Tok::Semi) {
+            self.bump();
+        }
+        Ok(Stmt { id, label, kind })
+    }
+
+    fn stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
+        let kw = match self.peek().clone() {
+            Tok::Ident(s) => s,
+            other => return Err(self.err(format!("expected a statement, found {}", other.describe()))),
+        };
+        match kw.as_str() {
+            "comp" => self.comp_stmt(),
+            "let" => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let value = self.expr()?;
+                Ok(StmtKind::Let { var, value })
+            }
+            "loop" | "parloop" => {
+                let parallel = kw == "parloop";
+                self.bump();
+                let var = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let lo = self.expr()?;
+                self.expect(&Tok::DotDot)?;
+                let hi = self.expr()?;
+                let step = if self.eat_kw("step") { self.expr()? } else { Expr::Num(1.0) };
+                let body = self.block()?;
+                Ok(StmtKind::Loop { var, lo, hi, step, parallel, body })
+            }
+            "while" => {
+                self.bump();
+                self.expect_kw("trips")?;
+                self.expect(&Tok::LParen)?;
+                let trips = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.block()?;
+                Ok(StmtKind::While { trips, body })
+            }
+            "if" => self.if_stmt(),
+            "switch" => self.switch_stmt(),
+            "call" => {
+                self.bump();
+                let func = self.ident()?;
+                self.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !matches!(self.peek(), Tok::Comma) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(StmtKind::Call { func, args })
+            }
+            "lib" => {
+                self.bump();
+                let func = self.ident()?;
+                self.expect(&Tok::LParen)?;
+                let calls = self.expr()?;
+                let work = if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                    self.expr()?
+                } else {
+                    Expr::Num(1.0)
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(StmtKind::LibCall { func, calls, work })
+            }
+            "return" | "break" | "continue" => {
+                self.bump();
+                let prob = if self.at_kw("prob") {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let e = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    e
+                } else {
+                    Expr::Num(1.0)
+                };
+                Ok(match kw.as_str() {
+                    "return" => StmtKind::Return { prob },
+                    "break" => StmtKind::Break { prob },
+                    _ => StmtKind::Continue { prob },
+                })
+            }
+            other => Err(self.err(format!("unknown statement keyword `{other}`"))),
+        }
+    }
+
+    fn comp_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.bump(); // comp
+        self.expect(&Tok::LBrace)?;
+        let mut ops = OpStats::default();
+        while !matches!(self.peek(), Tok::RBrace) {
+            let field = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let value = self.expr()?;
+            match field.as_str() {
+                "flops" => ops.flops = value,
+                "iops" => ops.iops = value,
+                "loads" => ops.loads = value,
+                "stores" => ops.stores = value,
+                "divs" => ops.divs = value,
+                "bytes" => ops.dtype_bytes = value,
+                other => {
+                    return Err(self.err(format!(
+                        "unknown comp field `{other}` (expected flops/iops/loads/stores/divs/bytes)"
+                    )))
+                }
+            }
+            if matches!(self.peek(), Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(StmtKind::Comp(ops))
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        if self.eat_kw("prob") {
+            self.expect(&Tok::LParen)?;
+            let p = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            Ok(Cond::Prob(p))
+        } else {
+            self.expect(&Tok::LParen)?;
+            let lhs = self.expr()?;
+            let op = match self.bump() {
+                Tok::Lt => CmpOp::Lt,
+                Tok::Le => CmpOp::Le,
+                Tok::Gt => CmpOp::Gt,
+                Tok::Ge => CmpOp::Ge,
+                Tok::EqEq => CmpOp::Eq,
+                Tok::Ne => CmpOp::Ne,
+                other => {
+                    return Err(self.err(format!("expected comparison operator, found {}", other.describe())))
+                }
+            };
+            let rhs = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            Ok(Cond::Cmp { lhs, op, rhs })
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.bump(); // if
+        let mut arms = Vec::new();
+        let cond = self.cond()?;
+        let body = self.block()?;
+        arms.push(BranchArm { cond, body });
+        let mut else_body = None;
+        while self.eat_kw("else") {
+            if self.at_kw("if") {
+                self.bump();
+                let cond = self.cond()?;
+                let body = self.block()?;
+                arms.push(BranchArm { cond, body });
+            } else {
+                else_body = Some(self.block()?);
+                break;
+            }
+        }
+        Ok(StmtKind::Branch { arms, else_body })
+    }
+
+    fn switch_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.bump(); // switch
+        self.expect(&Tok::LBrace)?;
+        let mut arms = Vec::new();
+        let mut else_body = None;
+        loop {
+            if self.eat_kw("case") {
+                let cond = self.cond()?;
+                let body = self.block()?;
+                arms.push(BranchArm { cond, body });
+            } else if self.eat_kw("default") {
+                else_body = Some(self.block()?);
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        if arms.is_empty() && else_body.is_none() {
+            return Err(self.err("switch statement has no arms"));
+        }
+        Ok(StmtKind::Branch { arms, else_body })
+    }
+
+    // --- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Tok::Minus => {
+                self.bump();
+                // Fold negated literals so `-1` is the constant -1, which
+                // keeps constant checks (validation) and printing exact.
+                match self.factor()? {
+                    Expr::Num(n) => Ok(Expr::Num(-n)),
+                    other => Ok(Expr::Neg(Box::new(other))),
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !matches!(self.peek(), Tok::Comma) {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_program() {
+        let p = parse("func main() { comp { flops: 1 } }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.source_statement_count(), 1);
+    }
+
+    #[test]
+    fn parse_full_feature_program() {
+        let src = r#"
+# pedagogical example, Figure 2(a) analogue
+func main() {
+  let n = N
+  @outer: loop i = 0 .. n {
+    comp { flops: 4, iops: 2, loads: 3, stores: 1, bytes: 8 }
+    if prob(0.3) {
+      call foo(n)
+    } else if (i < 10) {
+      comp { flops: 1 }
+    } else {
+      lib exp(1, n)
+    }
+    switch {
+      case prob(0.2) { break prob(0.01) }
+      case prob(0.5) { continue }
+      default { return prob(0.001) }
+    }
+  }
+  while trips(n * 2) {
+    comp { iops: 1, divs: 1 }
+  }
+}
+func foo(m) {
+  loop j = 0 .. m step 2 {
+    comp { flops: 8, loads: 2, stores: 1 }
+  }
+}
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.main().is_some());
+        assert_eq!(p.stmt_by_label("outer").is_some(), true);
+        // main: let, loop, comp, if, call, comp, lib, switch, break, continue,
+        // return, while, comp = 13; foo: loop, comp = 2.
+        assert_eq!(p.source_statement_count(), 15);
+    }
+
+    #[test]
+    fn preorder_id_allocation() {
+        let p = parse("func main() { loop i = 0 .. 4 { comp { flops: 1 } } comp { iops: 1 } }").unwrap();
+        let main = p.main().unwrap();
+        // loop gets id 0, its child comp id 1, trailing comp id 2.
+        assert_eq!(main.body.stmts[0].id, StmtId(0));
+        match &main.body.stmts[0].kind {
+            StmtKind::Loop { body, .. } => assert_eq!(body.stmts[0].id, StmtId(1)),
+            _ => panic!("expected loop"),
+        }
+        assert_eq!(main.body.stmts[1].id, StmtId(2));
+    }
+
+    #[test]
+    fn else_if_chain_accumulates_arms() {
+        let p = parse(
+            "func main() { if prob(0.1) { comp{flops:1} } else if prob(0.2) { comp{flops:2} } else { comp{flops:3} } }",
+        )
+        .unwrap();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::Branch { arms, else_body } => {
+                assert_eq!(arms.len(), 2);
+                assert!(else_body.is_some());
+            }
+            _ => panic!("expected branch"),
+        }
+    }
+
+    #[test]
+    fn deterministic_condition() {
+        let p = parse("func main() { if (n < 10) { comp{flops:1} } }").unwrap();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::Branch { arms, .. } => match &arms[0].cond {
+                Cond::Cmp { op, .. } => assert_eq!(*op, CmpOp::Lt),
+                _ => panic!("expected cmp cond"),
+            },
+            _ => panic!("expected branch"),
+        }
+    }
+
+    #[test]
+    fn errors_have_positions_and_messages() {
+        let err = parse("func main() { bogus }").unwrap_err();
+        assert!(err.message.contains("unknown statement keyword"), "{err}");
+        assert_eq!(err.span.line, 1);
+
+        let err = parse("func main() { comp { watts: 3 } }").unwrap_err();
+        assert!(err.message.contains("unknown comp field"), "{err}");
+
+        let err = parse("func main() { if (a ? b) { } }").unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+
+        let err = parse("func main() { comp { flops: 1 }").unwrap_err();
+        assert!(err.message.contains("unterminated block") || err.message.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let err = parse("func main() { } func main() { }").unwrap_err();
+        assert!(err.message.contains("duplicate function"), "{err}");
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(parse("   # only a comment\n").is_err());
+    }
+
+    #[test]
+    fn empty_switch_rejected() {
+        assert!(parse("func main() { switch { } }").is_err());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse("func main() { let x = 1 + 2 * 3 - 4 / 2 }").unwrap();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::Let { value, .. } => {
+                assert_eq!(value.eval(&Default::default()).unwrap(), 5.0);
+            }
+            _ => panic!("expected let"),
+        }
+    }
+
+    #[test]
+    fn default_step_and_probs() {
+        let p = parse("func main() { loop i = 0 .. 10 { break } }").unwrap();
+        match &p.main().unwrap().body.stmts[0].kind {
+            StmtKind::Loop { step, body, .. } => {
+                assert_eq!(*step, Expr::Num(1.0));
+                match &body.stmts[0].kind {
+                    StmtKind::Break { prob } => assert_eq!(*prob, Expr::Num(1.0)),
+                    _ => panic!("expected break"),
+                }
+            }
+            _ => panic!("expected loop"),
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Pretty-printer emitting canonical skeleton source text.
+//!
+//! `parse(print(p))` reproduces `p` up to statement ids (ids are reassigned
+//! in pre-order, which `print` also emits in, so ids round-trip for programs
+//! that were themselves produced by the parser or builder).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a program as canonical skeleton source text.
+pub fn print(prog: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in prog.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(f, &mut out);
+    }
+    out
+}
+
+fn print_function(f: &Function, out: &mut String) {
+    let _ = write!(out, "func {}(", f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p);
+    }
+    out.push_str(") {\n");
+    print_block(&f.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(b: &Block, depth: usize, out: &mut String) {
+    for s in &b.stmts {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    if let Some(l) = &s.label {
+        let _ = write!(out, "@{l}: ");
+    }
+    match &s.kind {
+        StmtKind::Comp(ops) => {
+            out.push_str("comp { ");
+            let mut first = true;
+            let mut field = |name: &str, e: &crate::expr::Expr, default_is: f64| {
+                if let crate::expr::Expr::Num(n) = e {
+                    if *n == default_is {
+                        return;
+                    }
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "{name}: {e}");
+            };
+            field("flops", &ops.flops, 0.0);
+            field("iops", &ops.iops, 0.0);
+            field("loads", &ops.loads, 0.0);
+            field("stores", &ops.stores, 0.0);
+            field("divs", &ops.divs, 0.0);
+            field("bytes", &ops.dtype_bytes, 8.0);
+            if first {
+                // all-default comp block: keep it syntactically valid
+                out.push_str("flops: 0");
+            }
+            out.push_str(" }\n");
+        }
+        StmtKind::Let { var, value } => {
+            let _ = writeln!(out, "let {var} = {value}");
+        }
+        StmtKind::Loop { var, lo, hi, step, parallel, body } => {
+            let kw = if *parallel { "parloop" } else { "loop" };
+            let _ = write!(out, "{kw} {var} = {lo} .. {hi}");
+            if !matches!(step, crate::expr::Expr::Num(n) if *n == 1.0) {
+                let _ = write!(out, " step {step}");
+            }
+            out.push_str(" {\n");
+            print_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        StmtKind::While { trips, body } => {
+            let _ = write!(out, "while trips({trips})");
+            out.push_str(" {\n");
+            print_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Branch { arms, else_body } => {
+            for (i, arm) in arms.iter().enumerate() {
+                if i > 0 {
+                    indent(depth, out);
+                    out.push_str("else ");
+                }
+                out.push_str("if ");
+                print_cond(&arm.cond, out);
+                out.push_str(" {\n");
+                print_block(&arm.body, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+            if let Some(e) = else_body {
+                indent(depth, out);
+                out.push_str("else {\n");
+                print_block(e, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::Call { func, args } => {
+            let _ = write!(out, "call {func}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{a}");
+            }
+            out.push_str(")\n");
+        }
+        StmtKind::LibCall { func, calls, work } => {
+            if matches!(work, crate::expr::Expr::Num(n) if *n == 1.0) {
+                let _ = writeln!(out, "lib {func}({calls})");
+            } else {
+                let _ = writeln!(out, "lib {func}({calls}, {work})");
+            }
+        }
+        StmtKind::Return { prob } => print_exit(out, "return", prob),
+        StmtKind::Break { prob } => print_exit(out, "break", prob),
+        StmtKind::Continue { prob } => print_exit(out, "continue", prob),
+    }
+}
+
+fn print_exit(out: &mut String, kw: &str, prob: &crate::expr::Expr) {
+    if matches!(prob, crate::expr::Expr::Num(n) if *n == 1.0) {
+        let _ = writeln!(out, "{kw}");
+    } else {
+        let _ = writeln!(out, "{kw} prob({prob})");
+    }
+}
+
+fn print_cond(c: &Cond, out: &mut String) {
+    match c {
+        Cond::Prob(p) => {
+            let _ = write!(out, "prob({p})");
+        }
+        Cond::Cmp { lhs, op, rhs } => {
+            let _ = write!(out, "({lhs} {} {rhs})", op.symbol());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"
+func main() {
+  let n = N
+  @outer: loop i = 0 .. n {
+    comp { flops: 4, iops: 2, loads: 3, stores: 1 }
+    if prob(0.3) {
+      call foo(n, i)
+    } else if (i < 10) {
+      comp { flops: 1 }
+    } else {
+      lib exp(1, n)
+    }
+  }
+  while trips(n * 2) {
+    comp { iops: 1, divs: 1, bytes: 4 }
+    break prob(0.25)
+  }
+  return
+}
+
+func foo(m, k) {
+  loop j = 0 .. m step 2 {
+    comp { flops: 8, loads: 2, stores: 1 }
+    continue prob(0.5)
+  }
+}
+"#;
+
+    #[test]
+    fn round_trip_is_identical() {
+        let p1 = parse(SRC).unwrap();
+        let text = print(&p1);
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p1, p2, "printed text:\n{text}");
+    }
+
+    #[test]
+    fn round_trip_is_fixed_point() {
+        let p1 = parse(SRC).unwrap();
+        let t1 = print(&p1);
+        let t2 = print(&parse(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn default_fields_are_omitted() {
+        let p = parse("func main() { comp { flops: 2 } }").unwrap();
+        let text = print(&p);
+        assert!(text.contains("comp { flops: 2 }"), "{text}");
+        assert!(!text.contains("iops"), "{text}");
+    }
+
+    #[test]
+    fn empty_comp_prints_valid_syntax() {
+        let p = parse("func main() { comp { flops: 0 } }").unwrap();
+        let text = print(&p);
+        assert!(parse(&text).is_ok(), "{text}");
+    }
+}

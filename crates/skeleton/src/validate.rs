@@ -1,0 +1,282 @@
+//! Semantic validation of parsed skeletons.
+//!
+//! Validation catches modeling mistakes that would otherwise surface as
+//! confusing BET-construction failures: calls to undefined functions, arity
+//! mismatches, constant probabilities outside `[0, 1]`, negative constant
+//! operation counts, `break`/`continue` outside loops, and statically
+//! unbounded recursion (call cycles with no probabilistic or deterministic
+//! guard are reported as warnings since the BET builder depth-limits them).
+
+use crate::ast::*;
+use crate::error::ValidationError;
+use crate::expr::Expr;
+use std::collections::{HashMap, HashSet};
+
+/// Validate a program; returns all problems found (empty = valid).
+pub fn validate(prog: &Program) -> Vec<ValidationError> {
+    let mut errs = Vec::new();
+    if prog.main().is_none() {
+        errs.push(ValidationError { stmt: None, message: "program has no `main` function".into() });
+    }
+
+    let arities: HashMap<&str, usize> =
+        prog.functions.iter().map(|f| (f.name.as_str(), f.params.len())).collect();
+
+    for f in &prog.functions {
+        walk_block(&f.body, &arities, false, &mut errs);
+    }
+
+    // Call-graph cycle detection (self- or mutual recursion).
+    let graph = call_graph(prog);
+    for f in &prog.functions {
+        if reaches_itself(&f.name, &graph) {
+            errs.push(ValidationError {
+                stmt: None,
+                message: format!("function `{}` is (mutually) recursive; the BET builder will depth-limit it", f.name),
+            });
+        }
+    }
+    errs
+}
+
+fn call_graph(prog: &Program) -> HashMap<String, Vec<String>> {
+    let mut g: HashMap<String, Vec<String>> = HashMap::new();
+    for f in &prog.functions {
+        let mut callees = Vec::new();
+        collect_calls(&f.body, &mut callees);
+        g.insert(f.name.clone(), callees);
+    }
+    g
+}
+
+fn collect_calls(b: &Block, out: &mut Vec<String>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Call { func, .. } => out.push(func.clone()),
+            StmtKind::Loop { body, .. } | StmtKind::While { body, .. } => collect_calls(body, out),
+            StmtKind::Branch { arms, else_body } => {
+                for a in arms {
+                    collect_calls(&a.body, out);
+                }
+                if let Some(e) = else_body {
+                    collect_calls(e, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn reaches_itself(start: &str, g: &HashMap<String, Vec<String>>) -> bool {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<&str> = g.get(start).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default();
+    while let Some(n) = stack.pop() {
+        if n == start {
+            return true;
+        }
+        if seen.insert(n.to_string()) {
+            if let Some(next) = g.get(n) {
+                stack.extend(next.iter().map(String::as_str));
+            }
+        }
+    }
+    false
+}
+
+fn check_prob(e: &Expr, id: StmtId, what: &str, errs: &mut Vec<ValidationError>) {
+    if let Expr::Num(p) = e {
+        if !(0.0..=1.0).contains(p) {
+            errs.push(ValidationError {
+                stmt: Some(id),
+                message: format!("{what} probability {p} is outside [0, 1]"),
+            });
+        }
+    }
+}
+
+fn check_nonneg(e: &Expr, id: StmtId, what: &str, errs: &mut Vec<ValidationError>) {
+    if let Expr::Num(n) = e {
+        if *n < 0.0 {
+            errs.push(ValidationError { stmt: Some(id), message: format!("{what} count {n} is negative") });
+        }
+    }
+}
+
+fn walk_block(b: &Block, arities: &HashMap<&str, usize>, in_loop: bool, errs: &mut Vec<ValidationError>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Comp(ops) => {
+                check_nonneg(&ops.flops, s.id, "flops", errs);
+                check_nonneg(&ops.iops, s.id, "iops", errs);
+                check_nonneg(&ops.loads, s.id, "loads", errs);
+                check_nonneg(&ops.stores, s.id, "stores", errs);
+                check_nonneg(&ops.divs, s.id, "divs", errs);
+                if let Expr::Num(b) = &ops.dtype_bytes {
+                    if *b <= 0.0 {
+                        errs.push(ValidationError {
+                            stmt: Some(s.id),
+                            message: format!("dtype bytes {b} must be positive"),
+                        });
+                    }
+                }
+            }
+            StmtKind::Call { func, args } => match arities.get(func.as_str()) {
+                None => errs.push(ValidationError {
+                    stmt: Some(s.id),
+                    message: format!("call to undefined function `{func}` (use `lib {func}(…)` for library code)"),
+                }),
+                Some(&n) if n != args.len() => errs.push(ValidationError {
+                    stmt: Some(s.id),
+                    message: format!("`{func}` takes {n} argument(s), call passes {}", args.len()),
+                }),
+                _ => {}
+            },
+            StmtKind::LibCall { calls, work, .. } => {
+                check_nonneg(calls, s.id, "lib call", errs);
+                check_nonneg(work, s.id, "lib work", errs);
+            }
+            StmtKind::Return { prob } => check_prob(prob, s.id, "return", errs),
+            StmtKind::Break { prob } => {
+                check_prob(prob, s.id, "break", errs);
+                if !in_loop {
+                    errs.push(ValidationError { stmt: Some(s.id), message: "`break` outside of a loop".into() });
+                }
+            }
+            StmtKind::Continue { prob } => {
+                check_prob(prob, s.id, "continue", errs);
+                if !in_loop {
+                    errs.push(ValidationError { stmt: Some(s.id), message: "`continue` outside of a loop".into() });
+                }
+            }
+            StmtKind::Loop { body, step, .. } => {
+                if let Expr::Num(st) = step {
+                    if *st <= 0.0 {
+                        errs.push(ValidationError {
+                            stmt: Some(s.id),
+                            message: format!("loop step {st} must be positive"),
+                        });
+                    }
+                }
+                walk_block(body, arities, true, errs);
+            }
+            StmtKind::While { trips, body } => {
+                check_nonneg(trips, s.id, "while trips", errs);
+                walk_block(body, arities, true, errs);
+            }
+            StmtKind::Branch { arms, else_body } => {
+                let mut const_prob_sum = 0.0;
+                let mut all_const = true;
+                for arm in arms {
+                    match &arm.cond {
+                        Cond::Prob(p) => {
+                            check_prob(p, s.id, "branch", errs);
+                            if let Expr::Num(v) = p {
+                                const_prob_sum += v;
+                            } else {
+                                all_const = false;
+                            }
+                        }
+                        Cond::Cmp { .. } => all_const = false,
+                    }
+                    walk_block(&arm.body, arities, in_loop, errs);
+                }
+                if all_const && const_prob_sum > 1.0 + 1e-9 {
+                    errs.push(ValidationError {
+                        stmt: Some(s.id),
+                        message: format!("branch arm probabilities sum to {const_prob_sum} > 1"),
+                    });
+                }
+                if let Some(e) = else_body {
+                    walk_block(e, arities, in_loop, errs);
+                }
+            }
+            StmtKind::Let { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn errors(src: &str) -> Vec<String> {
+        validate(&parse(src).unwrap()).into_iter().map(|e| e.message).collect()
+    }
+
+    #[test]
+    fn valid_program_is_clean() {
+        let errs = errors(
+            "func main() { loop i = 0 .. 10 { comp { flops: 1 } break prob(0.1) } call foo(3) } func foo(x) { }",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_main_detected() {
+        let errs = errors("func notmain() { }");
+        assert!(errs.iter().any(|m| m.contains("no `main`")));
+    }
+
+    #[test]
+    fn undefined_call_detected() {
+        let errs = errors("func main() { call ghost() }");
+        assert!(errs.iter().any(|m| m.contains("undefined function `ghost`")));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let errs = errors("func main() { call foo(1, 2) } func foo(x) { }");
+        assert!(errs.iter().any(|m| m.contains("takes 1 argument")));
+    }
+
+    #[test]
+    fn bad_probability_detected() {
+        let errs = errors("func main() { if prob(1.5) { comp { flops: 1 } } }");
+        assert!(errs.iter().any(|m| m.contains("outside [0, 1]")));
+    }
+
+    #[test]
+    fn probability_mass_overflow_detected() {
+        let errs = errors(
+            "func main() { switch { case prob(0.7) { comp{flops:1} } case prob(0.6) { comp{flops:1} } } }",
+        );
+        assert!(errs.iter().any(|m| m.contains("sum to")));
+    }
+
+    #[test]
+    fn break_outside_loop_detected() {
+        let errs = errors("func main() { break }");
+        assert!(errs.iter().any(|m| m.contains("`break` outside")));
+    }
+
+    #[test]
+    fn continue_outside_loop_detected() {
+        let errs = errors("func main() { continue }");
+        assert!(errs.iter().any(|m| m.contains("`continue` outside")));
+    }
+
+    #[test]
+    fn break_inside_branch_inside_loop_is_fine() {
+        let errs = errors("func main() { loop i = 0 .. 5 { if prob(0.5) { break } } }");
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn negative_counts_detected() {
+        let errs = errors("func main() { comp { flops: -1 } }");
+        assert!(errs.iter().any(|m| m.contains("negative")));
+    }
+
+    #[test]
+    fn zero_step_detected() {
+        let errs = errors("func main() { loop i = 0 .. 5 step 0 { comp { flops: 1 } } }");
+        assert!(errs.iter().any(|m| m.contains("step 0")));
+    }
+
+    #[test]
+    fn recursion_flagged() {
+        let errs = errors("func main() { call f() } func f() { call g() } func g() { call f() }");
+        assert!(errs.iter().any(|m| m.contains("recursive")));
+    }
+}

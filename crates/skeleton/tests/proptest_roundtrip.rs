@@ -1,0 +1,198 @@
+//! Property tests: printing any well-formed program and re-parsing it must
+//! reproduce the identical AST (print∘parse is the identity on canonical
+//! programs), and static counts must be stable under the round trip.
+
+use proptest::prelude::*;
+use xflow_skeleton::ast::*;
+use xflow_skeleton::expr::{BinOp, CmpOp, Expr};
+use xflow_skeleton::{parse, print, static_counts};
+
+const KEYWORDS: &[&str] = &[
+    "func", "comp", "let", "loop", "parloop", "step", "while", "trips", "if", "else", "prob", "switch", "case",
+    "default", "call", "lib", "return", "break", "continue", "flops", "iops", "loads", "stores", "divs",
+    "bytes", "min", "max", "ceil", "floor", "pow", "abs", "sqrt", "log2",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn literal() -> impl Strategy<Value = f64> {
+    // Values whose Display output re-parses exactly: small integers and
+    // dyadic fractions.
+    prop_oneof![
+        (0i64..10_000).prop_map(|v| v as f64),
+        (0i64..1000).prop_map(|v| v as f64 / 8.0),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal().prop_map(Expr::Num), ident().prop_map(Expr::Var)];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+                Just(BinOp::Mod)
+            ])
+                .prop_map(|(l, r, op)| Expr::Binary(Box::new(l), op, Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Call("min".into(), vec![a, b])),
+            inner.clone().prop_map(|e| Expr::Call("ceil".into(), vec![e])),
+            inner.prop_map(|e| Expr::Neg(Box::new(match e {
+                // printer+parser fold `-literal`; avoid Neg(Num) in the AST
+                Expr::Num(n) => Expr::Var(format!("v{}", (n as i64).rem_euclid(7))),
+                other => other,
+            }))),
+        ]
+    })
+}
+
+fn prob_expr() -> impl Strategy<Value = Expr> {
+    (0u32..=8).prop_map(|n| Expr::Num(n as f64 / 8.0))
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        prob_expr().prop_map(Cond::Prob),
+        (expr(), expr(), prop_oneof![
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne)
+        ])
+            .prop_map(|(lhs, rhs, op)| Cond::Cmp { lhs, op, rhs }),
+    ]
+}
+
+fn op_stats() -> impl Strategy<Value = OpStats> {
+    (expr(), expr(), expr(), expr()).prop_map(|(flops, iops, loads, stores)| OpStats {
+        flops,
+        iops,
+        loads,
+        stores,
+        divs: Expr::Num(0.0),
+        dtype_bytes: Expr::Num(8.0),
+    })
+}
+
+/// Statement kind without ids (ids are assigned when assembling the program).
+#[derive(Debug, Clone)]
+enum GenStmt {
+    Comp(OpStats),
+    Let(String, Expr),
+    Loop(String, Expr, Expr, Vec<GenStmt>),
+    While(Expr, Vec<GenStmt>),
+    Branch(Vec<(Cond, Vec<GenStmt>)>, Option<Vec<GenStmt>>),
+    Call(String, Vec<Expr>),
+    Lib(String, Expr),
+    Return(Expr),
+    Break(Expr),
+    Continue(Expr),
+}
+
+fn gen_stmt() -> impl Strategy<Value = GenStmt> {
+    let leaf = prop_oneof![
+        op_stats().prop_map(GenStmt::Comp),
+        (ident(), expr()).prop_map(|(v, e)| GenStmt::Let(v, e)),
+        (ident(), prop::collection::vec(expr(), 0..3)).prop_map(|(f, a)| GenStmt::Call(format!("ext_{f}"), a)),
+        (prop_oneof![Just("exp"), Just("rand"), Just("sqrt")], expr())
+            .prop_map(|(f, c)| GenStmt::Lib(f.to_string(), c)),
+        prob_expr().prop_map(GenStmt::Return),
+        prob_expr().prop_map(GenStmt::Break),
+        prob_expr().prop_map(GenStmt::Continue),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..4);
+        prop_oneof![
+            (ident(), expr(), expr(), block.clone()).prop_map(|(v, lo, hi, b)| GenStmt::Loop(v, lo, hi, b)),
+            (expr(), block.clone()).prop_map(|(t, b)| GenStmt::While(t, b)),
+            (
+                prop::collection::vec((cond(), block.clone()), 1..3),
+                prop::option::of(block)
+            )
+                .prop_map(|(arms, e)| GenStmt::Branch(arms, e)),
+        ]
+    })
+}
+
+fn assemble_block(stmts: &[GenStmt], prog: &mut Program) -> Block {
+    let mut out = Vec::new();
+    for g in stmts {
+        let id = prog.fresh_stmt_id();
+        let kind = match g {
+            GenStmt::Comp(o) => StmtKind::Comp(o.clone()),
+            GenStmt::Let(v, e) => StmtKind::Let { var: v.clone(), value: e.clone() },
+            GenStmt::Loop(v, lo, hi, b) => StmtKind::Loop {
+                var: v.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                step: Expr::Num(1.0),
+                parallel: false,
+                body: assemble_block(b, prog),
+            },
+            GenStmt::While(t, b) => StmtKind::While { trips: t.clone(), body: assemble_block(b, prog) },
+            GenStmt::Branch(arms, e) => StmtKind::Branch {
+                arms: arms
+                    .iter()
+                    .map(|(c, b)| BranchArm { cond: c.clone(), body: assemble_block(b, prog) })
+                    .collect(),
+                else_body: e.as_ref().map(|b| assemble_block(b, prog)),
+            },
+            GenStmt::Call(f, a) => StmtKind::Call { func: f.clone(), args: a.clone() },
+            GenStmt::Lib(f, c) => StmtKind::LibCall { func: f.clone(), calls: c.clone(), work: Expr::Num(1.0) },
+            GenStmt::Return(p) => StmtKind::Return { prob: p.clone() },
+            GenStmt::Break(p) => StmtKind::Break { prob: p.clone() },
+            GenStmt::Continue(p) => StmtKind::Continue { prob: p.clone() },
+        };
+        out.push(Stmt { id, label: None, kind });
+    }
+    Block { stmts: out }
+}
+
+fn gen_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(prop::collection::vec(gen_stmt(), 0..6), 1..4).prop_map(|funcs| {
+        let mut prog = Program::new();
+        for (i, body) in funcs.iter().enumerate() {
+            let name = if i == 0 { "main".to_string() } else { format!("fn_{i}") };
+            let body = assemble_block(body, &mut prog);
+            prog.add_function(Function { id: FuncId(0), name, params: vec![], body }).unwrap();
+        }
+        prog
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_round_trip(prog in gen_program()) {
+        let text = print(&prog);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        prop_assert_eq!(&prog, &reparsed, "text was:\n{}", text);
+    }
+
+    #[test]
+    fn print_is_fixed_point(prog in gen_program()) {
+        let t1 = print(&prog);
+        let t2 = print(&parse(&t1).unwrap());
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn static_counts_stable_under_round_trip(prog in gen_program()) {
+        let c1 = static_counts(&prog);
+        let c2 = static_counts(&parse(&print(&prog)).unwrap());
+        prop_assert!((c1.total() - c2.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn statement_count_matches_id_allocation(prog in gen_program()) {
+        // ids are allocated densely: visiting must see exactly stmt_count ids.
+        prop_assert_eq!(prog.source_statement_count() as u32, prog.stmt_count());
+    }
+}

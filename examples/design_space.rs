@@ -1,0 +1,80 @@
+//! Software-hardware co-design: sweep hardware parameters and watch hot
+//! spots and bottlenecks shift — the use case that motivates the paper.
+//!
+//! The sweep varies sustainable memory bandwidth and memory-level
+//! parallelism (outstanding misses) around the generic machine and reports,
+//! for each design point, the projected time of CFD and which block is the
+//! bottleneck. CFD's face-flux gather is latency-bound — MLP is the lever
+//! that moves it, and once it is cheap the bottleneck migrates to the
+//! compute blocks. Design points are evaluated in parallel with crossbeam's
+//! scoped threads.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use crossbeam::thread;
+use xflow::{generic, MachineBuilder, ModeledApp, Scale};
+
+fn main() {
+    let w = xflow_workloads::cfd();
+    // evaluation scale: the solver kernels dominate the one-time setup
+    let app = ModeledApp::from_workload(&w, Scale::Eval).expect("pipeline");
+
+    let bw_points = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let mlp_points = [2.0, 4.0, 8.0, 16.0, 32.0];
+
+    println!("workload: {} — projected total seconds per design point", w.name);
+    println!("(rows: GB/s per core; columns: memory-level parallelism)\n");
+    print!("{:>8} ", "bw\\mlp");
+    for f in mlp_points {
+        print!("{f:>12} ");
+    }
+    println!();
+
+    // evaluate the grid in parallel: every design point is independent
+    let mut grid = vec![vec![(0.0f64, String::new()); mlp_points.len()]; bw_points.len()];
+    thread::scope(|scope| {
+        let app = &app;
+        for (bi, row) in grid.iter_mut().enumerate() {
+            let bw = bw_points[bi];
+            scope.spawn(move |_| {
+                for (fi, cell) in row.iter_mut().enumerate() {
+                    let m = MachineBuilder::from(generic())
+                        .name("design")
+                        .dram_bw_gbs(bw)
+                        .mlp(mlp_points[fi])
+                        .build();
+                    let mp = app.project_on(&m);
+                    let top = mp.ranking()[0];
+                    let b = &mp.unit_breakdown[&top];
+                    let tag = if b.tm > b.tc { "M" } else { "C" };
+                    *cell = (mp.total, format!("{}({tag})", app.units.name(top)));
+                }
+            });
+        }
+    })
+    .expect("scoped threads");
+
+    for (bi, row) in grid.iter().enumerate() {
+        print!("{:>8} ", format!("{}GB/s", bw_points[bi]));
+        for (t, _) in row {
+            print!("{t:>12.3e} ");
+        }
+        println!();
+    }
+
+    println!("\ntop hot spot and its bound (C = compute, M = memory) per design point:\n");
+    for (bi, row) in grid.iter().enumerate() {
+        print!("{:>8} ", format!("{}GB/s", bw_points[bi]));
+        for (_, name) in row {
+            print!("{name:>24} ");
+        }
+        println!();
+    }
+
+    println!("\n→ the time surface falls along the bandwidth × MLP diagonal and");
+    println!("  saturates once the latency-bound flux gather is fully overlapped;");
+    println!("  spending on either resource beyond the frontier buys nothing —");
+    println!("  that frontier is the balanced memory system for this workload.");
+}

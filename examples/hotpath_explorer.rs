@@ -1,0 +1,59 @@
+//! Hot path explorer: print the merged hot path — with trip counts, branch
+//! probabilities, repetition counts, and context values — for any built-in
+//! workload on any built-in machine (paper Section V-C, Figure 9).
+//!
+//! ```sh
+//! cargo run --release --example hotpath_explorer -- [workload] [machine]
+//! cargo run --release --example hotpath_explorer -- sord bgq
+//! cargo run --release --example hotpath_explorer -- chargei xeon
+//! ```
+
+use xflow::{bgq, xeon, ModeledApp, Scale, EVAL_CRITERIA};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wname = args.get(1).map(String::as_str).unwrap_or("sord").to_lowercase();
+    let mname = args.get(2).map(String::as_str).unwrap_or("bgq").to_lowercase();
+
+    let w = match xflow_workloads::all().into_iter().find(|w| w.name.to_lowercase() == wname) {
+        Some(w) => w,
+        None => {
+            eprintln!(
+                "unknown workload `{wname}`; available: {}",
+                xflow_workloads::all().iter().map(|w| w.name.to_lowercase()).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(1);
+        }
+    };
+    let machine = match mname.as_str() {
+        "bgq" | "bg/q" => bgq(),
+        "xeon" => xeon(),
+        other => {
+            eprintln!("unknown machine `{other}`; available: bgq, xeon");
+            std::process::exit(1);
+        }
+    };
+
+    println!("hot path of {} on {}\n", w.name, machine.name);
+    let app = ModeledApp::from_workload(&w, Scale::Test).expect("pipeline");
+    let mp = app.project_on(&machine);
+    let sel = mp.select(&app.units, EVAL_CRITERIA);
+
+    println!("selected hot spots:");
+    for s in &sel.spots {
+        let b = mp.unit_breakdown.get(&s.stmt);
+        let (tc, tm) = b.map(|b| (b.tc, b.tm)).unwrap_or((0.0, 0.0));
+        println!(
+            "  #{:<2} {:<26} {:>6.2}%  Tc {:>9.3e}s  Tm {:>9.3e}s  {}",
+            s.rank + 1,
+            app.units.name(s.stmt),
+            s.coverage * 100.0,
+            tc,
+            tm,
+            if tm > tc { "←memory" } else { "←compute" }
+        );
+    }
+
+    println!("\nmerged hot path (×N = expected trips, p = reaching probability):\n");
+    print!("{}", xflow::hot_path_report(&app, &sel));
+}

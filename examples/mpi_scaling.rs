@@ -1,0 +1,57 @@
+//! Multi-node scaling projection — the paper's future-work extension,
+//! applied to SORD the way its real MPI decomposition works: the 3-D grid
+//! splits along X, each rank exchanges two Y×Z faces of three velocity
+//! components per step.
+//!
+//! Projects strong scaling on a BG/Q torus and on an ideal network, showing
+//! where communication starts to dominate — without executing a single
+//! multi-node run.
+//!
+//! ```sh
+//! cargo run --release --example mpi_scaling
+//! ```
+
+use xflow::{bgq, format_scaling, project_scaling, BspSpec, InputSpec, ScalingKind};
+use xflow_hw::network::{bgq_torus, ideal};
+
+fn sord_spec() -> BspSpec {
+    BspSpec {
+        // strong scaling: the global NX splits across ranks; each rank
+        // carries two ghost planes so its *interior* (the `1 .. nx-1`
+        // compute loops) is exactly the global share
+        partition: Box::new(|base, ranks| {
+            let mut local = base.clone();
+            let nx = base.get_or("NX", 32.0);
+            local.set("NX", (nx / ranks as f64).max(2.0).round() + 2.0);
+            local
+        }),
+        steps: Box::new(|local| local.get_or("STEPS", 8.0)),
+        // two X-faces × NY×NZ cells × 3 velocity components × 8 bytes
+        halo_bytes: Box::new(|local| {
+            2.0 * local.get_or("NY", 20.0) * local.get_or("NZ", 20.0) * 3.0 * 8.0
+        }),
+    }
+}
+
+fn main() {
+    let w = xflow_workloads::sord();
+    let base = InputSpec::from_pairs([("NX", 64.0), ("NY", 20.0), ("NZ", 20.0), ("STEPS", 8.0)]);
+    let machine = bgq();
+    let ranks = [1u32, 2, 4, 8, 16];
+
+    println!("SORD strong scaling projection (global grid 64×20×20, 8 steps)\n");
+
+    for network in [bgq_torus(), ideal()] {
+        println!("--- network: {} ---", network.name);
+        let pts = project_scaling(w.source, &base, &machine, &network, &sord_spec(), &ranks, ScalingKind::Strong)
+            .expect("projection");
+        print!("{}", format_scaling(&pts));
+        println!();
+    }
+
+    println!("→ on the torus, halo latency+bytes stop paying off once the local");
+    println!("  slab gets thin; the ideal network isolates the algorithmic limit");
+    println!("  (the boundary/copy work that does not shrink with ranks).");
+    println!("  Each rank count above reused the same analysis pipeline — no");
+    println!("  multi-node execution, and analysis cost independent of grid size.");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: model a small program and find its hot spots on a machine
+//! that doesn't need to exist.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xflow::{bgq, Criteria, InputSpec, ModeledApp};
+
+const SRC: &str = r#"
+// A toy solver: initialize a grid, smooth it, occasionally renormalize.
+fn main() {
+    let n = input("N", 20000);
+    let a = zeros(n);
+    let b = zeros(n);
+
+    @init: for i in 0 .. n {
+        a[i] = rnd();
+    }
+
+    for t in 0 .. 20 {
+        @smooth: for i in 1 .. n - 1 {
+            b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+        }
+        @copy_back: for i in 0 .. n {
+            a[i] = b[i];
+        }
+        if t % 5 == 4 {
+            @renorm: for i in 0 .. n {
+                a[i] = a[i] / (1.0 + a[i] * a[i]);
+            }
+        }
+    }
+    print(a[n / 2]);
+}
+"#;
+
+fn main() {
+    // 1. model the application: parse, profile once locally, build the
+    //    skeleton, construct the Bayesian Execution Tree
+    let app = ModeledApp::from_source(SRC, &InputSpec::new()).expect("pipeline");
+
+    println!("skeleton statements : {}", app.translation.skeleton.source_statement_count());
+    println!("BET nodes           : {} (ratio {:.2})", app.bet.len(), app.bet_size_ratio());
+
+    // 2. project on a target machine — no execution on that machine
+    let machine = bgq();
+    let mp = app.project_on(&machine);
+    println!("\nprojected total on {}: {:.3e} s", machine.name, mp.total);
+
+    // 3. select hot spots and show the selection
+    // criteria are user knobs: ask for 90% coverage within half the code
+    let sel = mp.select(&app.units, Criteria { time_coverage: 0.9, code_leanness: 0.5 });
+    println!("\nhot spots (coverage {:.1}%, leanness {:.1}%):", sel.coverage() * 100.0, sel.leanness() * 100.0);
+    for s in &sel.spots {
+        println!(
+            "  #{:<2} {:<24} {:>10.3e} s  {:>6.2}%  {}",
+            s.rank + 1,
+            app.units.name(s.stmt),
+            s.time,
+            s.coverage * 100.0,
+            if mp.unit_breakdown.get(&s.stmt).map(|b| b.tm > b.tc).unwrap_or(false) {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            }
+        );
+    }
+
+    // 4. the hot path: how execution reaches the hot spots
+    println!("\nhot path:\n{}", xflow::hot_path_report(&app, &sel));
+}

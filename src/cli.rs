@@ -1,0 +1,440 @@
+//! Command-line interface logic for the `xflow` binary.
+//!
+//! Commands mirror the workflow of the paper: generate the skeleton, build
+//! the BET, project hot spots on a target machine, extract the hot path,
+//! and (for validation) simulate the measured profile and compare.
+//!
+//! The entry point [`run`] is pure with respect to stdout — it returns the
+//! output text — so every command is unit-testable.
+
+use crate::{bgq, compare, generic, knl, xeon, Criteria, InputSpec, MachineModel, ModeledApp};
+use std::fmt::Write as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+xflow — analytical hot spot projection for software-hardware co-design
+
+USAGE:
+    xflow <COMMAND> [OPTIONS]
+
+COMMANDS:
+    hotspots <FILE>   project hot spots of a minilang program on a machine
+    hotpath  <FILE>   print the merged hot path with contexts
+    miniapp  <FILE>   emit a mini-application skeleton of the hot region
+    skeleton <FILE>   print the generated code skeleton (SKOPE-style)
+    bet      <FILE>   print BET statistics (nodes, size ratio, warnings)
+    simulate <FILE>   run the ground-truth simulator (measured profile)
+    compare  <FILE>   side-by-side projected vs measured hot spots
+    machines          list the built-in machine models
+
+OPTIONS:
+    --machine <bgq|xeon|knl|generic>  target machine     [default: bgq]
+    --machine-file <FILE.json>     load a custom machine model from JSON
+    --input NAME=VALUE             set a program input (repeatable)
+    --coverage <0..1>              time-coverage criterion [default: 0.9]
+    --leanness <0..1>              code-leanness criterion [default: 0.25]
+    --top <N>                      rows to print           [default: 10]
+";
+
+/// A parsed invocation.
+struct Invocation {
+    command: String,
+    file: Option<String>,
+    machine: MachineModel,
+    inputs: InputSpec,
+    criteria: Criteria,
+    top: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut it = args.iter();
+    let command = it.next().cloned().ok_or_else(|| USAGE.to_string())?;
+    let mut inv = Invocation {
+        command,
+        file: None,
+        machine: bgq(),
+        inputs: InputSpec::new(),
+        criteria: Criteria { time_coverage: 0.9, code_leanness: 0.25 },
+        top: 10,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                let v = it.next().ok_or("--machine needs a value")?;
+                inv.machine = match v.to_lowercase().as_str() {
+                    "bgq" | "bg/q" => bgq(),
+                    "xeon" => xeon(),
+                    "knl" => knl(),
+                    "generic" => generic(),
+                    other => return Err(format!("unknown machine `{other}` (bgq, xeon, knl, generic)")),
+                };
+            }
+            "--machine-file" => {
+                let v = it.next().ok_or("--machine-file needs a path")?;
+                let text = std::fs::read_to_string(v).map_err(|e| format!("cannot read {v}: {e}"))?;
+                let m: MachineModel =
+                    serde_json::from_str(&text).map_err(|e| format!("bad machine JSON in {v}: {e}"))?;
+                let errs = m.validate();
+                if !errs.is_empty() {
+                    return Err(format!("invalid machine model in {v}: {errs:?}"));
+                }
+                inv.machine = m;
+            }
+            "--input" => {
+                let v = it.next().ok_or("--input needs NAME=VALUE")?;
+                let (k, val) = v.split_once('=').ok_or_else(|| format!("bad --input `{v}`, expected NAME=VALUE"))?;
+                let val: f64 = val.parse().map_err(|_| format!("bad value in --input `{v}`"))?;
+                inv.inputs.set(k, val);
+            }
+            "--coverage" => {
+                let v = it.next().ok_or("--coverage needs a value")?;
+                inv.criteria.time_coverage = v.parse().map_err(|_| format!("bad --coverage `{v}`"))?;
+            }
+            "--leanness" => {
+                let v = it.next().ok_or("--leanness needs a value")?;
+                inv.criteria.code_leanness = v.parse().map_err(|_| format!("bad --leanness `{v}`"))?;
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                inv.top = v.parse().map_err(|_| format!("bad --top `{v}`"))?;
+            }
+            other if inv.file.is_none() && !other.starts_with("--") => inv.file = Some(other.to_string()),
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(inv)
+}
+
+/// Execute a CLI invocation, returning the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let inv = parse_args(args)?;
+    if inv.command == "machines" {
+        return Ok(machines_text());
+    }
+    if inv.command == "help" || inv.command == "--help" {
+        return Ok(USAGE.to_string());
+    }
+    let file = inv.file.clone().ok_or_else(|| format!("`{}` needs a FILE argument\n\n{USAGE}", inv.command))?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    run_on_source(&inv, &src)
+}
+
+fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
+    match inv.command.as_str() {
+        "skeleton" => {
+            let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
+            let prof = crate::xflow_minilang::profile(&prog, &inv.inputs).map_err(|e| e.to_string())?;
+            let t = crate::xflow_minilang::translate(&prog, &prof)?;
+            let mut out = crate::xflow_skeleton::print(&t.skeleton);
+            if !t.warnings.is_empty() {
+                out.push_str("\n# translation notes:\n");
+                for w in &t.warnings {
+                    let _ = writeln!(out, "#   {w}");
+                }
+            }
+            Ok(out)
+        }
+        "bet" => {
+            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(out, "skeleton statements : {}", app.translation.skeleton.source_statement_count());
+            let _ = writeln!(out, "BET nodes           : {}", app.bet.len());
+            let _ = writeln!(out, "size ratio          : {:.2}", app.bet_size_ratio());
+            let enr = app.bet.enr();
+            let max = enr.iter().cloned().fold(0.0f64, f64::max);
+            let _ = writeln!(out, "max ENR             : {max:.3e}");
+            for w in &app.bet.warnings {
+                let _ = writeln!(out, "warning: {w}");
+            }
+            Ok(out)
+        }
+        "hotspots" => {
+            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let mp = app.project_on(&inv.machine);
+            let sel = mp.select(&app.units, inv.criteria);
+            let mut out = String::new();
+            let _ = writeln!(out, "machine: {}   projected total: {:.3e} s", inv.machine.name, mp.total);
+            let _ = writeln!(
+                out,
+                "selection: {} spots, coverage {:.1}%, leanness {:.1}%\n",
+                sel.spots.len(),
+                sel.coverage() * 100.0,
+                sel.leanness() * 100.0
+            );
+            let _ = writeln!(out, "{:<4} {:<28} {:>12} {:>8} {:>10}", "#", "block", "time (s)", "cov %", "bound");
+            for s in sel.spots.iter().take(inv.top) {
+                let bound = mp
+                    .unit_breakdown
+                    .get(&s.stmt)
+                    .map(|b| if b.tm > b.tc { "memory" } else { "compute" })
+                    .unwrap_or("-");
+                let _ = writeln!(
+                    out,
+                    "{:<4} {:<28} {:>12.3e} {:>7.2}% {:>10}",
+                    s.rank + 1,
+                    app.units.name(s.stmt),
+                    s.time,
+                    s.coverage * 100.0,
+                    bound
+                );
+            }
+            Ok(out)
+        }
+        "hotpath" => {
+            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let mp = app.project_on(&inv.machine);
+            let sel = mp.select(&app.units, inv.criteria);
+            Ok(crate::hot_path_report(&app, &sel))
+        }
+        "miniapp" => {
+            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let mp = app.project_on(&inv.machine);
+            let sel = mp.select(&app.units, inv.criteria);
+            let mini = crate::build_miniapp(&app, &sel);
+            let mut out = format!(
+                "# mini-application extracted from the hot path ({} spots, {:.1}% coverage on {})
+",
+                sel.spots.len(),
+                sel.coverage() * 100.0,
+                inv.machine.name
+            );
+            out.push_str(&crate::xflow_skeleton::print(&mini));
+            Ok(out)
+        }
+        "simulate" => {
+            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let measured = app.measure_on(None, &inv.machine).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "machine: {}   measured total: {:.3e} s ({:.3e} cycles)",
+                inv.machine.name,
+                measured.total(),
+                measured.report.total_cycles
+            );
+            let _ = writeln!(
+                out,
+                "L1 hit rate: {:.1}%   LLC hit rate: {:.1}%   DRAM bytes: {}\n",
+                measured.report.l1_hit_rate * 100.0,
+                measured.report.llc_hit_rate * 100.0,
+                measured.report.dram_bytes
+            );
+            let _ = writeln!(out, "{:<4} {:<28} {:>12} {:>8} {:>8}", "#", "block", "time (s)", "cov %", "IPC");
+            let total = measured.total().max(1e-300);
+            for (i, &unit) in measured.ranking().iter().take(inv.top).enumerate() {
+                let t = measured.unit_times[&unit];
+                let _ = writeln!(
+                    out,
+                    "{:<4} {:<28} {:>12.3e} {:>7.2}% {:>8.2}",
+                    i + 1,
+                    app.units.name(unit),
+                    t,
+                    t / total * 100.0,
+                    measured.issue_rate(unit)
+                );
+            }
+            Ok(out)
+        }
+        "compare" => {
+            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let mp = app.project_on(&inv.machine);
+            let measured = app.measure_on(None, &inv.machine).map_err(|e| e.to_string())?;
+            let cmp = compare(&mp, &measured, inv.top);
+            let mut out = cmp.format_table(&app.units, inv.top);
+            let _ = writeln!(
+                out,
+                "\ntop-{} overlap: {}/{}   Q({}) = {:.1}%",
+                inv.top,
+                cmp.top_k_overlap(inv.top),
+                inv.top,
+                inv.top.min(5),
+                cmp.quality_at(inv.top.min(5)) * 100.0
+            );
+            Ok(out)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn machines_text() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<9} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7}",
+        "name", "GHz", "cores", "issue", "lanes", "L1 KB", "LLC MB", "GB/s", "veff"
+    );
+    for m in [bgq(), xeon(), knl(), generic()] {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>6.1} {:>6} {:>7} {:>7} {:>9} {:>9.1} {:>9.2} {:>7.2}",
+            m.name,
+            m.freq_ghz,
+            m.cores,
+            m.issue_width,
+            m.vector_lanes,
+            m.l1.size_bytes / 1024,
+            m.llc.size_bytes as f64 / (1024.0 * 1024.0),
+            m.dram_bw_gbs,
+            m.vector_efficiency
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    const DEMO: &str = r#"
+fn main() {
+    let n = input("N", 512);
+    let a = zeros(n);
+    @fill: for i in 0 .. n { a[i] = rnd(); }
+    @sum: for i in 0 .. n { a[0] = a[0] + a[i] * a[i]; }
+    print(a[0]);
+}
+"#;
+
+    fn with_demo_file(f: impl FnOnce(&str)) {
+        let dir = std::env::temp_dir().join(format!("xflow-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.ml");
+        std::fs::write(&path, DEMO).unwrap();
+        f(path.to_str().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn machines_listing() {
+        let out = run(&args(&["machines"])).unwrap();
+        assert!(out.contains("BG/Q"));
+        assert!(out.contains("Xeon"));
+        assert!(out.contains("generic"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&args(&["frobnicate", "x.ml"])).unwrap_err();
+        assert!(err.contains("unknown command") || err.contains("cannot read"));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = run(&args(&["hotspots"])).unwrap_err();
+        assert!(err.contains("needs a FILE"));
+    }
+
+    #[test]
+    fn unreadable_file_errors() {
+        let err = run(&args(&["hotspots", "/nonexistent/x.ml"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn hotspots_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["hotspots", path, "--machine", "xeon", "--top", "3"])).unwrap();
+            assert!(out.contains("Xeon"), "{out}");
+            assert!(out.contains("sum") || out.contains("fill") || out.contains("lib:rand"), "{out}");
+        });
+    }
+
+    #[test]
+    fn skeleton_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["skeleton", path])).unwrap();
+            assert!(out.contains("func main()"), "{out}");
+            assert!(out.contains("loop i = 0 .. n"), "{out}");
+            assert!(out.contains("lib rand"), "{out}");
+        });
+    }
+
+    #[test]
+    fn bet_stats_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["bet", path, "--input", "N=100000"])).unwrap();
+            assert!(out.contains("BET nodes"), "{out}");
+            assert!(out.contains("size ratio"), "{out}");
+        });
+    }
+
+    #[test]
+    fn simulate_and_compare_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["simulate", path, "--machine", "bgq"])).unwrap();
+            assert!(out.contains("L1 hit rate"), "{out}");
+            let out = run(&args(&["compare", path])).unwrap();
+            assert!(out.contains("Prof (measured)"), "{out}");
+            assert!(out.contains("overlap"), "{out}");
+        });
+    }
+
+    #[test]
+    fn hotpath_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["hotpath", path])).unwrap();
+            assert!(out.contains("HOT #1"), "{out}");
+        });
+    }
+
+    #[test]
+    fn input_overrides_defaults() {
+        with_demo_file(|path| {
+            let small = run(&args(&["bet", path, "--input", "N=4"])).unwrap();
+            let large = run(&args(&["bet", path, "--input", "N=4000000"])).unwrap();
+            // identical structure — only max ENR changes
+            let nodes = |s: &str| s.lines().find(|l| l.contains("BET nodes")).unwrap().to_string();
+            assert_eq!(nodes(&small), nodes(&large));
+            assert_ne!(small, large);
+        });
+    }
+
+    #[test]
+    fn miniapp_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["miniapp", path, "--leanness", "0.6"])).unwrap();
+            assert!(out.contains("mini-application"), "{out}");
+            assert!(out.contains("func main()"), "{out}");
+            // the emitted skeleton is itself parseable
+            let body = out.lines().skip(1).collect::<Vec<_>>().join("\n");
+            assert!(crate::xflow_skeleton::parse(&body).is_ok(), "{body}");
+        });
+    }
+
+    #[test]
+    fn machine_file_loads_custom_model() {
+        with_demo_file(|path| {
+            let dir = std::path::Path::new(path).parent().unwrap();
+            let mfile = dir.join("machine.json");
+            let mut m = crate::generic();
+            m.name = "custom-9000".into();
+            std::fs::write(&mfile, serde_json::to_string(&m).unwrap()).unwrap();
+            let out =
+                run(&args(&["hotspots", path, "--machine-file", mfile.to_str().unwrap()])).unwrap();
+            assert!(out.contains("custom-9000"), "{out}");
+            // invalid model rejected
+            m.freq_ghz = -1.0;
+            std::fs::write(&mfile, serde_json::to_string(&m).unwrap()).unwrap();
+            let err = run(&args(&["hotspots", path, "--machine-file", mfile.to_str().unwrap()]))
+                .unwrap_err();
+            assert!(err.contains("invalid machine model"), "{err}");
+        });
+    }
+
+    #[test]
+    fn bad_options_error_cleanly() {
+        assert!(run(&args(&["hotspots", "f.ml", "--machine", "cray"])).is_err());
+        assert!(run(&args(&["hotspots", "f.ml", "--input", "noequals"])).is_err());
+        assert!(run(&args(&["hotspots", "f.ml", "--definitely-not-an-option"])).is_err());
+    }
+}

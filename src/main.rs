@@ -1,0 +1,17 @@
+//! The `xflow` command-line tool: project hot spots, hot paths, and
+//! bottlenecks of minilang programs on parameterized machine models.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", xflow::cli::USAGE);
+        std::process::exit(2);
+    }
+    match xflow::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
