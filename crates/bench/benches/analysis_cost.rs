@@ -45,9 +45,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     g.bench_function("translate", |b| {
         b.iter(|| xflow_minilang::translate(black_box(&prog), black_box(&prof)).unwrap())
     });
-    g.bench_function("bet_build", |b| {
-        b.iter(|| xflow_bet::build(black_box(&tr.skeleton), black_box(&env)).unwrap())
-    });
+    g.bench_function("bet_build", |b| b.iter(|| xflow_bet::build(black_box(&tr.skeleton), black_box(&env)).unwrap()));
     g.bench_function("project", |b| {
         b.iter(|| xflow_hotspot::project(black_box(&bet), &machine, &xflow_hw::Roofline, &libs))
     });

@@ -3,17 +3,16 @@
 //! (perfect overlap), a divide-aware variant, and a full-vectorization
 //! variant, reporting selection quality per workload on BG/Q.
 
+use std::collections::HashMap;
 use xflow::{bgq, compare, ModeledApp};
 use xflow_bench::{maybe_write_json, opts, FigureData, TOP_K};
 use xflow_hw::{ClassicRoofline, DivAwareRoofline, PerfModel, RefinedModel, Roofline, VectorAwareRoofline};
-use std::collections::HashMap;
 
 fn main() {
     let opts = opts();
     let m = bgq();
     let refined = RefinedModel::default();
-    let models: [&dyn PerfModel; 5] =
-        [&Roofline, &ClassicRoofline, &DivAwareRoofline, &VectorAwareRoofline, &refined];
+    let models: [&dyn PerfModel; 5] = [&Roofline, &ClassicRoofline, &DivAwareRoofline, &VectorAwareRoofline, &refined];
     let libs = xflow_sim::calibrate_library(512);
 
     println!("=== model ablation on {} ===", m.name);
@@ -77,6 +76,7 @@ fn main() {
         "\nroofline+div recovers the CFD divide error; roofline+simd mainly\n\
          changes machines whose compilers vectorize beyond the model's default."
     );
-    let data = FigureData { experiment: "ablation".into(), workload: "all".into(), machine: m.name.clone(), series, labels };
+    let data =
+        FigureData { experiment: "ablation".into(), workload: "all".into(), machine: m.name.clone(), series, labels };
     maybe_write_json(&opts, "ablation", &data);
 }

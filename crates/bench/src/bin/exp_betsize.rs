@@ -2,9 +2,9 @@
 //! for every benchmark — the paper reports an average of 88% and never more
 //! than 2×, independent of the input size.
 
+use std::collections::HashMap;
 use xflow::{ModeledApp, Scale};
 use xflow_bench::{maybe_write_json, opts, FigureData};
-use std::collections::HashMap;
 
 fn main() {
     let opts = opts();

@@ -3,8 +3,8 @@
 //! model's bottleneck classification (stalled pipelines and dense misses
 //! where the model projects memory-bound blocks).
 
-use xflow_bench::{eval_run, maybe_write_json, opts, workload, FigureData, TOP_K};
 use std::collections::HashMap;
+use xflow_bench::{eval_run, maybe_write_json, opts, workload, FigureData, TOP_K};
 
 fn main() {
     let opts = opts();
@@ -22,12 +22,8 @@ fn main() {
     for (i, &unit) in run.cmp.measured_ranking.iter().take(TOP_K).enumerate() {
         let ipc = run.measured.issue_rate(unit);
         let ipm = run.measured.instr_per_l1_miss(unit);
-        let bound = run
-            .mp
-            .unit_breakdown
-            .get(&unit)
-            .map(|b| if b.tm > b.tc { "memory" } else { "compute" })
-            .unwrap_or("-");
+        let bound =
+            run.mp.unit_breakdown.get(&unit).map(|b| if b.tm > b.tc { "memory" } else { "compute" }).unwrap_or("-");
         println!("{:<4} {:<26} {:>12.3} {:>16.1} {:>14}", i + 1, run.app.units.name(unit), ipc, ipm, bound);
         series.entry("issue_rate".into()).or_default().push(ipc);
         series.entry("instr_per_l1_miss".into()).or_default().push(ipm);
@@ -37,6 +33,7 @@ fn main() {
         "\nlow IPC together with few instructions per L1 miss marks the memory-\n\
          stalled spots — matching the blocks Figure 6 projects as memory-bound."
     );
-    let data = FigureData { experiment: "fig8".into(), workload: "SORD".into(), machine: m.name.clone(), series, labels };
+    let data =
+        FigureData { experiment: "fig8".into(), workload: "SORD".into(), machine: m.name.clone(), series, labels };
     maybe_write_json(&opts, "fig8", &data);
 }

@@ -1,8 +1,8 @@
 //! Figure 9: the SORD hot path on BG/Q — all control flow reaching the hot
 //! spots from main, with expected repetitions and branch probabilities.
 
-use xflow_bench::{eval_run, opts, workload};
 use xflow::EVAL_CRITERIA;
+use xflow_bench::{eval_run, opts, workload};
 
 fn main() {
     let opts = opts();

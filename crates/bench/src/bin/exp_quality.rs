@@ -2,14 +2,17 @@
 //! the selection size chosen by the criteria — the paper reports an average
 //! of 95.8% and no case below 80%.
 
+use std::collections::HashMap;
 use xflow::EVAL_CRITERIA;
 use xflow_bench::{eval_run, machines, maybe_write_json, opts, FigureData};
-use std::collections::HashMap;
 
 fn main() {
     let opts = opts();
     println!("=== selection quality summary (paper: mean 95.8%, min ≥ 80%) ===\n");
-    println!("{:<10} {:<8} {:>9} {:>12} {:>11} {:>9}", "workload", "machine", "Q(sel)", "sel size", "coverage", "overlap@10");
+    println!(
+        "{:<10} {:<8} {:>9} {:>12} {:>11} {:>9}",
+        "workload", "machine", "Q(sel)", "sel size", "coverage", "overlap@10"
+    );
     let mut all_q = Vec::new();
     let mut labels = Vec::new();
     for w in xflow_workloads::all() {
@@ -37,6 +40,7 @@ fn main() {
     let mut series: HashMap<String, Vec<f64>> = HashMap::new();
     series.insert("quality".into(), all_q);
     series.insert("summary_mean_min".into(), vec![mean, min]);
-    let data = FigureData { experiment: "quality".into(), workload: "all".into(), machine: "both".into(), series, labels };
+    let data =
+        FigureData { experiment: "quality".into(), workload: "all".into(), machine: "both".into(), series, labels };
     maybe_write_json(&opts, "quality", &data);
 }

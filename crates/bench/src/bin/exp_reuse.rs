@@ -15,10 +15,7 @@ fn main() {
     let run = eval_run(&w, &m, opts.scale);
 
     println!("=== §VII-C: cross-block cache reuse per SORD hot spot ({}) ===\n", m.name);
-    println!(
-        "{:<4} {:<26} {:>14} {:>14} {:>12}",
-        "#", "hot spot (measured)", "cross hits", "self hits", "cross share"
-    );
+    println!("{:<4} {:<26} {:>14} {:>14} {:>12}", "#", "hot spot (measured)", "cross hits", "self hits", "cross share");
 
     // aggregate per unit from the per-minilang-statement counters
     let mut cross: HashMap<xflow_skeleton::StmtId, u64> = HashMap::new();
@@ -40,14 +37,7 @@ fn main() {
         let c = cross.get(&unit).copied().unwrap_or(0);
         let o = own.get(&unit).copied().unwrap_or(0);
         let share = if c + o > 0 { c as f64 / (c + o) as f64 } else { 0.0 };
-        println!(
-            "{:<4} {:<26} {:>14} {:>14} {:>11.1}%",
-            i + 1,
-            run.app.units.name(unit),
-            c,
-            o,
-            share * 100.0
-        );
+        println!("{:<4} {:<26} {:>14} {:>14} {:>11.1}%", i + 1, run.app.units.name(unit), c, o, share * 100.0);
         series.entry("cross_share".into()).or_default().push(share);
         labels.push(run.app.units.name(unit));
     }

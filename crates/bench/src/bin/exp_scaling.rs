@@ -2,10 +2,10 @@
 //! input data size, while any execution-based approach (the simulator here,
 //! cycle-accurate simulation in general) scales at least linearly.
 
+use std::collections::HashMap;
 use std::time::Instant;
 use xflow::{bgq, initial_env, InputSpec};
 use xflow_bench::{maybe_write_json, opts, FigureData};
-use std::collections::HashMap;
 
 fn main() {
     let opts = opts();
@@ -19,11 +19,8 @@ fn main() {
     let mut model_times = Vec::new();
     let mut sim_times = Vec::new();
     let mut labels = Vec::new();
-    let sizes: &[f64] = if matches!(opts.scale, xflow::Scale::Test) {
-        &[16.0, 32.0, 64.0]
-    } else {
-        &[16.0, 32.0, 64.0, 128.0, 256.0]
-    };
+    let sizes: &[f64] =
+        if matches!(opts.scale, xflow::Scale::Test) { &[16.0, 32.0, 64.0] } else { &[16.0, 32.0, 64.0, 128.0, 256.0] };
     for &n in sizes {
         let inputs = InputSpec::from_pairs([("ROWS", n), ("COLS", n), ("SAMPLE", 8.0), ("ITERS", 2.0)]);
 
@@ -44,14 +41,7 @@ fn main() {
         let rep = xflow_sim::simulate(&prog, &inputs, &m, Default::default()).expect("simulate");
         let sim_dt = t1.elapsed();
 
-        println!(
-            "{:>8} {:>16.3?} {:>16} {:>16.3?} {:>12.2e}",
-            n,
-            model_dt,
-            bet.len(),
-            sim_dt,
-            rep.total_cycles
-        );
+        println!("{:>8} {:>16.3?} {:>16} {:>16.3?} {:>12.2e}", n, model_dt, bet.len(), sim_dt, rep.total_cycles);
         let _ = proj;
         model_times.push(model_dt.as_secs_f64());
         sim_times.push(sim_dt.as_secs_f64());
@@ -68,6 +58,7 @@ fn main() {
     let mut series: HashMap<String, Vec<f64>> = HashMap::new();
     series.insert("model_seconds".into(), model_times);
     series.insert("sim_seconds".into(), sim_times);
-    let data = FigureData { experiment: "scaling".into(), workload: "SRAD".into(), machine: m.name.clone(), series, labels };
+    let data =
+        FigureData { experiment: "scaling".into(), workload: "SRAD".into(), machine: m.name.clone(), series, labels };
     maybe_write_json(&opts, "scaling", &data);
 }

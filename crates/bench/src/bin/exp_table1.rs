@@ -25,13 +25,7 @@ fn main() {
         }
         let (qa, qb) = (&measured_rankings[0], &measured_rankings[1]);
         let shared = top_k_overlap(&qa.1, &qb.1, TOP_K);
-        let same_pos = qa
-            .1
-            .iter()
-            .zip(qb.1.iter())
-            .take(TOP_K)
-            .filter(|(a, b)| a == b)
-            .count();
+        let same_pos = qa.1.iter().zip(qb.1.iter()).take(TOP_K).filter(|(a, b)| a == b).count();
         println!(
             ">>> {}: measured top-10 set overlap {}↔{}: {shared}/10; same rank position: {same_pos}/10\n             >>> (paper: hot spot selections are not portable across machines)\n",
             w.name, qa.0, qb.0

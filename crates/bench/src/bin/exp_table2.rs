@@ -13,19 +13,15 @@ fn main() {
 
     println!("=== Table II: CFD hot spots on {} ===\n", m.name);
     println!(
-        "{:<4} {:<26} {:>11} {:>11} {:>9} {:>9}  {}",
-        "#", "block (measured order)", "meas (s)", "proj (s)", "meas %", "proj %", "bound"
+        "{:<4} {:<26} {:>11} {:>11} {:>9} {:>9}  bound",
+        "#", "block (measured order)", "meas (s)", "proj (s)", "meas %", "proj %"
     );
     let total_m = run.measured.total();
     for (i, &unit) in run.cmp.measured_ranking.iter().take(TOP_K).enumerate() {
         let tm = run.measured.unit_times.get(&unit).copied().unwrap_or(0.0);
         let tp = run.mp.unit_times.get(&unit).copied().unwrap_or(0.0);
-        let bound = run
-            .mp
-            .unit_breakdown
-            .get(&unit)
-            .map(|b| if b.tm > b.tc { "memory" } else { "compute" })
-            .unwrap_or("-");
+        let bound =
+            run.mp.unit_breakdown.get(&unit).map(|b| if b.tm > b.tc { "memory" } else { "compute" }).unwrap_or("-");
         println!(
             "{:<4} {:<26} {:>11.3e} {:>11.3e} {:>8.2}% {:>8.2}%  {}",
             i + 1,
@@ -39,11 +35,8 @@ fn main() {
     }
 
     // spotlight the velocity block (the paper's "offending" hot spot)
-    if let Some((&unit, _)) = run
-        .measured
-        .unit_times
-        .iter()
-        .find(|(u, _)| run.app.units.name(**u).starts_with("velocity"))
+    if let Some((&unit, _)) =
+        run.measured.unit_times.iter().find(|(u, _)| run.app.units.name(**u).starts_with("velocity"))
     {
         let meas = run.measured.unit_times[&unit] / total_m;
         let proj = run.mp.unit_times.get(&unit).copied().unwrap_or(0.0) / run.mp.total;

@@ -5,9 +5,23 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
-    "exp_table1", "exp_table2", "exp_fig4", "exp_fig5", "exp_fig6", "exp_fig7", "exp_fig8",
-    "exp_fig9", "exp_fig10", "exp_fig11", "exp_fig12", "exp_fig13", "exp_betsize", "exp_quality",
-    "exp_scaling", "exp_ablation", "exp_reuse",
+    "exp_table1",
+    "exp_table2",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_fig13",
+    "exp_betsize",
+    "exp_quality",
+    "exp_scaling",
+    "exp_ablation",
+    "exp_reuse",
 ];
 
 fn main() {

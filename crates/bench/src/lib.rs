@@ -211,10 +211,7 @@ pub fn breakdown_figure(fig: &str, workload_name: &str, machine: &MachineModel, 
     let w = workload(workload_name);
     let run = eval_run(&w, machine, opts.scale);
     println!("=== {fig}: projected time breakdown per {} hot spot on {} ===\n", w.name, machine.name);
-    println!(
-        "{:<4} {:<26} {:>11} {:>11} {:>11} {:>9}",
-        "#", "hot spot", "Tc (s)", "Tm (s)", "overlap (s)", "bound"
-    );
+    println!("{:<4} {:<26} {:>11} {:>11} {:>11} {:>9}", "#", "hot spot", "Tc (s)", "Tm (s)", "overlap (s)", "bound");
     let mut series: HashMap<String, Vec<f64>> = HashMap::new();
     let mut labels = Vec::new();
     for (i, &unit) in run.cmp.projected_ranking.iter().take(TOP_K).enumerate() {
@@ -237,11 +234,7 @@ pub fn breakdown_figure(fig: &str, workload_name: &str, machine: &MachineModel, 
         labels.push(run.app.units.name(unit));
     }
     let mem_share: f64 = {
-        let (tm, tot) = run
-            .mp
-            .unit_breakdown
-            .values()
-            .fold((0.0, 0.0), |acc, c| (acc.0 + c.tm, acc.1 + c.tc + c.tm));
+        let (tm, tot) = run.mp.unit_breakdown.values().fold((0.0, 0.0), |acc, c| (acc.0 + c.tm, acc.1 + c.tc + c.tm));
         tm / tot
     };
     println!("\nmemory share of total projected Tc+Tm: {:.1}%", mem_share * 100.0);

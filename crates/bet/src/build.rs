@@ -203,8 +203,7 @@ impl<'p> Builder<'p> {
                     }
                 }
                 sk::StmtKind::Call { func, args } => {
-                    let callee =
-                        self.prog.function(func).ok_or_else(|| BuildError::UnknownFunction(func.clone()))?;
+                    let callee = self.prog.function(func).ok_or_else(|| BuildError::UnknownFunction(func.clone()))?;
                     for ctx in ctxs.clone() {
                         if depth >= self.cfg.max_depth {
                             self.bet.warnings.push(format!(
@@ -282,17 +281,15 @@ impl<'p> Builder<'p> {
                             if arm_mass <= 1e-12 {
                                 continue;
                             }
-                            let node = self.make(
-                                parent,
-                                Some(stmt.id),
-                                BetKind::Arm { index: Some(i) },
-                                arm_mass,
-                                1.0,
-                                &ctx,
-                            );
+                            let node =
+                                self.make(parent, Some(stmt.id), BetKind::Arm { index: Some(i) }, arm_mass, 1.0, &ctx);
                             let arm_node = self.push(node)?;
-                            let (outs, esc) =
-                                self.build_block(&arm.body, arm_node, vec![Ctx { env: ctx.env.clone(), prob: 1.0 }], depth)?;
+                            let (outs, esc) = self.build_block(
+                                &arm.body,
+                                arm_node,
+                                vec![Ctx { env: ctx.env.clone(), prob: 1.0 }],
+                                depth,
+                            )?;
                             escape.brk += arm_mass * esc.brk;
                             escape.cont += arm_mass * esc.cont;
                             escape.ret += arm_mass * esc.ret;
@@ -305,8 +302,14 @@ impl<'p> Builder<'p> {
                         if else_mass > 1e-12 {
                             match else_body {
                                 Some(e) => {
-                                    let node =
-                                        self.make(parent, Some(stmt.id), BetKind::Arm { index: None }, else_mass, 1.0, &ctx);
+                                    let node = self.make(
+                                        parent,
+                                        Some(stmt.id),
+                                        BetKind::Arm { index: None },
+                                        else_mass,
+                                        1.0,
+                                        &ctx,
+                                    );
                                     let arm_node = self.push(node)?;
                                     let (outs, esc) = self.build_block(
                                         e,
@@ -402,8 +405,7 @@ impl<'p> Builder<'p> {
         if let Some((var, lo, hi, step)) = range {
             body_env.insert(var.to_string(), Value::Range { lo, hi, step });
         }
-        let (body_out, body_esc) =
-            self.build_block(body, loop_node, vec![Ctx { env: body_env, prob: 1.0 }], depth)?;
+        let (body_out, body_esc) = self.build_block(body, loop_node, vec![Ctx { env: body_env, prob: 1.0 }], depth)?;
 
         // breaks and returns shorten the expected trip count
         let exit_p = (body_esc.brk + body_esc.ret).clamp(0.0, 1.0);
@@ -412,11 +414,8 @@ impl<'p> Builder<'p> {
 
         // probability the loop is escaped via return (terminates the
         // function, not just the loop): promoted to the enclosing block
-        let ret_escape = if body_esc.ret > 0.0 {
-            1.0 - (1.0 - body_esc.ret.clamp(0.0, 1.0)).powf(eff_trips.max(1.0))
-        } else {
-            0.0
-        };
+        let ret_escape =
+            if body_esc.ret > 0.0 { 1.0 - (1.0 - body_esc.ret.clamp(0.0, 1.0)).powf(eff_trips.max(1.0)) } else { 0.0 };
         escape.ret += ctx.prob * ret_escape;
 
         // fall-through: variables assigned in one modeled pass persist; the
@@ -424,9 +423,10 @@ impl<'p> Builder<'p> {
         let survive = ctx.prob * (1.0 - ret_escape);
         if survive > 1e-12 {
             // merge body-out envs (weighted by their fall-through probability)
-            let mut env_after = match body_out.into_iter().max_by(|a, b| {
-                a.prob.partial_cmp(&b.prob).unwrap_or(std::cmp::Ordering::Equal)
-            }) {
+            let mut env_after = match body_out
+                .into_iter()
+                .max_by(|a, b| a.prob.partial_cmp(&b.prob).unwrap_or(std::cmp::Ordering::Equal))
+            {
                 Some(c) => c.env,
                 None => ctx.env.clone(),
             };
@@ -711,10 +711,8 @@ func main() {
   }
 }
 "#;
-        let sizes: Vec<usize> = [10.0, 1e3, 1e6, 1e9]
-            .iter()
-            .map(|&n| build_src(src, &[("n", 0.0), ("N", n)]).len())
-            .collect();
+        let sizes: Vec<usize> =
+            [10.0, 1e3, 1e6, 1e9].iter().map(|&n| build_src(src, &[("n", 0.0), ("N", n)]).len()).collect();
         assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
     }
 

@@ -28,11 +28,7 @@ impl Ctx {
 
     /// Snapshot of scalar values, sorted by name, for node reporting.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> = self
-            .env
-            .iter()
-            .map(|(k, val)| (k.clone(), val.expected()))
-            .collect();
+        let mut v: Vec<(String, f64)> = self.env.iter().map(|(k, val)| (k.clone(), val.expected())).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }

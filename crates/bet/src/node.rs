@@ -1,6 +1,7 @@
 //! BET node arena and derived quantities (ENR, size statistics).
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use xflow_skeleton::StmtId;
 
 /// Identifier of a node inside one [`Bet`] arena.
@@ -32,15 +33,25 @@ pub enum BetKind {
     /// The root: the mount of `main`.
     Root,
     /// A mounted function invocation (`call` site).
-    Call { func: String },
+    Call {
+        func: String,
+    },
     /// A loop with an expected trip count (stored in [`BetNode::iters`]).
     Loop,
     /// One branch arm (index within the branch, `None` = else).
-    Arm { index: Option<usize> },
+    Arm {
+        index: Option<usize>,
+    },
     /// A computation block with evaluated operation counts.
-    Comp { ops: ConcreteOps },
+    Comp {
+        ops: ConcreteOps,
+    },
     /// A library call with evaluated invocation count and per-call work.
-    Lib { func: String, calls: f64, work: f64 },
+    Lib {
+        func: String,
+        calls: f64,
+        work: f64,
+    },
     /// Early exit points, kept for hot-path context.
     Return,
     Break,
@@ -89,12 +100,17 @@ pub struct BetNode {
 }
 
 /// The Bayesian Execution Tree: an arena of nodes rooted at `main`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Bet {
     nodes: Vec<BetNode>,
     /// Modeling notes accumulated during construction (unknown branch
     /// probabilities, context merges, depth limits hit).
     pub warnings: Vec<String>,
+    /// Lazily computed ENR per node; reset by any structural mutation so
+    /// no caller can observe a stale derivation.
+    enr_cache: OnceLock<Vec<f64>>,
+    /// Lazily computed available parallelism per node.
+    par_cache: OnceLock<Vec<f64>>,
 }
 
 impl Bet {
@@ -105,6 +121,7 @@ impl Bet {
 
     /// Add a node, wiring it under its parent. Returns its id.
     pub fn push(&mut self, mut node: BetNode) -> BetNodeId {
+        self.invalidate_caches();
         let id = BetNodeId(self.nodes.len() as u32);
         node.id = id;
         if let Some(p) = node.parent {
@@ -124,9 +141,16 @@ impl Bet {
         &self.nodes[id.0 as usize]
     }
 
-    /// Mutably borrow a node.
+    /// Mutably borrow a node. Conservatively drops the derived-quantity
+    /// caches: the caller may change probabilities or trip counts.
     pub fn node_mut(&mut self, id: BetNodeId) -> &mut BetNode {
+        self.invalidate_caches();
         &mut self.nodes[id.0 as usize]
+    }
+
+    fn invalidate_caches(&mut self) {
+        self.enr_cache = OnceLock::new();
+        self.par_cache = OnceLock::new();
     }
 
     /// Number of nodes.
@@ -148,43 +172,51 @@ impl Bet {
     /// `ENR(n) = prob(n) × mult(parent) × ENR(parent)` with `mult` being the
     /// expected trip count for loop parents and 1 otherwise; `ENR(root) = 1`
     /// (paper Section V-A).
-    pub fn enr(&self) -> Vec<f64> {
-        let mut enr = vec![0.0; self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            match n.parent {
-                None => enr[i] = 1.0,
-                Some(p) => {
-                    let parent = &self.nodes[p.0 as usize];
-                    let mult = if matches!(parent.kind, BetKind::Loop) { parent.iters } else { 1.0 };
-                    enr[i] = n.prob * mult * enr[p.0 as usize];
+    ///
+    /// Computed once per tree and cached; repeated projections reuse it.
+    pub fn enr(&self) -> &[f64] {
+        self.enr_cache.get_or_init(|| {
+            let mut enr = vec![0.0; self.nodes.len()];
+            for (i, n) in self.nodes.iter().enumerate() {
+                match n.parent {
+                    None => enr[i] = 1.0,
+                    Some(p) => {
+                        let parent = &self.nodes[p.0 as usize];
+                        let mult = if matches!(parent.kind, BetKind::Loop) { parent.iters } else { 1.0 };
+                        enr[i] = n.prob * mult * enr[p.0 as usize];
+                    }
                 }
             }
-        }
-        enr
+            enr
+        })
     }
 
     /// Available parallelism per node: the product of expected trip counts
     /// of enclosing *parallel* loops (1.0 when the node is purely
     /// sequential). The projection clamps this with the machine's core
     /// count to obtain the effective thread count of each block.
-    pub fn available_parallelism(&self) -> Vec<f64> {
-        let mut par = vec![1.0; self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            let inherited = match n.parent {
-                None => 1.0,
-                Some(p) => {
-                    let parent = &self.nodes[p.0 as usize];
-                    let own = par[p.0 as usize];
-                    if matches!(parent.kind, BetKind::Loop) && parent.parallel {
-                        own * parent.iters.max(1.0)
-                    } else {
-                        own
+    ///
+    /// Computed once per tree and cached; repeated projections reuse it.
+    pub fn available_parallelism(&self) -> &[f64] {
+        self.par_cache.get_or_init(|| {
+            let mut par = vec![1.0; self.nodes.len()];
+            for (i, n) in self.nodes.iter().enumerate() {
+                let inherited = match n.parent {
+                    None => 1.0,
+                    Some(p) => {
+                        let parent = &self.nodes[p.0 as usize];
+                        let own = par[p.0 as usize];
+                        if matches!(parent.kind, BetKind::Loop) && parent.parallel {
+                            own * parent.iters.max(1.0)
+                        } else {
+                            own
+                        }
                     }
-                }
-            };
-            par[i] = inherited;
-        }
-        par
+                };
+                par[i] = inherited;
+            }
+            par
+        })
     }
 
     /// Path from a node to the root (inclusive), leaf first.
@@ -205,6 +237,31 @@ impl Bet {
             0.0
         } else {
             self.nodes.len() as f64 / skeleton_stmts as f64
+        }
+    }
+}
+
+// Hand-written so the derived-quantity caches stay out of the wire format
+// (and are rebuilt lazily on first use after deserialization).
+impl Serialize for Bet {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (serde::Content::Str("nodes".to_string()), self.nodes.serialize()),
+            (serde::Content::Str("warnings".to_string()), self.warnings.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Bet {
+    fn deserialize(c: &serde::Content) -> Result<Self, serde::Error> {
+        match c {
+            serde::Content::Map(entries) => Ok(Bet {
+                nodes: serde::field(entries, "nodes")?,
+                warnings: serde::field(entries, "warnings")?,
+                enr_cache: OnceLock::new(),
+                par_cache: OnceLock::new(),
+            }),
+            _ => Err(serde::Error("expected map for struct Bet".to_string())),
         }
     }
 }

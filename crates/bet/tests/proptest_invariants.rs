@@ -37,8 +37,7 @@ enum G {
 fn gen_stmt(in_loop: bool) -> impl Strategy<Value = G> {
     let base = prop_oneof![
         ((0u32..200), (0u32..100)).prop_map(|(f, l)| G::Comp(f as f64, l as f64)),
-        (prop_oneof![Just("exp"), Just("rand"), Just("sqrt")], 1u32..10)
-            .prop_map(|(n, c)| G::Lib(n, c as f64)),
+        (prop_oneof![Just("exp"), Just("rand"), Just("sqrt")], 1u32..10).prop_map(|(n, c)| G::Lib(n, c as f64)),
         ("[a-d]", (0u32..100)).prop_map(|(v, k)| G::Let(v, Expr::Num(k as f64))),
         prob_lit().prop_map(G::Return),
     ];
@@ -63,14 +62,10 @@ fn assemble(stmts: &[G], prog: &mut Program) -> Block {
     for g in stmts {
         let id = prog.fresh_stmt_id();
         let kind = match g {
-            G::Comp(f, l) => StmtKind::Comp(OpStats {
-                flops: Expr::Num(*f),
-                loads: Expr::Num(*l),
-                ..Default::default()
-            }),
-            G::Lib(n, c) => {
-                StmtKind::LibCall { func: n.to_string(), calls: Expr::Num(*c), work: Expr::Num(1.0) }
+            G::Comp(f, l) => {
+                StmtKind::Comp(OpStats { flops: Expr::Num(*f), loads: Expr::Num(*l), ..Default::default() })
             }
+            G::Lib(n, c) => StmtKind::LibCall { func: n.to_string(), calls: Expr::Num(*c), work: Expr::Num(1.0) },
             G::Let(v, e) => StmtKind::Let { var: v.clone(), value: e.clone() },
             G::Loop(v, hi, b) => StmtKind::Loop {
                 var: v.clone(),

@@ -1,15 +1,26 @@
 //! Per-block performance projection over a BET (paper Section V-A).
 //!
-//! Walks every BET node, projects the per-invocation time of cost-carrying
-//! nodes (`comp` and `lib`) with the hardware model, weights it by the
-//! node's expected number of repetitions (ENR), and aggregates per skeleton
-//! statement — the granularity at which hot spots are selected and compared
-//! against measured profiles.
+//! Projects the per-invocation time of every cost-carrying node (`comp`
+//! and `lib`) with the hardware model, weights it by the node's expected
+//! number of repetitions (ENR), and aggregates per skeleton statement —
+//! the granularity at which hot spots are selected and compared against
+//! measured profiles.
+//!
+//! Since this PR the projection runs in two phases (see [`crate::plan`]):
+//! [`project`] builds a machine-independent [`crate::ProjectionPlan`] and
+//! evaluates it, so repeated projections of the same application — the
+//! co-design sweep case — pay the tree walk only once.
+//! [`project_single_pass`] keeps the original fused walk as the reference
+//! implementation; an equivalence test asserts both produce bit-identical
+//! results.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::ops::Index;
 use xflow_bet::{Bet, BetKind};
 use xflow_hw::{BlockMetrics, BlockTime, LibraryRegistry, MachineModel, PerfModel};
 use xflow_skeleton::StmtId;
+
+use crate::plan::ProjectionPlan;
 
 /// Projected cost of one BET node.
 #[derive(Debug, Clone, Copy)]
@@ -38,13 +49,100 @@ pub struct StmtCost {
     pub metrics: BlockMetrics,
 }
 
+/// Dense per-statement cost table, indexed by [`StmtId`].
+///
+/// Skeleton statement IDs are a compact arena (`StmtId(0..n)`), so the
+/// per-statement aggregation of a projection is stored as a flat `Vec`
+/// instead of a `HashMap` — O(1) indexed access with no hashing in the
+/// per-machine evaluation loop, and iteration is deterministic (ascending
+/// statement ID) without a sort.
+#[derive(Debug, Clone, Default)]
+pub struct StmtCosts {
+    costs: Vec<StmtCost>,
+    present: Vec<bool>,
+    len: usize,
+}
+
+impl StmtCosts {
+    /// Empty table with capacity for statement IDs `0..n`.
+    pub fn with_stmt_capacity(n: usize) -> Self {
+        Self { costs: vec![StmtCost::default(); n], present: vec![false; n], len: 0 }
+    }
+
+    /// Cost of a statement, if it carried any projected time.
+    pub fn get(&self, stmt: &StmtId) -> Option<&StmtCost> {
+        let i = stmt.0 as usize;
+        if *self.present.get(i)? {
+            Some(&self.costs[i])
+        } else {
+            None
+        }
+    }
+
+    /// Whether the statement carried any projected time.
+    pub fn contains_key(&self, stmt: &StmtId) -> bool {
+        self.get(stmt).is_some()
+    }
+
+    /// Number of statements with recorded cost.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no statement carried projected time.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable cost slot for a statement, created zeroed on first access.
+    pub fn entry_mut(&mut self, stmt: StmtId) -> &mut StmtCost {
+        let i = stmt.0 as usize;
+        if i >= self.costs.len() {
+            self.costs.resize(i + 1, StmtCost::default());
+            self.present.resize(i + 1, false);
+        }
+        if !self.present[i] {
+            self.present[i] = true;
+            self.len += 1;
+        }
+        &mut self.costs[i]
+    }
+
+    /// Iterate recorded costs in ascending statement-ID order.
+    pub fn iter(&self) -> impl Iterator<Item = (StmtId, &StmtCost)> + '_ {
+        self.costs.iter().enumerate().filter(|(i, _)| self.present[*i]).map(|(i, c)| (StmtId(i as u32), c))
+    }
+}
+
+impl Index<&StmtId> for StmtCosts {
+    type Output = StmtCost;
+    fn index(&self, stmt: &StmtId) -> &StmtCost {
+        self.get(stmt).unwrap_or_else(|| panic!("no cost recorded for {stmt:?}"))
+    }
+}
+
+impl Index<StmtId> for StmtCosts {
+    type Output = StmtCost;
+    fn index(&self, stmt: StmtId) -> &StmtCost {
+        &self[&stmt]
+    }
+}
+
+impl<'a> IntoIterator for &'a StmtCosts {
+    type Item = (StmtId, &'a StmtCost);
+    type IntoIter = Box<dyn Iterator<Item = (StmtId, &'a StmtCost)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
 /// Result of projecting a BET on a machine.
 #[derive(Debug, Clone)]
 pub struct Projection {
     /// Per-node costs, indexed by `BetNodeId.0`.
     pub node_costs: Vec<NodeCost>,
     /// Aggregated per skeleton statement.
-    pub per_stmt: HashMap<StmtId, StmtCost>,
+    pub per_stmt: StmtCosts,
     /// Total projected application time in seconds.
     pub total_time: f64,
     /// Library functions that had no registered mix (fallback used).
@@ -52,7 +150,17 @@ pub struct Projection {
 }
 
 /// Project every node of a BET on a target machine.
-pub fn project(
+///
+/// Two-phase: builds a machine-independent [`ProjectionPlan`] and evaluates
+/// it on `machine`. Callers projecting the same BET on many machines should
+/// build the plan once and call [`ProjectionPlan::evaluate`] per machine.
+pub fn project(bet: &Bet, machine: &MachineModel, model: &dyn PerfModel, libs: &LibraryRegistry) -> Projection {
+    ProjectionPlan::new(bet, libs).evaluate(machine, model)
+}
+
+/// Original fused single-pass projection, kept as the reference
+/// implementation the two-phase engine is equivalence-tested against.
+pub fn project_single_pass(
     bet: &Bet,
     machine: &MachineModel,
     model: &dyn PerfModel,
@@ -61,9 +169,10 @@ pub fn project(
     let enr = bet.enr();
     let avail_par = bet.available_parallelism();
     let mut node_costs = Vec::with_capacity(bet.len());
-    let mut per_stmt: HashMap<StmtId, StmtCost> = HashMap::new();
+    let mut per_stmt = StmtCosts::default();
     let mut total_time = 0.0;
     let mut unknown_libs = Vec::new();
+    let mut unknown_seen: HashSet<String> = HashSet::new();
 
     for node in bet.iter() {
         let e = enr[node.id.0 as usize];
@@ -94,7 +203,7 @@ pub fn project(
                     (t, m)
                 }
                 Err(err) => {
-                    if !unknown_libs.contains(&err.name) {
+                    if unknown_seen.insert(err.name.clone()) {
                         unknown_libs.push(err.name.clone());
                     }
                     (err.fallback_time, BlockMetrics::default())
@@ -108,7 +217,7 @@ pub fn project(
 
         if let Some(stmt) = node.stmt {
             if time.total > 0.0 {
-                let s = per_stmt.entry(stmt).or_default();
+                let s = per_stmt.entry_mut(stmt);
                 s.total += total;
                 s.tc += time.tc * e;
                 s.tm += time.tm * e;
@@ -124,7 +233,7 @@ pub fn project(
 impl Projection {
     /// Statements ranked by descending projected time.
     pub fn ranked_stmts(&self) -> Vec<(StmtId, StmtCost)> {
-        let mut v: Vec<(StmtId, StmtCost)> = self.per_stmt.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut v: Vec<(StmtId, StmtCost)> = self.per_stmt.iter().map(|(k, v)| (k, *v)).collect();
         v.sort_by(|a, b| b.1.total.partial_cmp(&a.1.total).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
         v
     }

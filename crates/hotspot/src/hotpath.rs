@@ -108,7 +108,7 @@ pub fn render(path: &HotPath, bet: &Bet, names: &HashMap<StmtId, String>) -> Str
         return out;
     }
     let enr = bet.enr();
-    render_node(path, bet, names, &enr, path.root, "", true, &mut out);
+    render_node(path, bet, names, enr, path.root, "", true, &mut out);
     out
 }
 
@@ -132,14 +132,10 @@ fn render_node(
         "├─ "
     };
 
-    let name = node
-        .stmt
-        .and_then(|s| names.get(&s))
-        .cloned()
-        .unwrap_or_else(|| match &node.kind {
-            BetKind::Root => "main".to_string(),
-            other => other.tag().to_string(),
-        });
+    let name = node.stmt.and_then(|s| names.get(&s)).cloned().unwrap_or_else(|| match &node.kind {
+        BetKind::Root => "main".to_string(),
+        other => other.tag().to_string(),
+    });
 
     let mut line = format!("{prefix}{connector}{name}");
     match &node.kind {
@@ -160,8 +156,7 @@ fn render_node(
     if let Some((rank, _)) = path.spots.get(&id) {
         let _ = write!(line, "  ◄ HOT #{} (ENR {:.3e})", rank + 1, enr[id.0 as usize]);
         // a couple of context values help track algorithmic causes
-        let ctx: Vec<String> =
-            node.context.iter().take(3).map(|(k, v)| format!("{k}={v}")).collect();
+        let ctx: Vec<String> = node.context.iter().take(3).map(|(k, v)| format!("{k}={v}")).collect();
         if !ctx.is_empty() {
             let _ = write!(line, " [{}]", ctx.join(", "));
         }
@@ -173,11 +168,8 @@ fn render_node(
         Some(k) => k,
         None => return,
     };
-    let child_prefix = if prefix.is_empty() {
-        String::new()
-    } else {
-        format!("{prefix}{}", if is_last { "   " } else { "│  " })
-    };
+    let child_prefix =
+        if prefix.is_empty() { String::new() } else { format!("{prefix}{}", if is_last { "   " } else { "│  " }) };
     let child_prefix = if prefix.is_empty() && !kids.is_empty() { "".to_string() } else { child_prefix };
     for (i, &kid) in kids.iter().enumerate() {
         let last = i + 1 == kids.len();

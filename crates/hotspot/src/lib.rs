@@ -14,12 +14,14 @@
 pub mod analysis;
 pub mod hotpath;
 pub mod miniapp;
+pub mod plan;
 pub mod quality;
 pub mod select;
 
-pub use analysis::{project, NodeCost, Projection, StmtCost};
+pub use analysis::{project, project_single_pass, NodeCost, Projection, StmtCost, StmtCosts};
 pub use hotpath::{extract, render, HotPath};
 pub use miniapp::build_miniapp;
+pub use plan::{PlanBlock, ProjectionPlan};
 pub use quality::{coverage_curve, quality_at, quality_curve, top_k_overlap, MeasuredTimes};
 pub use select::{select, Candidate, Criteria, Greedy, HotSpot, Selection};
 
@@ -32,7 +34,7 @@ pub fn candidates(projection: &Projection, counts: &StaticCounts) -> Vec<Candida
     projection
         .per_stmt
         .iter()
-        .map(|(&stmt, cost)| Candidate { stmt, time: cost.total, instr: counts.get(stmt) })
+        .map(|(stmt, cost)| Candidate { stmt, time: cost.total, instr: counts.get(stmt) })
         .collect()
 }
 
@@ -53,7 +55,15 @@ pub fn format_selection(sel: &Selection, names: &std::collections::HashMap<StmtI
     for s in &sel.spots {
         cum += s.coverage;
         let name = names.get(&s.stmt).cloned().unwrap_or_else(|| format!("stmt#{}", s.stmt.0));
-        let _ = writeln!(out, "{:<4} {:<32} {:>12.4e} {:>8.2}% {:>8.2}%", s.rank + 1, name, s.time, s.coverage * 100.0, cum * 100.0);
+        let _ = writeln!(
+            out,
+            "{:<4} {:<32} {:>12.4e} {:>8.2}% {:>8.2}%",
+            s.rank + 1,
+            name,
+            s.time,
+            s.coverage * 100.0,
+            cum * 100.0
+        );
     }
     let _ = writeln!(out, "coverage {:.1}%  leanness {:.1}%", sel.coverage() * 100.0, sel.leanness() * 100.0);
     out

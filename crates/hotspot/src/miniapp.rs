@@ -124,10 +124,7 @@ impl<'a> Emitter<'a> {
                     id: sid,
                     label,
                     kind: sk::StmtKind::Branch {
-                        arms: vec![sk::BranchArm {
-                            cond: sk::Cond::Prob(Expr::Num(node.prob.min(1.0))),
-                            body,
-                        }],
+                        arms: vec![sk::BranchArm { cond: sk::Cond::Prob(Expr::Num(node.prob.min(1.0))), body }],
                         else_body: None,
                     },
                 })
@@ -144,8 +141,7 @@ impl<'a> Emitter<'a> {
                     .add_function(sk::Function { id: sk::FuncId(0), name: name.clone(), params: vec![], body })
                     .expect("unique generated name");
                 let sid = self.fresh();
-                let mut stmt =
-                    sk::Stmt { id: sid, label, kind: sk::StmtKind::Call { func: name, args: vec![] } };
+                let mut stmt = sk::Stmt { id: sid, label, kind: sk::StmtKind::Call { func: name, args: vec![] } };
                 if node.prob < 0.999 {
                     stmt = self.wrap_prob(stmt, node.prob);
                 }

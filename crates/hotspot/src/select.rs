@@ -122,7 +122,9 @@ pub fn select(candidates: &[Candidate], total_instr: f64, criteria: Criteria, st
     let mut order: Vec<&Candidate> = candidates.iter().filter(|c| c.time > 0.0).collect();
     match strategy {
         Greedy::ByTime => {
-            order.sort_by(|a, b| b.time.partial_cmp(&a.time).unwrap_or(std::cmp::Ordering::Equal).then(a.stmt.cmp(&b.stmt)));
+            order.sort_by(|a, b| {
+                b.time.partial_cmp(&a.time).unwrap_or(std::cmp::Ordering::Equal).then(a.stmt.cmp(&b.stmt))
+            });
         }
         Greedy::ByDensity => {
             order.sort_by(|a, b| {
@@ -195,8 +197,7 @@ mod tests {
     fn density_strategy_prefers_lean_blocks() {
         let cands = vec![cand(0, 50.0, 100.0), cand(1, 40.0, 2.0)];
         let by_time = select(&cands, 200.0, Criteria { time_coverage: 0.99, code_leanness: 1.0 }, Greedy::ByTime);
-        let by_density =
-            select(&cands, 200.0, Criteria { time_coverage: 0.99, code_leanness: 1.0 }, Greedy::ByDensity);
+        let by_density = select(&cands, 200.0, Criteria { time_coverage: 0.99, code_leanness: 1.0 }, Greedy::ByDensity);
         assert_eq!(by_time.stmt_ids()[0], StmtId(0));
         assert_eq!(by_density.stmt_ids()[0], StmtId(1));
     }

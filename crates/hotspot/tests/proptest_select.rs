@@ -2,23 +2,17 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use xflow_hotspot::{
-    coverage_curve, quality_at, select, top_k_overlap, Candidate, Criteria, Greedy, MeasuredTimes,
-};
+use xflow_hotspot::{coverage_curve, quality_at, select, top_k_overlap, Candidate, Criteria, Greedy, MeasuredTimes};
 use xflow_skeleton::StmtId;
 
 fn candidates() -> impl Strategy<Value = Vec<Candidate>> {
     prop::collection::vec((0.0f64..1000.0, 1.0f64..50.0), 1..40).prop_map(|v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(i, (time, instr))| Candidate { stmt: StmtId(i as u32), time, instr })
-            .collect()
+        v.into_iter().enumerate().map(|(i, (time, instr))| Candidate { stmt: StmtId(i as u32), time, instr }).collect()
     })
 }
 
 fn criteria() -> impl Strategy<Value = Criteria> {
-    (0.1f64..=1.0, 0.05f64..=1.0)
-        .prop_map(|(cov, lean)| Criteria { time_coverage: cov, code_leanness: lean })
+    (0.1f64..=1.0, 0.05f64..=1.0).prop_map(|(cov, lean)| Criteria { time_coverage: cov, code_leanness: lean })
 }
 
 proptest! {

@@ -30,4 +30,6 @@ pub use library::{InstrMix, LibraryRegistry, UnknownLibrary};
 pub use machine::{bgq, generic, knl, xeon, CacheLevel, MachineBuilder, MachineModel};
 pub use network::{bgq_torus, ideal, infiniband, NetworkModel};
 pub use refined::RefinedModel;
-pub use roofline::{BlockMetrics, BlockTime, ClassicRoofline, DivAwareRoofline, PerfModel, Roofline, VectorAwareRoofline};
+pub use roofline::{
+    BlockMetrics, BlockSummary, BlockTime, ClassicRoofline, DivAwareRoofline, PerfModel, Roofline, VectorAwareRoofline,
+};

@@ -31,7 +31,8 @@ impl InstrMix {
     /// Expand the mix into block metrics for `calls` invocations with the
     /// given `work` each.
     pub fn expand(&self, calls: f64, work: f64) -> BlockMetrics {
-        let mut m = BlockMetrics { elem_bytes: self.base.elem_bytes.max(self.per_work.elem_bytes), ..Default::default() };
+        let mut m =
+            BlockMetrics { elem_bytes: self.base.elem_bytes.max(self.per_work.elem_bytes), ..Default::default() };
         m.add_scaled(&self.base, calls);
         m.add_scaled(&self.per_work, calls * work);
         m
@@ -77,6 +78,16 @@ impl LibraryRegistry {
         self.mixes.insert(name.to_string(), mix);
     }
 
+    /// The conservative nominal mix charged to library functions without a
+    /// measured mix. Public so projection plans can bake the expanded
+    /// fallback metrics in ahead of time.
+    pub fn fallback_mix() -> InstrMix {
+        InstrMix {
+            base: BlockMetrics { flops: 25.0, iops: 10.0, loads: 5.0, stores: 1.0, divs: 0.0, elem_bytes: 8.0 },
+            per_work: BlockMetrics::default(),
+        }
+    }
+
     /// Look up a function's mix.
     pub fn get(&self, name: &str) -> Option<&InstrMix> {
         self.mixes.get(name)
@@ -103,16 +114,10 @@ impl LibraryRegistry {
     ) -> Result<BlockTime, UnknownLibrary> {
         match self.get(name) {
             Some(mix) => Ok(model.project(machine, &mix.expand(calls, work))),
-            None => {
-                let fallback = InstrMix {
-                    base: BlockMetrics { flops: 25.0, iops: 10.0, loads: 5.0, stores: 1.0, divs: 0.0, elem_bytes: 8.0 },
-                    per_work: BlockMetrics::default(),
-                };
-                Err(UnknownLibrary {
-                    name: name.to_string(),
-                    fallback_time: model.project(machine, &fallback.expand(calls, work)),
-                })
-            }
+            None => Err(UnknownLibrary {
+                name: name.to_string(),
+                fallback_time: model.project(machine, &Self::fallback_mix().expand(calls, work)),
+            }),
         }
     }
 }
@@ -183,7 +188,10 @@ mod tests {
     fn register_replaces() {
         let mut r = LibraryRegistry::with_defaults();
         let before = r.get("exp").unwrap().base.flops;
-        r.register("exp", InstrMix { base: BlockMetrics { flops: 99.0, ..Default::default() }, per_work: Default::default() });
+        r.register(
+            "exp",
+            InstrMix { base: BlockMetrics { flops: 99.0, ..Default::default() }, per_work: Default::default() },
+        );
         assert_ne!(r.get("exp").unwrap().base.flops, before);
         assert_eq!(r.get("exp").unwrap().base.flops, 99.0);
     }

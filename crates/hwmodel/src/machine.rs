@@ -119,7 +119,7 @@ impl MachineModel {
     pub fn validate(&self) -> Vec<String> {
         let mut errs = Vec::new();
         let pos = |v: f64, what: &str, errs: &mut Vec<String>| {
-            if !(v > 0.0) || !v.is_finite() {
+            if v <= 0.0 || !v.is_finite() {
                 errs.push(format!("{what} must be positive and finite, got {v}"));
             }
         };
@@ -280,6 +280,11 @@ impl MachineBuilder {
 
     pub fn dram_bw_gbs(mut self, v: f64) -> Self {
         self.0.dram_bw_gbs = v;
+        self
+    }
+
+    pub fn cores(mut self, v: u32) -> Self {
+        self.0.cores = v;
         self
     }
 

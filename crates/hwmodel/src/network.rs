@@ -32,10 +32,10 @@ impl NetworkModel {
     /// Validate parameters.
     pub fn validate(&self) -> Vec<String> {
         let mut errs = Vec::new();
-        if !(self.latency_us >= 0.0) {
+        if self.latency_us < 0.0 || self.latency_us.is_nan() {
             errs.push(format!("latency_us must be non-negative, got {}", self.latency_us));
         }
-        if !(self.bandwidth_gbs > 0.0) {
+        if self.bandwidth_gbs <= 0.0 || self.bandwidth_gbs.is_nan() {
             errs.push(format!("bandwidth_gbs must be positive, got {}", self.bandwidth_gbs));
         }
         if !(0.0 < self.efficiency && self.efficiency <= 1.0) {

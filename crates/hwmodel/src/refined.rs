@@ -59,11 +59,8 @@ impl PerfModel for RefinedModel {
         // L1 port slot; discount the port-bound share of Tm accordingly.
         // (Latency- and bandwidth-bound blocks are unaffected.)
         let port_time = m.accesses() / eff.load_store_per_cycle * eff.cycle_seconds();
-        let port_discount = if base.tm > 0.0 && port_time >= base.tm * 0.999 {
-            port_time * (1.0 - 1.0 / vec_factor)
-        } else {
-            0.0
-        };
+        let port_discount =
+            if base.tm > 0.0 && port_time >= base.tm * 0.999 { port_time * (1.0 - 1.0 / vec_factor) } else { 0.0 };
         let tc = base.tc + div_extra;
         let tm = (base.tm - port_discount).max(0.0);
         let delta = 1.0 - 1.0 / m.flops.max(1.0);

@@ -74,8 +74,7 @@ impl BlockMetrics {
         let other_acc = other.accesses() * scale;
         let total_acc = self_acc + other_acc;
         if total_acc > 0.0 {
-            self.elem_bytes =
-                (self.elem_bytes * self_acc + other.elem_bytes * other_acc) / total_acc;
+            self.elem_bytes = (self.elem_bytes * self_acc + other.elem_bytes * other_acc) / total_acc;
         }
         self.flops += other.flops * scale;
         self.iops += other.iops * scale;
@@ -105,6 +104,39 @@ impl BlockTime {
     }
 }
 
+/// Machine-independent summary of one cost-carrying block, precomputed once
+/// per application and re-evaluated cheaply per machine.
+///
+/// A projection plan stores one of these per `comp`/`lib` BET node; phase 2
+/// of the two-phase engine hands it to [`PerfModel::project_block`] with a
+/// concrete machine and gets the per-invocation [`BlockTime`] back without
+/// touching the tree, the library registry, or the ENR recurrences again.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockSummary {
+    /// Evaluated operation counts of one invocation.
+    pub metrics: BlockMetrics,
+    /// Expected number of repetitions of the block.
+    pub enr: f64,
+    /// Parallelism available from enclosing parallel loops (≥ 1).
+    pub avail_par: f64,
+    /// Whether the block may use that parallelism. Library calls are
+    /// projected serially (their internal mix is opaque), so they carry
+    /// `false` regardless of context.
+    pub parallelizable: bool,
+}
+
+impl BlockSummary {
+    /// Effective thread count on a machine: available parallelism clamped
+    /// by the core count, and at least one thread.
+    pub fn threads_on(&self, machine: &MachineModel) -> f64 {
+        if self.parallelizable {
+            self.avail_par.min(machine.cores as f64).max(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
 /// A hardware performance model: projects block metrics to time on a
 /// machine. The paper uses the (extended) roofline model but notes that
 /// "more sophisticated models can be used" — this trait is that seam.
@@ -121,6 +153,19 @@ pub trait PerfModel: Send + Sync {
         let t = self.project(machine, m);
         let p = threads.max(1.0);
         BlockTime { tc: t.tc / p, tm: t.tm / p, overlap: t.overlap / p, total: t.total / p }
+    }
+
+    /// Project one invocation of a summarized block: resolves the block's
+    /// effective thread count against the machine and dispatches to the
+    /// serial or concurrent projection. This is the whole per-machine work
+    /// of the two-phase engine's evaluation loop.
+    fn project_block(&self, machine: &MachineModel, block: &BlockSummary) -> BlockTime {
+        let threads = block.threads_on(machine);
+        if threads > 1.0 {
+            self.project_parallel(machine, &block.metrics, threads)
+        } else {
+            self.project(machine, &block.metrics)
+        }
     }
 
     /// Short name for reports.
@@ -223,8 +268,7 @@ impl PerfModel for DivAwareRoofline {
     fn project(&self, machine: &MachineModel, m: &BlockMetrics) -> BlockTime {
         let tc_base = Roofline::tc(machine, m);
         // Each divide occupies the fp pipe for fdiv_latency instead of 1/Θ.
-        let div_extra_cycles =
-            m.divs * (machine.fdiv_latency_cycles - 1.0 / machine.scalar_flops_per_cycle).max(0.0);
+        let div_extra_cycles = m.divs * (machine.fdiv_latency_cycles - 1.0 / machine.scalar_flops_per_cycle).max(0.0);
         let tc = tc_base + div_extra_cycles * machine.cycle_seconds();
         Roofline::assemble(tc, Roofline::tm(machine, m), m.flops)
     }

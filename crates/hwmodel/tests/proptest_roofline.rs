@@ -10,16 +10,16 @@ use xflow_hw::{
 
 fn machine() -> impl Strategy<Value = MachineModel> {
     (
-        0.5f64..4.0,   // freq
-        1u32..=8,      // issue
-        1u32..=8,      // lanes
-        1u32..=4,      // flops/cycle
-        1.0f64..64.0,  // bw
+        0.5f64..4.0,    // freq
+        1u32..=8,       // issue
+        1u32..=8,       // lanes
+        1u32..=4,       // flops/cycle
+        1.0f64..64.0,   // bw
         50.0f64..400.0, // dram lat
-        0.5f64..1.0,   // l1 hit
-        0.5f64..1.0,   // llc hit
-        1.0f64..16.0,  // mlp
-        0.0f64..=1.0,  // veff
+        0.5f64..1.0,    // l1 hit
+        0.5f64..1.0,    // llc hit
+        1.0f64..16.0,   // mlp
+        0.0f64..=1.0,   // veff
     )
         .prop_map(|(freq, issue, lanes, fpc, bw, lat, l1h, llch, mlp, veff)| {
             let mut m = generic();
@@ -39,15 +39,16 @@ fn machine() -> impl Strategy<Value = MachineModel> {
 }
 
 fn metrics() -> impl Strategy<Value = BlockMetrics> {
-    (0u32..100_000, 0u32..50_000, 0u32..50_000, 0u32..20_000, prop_oneof![Just(4.0), Just(8.0), Just(16.0)])
-        .prop_map(|(flops, iops, loads, stores, bytes)| BlockMetrics {
+    (0u32..100_000, 0u32..50_000, 0u32..50_000, 0u32..20_000, prop_oneof![Just(4.0), Just(8.0), Just(16.0)]).prop_map(
+        |(flops, iops, loads, stores, bytes)| BlockMetrics {
             flops: flops as f64,
             iops: iops as f64,
             loads: loads as f64,
             stores: stores as f64,
             divs: (flops / 10) as f64,
             elem_bytes: bytes,
-        })
+        },
+    )
 }
 
 proptest! {

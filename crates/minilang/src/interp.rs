@@ -27,7 +27,7 @@ use std::fmt;
 use std::rc::Rc;
 
 /// Named scalar inputs for a run (consumed by `input("name", default)`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InputSpec(HashMap<String, f64>);
 
 impl InputSpec {
@@ -336,7 +336,11 @@ impl<'p, T: Tracer> Interp<'p, T> {
     fn call(&mut self, name: &str, args: Vec<Val>) -> Result<f64, RuntimeError> {
         let f = self.prog.function(name).ok_or_else(|| RuntimeError::UnknownFunction(name.to_string()))?;
         if f.params.len() != args.len() {
-            return Err(RuntimeError::ArityMismatch { func: name.to_string(), expected: f.params.len(), got: args.len() });
+            return Err(RuntimeError::ArityMismatch {
+                func: name.to_string(),
+                expected: f.params.len(),
+                got: args.len(),
+            });
         }
         if self.depth >= self.limits.max_depth {
             return Err(RuntimeError::RecursionLimitExceeded(self.limits.max_depth));

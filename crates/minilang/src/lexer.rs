@@ -160,8 +160,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     }
                 }
                 let text: String = src[start..i].chars().filter(|&c| c != '_').collect();
-                let n: f64 =
-                    text.parse().map_err(|_| ParseError::new(sp, format!("invalid number `{text}`")))?;
+                let n: f64 = text.parse().map_err(|_| ParseError::new(sp, format!("invalid number `{text}`")))?;
                 col += (i - start) as u32;
                 out.push(SpannedTok { tok: Tok::Num(n), span: sp });
             }
@@ -210,9 +209,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                             '<' => Tok::Lt,
                             '>' => Tok::Gt,
                             '!' => Tok::Bang,
-                            other => {
-                                return Err(ParseError::new(sp, format!("unexpected character `{other}`")))
-                            }
+                            other => return Err(ParseError::new(sp, format!("unexpected character `{other}`"))),
                         };
                         (t, 1)
                     }

@@ -42,8 +42,8 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "fn", "let", "for", "parfor", "in", "step", "while", "if", "else", "return", "break", "continue",
-    "print", "zeros", "input", "len",
+    "fn", "let", "for", "parfor", "in", "step", "while", "if", "else", "return", "break", "continue", "print", "zeros",
+    "input", "len",
 ];
 
 struct Parser {
@@ -258,8 +258,9 @@ impl Parser {
                     Tok::StarAssign => Some(BinOp::Mul),
                     Tok::SlashAssign => Some(BinOp::Div),
                     other => {
-                        return Err(self
-                            .err(format!("expected assignment operator after index, found {}", other.describe())))
+                        return Err(
+                            self.err(format!("expected assignment operator after index, found {}", other.describe()))
+                        )
                     }
                 };
                 let value = self.expr()?;
@@ -401,7 +402,9 @@ impl Parser {
                 self.expect(&Tok::Comma)?;
                 let default = match self.bump() {
                     Tok::Num(n) => n,
-                    other => return Err(self.err(format!("input() needs a numeric default, found {}", other.describe()))),
+                    other => {
+                        return Err(self.err(format!("input() needs a numeric default, found {}", other.describe())))
+                    }
                 };
                 self.expect(&Tok::RParen)?;
                 Ok(Expr::Input(key, default))

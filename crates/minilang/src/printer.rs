@@ -309,13 +309,9 @@ fn helper(buf, n) {
 
     #[test]
     fn workload_sources_round_trip() {
-        for src in [
-            crate::parser::parse(SRC).map(|_| SRC).unwrap(),
-        ] {
-            let p1 = parse(src).unwrap();
-            let p2 = parse(&print(&p1)).unwrap();
-            assert_eq!(p1, p2);
-        }
+        let p1 = parse(SRC).unwrap();
+        let p2 = parse(&print(&p1)).unwrap();
+        assert_eq!(p1, p2);
     }
 
     #[test]

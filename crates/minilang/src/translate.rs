@@ -67,12 +67,7 @@ pub fn translate(prog: &ml::Program, profile: &Profile) -> Result<Translation, S
         };
         let body = tr.block(&f.body, &mut ctx);
         tr.out
-            .add_function(sk::Function {
-                id: sk::FuncId(0),
-                name: f.name.clone(),
-                params: f.params.clone(),
-                body,
-            })
+            .add_function(sk::Function { id: sk::FuncId(0), name: f.name.clone(), params: f.params.clone(), body })
             .map_err(|e| e.to_string())?;
     }
     Ok(Translation { skeleton: tr.out, map: tr.map, inputs: tr.inputs, warnings: tr.warnings })
@@ -467,13 +462,21 @@ impl<'p> Translator<'p> {
                     flush_run!();
                     let id = self.out.fresh_stmt_id();
                     self.map.insert(s.id, id);
-                    out.push(sk::Stmt { id, label: s.label.clone(), kind: sk::StmtKind::Return { prob: SkExpr::Num(1.0) } });
+                    out.push(sk::Stmt {
+                        id,
+                        label: s.label.clone(),
+                        kind: sk::StmtKind::Return { prob: SkExpr::Num(1.0) },
+                    });
                 }
                 ml::StmtKind::Break => {
                     flush_run!();
                     let id = self.out.fresh_stmt_id();
                     self.map.insert(s.id, id);
-                    out.push(sk::Stmt { id, label: s.label.clone(), kind: sk::StmtKind::Break { prob: SkExpr::Num(1.0) } });
+                    out.push(sk::Stmt {
+                        id,
+                        label: s.label.clone(),
+                        kind: sk::StmtKind::Break { prob: SkExpr::Num(1.0) },
+                    });
                 }
                 ml::StmtKind::Continue => {
                     flush_run!();
@@ -533,10 +536,7 @@ impl<'p> Translator<'p> {
             let id = self.out.fresh_stmt_id();
             let ctx_dummy = FnCtx { tracked: HashSet::new(), arrays: HashSet::new() };
             let _ = ctx_dummy; // call args resolved best-effort below
-            let sk_args: Vec<SkExpr> = args
-                .iter()
-                .map(|a| self.best_effort_expr(a))
-                .collect();
+            let sk_args: Vec<SkExpr> = args.iter().map(|a| self.best_effort_expr(a)).collect();
             out.push(sk::Stmt { id, label: None, kind: sk::StmtKind::Call { func: func.clone(), args: sk_args } });
         }
         let mut lib_names: Vec<&&str> = ops.libs.keys().collect();
@@ -586,8 +586,8 @@ impl<'p> Translator<'p> {
     fn fold_loop_bookkeeping(&mut self, loop_mini_id: ml::MStmtId, body: &mut sk::Block) {
         for st in &mut body.stmts {
             if let sk::StmtKind::Comp(ops) = &mut st.kind {
-                ops.iops = SkExpr::Binary(Box::new(ops.iops.clone()), sk::BinOp::Add, Box::new(SkExpr::Num(2.0)))
-                    .simplify();
+                ops.iops =
+                    SkExpr::Binary(Box::new(ops.iops.clone()), sk::BinOp::Add, Box::new(SkExpr::Num(2.0))).simplify();
                 self.map.insert(loop_mini_id, st.id);
                 return;
             }
@@ -628,6 +628,7 @@ impl<'p> Translator<'p> {
 
     /// Count the static cost of evaluating `e` once, mirroring the
     /// interpreter's accounting.
+    #[allow(clippy::only_used_in_recursion)] // ctx is threaded for future per-fn cost rules
     fn count_expr(&mut self, e: &ml::Expr, idx_ctx: bool, ops: &mut StaticOps, ctx: &FnCtx) {
         match e {
             ml::Expr::Num(_) | ml::Expr::Var(_) | ml::Expr::Len(_) | ml::Expr::Input(..) => {}

@@ -12,9 +12,7 @@
 //! tree-walker's per-node dispatch and name lookups dominate.
 
 use crate::ast::*;
-use crate::interp::{
-    ArrRef, InputSpec, Lcg, Limits, Profile, RuntimeError, Tracer, Val,
-};
+use crate::interp::{ArrRef, InputSpec, Lcg, Limits, Profile, RuntimeError, Tracer, Val};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -65,9 +63,14 @@ enum Op {
     /// Pop value then index; one store event.
     StoreElem(u16),
     /// Pop r, l; push `l op r`, counting flops/iops per context.
-    Bin { op: BinOp, idx_ctx: bool },
+    Bin {
+        op: BinOp,
+        idx_ctx: bool,
+    },
     /// Pop v; push `-v` (1 flop / 1 iop).
-    Neg { idx_ctx: bool },
+    Neg {
+        idx_ctx: bool,
+    },
     /// Pop v; push `!v` (1 iop).
     Not,
     /// Pop r, l; push 0/1 (1 flop).
@@ -97,19 +100,35 @@ enum Op {
     /// charges loop bookkeeping iops for counted loops, not for `while`.
     IterTickWhile(MStmtId),
     /// Raw (uncounted) loop machinery: pop hi/cur, jump if cur >= hi.
-    JumpIfGeRaw { cur: u16, hi: u16, target: usize },
+    JumpIfGeRaw {
+        cur: u16,
+        hi: u16,
+        target: usize,
+    },
     /// Raw cursor advance: slot += step-slot.
-    AdvanceRaw { cur: u16, step: u16 },
+    AdvanceRaw {
+        cur: u16,
+        step: u16,
+    },
     /// Clamp the step slot to be strictly positive (mirrors the reference).
     ClampStepRaw(u16),
     /// Branch entry: size the arm-hit table.
-    BranchEnter { stmt: MStmtId, arms: usize },
-    ArmHit { stmt: MStmtId, arm: usize },
+    BranchEnter {
+        stmt: MStmtId,
+        arms: usize,
+    },
+    ArmHit {
+        stmt: MStmtId,
+        arm: usize,
+    },
     ElseHit(MStmtId),
     BreakProfile(MStmtId),
     ContinueProfile(MStmtId),
     /// Pop argc values (reversed) into a fresh frame, push return address.
-    Call { func: usize, argc: usize },
+    Call {
+        func: usize,
+        argc: usize,
+    },
     /// Return: pop the optional return value (always present — compile
     /// pushes 0.0 for value-less returns), restore the caller frame.
     Ret,
@@ -124,8 +143,7 @@ enum Op {
 /// Call-graph errors the reference reports at call time (unknown functions,
 /// arity mismatches) surface here at compile time instead.
 pub fn compile(prog: &Program) -> Result<VmProgram, RuntimeError> {
-    let fn_ids: HashMap<&str, usize> =
-        prog.functions.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
+    let fn_ids: HashMap<&str, usize> = prog.functions.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
     let entry = *fn_ids.get("main").ok_or_else(|| RuntimeError::UnknownFunction("main".into()))?;
     let mut funcs = Vec::with_capacity(prog.functions.len());
     for f in &prog.functions {
@@ -152,11 +170,7 @@ struct LoopCtx {
     continue_patches: Vec<usize>,
 }
 
-fn compile_fn(
-    prog: &Program,
-    f: &Function,
-    fn_ids: &HashMap<&str, usize>,
-) -> Result<VmFunc, RuntimeError> {
+fn compile_fn(prog: &Program, f: &Function, fn_ids: &HashMap<&str, usize>) -> Result<VmFunc, RuntimeError> {
     let mut c = FnCompiler {
         prog,
         fn_ids,
@@ -390,17 +404,10 @@ impl<'p> FnCompiler<'p> {
     }
 
     fn call(&mut self, name: &str, args: &[Expr]) -> Result<(), RuntimeError> {
-        let &func = self
-            .fn_ids
-            .get(name)
-            .ok_or_else(|| RuntimeError::UnknownFunction(name.to_string()))?;
+        let &func = self.fn_ids.get(name).ok_or_else(|| RuntimeError::UnknownFunction(name.to_string()))?;
         let expected = self.prog.functions[func].params.len();
         if expected != args.len() {
-            return Err(RuntimeError::ArityMismatch {
-                func: name.to_string(),
-                expected,
-                got: args.len(),
-            });
+            return Err(RuntimeError::ArityMismatch { func: name.to_string(), expected, got: args.len() });
         }
         for a in args {
             match a {
@@ -522,11 +529,7 @@ struct Frame {
 }
 
 /// Run a compiled program (see [`crate::run`] for the reference engine).
-pub fn run_vm<T: Tracer>(
-    vm: &VmProgram,
-    inputs: &InputSpec,
-    tracer: T,
-) -> Result<(Profile, T, f64), RuntimeError> {
+pub fn run_vm<T: Tracer>(vm: &VmProgram, inputs: &InputSpec, tracer: T) -> Result<(Profile, T, f64), RuntimeError> {
     run_vm_with_limits(vm, inputs, tracer, Limits::default())
 }
 
@@ -544,12 +547,7 @@ pub fn run_vm_with_limits<T: Tracer>(
     let mut cur_stmt = MStmtId(0);
     let mut stack: Vec<Val> = Vec::with_capacity(64);
     let entry = &vm.funcs[vm.entry];
-    let mut frames = vec![Frame {
-        func: vm.entry,
-        pc: 0,
-        slots: vec![Val::Num(f64::NAN); 0],
-        saved_cur: cur_stmt,
-    }];
+    let mut frames = vec![Frame { func: vm.entry, pc: 0, slots: vec![Val::Num(f64::NAN); 0], saved_cur: cur_stmt }];
     frames[0].slots = unset_slots(entry.n_slots);
 
     macro_rules! pop_num {
@@ -577,12 +575,8 @@ pub fn run_vm_with_limits<T: Tracer>(
             }
             Op::LoadScalar(s) => match &frame.slots[*s as usize] {
                 Val::Num(v) if !is_unset_num(*v) => stack.push(Val::Num(*v)),
-                Val::Num(_) => {
-                    return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
-                }
-                Val::Arr(_) => {
-                    return Err(RuntimeError::NotAScalar(func.slot_names[*s as usize].clone()))
-                }
+                Val::Num(_) => return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone())),
+                Val::Arr(_) => return Err(RuntimeError::NotAScalar(func.slot_names[*s as usize].clone())),
             },
             Op::StoreSlot(s) => {
                 let v = stack.pop().expect("stack underflow");
@@ -599,8 +593,7 @@ pub fn run_vm_with_limits<T: Tracer>(
                 let n = l as usize;
                 let base = next_base;
                 next_base += (n as u64) * 8 + 64;
-                frame.slots[*s as usize] =
-                    Val::Arr(ArrRef { data: Rc::new(RefCell::new(vec![0.0; n])), base });
+                frame.slots[*s as usize] = Val::Arr(ArrRef { data: Rc::new(RefCell::new(vec![0.0; n])), base });
             }
             Op::Len(s) => match &frame.slots[*s as usize] {
                 Val::Arr(a) => {
@@ -610,9 +603,7 @@ pub fn run_vm_with_limits<T: Tracer>(
                 Val::Num(v) if is_unset_num(*v) => {
                     return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
                 }
-                Val::Num(_) => {
-                    return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone()))
-                }
+                Val::Num(_) => return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone())),
             },
             Op::Input(idx) => {
                 let (name, default) = &func.input_table[*idx as usize];
@@ -624,13 +615,9 @@ pub fn run_vm_with_limits<T: Tracer>(
                     let a = match &frame.slots[*s as usize] {
                         Val::Arr(a) => a,
                         Val::Num(x) if is_unset_num(*x) => {
-                            return Err(RuntimeError::UnboundVariable(
-                                func.slot_names[*s as usize].clone(),
-                            ))
+                            return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
                         }
-                        Val::Num(_) => {
-                            return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone()))
-                        }
+                        Val::Num(_) => return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone())),
                     };
                     let data = a.data.borrow();
                     let i = idx as usize;
@@ -655,13 +642,9 @@ pub fn run_vm_with_limits<T: Tracer>(
                     let a = match &frame.slots[*s as usize] {
                         Val::Arr(a) => a,
                         Val::Num(x) if is_unset_num(*x) => {
-                            return Err(RuntimeError::UnboundVariable(
-                                func.slot_names[*s as usize].clone(),
-                            ))
+                            return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
                         }
-                        Val::Num(_) => {
-                            return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone()))
-                        }
+                        Val::Num(_) => return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone())),
                     };
                     let mut data = a.data.borrow_mut();
                     let i = idx as usize;
@@ -819,7 +802,8 @@ pub fn run_vm_with_limits<T: Tracer>(
             Op::JumpIfGeRaw { cur, hi, target } => {
                 let c = raw_num(&frame.slots[*cur as usize]);
                 let h = raw_num(&frame.slots[*hi as usize]);
-                if !(c < h) {
+                // exits on NaN too — a poisoned counter must not spin the loop
+                if c.partial_cmp(&h) != Some(std::cmp::Ordering::Less) {
                     frame.pc = *target;
                 }
             }
@@ -982,13 +966,8 @@ mod tests {
     fn step_limit_enforced() {
         let p = parse("fn main() { while 1 > 0 { let x = 1; } }").unwrap();
         let vm = compile(&p).unwrap();
-        let err = run_vm_with_limits(
-            &vm,
-            &InputSpec::new(),
-            NullTracer,
-            Limits { max_steps: 5_000, max_depth: 8 },
-        )
-        .unwrap_err();
+        let err = run_vm_with_limits(&vm, &InputSpec::new(), NullTracer, Limits { max_steps: 5_000, max_depth: 8 })
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::StepLimitExceeded(_)));
     }
 
@@ -996,13 +975,9 @@ mod tests {
     fn recursion_limit_enforced() {
         let p = parse("fn main() { f(); } fn f() { f(); }").unwrap();
         let vm = compile(&p).unwrap();
-        let err = run_vm_with_limits(
-            &vm,
-            &InputSpec::new(),
-            NullTracer,
-            Limits { max_steps: 1_000_000, max_depth: 16 },
-        )
-        .unwrap_err();
+        let err =
+            run_vm_with_limits(&vm, &InputSpec::new(), NullTracer, Limits { max_steps: 1_000_000, max_depth: 16 })
+                .unwrap_err();
         assert!(matches!(err, RuntimeError::RecursionLimitExceeded(16)));
     }
 

@@ -7,8 +7,8 @@ use xflow_minilang::ast::*;
 use xflow_minilang::{parse, InputSpec};
 
 const KEYWORDS: &[&str] = &[
-    "fn", "let", "for", "parfor", "in", "step", "while", "if", "else", "return", "break", "continue", "print",
-    "zeros", "input", "len", "exp", "log", "sqrt", "sin", "cos", "pow", "abs", "min", "max", "floor", "rnd",
+    "fn", "let", "for", "parfor", "in", "step", "while", "if", "else", "return", "break", "continue", "print", "zeros",
+    "input", "len", "exp", "log", "sqrt", "sin", "cos", "pow", "abs", "min", "max", "floor", "rnd",
 ];
 
 fn ident() -> impl Strategy<Value = String> {
@@ -28,25 +28,26 @@ fn expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 20, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div),
-                Just(BinOp::Mod)
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div), Just(BinOp::Mod)]
+            )
                 .prop_map(|(l, r, op)| Expr::Bin(Box::new(l), op, Box::new(r))),
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(CmpOp::Lt),
-                Just(CmpOp::Le),
-                Just(CmpOp::Gt),
-                Just(CmpOp::Ge),
-                Just(CmpOp::Eq),
-                Just(CmpOp::Ne)
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Le),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Ge),
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne)
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::Cmp(Box::new(l), op, Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
             inner.clone().prop_map(|i| Expr::Not(Box::new(i))),
             inner.clone().prop_map(|i| match i {
@@ -54,11 +55,9 @@ fn expr() -> impl Strategy<Value = Expr> {
                 other => Expr::Neg(Box::new(other)),
             }),
             (ident(), inner.clone()).prop_map(|(a, i)| Expr::Index(a, Box::new(i))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Call(Builtin::Min, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(Builtin::Min, vec![a, b])),
             inner.clone().prop_map(|a| Expr::Call(Builtin::Sqrt, vec![a])),
-            (ident(), prop::collection::vec(inner, 0..3))
-                .prop_map(|(f, args)| Expr::CallFn(format!("fx_{f}"), args)),
+            (ident(), prop::collection::vec(inner, 0..3)).prop_map(|(f, args)| Expr::CallFn(format!("fx_{f}"), args)),
         ]
     })
 }

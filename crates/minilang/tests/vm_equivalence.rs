@@ -231,13 +231,8 @@ fn runtime_errors_match() {
         let prog = parse(src).unwrap();
         let spec = InputSpec::new();
         let r = run(&prog, &spec, xflow_minilang::NullTracer).map(|_| ());
-        let v = compile(&prog)
-            .and_then(|vm| run_vm(&vm, &spec, xflow_minilang::NullTracer).map(|_| ()));
-        assert_eq!(
-            std::mem::discriminant(&r.unwrap_err()),
-            std::mem::discriminant(&v.unwrap_err()),
-            "{what}"
-        );
+        let v = compile(&prog).and_then(|vm| run_vm(&vm, &spec, xflow_minilang::NullTracer).map(|_| ()));
+        assert_eq!(std::mem::discriminant(&r.unwrap_err()), std::mem::discriminant(&v.unwrap_err()), "{what}");
     }
 }
 
@@ -255,8 +250,5 @@ fn vm_is_faster_on_heavy_workloads() {
     let t1 = std::time::Instant::now();
     let _ = run_vm(&vm, &spec, xflow_minilang::NullTracer).unwrap();
     let fast = t1.elapsed();
-    assert!(
-        fast < tree,
-        "vm ({fast:?}) should not be slower than the tree walker ({tree:?})"
-    );
+    assert!(fast < tree, "vm ({fast:?}) should not be slower than the tree walker ({tree:?})");
 }

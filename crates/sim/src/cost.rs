@@ -19,8 +19,8 @@
 use crate::cache::{AccessLevel, Hierarchy};
 use crate::calibrate::hardware_lib_mix;
 use std::collections::HashMap;
-use xflow_minilang::{MStmtId, Tracer};
 use xflow_hw::MachineModel;
+use xflow_minilang::{MStmtId, Tracer};
 
 /// Per-statement simulation configuration.
 #[derive(Debug, Clone, Default)]
@@ -165,8 +165,6 @@ impl SimTracer {
     pub fn caches(&self) -> &Hierarchy {
         &self.caches
     }
-
-
 }
 
 impl Tracer for SimTracer {
@@ -185,11 +183,9 @@ impl Tracer for SimTracer {
 
     fn lib_call(&mut self, stmt: MStmtId, name: &'static str, arg: f64) {
         let mix = hardware_lib_mix(name, arg);
-        let cycles =
-            self.flat_op_cycles(stmt, mix.flops as f64, mix.iops as f64, mix.divs as f64, mix.loads as f64);
+        let cycles = self.flat_op_cycles(stmt, mix.flops as f64, mix.iops as f64, mix.divs as f64, mix.loads as f64);
         *self.lib_cycles.entry(name.to_string()).or_insert(0.0) += cycles;
-        *self.lib_instrs.entry(name.to_string()).or_insert(0) +=
-            (mix.flops + mix.iops + mix.loads + mix.stores) as u64;
+        *self.lib_instrs.entry(name.to_string()).or_insert(0) += (mix.flops + mix.iops + mix.loads + mix.stores) as u64;
         self.total_cycles += cycles;
     }
 }

@@ -144,11 +144,7 @@ pub fn simulate_reference(
     finish_report(machine, profile, tracer)
 }
 
-fn finish_report(
-    machine: &MachineModel,
-    profile: Profile,
-    tracer: SimTracer,
-) -> Result<SimReport, RuntimeError> {
+fn finish_report(machine: &MachineModel, profile: Profile, tracer: SimTracer) -> Result<SimReport, RuntimeError> {
     let l1_hit = tracer.caches().l1.hit_rate();
     let llc_hit = tracer.caches().llc.hit_rate();
     let dram_bytes = tracer.caches().dram_bytes();
@@ -216,12 +212,8 @@ fn main() {
         // attribution: loop body stmts carry the memory cost; compare per-
         // label subtree totals by summing child stmts (body is stmt id + 1)
         let init_body = MStmtId(init.unwrap().0 + 1);
-        let sum_body_candidates: Vec<f64> = r
-            .stmt_cycles
-            .iter()
-            .filter(|(id, _)| id.0 > sum.unwrap().0)
-            .map(|(_, &c)| c)
-            .collect();
+        let sum_body_candidates: Vec<f64> =
+            r.stmt_cycles.iter().filter(|(id, _)| id.0 > sum.unwrap().0).map(|(_, &c)| c).collect();
         let init_cost = r.stmt_cycles.get(&init_body).copied().unwrap_or(0.0);
         let sum_cost: f64 = sum_body_candidates.iter().sum();
         assert!(init_cost > sum_cost, "cold init {init_cost} vs warm sum {sum_cost}");

@@ -6,11 +6,7 @@ use xflow_minilang::{MStmtId, Tracer};
 use xflow_sim::{AccessLevel, CacheArray, Hierarchy, SimConfig, SimTracer};
 
 fn cache_level() -> impl Strategy<Value = CacheLevel> {
-    (
-        prop_oneof![Just(512u64), Just(4096), Just(32768)],
-        prop_oneof![Just(32u32), Just(64), Just(128)],
-        1u32..=8,
-    )
+    (prop_oneof![Just(512u64), Just(4096), Just(32768)], prop_oneof![Just(32u32), Just(64), Just(128)], 1u32..=8)
         .prop_map(|(size, line, assoc)| CacheLevel {
             size_bytes: size.max((line * assoc) as u64),
             line_bytes: line,

@@ -283,21 +283,10 @@ mod tests {
     #[test]
     fn add_and_lookup_functions() {
         let mut p = Program::new();
-        p.add_function(Function {
-            id: FuncId(0),
-            name: "main".into(),
-            params: vec![],
-            body: Block::new(),
-        })
-        .unwrap();
+        p.add_function(Function { id: FuncId(0), name: "main".into(), params: vec![], body: Block::new() }).unwrap();
         assert!(p.main().is_some());
         assert!(p.function("nope").is_none());
-        let dup = p.add_function(Function {
-            id: FuncId(0),
-            name: "main".into(),
-            params: vec![],
-            body: Block::new(),
-        });
+        let dup = p.add_function(Function { id: FuncId(0), name: "main".into(), params: vec![], body: Block::new() });
         assert!(dup.is_err());
     }
 

@@ -241,7 +241,11 @@ impl<'a> BlockBuilder<'a> {
         let label = self.pending_label.take();
         let mut bb = BlockBuilder { prog: self.prog, stmts: Vec::new(), pending_label: None };
         body(&mut bb);
-        self.stmts.push(Stmt { id, label, kind: StmtKind::While { trips: trips.into(), body: Block { stmts: bb.stmts } } });
+        self.stmts.push(Stmt {
+            id,
+            label,
+            kind: StmtKind::While { trips: trips.into(), body: Block { stmts: bb.stmts } },
+        });
     }
 
     /// Multi-arm branch; see [`BranchBuilder`].
@@ -357,11 +361,7 @@ mod tests {
             b.let_("n", "N");
             b.labeled("outer").loop_("i", 0, "n", |b| {
                 b.comp(Ops::new().flops(4).iops(2).loads(3).stores(1));
-                b.if_prob(
-                    0.3,
-                    |b| b.call("foo", &[Expr::var("n")]),
-                    |b| b.comp(Ops::new().flops(1)),
-                );
+                b.if_prob(0.3, |b| b.call("foo", &[Expr::var("n")]), |b| b.comp(Ops::new().flops(1)));
             });
         });
         pb.func("foo", &["m"], |b| {

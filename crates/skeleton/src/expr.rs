@@ -112,21 +112,25 @@ impl Expr {
     }
 
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)] // DSL builders, deliberately by-value without operator sugar
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Binary(Box::new(self), BinOp::Add, Box::new(rhs))
     }
 
     /// `self - rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Binary(Box::new(self), BinOp::Sub, Box::new(rhs))
     }
 
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Binary(Box::new(self), BinOp::Mul, Box::new(rhs))
     }
 
     /// `self / rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Binary(Box::new(self), BinOp::Div, Box::new(rhs))
     }
@@ -229,9 +233,7 @@ impl Expr {
                 }
                 // identities
                 match (op, &l, &r) {
-                    (BinOp::Add, Expr::Num(z), e) | (BinOp::Add, e, Expr::Num(z)) if *z == 0.0 => {
-                        return e.clone()
-                    }
+                    (BinOp::Add, Expr::Num(z), e) | (BinOp::Add, e, Expr::Num(z)) if *z == 0.0 => return e.clone(),
                     (BinOp::Sub, e, Expr::Num(z)) if *z == 0.0 => return e.clone(),
                     (BinOp::Mul, Expr::Num(one), e) | (BinOp::Mul, e, Expr::Num(one)) if *one == 1.0 => {
                         return e.clone()
@@ -546,10 +548,7 @@ mod tests {
 
     #[test]
     fn simplify_preserves_value_on_mixed_exprs() {
-        let e = Expr::num(2.0)
-            .mul(Expr::var("n"))
-            .add(Expr::num(3.0).mul(Expr::num(4.0)))
-            .sub(Expr::num(0.0));
+        let e = Expr::num(2.0).mul(Expr::var("n")).add(Expr::num(3.0).mul(Expr::num(4.0))).sub(Expr::num(0.0));
         let env = env_from([("n", 5.0)]);
         assert_eq!(e.eval(&env).unwrap(), e.simplify().eval(&env).unwrap());
     }

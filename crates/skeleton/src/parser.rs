@@ -268,9 +268,9 @@ impl Parser {
                 "divs" => ops.divs = value,
                 "bytes" => ops.dtype_bytes = value,
                 other => {
-                    return Err(self.err(format!(
-                        "unknown comp field `{other}` (expected flops/iops/loads/stores/divs/bytes)"
-                    )))
+                    return Err(
+                        self.err(format!("unknown comp field `{other}` (expected flops/iops/loads/stores/divs/bytes)"))
+                    )
                 }
             }
             if matches!(self.peek(), Tok::Comma) {
@@ -299,9 +299,7 @@ impl Parser {
                 Tok::Ge => CmpOp::Ge,
                 Tok::EqEq => CmpOp::Eq,
                 Tok::Ne => CmpOp::Ne,
-                other => {
-                    return Err(self.err(format!("expected comparison operator, found {}", other.describe())))
-                }
+                other => return Err(self.err(format!("expected comparison operator, found {}", other.describe()))),
             };
             let rhs = self.expr()?;
             self.expect(&Tok::RParen)?;
@@ -477,7 +475,7 @@ func foo(m) {
         let p = parse(src).unwrap();
         assert_eq!(p.functions.len(), 2);
         assert!(p.main().is_some());
-        assert_eq!(p.stmt_by_label("outer").is_some(), true);
+        assert!(p.stmt_by_label("outer").is_some());
         // main: let, loop, comp, if, call, comp, lib, switch, break, continue,
         // return, while, comp = 13; foo: loop, comp = 2.
         assert_eq!(p.source_statement_count(), 15);

@@ -19,8 +19,7 @@ pub fn validate(prog: &Program) -> Vec<ValidationError> {
         errs.push(ValidationError { stmt: None, message: "program has no `main` function".into() });
     }
 
-    let arities: HashMap<&str, usize> =
-        prog.functions.iter().map(|f| (f.name.as_str(), f.params.len())).collect();
+    let arities: HashMap<&str, usize> = prog.functions.iter().map(|f| (f.name.as_str(), f.params.len())).collect();
 
     for f in &prog.functions {
         walk_block(&f.body, &arities, false, &mut errs);
@@ -86,10 +85,7 @@ fn reaches_itself(start: &str, g: &HashMap<String, Vec<String>>) -> bool {
 fn check_prob(e: &Expr, id: StmtId, what: &str, errs: &mut Vec<ValidationError>) {
     if let Expr::Num(p) = e {
         if !(0.0..=1.0).contains(p) {
-            errs.push(ValidationError {
-                stmt: Some(id),
-                message: format!("{what} probability {p} is outside [0, 1]"),
-            });
+            errs.push(ValidationError { stmt: Some(id), message: format!("{what} probability {p} is outside [0, 1]") });
         }
     }
 }
@@ -238,9 +234,8 @@ mod tests {
 
     #[test]
     fn probability_mass_overflow_detected() {
-        let errs = errors(
-            "func main() { switch { case prob(0.7) { comp{flops:1} } case prob(0.6) { comp{flops:1} } } }",
-        );
+        let errs =
+            errors("func main() { switch { case prob(0.7) { comp{flops:1} } case prob(0.6) { comp{flops:1} } } }");
         assert!(errs.iter().any(|m| m.contains("sum to")));
     }
 

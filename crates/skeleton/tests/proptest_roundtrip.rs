@@ -9,8 +9,8 @@ use xflow_skeleton::{parse, print, static_counts};
 
 const KEYWORDS: &[&str] = &[
     "func", "comp", "let", "loop", "parloop", "step", "while", "trips", "if", "else", "prob", "switch", "case",
-    "default", "call", "lib", "return", "break", "continue", "flops", "iops", "loads", "stores", "divs",
-    "bytes", "min", "max", "ceil", "floor", "pow", "abs", "sqrt", "log2",
+    "default", "call", "lib", "return", "break", "continue", "flops", "iops", "loads", "stores", "divs", "bytes",
+    "min", "max", "ceil", "floor", "pow", "abs", "sqrt", "log2",
 ];
 
 fn ident() -> impl Strategy<Value = String> {
@@ -20,26 +20,20 @@ fn ident() -> impl Strategy<Value = String> {
 fn literal() -> impl Strategy<Value = f64> {
     // Values whose Display output re-parses exactly: small integers and
     // dyadic fractions.
-    prop_oneof![
-        (0i64..10_000).prop_map(|v| v as f64),
-        (0i64..1000).prop_map(|v| v as f64 / 8.0),
-    ]
+    prop_oneof![(0i64..10_000).prop_map(|v| v as f64), (0i64..1000).prop_map(|v| v as f64 / 8.0),]
 }
 
 fn expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![literal().prop_map(Expr::Num), ident().prop_map(Expr::Var)];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div),
-                Just(BinOp::Mod)
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div), Just(BinOp::Mod)]
+            )
                 .prop_map(|(l, r, op)| Expr::Binary(Box::new(l), op, Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Call("min".into(), vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call("min".into(), vec![a, b])),
             inner.clone().prop_map(|e| Expr::Call("ceil".into(), vec![e])),
             inner.prop_map(|e| Expr::Neg(Box::new(match e {
                 // printer+parser fold `-literal`; avoid Neg(Num) in the AST
@@ -57,14 +51,18 @@ fn prob_expr() -> impl Strategy<Value = Expr> {
 fn cond() -> impl Strategy<Value = Cond> {
     prop_oneof![
         prob_expr().prop_map(Cond::Prob),
-        (expr(), expr(), prop_oneof![
-            Just(CmpOp::Lt),
-            Just(CmpOp::Le),
-            Just(CmpOp::Gt),
-            Just(CmpOp::Ge),
-            Just(CmpOp::Eq),
-            Just(CmpOp::Ne)
-        ])
+        (
+            expr(),
+            expr(),
+            prop_oneof![
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne)
+            ]
+        )
             .prop_map(|(lhs, rhs, op)| Cond::Cmp { lhs, op, rhs }),
     ]
 }
@@ -111,10 +109,7 @@ fn gen_stmt() -> impl Strategy<Value = GenStmt> {
         prop_oneof![
             (ident(), expr(), expr(), block.clone()).prop_map(|(v, lo, hi, b)| GenStmt::Loop(v, lo, hi, b)),
             (expr(), block.clone()).prop_map(|(t, b)| GenStmt::While(t, b)),
-            (
-                prop::collection::vec((cond(), block.clone()), 1..3),
-                prop::option::of(block)
-            )
+            (prop::collection::vec((cond(), block.clone()), 1..3), prop::option::of(block))
                 .prop_map(|(arms, e)| GenStmt::Branch(arms, e)),
         ]
     })
@@ -137,10 +132,7 @@ fn assemble_block(stmts: &[GenStmt], prog: &mut Program) -> Block {
             },
             GenStmt::While(t, b) => StmtKind::While { trips: t.clone(), body: assemble_block(b, prog) },
             GenStmt::Branch(arms, e) => StmtKind::Branch {
-                arms: arms
-                    .iter()
-                    .map(|(c, b)| BranchArm { cond: c.clone(), body: assemble_block(b, prog) })
-                    .collect(),
+                arms: arms.iter().map(|(c, b)| BranchArm { cond: c.clone(), body: assemble_block(b, prog) }).collect(),
                 else_body: e.as_ref().map(|b| assemble_block(b, prog)),
             },
             GenStmt::Call(f, a) => StmtKind::Call { func: f.clone(), args: a.clone() },

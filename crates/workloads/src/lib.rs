@@ -169,8 +169,8 @@ mod tests {
     fn every_workload_parses_profiles_translates_and_validates() {
         for w in all() {
             let prog = w.program();
-            let prof = profile(&prog, &w.inputs(Scale::Test))
-                .unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));
+            let prof =
+                profile(&prog, &w.inputs(Scale::Test)).unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));
             let t = translate(&prog, &prof).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let errs = xflow_skeleton::validate(&t.skeleton);
             assert!(errs.is_empty(), "{}: {errs:?}", w.name);
@@ -190,8 +190,7 @@ mod tests {
             for (k, v) in w.inputs(Scale::Test).iter() {
                 env.insert(k.to_string(), xflow_skeleton::Value::Scalar(v));
             }
-            let bet = xflow_bet::build(&t.skeleton, &env)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let bet = xflow_bet::build(&t.skeleton, &env).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(bet.len() > 10, "{}: BET too small ({})", w.name, bet.len());
             // paper: BET size never exceeds 2× the source statements
             let ratio = bet.size_ratio(t.skeleton.source_statement_count());

@@ -251,10 +251,7 @@ mod tests {
         let prog = parse(SOURCE).unwrap();
         let prof = profile(&prog, &InputSpec::new()).unwrap();
         // the fault branch fires on roughly 15% of scans
-        let b = prof
-            .branches
-            .values()
-            .find(|b| b.evals() > 100 && b.arm_prob(0) > 0.05 && b.arm_prob(0) < 0.3);
+        let b = prof.branches.values().find(|b| b.evals() > 100 && b.arm_prob(0) > 0.05 && b.arm_prob(0) < 0.3);
         assert!(b.is_some(), "{:?}", prof.branches);
     }
 }

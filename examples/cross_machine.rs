@@ -10,7 +10,7 @@
 //! cargo run --release --example cross_machine
 //! ```
 
-use xflow::{bgq, compare, xeon, ModeledApp, Scale};
+use xflow::{bgq, compare, xeon, DesignSpace, ModeledApp, Scale};
 use xflow_hotspot::top_k_overlap;
 
 fn main() {
@@ -20,12 +20,14 @@ fn main() {
     // one modeling pass serves every target machine
     let app = ModeledApp::from_workload(&w, Scale::Test).expect("pipeline");
 
+    // both machines projected from the same plan, in one sweep
     let machines = [bgq(), xeon()];
+    let sweep = DesignSpace::from_machines(machines.clone()).sweep(&app, 2);
     let mut rankings = Vec::new();
-    for m in &machines {
-        let mp = app.project_on(m);
+    for (m, point) in machines.iter().zip(&sweep.points) {
+        let mp = &point.mp;
         let measured = app.measure_on(Some(&w), m).expect("simulate");
-        let cmp = compare(&mp, &measured, 10);
+        let cmp = compare(mp, &measured, 10);
 
         println!("\n=== {} ===", m.name);
         println!("{}", cmp.format_table(&app.units, 8));

@@ -6,15 +6,18 @@
 //! for each design point, the projected time of CFD and which block is the
 //! bottleneck. CFD's face-flux gather is latency-bound — MLP is the lever
 //! that moves it, and once it is cheap the bottleneck migrates to the
-//! compute blocks. Design points are evaluated in parallel with crossbeam's
-//! scoped threads.
+//! compute blocks.
+//!
+//! The grid is described once with [`DesignSpace::grid`] and evaluated with
+//! the parallel sweep API: the application is compiled into a projection
+//! plan a single time, and the 25 design points share it across a worker
+//! pool.
 //!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
-use crossbeam::thread;
-use xflow::{generic, MachineBuilder, ModeledApp, Scale};
+use xflow::{generic, Axis, DesignSpace, ModeledApp, Scale};
 
 fn main() {
     let w = xflow_workloads::cfd();
@@ -24,6 +27,10 @@ fn main() {
     let bw_points = [0.5, 1.0, 2.0, 4.0, 8.0];
     let mlp_points = [2.0, 4.0, 8.0, 16.0, 32.0];
 
+    // one plan, 25 machines, all available worker threads
+    let space = DesignSpace::grid(generic(), vec![Axis::dram_bw(&bw_points), Axis::mlp(&mlp_points)]);
+    let sweep = space.sweep(&app, 0);
+
     println!("workload: {} — projected total seconds per design point", w.name);
     println!("(rows: GB/s per core; columns: memory-level parallelism)\n");
     print!("{:>8} ", "bw\\mlp");
@@ -32,46 +39,41 @@ fn main() {
     }
     println!();
 
-    // evaluate the grid in parallel: every design point is independent
-    let mut grid = vec![vec![(0.0f64, String::new()); mlp_points.len()]; bw_points.len()];
-    thread::scope(|scope| {
-        let app = &app;
-        for (bi, row) in grid.iter_mut().enumerate() {
-            let bw = bw_points[bi];
-            scope.spawn(move |_| {
-                for (fi, cell) in row.iter_mut().enumerate() {
-                    let m = MachineBuilder::from(generic())
-                        .name("design")
-                        .dram_bw_gbs(bw)
-                        .mlp(mlp_points[fi])
-                        .build();
-                    let mp = app.project_on(&m);
-                    let top = mp.ranking()[0];
-                    let b = &mp.unit_breakdown[&top];
-                    let tag = if b.tm > b.tc { "M" } else { "C" };
-                    *cell = (mp.total, format!("{}({tag})", app.units.name(top)));
-                }
-            });
-        }
-    })
-    .expect("scoped threads");
-
-    for (bi, row) in grid.iter().enumerate() {
-        print!("{:>8} ", format!("{}GB/s", bw_points[bi]));
-        for (t, _) in row {
-            print!("{t:>12.3e} ");
+    // grid point order is row-major: bandwidth rows, MLP varying fastest
+    for (bi, bw) in bw_points.iter().enumerate() {
+        print!("{:>8} ", format!("{bw}GB/s"));
+        for fi in 0..mlp_points.len() {
+            let p = &sweep.points[bi * mlp_points.len() + fi];
+            print!("{:>12.3e} ", p.mp.total);
         }
         println!();
     }
 
     println!("\ntop hot spot and its bound (C = compute, M = memory) per design point:\n");
-    for (bi, row) in grid.iter().enumerate() {
-        print!("{:>8} ", format!("{}GB/s", bw_points[bi]));
-        for (_, name) in row {
+    for (bi, bw) in bw_points.iter().enumerate() {
+        print!("{:>8} ", format!("{bw}GB/s"));
+        for fi in 0..mlp_points.len() {
+            let p = &sweep.points[bi * mlp_points.len() + fi];
+            let name = match p.top_unit {
+                Some(top) => {
+                    let tag = if p.memory_bound { "M" } else { "C" };
+                    format!("{}({tag})", app.units.name(top))
+                }
+                None => "-".into(),
+            };
             print!("{name:>24} ");
         }
         println!();
     }
+
+    let best = sweep.best().expect("non-empty sweep");
+    let deltas = sweep.deltas();
+    println!(
+        "\nfastest point: {} ({:.3e} s, {:.2}x the baseline corner)",
+        best.mp.machine.name, best.mp.total, deltas[best.index].speedup
+    );
+    let flips = deltas.iter().filter(|d| d.bottleneck_flipped).count();
+    println!("bottleneck flips vs baseline across the grid: {flips} / {}", deltas.len());
 
     println!("\n→ the time surface falls along the bandwidth × MLP diagonal and");
     println!("  saturates once the latency-bound flux gather is fully overlapped;");

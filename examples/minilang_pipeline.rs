@@ -46,7 +46,11 @@ fn main() {
     println!("  dynamic ops        : {}", prof.total_ops());
     println!("  library calls      : {:?}", prof.lib_calls);
     for (id, b) in &prof.branches {
-        println!("  branch {:?} arm probabilities: {:?}", id, (0..b.arm_hits.len()).map(|i| b.arm_prob(i)).collect::<Vec<_>>());
+        println!(
+            "  branch {:?} arm probabilities: {:?}",
+            id,
+            (0..b.arm_hits.len()).map(|i| b.arm_prob(i)).collect::<Vec<_>>()
+        );
     }
 
     // step 2: source → skeleton translation with profile folded in

@@ -27,9 +27,7 @@ fn sord_spec() -> BspSpec {
         }),
         steps: Box::new(|local| local.get_or("STEPS", 8.0)),
         // two X-faces × NY×NZ cells × 3 velocity components × 8 bytes
-        halo_bytes: Box::new(|local| {
-            2.0 * local.get_or("NY", 20.0) * local.get_or("NZ", 20.0) * 3.0 * 8.0
-        }),
+        halo_bytes: Box::new(|local| 2.0 * local.get_or("NY", 20.0) * local.get_or("NZ", 20.0) * 3.0 * 8.0),
     }
 }
 

@@ -11,7 +11,7 @@
 //! cargo run --release --example parallel_scaling
 //! ```
 
-use xflow::{bgq, InputSpec, ModeledApp, EVAL_CRITERIA};
+use xflow::{bgq, Axis, DesignSpace, InputSpec, ModeledApp, EVAL_CRITERIA};
 
 const SRC: &str = r#"
 // Hybrid workload: a flop-dense phase and a streaming phase, both parallel.
@@ -49,27 +49,22 @@ fn main() {
         "cores", "total (s)", "speedup", "dense (s)", "stream (s)", "projected top spot"
     );
 
-    let mut base_total = 0.0;
-    for cores in [1u32, 2, 4, 8, 16, 32, 64] {
-        let mut m = bgq();
-        m.cores = cores;
-        let mp = app.project_on(&m);
-        if cores == 1 {
-            base_total = mp.total;
-        }
+    // a core-count axis swept from one projection plan; the baseline point
+    // (1 core) anchors the speedup column via the sweep's deltas
+    let cores = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    let sweep = DesignSpace::grid(bgq(), vec![Axis::cores(&cores)]).sweep(&app, 0);
+    let deltas = sweep.deltas();
+    for (point, delta) in sweep.points.iter().zip(&deltas) {
+        let mp = &point.mp;
         let unit_named = |prefix: &str| {
-            mp.unit_times
-                .iter()
-                .find(|(u, _)| app.units.name(**u).starts_with(prefix))
-                .map(|(_, &t)| t)
-                .unwrap_or(0.0)
+            mp.unit_times.iter().find(|(u, _)| app.units.name(**u).starts_with(prefix)).map(|(_, &t)| t).unwrap_or(0.0)
         };
-        let top = mp.ranking()[0];
+        let top = point.top_unit.expect("non-empty projection");
         println!(
             "{:>6} {:>13.4e} {:>8.1}x {:>13.4e} {:>13.4e} {:>22}",
-            cores,
+            mp.machine.cores,
             mp.total,
-            base_total / mp.total,
+            delta.speedup,
             unit_named("dense"),
             unit_named("stream"),
             app.units.name(top),

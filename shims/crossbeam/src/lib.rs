@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; it is
+//! implemented over `std::thread::scope` (available since Rust 1.63),
+//! keeping crossbeam's signature quirks: `scope` returns a
+//! `thread::Result` and spawn closures receive a `&Scope` argument so
+//! spawned threads can spawn further work.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`, backed by the std scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Unlike std, panics in spawned threads surface as
+    /// `Err` — matching crossbeam, whose callers `.expect(..)` the result.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let counter = AtomicUsize::new(0);
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        1usize
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .expect("scoped threads");
+        assert_eq!(total, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

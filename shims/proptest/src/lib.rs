@@ -1,0 +1,120 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` macro, range/`Just`/regex/tuple strategies,
+//! `prop_map`/`prop_filter`/`prop_recursive`/`boxed`, `prop_oneof!`,
+//! `prop::collection::vec`, `prop::option::of`, and `ProptestConfig`.
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//! - generation only — failing cases are reported by the panic message,
+//!   not shrunk to a minimal counterexample;
+//! - the RNG is seeded deterministically from the test's module path and
+//!   name, so runs are reproducible without a persistence file;
+//! - regex strategies support the character-class subset the tests use
+//!   (`[a-z0-9_]`, ranges, `{n,m}` counts, `\PC`, `\d`, `\w`, `.`).
+//!
+//! `PROPTEST_CASES` in the environment overrides the per-test case count.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Per-test configuration; only `cases` is meaningful in the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[doc(hidden)]
+pub fn resolve_cases(cfg: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(cfg.cases)
+}
+
+/// `proptest! { ... }`: expands each contained `fn name(pat in strategy, ...)`
+/// into a plain test fn that generates inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::resolve_cases(&__cfg);
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies. Weights, if given, are ignored by
+/// the shim (every arm is equally likely).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({ let _ = $weight; $crate::strategy::Strategy::boxed($strat) }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

@@ -1,0 +1,30 @@
+//! `Option` strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Clone> Clone for OptionStrategy<S> {
+    fn clone(&self) -> Self {
+        OptionStrategy { inner: self.inner.clone() }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Some three times out of four, mirroring upstream's Some-biased default
+        if rng.gen_index(4) != 0 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

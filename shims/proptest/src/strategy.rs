@@ -1,0 +1,375 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, T>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T + 'static,
+    {
+        Map { inner: self, f: Rc::new(f) }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { inner: self, reason, f: Rc::new(f) }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `f` lifts
+    /// a strategy for depth-`d` values into one for depth-`d+1` values.
+    /// The shim chains `f` `depth` times, mixing the leaf back in at
+    /// every level so generated trees stay finite and varied. The
+    /// `desired_size`/`expected_branch_size` hints are accepted for
+    /// signature compatibility but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth.max(1) {
+            let deeper = f(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S: Strategy, T> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> T>,
+}
+
+impl<S: Strategy + Clone, T> Clone for Map<S, T> {
+    fn clone(&self) -> Self {
+        Map { inner: self.inner.clone(), f: Rc::clone(&self.f) }
+    }
+}
+
+impl<S: Strategy, T> Strategy for Map<S, T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+type FilterFn<T> = Rc<dyn Fn(&T) -> bool>;
+
+pub struct Filter<S: Strategy> {
+    inner: S,
+    reason: &'static str,
+    f: FilterFn<S::Value>,
+}
+
+impl<S: Strategy + Clone> Clone for Filter<S> {
+    fn clone(&self) -> Self {
+        Filter { inner: self.inner.clone(), reason: self.reason, f: Rc::clone(&self.f) }
+    }
+}
+
+impl<S: Strategy> Strategy for Filter<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.reason)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "Union requires at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_index(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty range strategy");
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let unit = rng.next_f64() as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                // next_f64 is in [0, 1); stretch slightly so `hi` is reachable
+                let unit = (rng.next_f64() * (1.0 + f64::EPSILON)).min(1.0) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7, I:8)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7, I:8, J:9)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7, I:8, J:9, K:10)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7, I:8, J:9, K:10, L:11)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy (for `&'static str` patterns)
+// ---------------------------------------------------------------------------
+
+struct Atom {
+    choices: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u32..0x7F).filter_map(char::from_u32).collect()
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut cs = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+                        cs.extend((a..=b).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        cs.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                cs
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i).copied() {
+                    Some('P') => {
+                        // `\PC` — not-a-control-character; the shim generates
+                        // printable ASCII
+                        i += 1;
+                        if chars.get(i) == Some(&'C') {
+                            i += 1;
+                        }
+                        printable_ascii()
+                    }
+                    Some('d') => {
+                        i += 1;
+                        ('0'..='9').collect()
+                    }
+                    Some('w') => {
+                        i += 1;
+                        ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(std::iter::once('_')).collect()
+                    }
+                    Some(c) => {
+                        i += 1;
+                        vec![c]
+                    }
+                    None => vec!['\\'],
+                }
+            }
+            '.' => {
+                i += 1;
+                printable_ascii()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let mut lo_digits = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                lo_digits.push(chars[i]);
+                i += 1;
+            }
+            let lo: usize = lo_digits.parse().expect("regex count");
+            let hi = if chars.get(i) == Some(&',') {
+                i += 1;
+                let mut hi_digits = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    hi_digits.push(chars[i]);
+                    i += 1;
+                }
+                if hi_digits.is_empty() {
+                    lo + 8
+                } else {
+                    hi_digits.parse().expect("regex count")
+                }
+            } else {
+                lo
+            };
+            i += 1; // closing '}'
+            (lo, hi)
+        } else if chars.get(i) == Some(&'*') {
+            i += 1;
+            (0, 8)
+        } else if chars.get(i) == Some(&'+') {
+            i += 1;
+            (1, 8)
+        } else if chars.get(i) == Some(&'?') {
+            i += 1;
+            (0, 1)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { choices, lo, hi });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            if atom.choices.is_empty() {
+                continue;
+            }
+            let count = atom.lo + rng.gen_index(atom.hi - atom.lo + 1);
+            for _ in 0..count {
+                out.push(atom.choices[rng.gen_index(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}

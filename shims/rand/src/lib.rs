@@ -1,0 +1,133 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements the subset the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open
+//! ranges. The generator is splitmix64 — deterministic for a given seed,
+//! which is all the calibration code requires (it never compares against
+//! upstream rand's stream, only against itself).
+
+use std::ops::Range;
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from a range, driven by a raw `u64` source.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 random bits -> uniform in [0, 1)
+        let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> u64 {
+        let span = self.end - self.start;
+        assert!(span > 0, "empty range");
+        self.start + next() % span
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> u32 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "empty range");
+        self.start + (next() % span) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> usize {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "empty range");
+        self.start + (next() % span) as usize
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> i64 {
+        let span = self.end.wrapping_sub(self.start) as u64;
+        assert!(span > 0, "empty range");
+        self.start.wrapping_add((next() % span) as i64)
+    }
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        let mut next = || Rng::next_u64(self);
+        range.sample(&mut next)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+pub mod rngs {
+    /// Deterministic splitmix64 generator under the familiar name.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-8.0..8.0);
+            assert!((-8.0..8.0).contains(&x));
+            let n = rng.gen_range(3u32..10);
+            assert!((3..10).contains(&n));
+        }
+    }
+}

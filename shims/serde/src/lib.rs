@@ -1,0 +1,387 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal self-describing serialization framework under the same crate
+//! name. The public surface mirrors the subset of serde the workspace
+//! uses: `#[derive(Serialize, Deserialize)]`, the two traits, and enough
+//! std impls for the types that cross a JSON boundary.
+//!
+//! Instead of serde's visitor architecture, values are lowered to a small
+//! [`Content`] tree that `serde_json` renders and parses. That keeps the
+//! derive macro tiny (no `syn`/`quote`) while preserving exact roundtrips
+//! for every shape the workspace serializes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Intermediate representation every serializable value lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) if *v >= 0 => Some(*v as u64),
+            Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => Some(*v as u64),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            Content::F64(v) if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 => Some(*v as i64),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be lowered to [`Content`].
+pub trait Serialize {
+    fn serialize(&self) -> Content;
+}
+
+/// A value that can be rebuilt from [`Content`].
+pub trait Deserialize: Sized {
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+}
+
+fn unexpected(expected: &str, got: &Content) -> Error {
+    Error(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, Error> {
+                let v = c.as_u64().ok_or_else(|| unexpected("unsigned integer", c))?;
+                <$t>::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, Error> {
+                let v = c.as_i64().ok_or_else(|| unexpected("integer", c))?;
+                <$t>::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        c.as_f64().ok_or_else(|| unexpected("number", c))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        c.as_f64().map(|v| v as f32).ok_or_else(|| unexpected("number", c))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        T::deserialize(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+/// Deterministic textual key for ordering serialized map entries.
+fn content_sort_key(c: &Content) -> String {
+    match c {
+        Content::Str(s) => s.clone(),
+        Content::U64(v) => format!("{v:020}"),
+        Content::I64(v) => format!("{v:020}"),
+        other => format!("{other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Content {
+        let mut entries: Vec<(Content, Content)> = self.iter().map(|(k, v)| (k.serialize(), v.serialize())).collect();
+        entries.sort_by_key(|e| content_sort_key(&e.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?))).collect()
+            }
+            other => Err(unexpected("map", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.serialize(), v.serialize())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?))).collect()
+            }
+            other => Err(unexpected("map", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::Seq(items) => Ok(($(elem::<$name>(items, $idx)?,)+)),
+                    other => Err(unexpected("tuple sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by generated code
+// ---------------------------------------------------------------------------
+
+/// Look up a named field in a serialized map. Missing fields fall back to
+/// deserializing `Null` so `Option` fields tolerate omission.
+pub fn field<T: Deserialize>(entries: &[(Content, Content)], name: &str) -> Result<T, Error> {
+    for (k, v) in entries {
+        if let Content::Str(s) = k {
+            if s == name {
+                return T::deserialize(v).map_err(|e| Error(format!("field `{name}`: {e}")));
+            }
+        }
+    }
+    T::deserialize(&Content::Null).map_err(|_| Error(format!("missing field `{name}`")))
+}
+
+/// Positional element access for serialized tuples.
+pub fn elem<T: Deserialize>(items: &[Content], idx: usize) -> Result<T, Error> {
+    T::deserialize(items.get(idx).unwrap_or(&Content::Null)).map_err(|e| Error(format!("element {idx}: {e}")))
+}
+
+/// Interpret a serialized enum value as `(variant_name, payload)`.
+/// Unit variants arrive as a bare string; payload variants as a
+/// single-entry map.
+pub fn variant(c: &Content) -> Result<(&str, &Content), Error> {
+    static NULL: Content = Content::Null;
+    match c {
+        Content::Str(name) => Ok((name.as_str(), &NULL)),
+        Content::Map(entries) if entries.len() == 1 => match &entries[0].0 {
+            Content::Str(name) => Ok((name.as_str(), &entries[0].1)),
+            other => Err(unexpected("variant name string", other)),
+        },
+        other => Err(unexpected("enum variant", other)),
+    }
+}

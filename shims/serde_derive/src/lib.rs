@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `Serialize`/`Deserialize` impls against the vendored `serde`
+//! shim's `Content` tree. Implemented directly on `proc_macro::TokenTree`
+//! (no `syn`/`quote` in this sandbox): the generated code only needs field
+//! and variant *names* plus arity — field types are recovered through the
+//! generic helpers `serde::field`/`serde::elem`, so the parser can skip
+//! type tokens entirely (tracking `<`/`>` depth to find field-separating
+//! commas).
+//!
+//! Representation (consistent between both derives, which is all that
+//! matters since the matching `serde_json` is vendored too):
+//! - named struct        -> map of field name -> value
+//! - newtype struct      -> the inner value, transparently
+//! - tuple struct (n>1)  -> sequence
+//! - unit enum variant   -> `"Variant"`
+//! - newtype variant     -> `{"Variant": value}`
+//! - tuple variant       -> `{"Variant": [..]}`
+//! - struct variant      -> `{"Variant": {..}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Def {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn skip_attrs_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            // `#` followed by a bracketed group (covers doc comments too)
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse(input: TokenStream) -> Def {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "type name");
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline shim");
+    }
+    let kind = match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("struct", _) => Kind::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("serde_derive: unsupported item `{kw} {name}`"),
+    };
+    Def { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "field name");
+        // expect and skip `:`
+        i += 1;
+        // skip the type: everything up to the next comma at angle depth 0
+        // (parens/brackets arrive as atomic groups; only `<`/`>` need counting)
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut seen_since_comma = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                seen_since_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                seen_since_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if seen_since_comma {
+                    count += 1;
+                }
+                seen_since_comma = false;
+            }
+            _ => seen_since_comma = true,
+        }
+    }
+    if seen_since_comma {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn join(parts: impl Iterator<Item = String>, sep: &str) -> String {
+    parts.collect::<Vec<_>>().join(sep)
+}
+
+fn gen_serialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Fields::Named(fs)) => {
+            let entries = join(
+                fs.iter().map(|f| {
+                    format!(
+                        "(::serde::Content::Str({f:?}.to_string()), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                }),
+                ", ",
+            );
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = join((0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")), ", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms = join(
+                variants.iter().map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Content::Str({v:?}.to_string()),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Content::Map(vec![\
+                         (::serde::Content::Str({v:?}.to_string()), \
+                         ::serde::Serialize::serialize(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds = join((0..*n).map(|i| format!("__f{i}")), ", ");
+                        let items = join((0..*n).map(|i| format!("::serde::Serialize::serialize(__f{i})")), ", ");
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str({v:?}.to_string()), \
+                             ::serde::Content::Seq(vec![{items}]))]),"
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries = join(
+                            fs.iter().map(|f| {
+                                format!(
+                                    "(::serde::Content::Str({f:?}.to_string()), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            }),
+                            ", ",
+                        );
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str({v:?}.to_string()), \
+                             ::serde::Content::Map(vec![{entries}]))]),"
+                        )
+                    }
+                }),
+                " ",
+            );
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Fields::Named(fs)) => {
+            let fields = join(fs.iter().map(|f| format!("{f}: ::serde::field(__entries, {f:?})?,")), " ");
+            format!(
+                "match __c {{ \
+                 ::serde::Content::Map(__entries) => \
+                 ::std::result::Result::Ok({name} {{ {fields} }}), \
+                 _ => ::std::result::Result::Err(::serde::Error(\
+                 \"expected map for struct {name}\".to_string())), \
+                 }}"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = join((0..*n).map(|i| format!("::serde::elem(__items, {i})?")), ", ");
+            format!(
+                "match __c {{ \
+                 ::serde::Content::Seq(__items) => \
+                 ::std::result::Result::Ok({name}({items})), \
+                 _ => ::std::result::Result::Err(::serde::Error(\
+                 \"expected sequence for tuple struct {name}\".to_string())), \
+                 }}"
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let arms = join(
+                variants.iter().map(|(v, fields)| match fields {
+                    Fields::Unit => format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"),
+                    Fields::Tuple(1) => format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize(__payload)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items = join((0..*n).map(|i| format!("::serde::elem(__items, {i})?")), ", ");
+                        format!(
+                            "{v:?} => match __payload {{ \
+                             ::serde::Content::Seq(__items) => \
+                             ::std::result::Result::Ok({name}::{v}({items})), \
+                             _ => ::std::result::Result::Err(::serde::Error(\
+                             \"expected sequence payload for variant {v}\".to_string())), \
+                             }},"
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let fields = join(fs.iter().map(|f| format!("{f}: ::serde::field(__entries, {f:?})?,")), " ");
+                        format!(
+                            "{v:?} => match __payload {{ \
+                             ::serde::Content::Map(__entries) => \
+                             ::std::result::Result::Ok({name}::{v} {{ {fields} }}), \
+                             _ => ::std::result::Result::Err(::serde::Error(\
+                             \"expected map payload for variant {v}\".to_string())), \
+                             }},"
+                        )
+                    }
+                }),
+                " ",
+            );
+            format!(
+                "let (__name, __payload) = ::serde::variant(__c)?; \
+                 match __name {{ {arms} \
+                 __other => ::std::result::Result::Err(::serde::Error(\
+                 format!(\"unknown variant `{{}}` for {name}\", __other))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}

@@ -419,14 +419,12 @@ fn main() {
             let mut m = crate::generic();
             m.name = "custom-9000".into();
             std::fs::write(&mfile, serde_json::to_string(&m).unwrap()).unwrap();
-            let out =
-                run(&args(&["hotspots", path, "--machine-file", mfile.to_str().unwrap()])).unwrap();
+            let out = run(&args(&["hotspots", path, "--machine-file", mfile.to_str().unwrap()])).unwrap();
             assert!(out.contains("custom-9000"), "{out}");
             // invalid model rejected
             m.freq_ghz = -1.0;
             std::fs::write(&mfile, serde_json::to_string(&m).unwrap()).unwrap();
-            let err = run(&args(&["hotspots", path, "--machine-file", mfile.to_str().unwrap()]))
-                .unwrap_err();
+            let err = run(&args(&["hotspots", path, "--machine-file", mfile.to_str().unwrap()])).unwrap_err();
             assert!(err.contains("invalid machine model"), "{err}");
         });
     }

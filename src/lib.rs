@@ -50,11 +50,16 @@ pub mod cli;
 pub mod compare;
 pub mod multirank;
 pub mod pipeline;
+pub mod sweep;
 pub mod units;
 
 pub use compare::{compare, evaluate, Comparison};
-pub use pipeline::{initial_env, lib_time_by_function, MachineProjection, Measured, ModeledApp, PipelineError};
 pub use multirank::{format_scaling, project_scaling, BspSpec, RankPoint, ScalingKind};
+pub use pipeline::{
+    default_library, fold_projection, initial_env, lib_time_by_function, MachineProjection, Measured, ModeledApp,
+    PipelineError,
+};
+pub use sweep::{format_sweep, Axis, DesignSpace, Sweep, SweepDelta, SweepPoint};
 pub use units::{Units, LIB_UNIT_BASE};
 
 // Re-export the sub-crates under their full names…

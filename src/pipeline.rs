@@ -7,8 +7,9 @@
 use crate::units::Units;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 use xflow_bet::Bet;
-use xflow_hotspot::{Criteria, Greedy, MeasuredTimes, Projection, Selection};
+use xflow_hotspot::{Criteria, Greedy, MeasuredTimes, Projection, ProjectionPlan, Selection};
 use xflow_hw::{LibraryRegistry, MachineModel, PerfModel, Roofline};
 use xflow_minilang::{self as ml, InputSpec, Translation};
 use xflow_skeleton::{Env, StmtId, Value};
@@ -35,6 +36,15 @@ impl fmt::Display for PipelineError {
 }
 
 impl std::error::Error for PipelineError {}
+
+/// The default (empirically calibrated) library registry, computed once
+/// per process. Calibration is deterministic (fixed seed), so sharing the
+/// result across every projection is sound — and it keeps the per-machine
+/// cost of [`ModeledApp::project_on`] down to a plan evaluation.
+pub fn default_library() -> &'static LibraryRegistry {
+    static LIBS: OnceLock<LibraryRegistry> = OnceLock::new();
+    LIBS.get_or_init(|| xflow_sim::calibrate_library(512))
+}
 
 impl From<xflow_skeleton::ParseError> for PipelineError {
     fn from(e: xflow_skeleton::ParseError) -> Self {
@@ -70,6 +80,9 @@ pub struct ModeledApp {
     pub units: Units,
     /// The input binding used for profiling and BET construction.
     pub inputs: InputSpec,
+    /// Lazily-built machine-independent projection plan (phase 1 of the
+    /// two-phase engine), shared by every [`ModeledApp::project_on`] call.
+    plan: OnceLock<ProjectionPlan>,
 }
 
 impl ModeledApp {
@@ -106,44 +119,42 @@ impl ModeledApp {
             units.instr.insert(*unit, 1.0);
         }
         units.total_instr = program.stmt_count() as f64;
-        Ok(ModeledApp { program, profile, translation, bet, units, inputs: inputs.clone() })
+        Ok(ModeledApp { program, profile, translation, bet, units, inputs: inputs.clone(), plan: OnceLock::new() })
+    }
+
+    /// The machine-independent projection plan (phase 1), built on first
+    /// use against the calibrated default library and reused by every
+    /// subsequent [`ModeledApp::project_on`] and design-space sweep.
+    pub fn plan(&self) -> &ProjectionPlan {
+        self.plan.get_or_init(|| ProjectionPlan::new(&self.bet, default_library()))
     }
 
     /// Project the application on a target machine (extended roofline,
     /// empirically calibrated library mixes).
+    ///
+    /// Per-machine cost is one plan evaluation (phase 2): the BET walk and
+    /// library calibration are cached on the app and the process.
     pub fn project_on(&self, machine: &MachineModel) -> MachineProjection {
-        let libs = xflow_sim::calibrate_library(512);
-        self.project_with(machine, &Roofline, &libs)
+        self.fold(machine, self.plan().evaluate(machine, &Roofline))
     }
 
     /// Projection with an explicit hardware model and library registry.
+    ///
+    /// Builds a fresh plan per call because the plan bakes in the library
+    /// mixes; use [`ModeledApp::plan`] + [`ProjectionPlan::evaluate`] (or
+    /// [`ModeledApp::project_on`]) for repeated default-library projections.
     pub fn project_with(
         &self,
         machine: &MachineModel,
         model: &dyn PerfModel,
         libs: &LibraryRegistry,
     ) -> MachineProjection {
-        let projection = xflow_hotspot::project(&self.bet, machine, model, libs);
-        // fold per-statement costs into the unit view
-        let mut unit_times: HashMap<StmtId, f64> = HashMap::new();
-        let mut unit_breakdown: HashMap<StmtId, xflow_hotspot::StmtCost> = HashMap::new();
-        for (&stmt, cost) in &projection.per_stmt {
-            let unit = self.units.unit_of(stmt);
-            *unit_times.entry(unit).or_insert(0.0) += cost.total;
-            let b = unit_breakdown.entry(unit).or_default();
-            b.total += cost.total;
-            b.tc += cost.tc;
-            b.tm += cost.tm;
-            b.overlap += cost.overlap;
-            b.metrics.add_scaled(&cost.metrics, 1.0);
-        }
-        MachineProjection {
-            machine: machine.clone(),
-            total: projection.total_time,
-            projection,
-            unit_times,
-            unit_breakdown,
-        }
+        self.fold(machine, xflow_hotspot::project(&self.bet, machine, model, libs))
+    }
+
+    /// Fold a raw per-statement projection into the unit view.
+    pub fn fold(&self, machine: &MachineModel, projection: Projection) -> MachineProjection {
+        fold_projection(&self.units, machine, projection)
     }
 
     /// Measure the application on a machine with the ground-truth
@@ -174,6 +185,25 @@ pub fn initial_env(translation: &Translation, inputs: &InputSpec) -> Env {
         env.insert(k.to_string(), Value::Scalar(v));
     }
     env
+}
+
+/// Fold a raw per-statement projection into the unit view. Free function
+/// so sweep workers can fold without sharing the whole [`ModeledApp`]
+/// across threads — [`Units`] and [`ProjectionPlan`] are `Sync`.
+pub fn fold_projection(units: &Units, machine: &MachineModel, projection: Projection) -> MachineProjection {
+    let mut unit_times: HashMap<StmtId, f64> = HashMap::new();
+    let mut unit_breakdown: HashMap<StmtId, xflow_hotspot::StmtCost> = HashMap::new();
+    for (stmt, cost) in &projection.per_stmt {
+        let unit = units.unit_of(stmt);
+        *unit_times.entry(unit).or_insert(0.0) += cost.total;
+        let b = unit_breakdown.entry(unit).or_default();
+        b.total += cost.total;
+        b.tc += cost.tc;
+        b.tm += cost.tm;
+        b.overlap += cost.overlap;
+        b.metrics.add_scaled(&cost.metrics, 1.0);
+    }
+    MachineProjection { machine: machine.clone(), total: projection.total_time, projection, unit_times, unit_breakdown }
 }
 
 /// A projection of one application on one machine, in unit view.
@@ -240,8 +270,7 @@ impl Measured {
                 *unit_times.entry(unit).or_insert(0.0) += cycles * sec;
                 *unit_cycles.entry(unit).or_insert(0.0) += cycles;
                 *unit_instrs.entry(unit).or_insert(0) += report.stmt_instrs.get(mstmt).copied().unwrap_or(0);
-                *unit_l1_misses.entry(unit).or_insert(0) +=
-                    report.stmt_l1_misses.get(mstmt).copied().unwrap_or(0);
+                *unit_l1_misses.entry(unit).or_insert(0) += report.stmt_l1_misses.get(mstmt).copied().unwrap_or(0);
             }
         }
         for (name, &cycles) in &report.lib_cycles {

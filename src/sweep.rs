@@ -1,0 +1,391 @@
+//! Parallel design-space sweeps over candidate machines.
+//!
+//! The co-design loop of the paper projects one application on many
+//! *prospective* machines — varying bandwidth, core counts, memory-level
+//! parallelism — and asks where the bottleneck moves and whether the hot
+//! spot ranking changes. With the two-phase projection engine the
+//! per-machine cost is a single plan evaluation, so a sweep is
+//! embarrassingly parallel over machines.
+//!
+//! [`DesignSpace`] enumerates the candidate machines (an explicit list via
+//! [`DesignSpace::from_machines`], or the cartesian product of parameter
+//! [`Axis`] values via [`DesignSpace::grid`]); [`DesignSpace::sweep`] fans
+//! the points across a scoped worker pool and returns a [`Sweep`] with
+//! per-point [`MachineProjection`]s, ranking/bottleneck summaries, and
+//! deltas against the baseline point.
+//!
+//! Results are deterministic and independent of the worker-thread count:
+//! workers pull point indices from a shared atomic counter and the results
+//! are merged back into index order, so the output never depends on
+//! scheduling.
+//!
+//! ```
+//! use xflow::{bgq, Axis, DesignSpace, ModeledApp, Scale};
+//!
+//! let w = xflow::xflow_workloads::cfd();
+//! let app = ModeledApp::from_workload(&w, Scale::Test).unwrap();
+//! let space = DesignSpace::grid(
+//!     bgq(),
+//!     vec![
+//!         Axis::new("dram_bw_gbs", &[20.0, 40.0], |m, v| m.dram_bw_gbs = v),
+//!         Axis::new("mlp", &[2.0, 4.0], |m, v| m.mlp = v),
+//!     ],
+//! );
+//! let sweep = space.sweep(&app, 2);
+//! assert_eq!(sweep.points.len(), 4);
+//! let best = sweep.best().unwrap();
+//! assert!(best.mp.total <= sweep.points[0].mp.total);
+//! ```
+
+use crate::pipeline::{fold_projection, MachineProjection, ModeledApp};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xflow_hw::{MachineModel, PerfModel, Roofline};
+use xflow_skeleton::StmtId;
+
+/// One swept machine parameter: a name, the values to try, and how to
+/// apply a value to a machine description.
+#[derive(Clone)]
+pub struct Axis {
+    /// Parameter name (used in point labels, e.g. `dram_bw_gbs=40`).
+    pub name: String,
+    /// Values the axis takes, in sweep order.
+    pub values: Vec<f64>,
+    /// Writes one value into a machine description.
+    pub apply: fn(&mut MachineModel, f64),
+}
+
+impl Axis {
+    /// A named axis over explicit values.
+    pub fn new(name: &str, values: &[f64], apply: fn(&mut MachineModel, f64)) -> Self {
+        Self { name: name.to_string(), values: values.to_vec(), apply }
+    }
+
+    /// DRAM bandwidth axis (GB/s).
+    pub fn dram_bw(values: &[f64]) -> Self {
+        Self::new("dram_bw_gbs", values, |m, v| m.dram_bw_gbs = v)
+    }
+
+    /// Core-count axis.
+    pub fn cores(values: &[f64]) -> Self {
+        Self::new("cores", values, |m, v| m.cores = v as u32)
+    }
+
+    /// Memory-level-parallelism axis.
+    pub fn mlp(values: &[f64]) -> Self {
+        Self::new("mlp", values, |m, v| m.mlp = v)
+    }
+
+    /// Clock-frequency axis (GHz).
+    pub fn freq_ghz(values: &[f64]) -> Self {
+        Self::new("freq_ghz", values, |m, v| m.freq_ghz = v)
+    }
+
+    /// Vector-width axis (lanes).
+    pub fn vector_lanes(values: &[f64]) -> Self {
+        Self::new("vector_lanes", values, |m, v| m.vector_lanes = v)
+    }
+}
+
+/// A set of candidate machines to project an application on.
+pub struct DesignSpace {
+    machines: Vec<MachineModel>,
+}
+
+impl DesignSpace {
+    /// Sweep an explicit list of machines (e.g. the paper's BG/Q vs Xeon
+    /// cross-machine comparison).
+    pub fn from_machines<I: IntoIterator<Item = MachineModel>>(machines: I) -> Self {
+        Self { machines: machines.into_iter().collect() }
+    }
+
+    /// Cartesian product of axis values applied to a base machine.
+    ///
+    /// Point order is row-major in axis order (the last axis varies
+    /// fastest); point 0 is the base machine with every axis at its first
+    /// value. Machines are renamed `base[axis=value,…]` so reports stay
+    /// readable.
+    pub fn grid(base: MachineModel, axes: Vec<Axis>) -> Self {
+        let n: usize = axes.iter().map(|a| a.values.len().max(1)).product();
+        let mut machines = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut m = base.clone();
+            let mut label = String::new();
+            let mut rem = i;
+            // decode the row-major index, last axis fastest
+            for axis in axes.iter().rev() {
+                let k = axis.values.len().max(1);
+                let j = rem % k;
+                rem /= k;
+                if let Some(&v) = axis.values.get(j) {
+                    (axis.apply)(&mut m, v);
+                    let part = format!("{}={v}", axis.name);
+                    label = if label.is_empty() { part } else { format!("{part},{label}") };
+                }
+            }
+            m.name = format!("{}[{}]", base.name, label);
+            machines.push(m);
+        }
+        Self { machines }
+    }
+
+    /// The candidate machines, in point order.
+    pub fn machines(&self) -> &[MachineModel] {
+        &self.machines
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the space has no points.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Sweep with the extended roofline model and the app's cached plan.
+    ///
+    /// `threads = 0` uses the machine's available parallelism; `1` runs
+    /// serially. Output is identical for every thread count.
+    pub fn sweep(&self, app: &ModeledApp, threads: usize) -> Sweep {
+        self.sweep_with(app, &Roofline, threads)
+    }
+
+    /// Sweep with an explicit (thread-safe) performance model.
+    pub fn sweep_with(&self, app: &ModeledApp, model: &(dyn PerfModel + Sync), threads: usize) -> Sweep {
+        let plan = app.plan();
+        let units = &app.units;
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            t => t,
+        }
+        .min(self.machines.len().max(1));
+
+        let eval = |i: usize| -> SweepPoint {
+            let machine = &self.machines[i];
+            let mp = fold_projection(units, machine, plan.evaluate(machine, model));
+            summarize(i, mp)
+        };
+
+        let points = if threads <= 1 {
+            (0..self.machines.len()).map(eval).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let n = self.machines.len();
+            let per_worker: Vec<Vec<(usize, SweepPoint)>> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|_| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                out.push((i, eval(i)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+            })
+            .expect("sweep scope panicked");
+
+            // merge into point order so results are scheduling-independent
+            let mut slots: Vec<Option<SweepPoint>> = (0..n).map(|_| None).collect();
+            for (i, p) in per_worker.into_iter().flatten() {
+                slots[i] = Some(p);
+            }
+            slots.into_iter().map(|p| p.expect("sweep point not evaluated")).collect()
+        };
+
+        Sweep { points }
+    }
+}
+
+fn summarize(index: usize, mp: MachineProjection) -> SweepPoint {
+    let top_unit = mp.ranking().first().copied();
+    let memory_bound = top_unit.and_then(|u| mp.unit_breakdown.get(&u)).map(|b| b.tm > b.tc).unwrap_or(false);
+    SweepPoint { index, top_unit, memory_bound, mp }
+}
+
+/// Projection of one design-space point.
+pub struct SweepPoint {
+    /// Index into [`DesignSpace::machines`].
+    pub index: usize,
+    /// The full per-machine projection.
+    pub mp: MachineProjection,
+    /// Highest-cost unit on this machine, if any time was projected.
+    pub top_unit: Option<StmtId>,
+    /// Whether the top unit is memory-bound (`Tm > Tc`) on this machine.
+    pub memory_bound: bool,
+}
+
+/// How one point differs from the sweep's baseline (point 0).
+#[derive(Debug, Clone)]
+pub struct SweepDelta {
+    /// Index into [`DesignSpace::machines`].
+    pub index: usize,
+    /// Machine name of the point.
+    pub machine: String,
+    /// `baseline_total / point_total` (> 1 means this point is faster).
+    pub speedup: f64,
+    /// The unit ranking differs from the baseline's.
+    pub ranking_changed: bool,
+    /// The top unit's compute/memory bottleneck flipped vs the baseline.
+    pub bottleneck_flipped: bool,
+}
+
+/// Result of sweeping a design space: per-point projections in point
+/// order, plus ranking and comparison helpers.
+pub struct Sweep {
+    /// One entry per design-space point, in point order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// The fastest point (lowest projected total; ties keep point order).
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points.iter().min_by(|a, b| a.mp.total.partial_cmp(&b.mp.total).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Points sorted by ascending projected total (ties keep point order).
+    pub fn ranked(&self) -> Vec<&SweepPoint> {
+        let mut v: Vec<&SweepPoint> = self.points.iter().collect();
+        v.sort_by(|a, b| {
+            a.mp.total.partial_cmp(&b.mp.total).unwrap_or(std::cmp::Ordering::Equal).then(a.index.cmp(&b.index))
+        });
+        v
+    }
+
+    /// Per-point deltas against the baseline (point 0): speedup, hot-spot
+    /// ranking shifts, and bottleneck flips — the co-design questions a
+    /// sweep exists to answer.
+    pub fn deltas(&self) -> Vec<SweepDelta> {
+        let Some(base) = self.points.first() else { return Vec::new() };
+        let base_ranking = base.mp.ranking();
+        self.points
+            .iter()
+            .map(|p| SweepDelta {
+                index: p.index,
+                machine: p.mp.machine.name.clone(),
+                speedup: if p.mp.total > 0.0 { base.mp.total / p.mp.total } else { f64::INFINITY },
+                ranking_changed: p.mp.ranking() != base_ranking,
+                bottleneck_flipped: p.memory_bound != base.memory_bound,
+            })
+            .collect()
+    }
+}
+
+/// Render a sweep as an aligned table (point, machine, total, top unit,
+/// bound, speedup vs baseline).
+pub fn format_sweep(sweep: &Sweep, units: &crate::units::Units) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<4} {:<40} {:>12} {:<24} {:>7} {:>9}",
+        "#", "machine", "total (s)", "top unit", "bound", "speedup"
+    );
+    let deltas = sweep.deltas();
+    for (p, d) in sweep.points.iter().zip(&deltas) {
+        let top = p.top_unit.map(|u| units.name(u)).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<4} {:<40} {:>12.4e} {:<24} {:>7} {:>8.2}x",
+            p.index,
+            p.mp.machine.name,
+            p.mp.total,
+            top,
+            if p.memory_bound { "mem" } else { "comp" },
+            d.speedup,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xflow_hw::{bgq, xeon};
+    use xflow_workloads::Scale;
+
+    fn cfd_app() -> ModeledApp {
+        ModeledApp::from_workload(&xflow_workloads::cfd(), Scale::Test).unwrap()
+    }
+
+    #[test]
+    fn grid_is_cartesian_and_labeled() {
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0, 30.0]), Axis::mlp(&[2.0, 4.0])]);
+        assert_eq!(space.len(), 6);
+        // last axis varies fastest
+        assert_eq!(space.machines()[0].mlp, 2.0);
+        assert_eq!(space.machines()[1].mlp, 4.0);
+        assert_eq!(space.machines()[0].dram_bw_gbs, 10.0);
+        assert_eq!(space.machines()[2].dram_bw_gbs, 20.0);
+        assert!(space.machines()[0].name.contains("dram_bw_gbs=10"));
+        assert!(space.machines()[0].name.contains("mlp=2"));
+    }
+
+    #[test]
+    fn sweep_results_independent_of_thread_count() {
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0, 40.0]), Axis::mlp(&[2.0, 4.0])]);
+        let serial = space.sweep(&app, 1);
+        for threads in [2, 4, 8] {
+            let par = space.sweep(&app, threads);
+            assert_eq!(par.points.len(), serial.points.len());
+            for (a, b) in par.points.iter().zip(&serial.points) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.mp.total.to_bits(), b.mp.total.to_bits());
+                assert_eq!(a.top_unit, b.top_unit);
+                assert_eq!(a.memory_bound, b.memory_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_project_on() {
+        let app = cfd_app();
+        let machines = [bgq(), xeon()];
+        let sweep = DesignSpace::from_machines(machines.clone()).sweep(&app, 2);
+        for (p, m) in sweep.points.iter().zip(&machines) {
+            let direct = app.project_on(m);
+            assert_eq!(p.mp.total.to_bits(), direct.total.to_bits());
+            assert_eq!(p.mp.ranking(), direct.ranking());
+        }
+    }
+
+    #[test]
+    fn faster_clock_never_slower() {
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::freq_ghz(&[0.8, 1.6, 3.2])]);
+        let sweep = space.sweep(&app, 0);
+        for w in sweep.points.windows(2) {
+            assert!(w[1].mp.total < w[0].mp.total, "{} vs {}", w[1].mp.total, w[0].mp.total);
+        }
+        let best = sweep.best().unwrap();
+        assert_eq!(best.index, 2);
+    }
+
+    #[test]
+    fn deltas_report_speedup_vs_baseline() {
+        let app = cfd_app();
+        let sweep = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 40.0])]).sweep(&app, 1);
+        let deltas = sweep.deltas();
+        assert_eq!(deltas.len(), 2);
+        assert!((deltas[0].speedup - 1.0).abs() < 1e-12);
+        assert!(deltas[1].speedup >= 1.0);
+        assert!(!deltas[0].ranking_changed);
+    }
+
+    #[test]
+    fn format_sweep_renders() {
+        let app = cfd_app();
+        let sweep = DesignSpace::from_machines([bgq()]).sweep(&app, 1);
+        let text = format_sweep(&sweep, &app.units);
+        assert!(text.contains("machine"));
+        assert!(text.contains("speedup"));
+    }
+}

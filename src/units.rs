@@ -60,7 +60,6 @@ impl Units {
             counts: &xflow_skeleton::StaticCounts,
             block: &xflow_skeleton::Block,
             scope_label: Option<&str>,
-            func: &str,
         ) {
             for s in &block.stmts {
                 let label = s.label.as_deref().or(scope_label);
@@ -80,15 +79,13 @@ impl Units {
                     }
                 }
                 match &s.kind {
-                    StmtKind::Loop { body, .. } | StmtKind::While { body, .. } => {
-                        walk(u, names, counts, body, label, func)
-                    }
+                    StmtKind::Loop { body, .. } | StmtKind::While { body, .. } => walk(u, names, counts, body, label),
                     StmtKind::Branch { arms, else_body } => {
                         for arm in arms {
-                            walk(u, names, counts, &arm.body, label, func);
+                            walk(u, names, counts, &arm.body, label);
                         }
                         if let Some(e) = else_body {
-                            walk(u, names, counts, e, label, func);
+                            walk(u, names, counts, e, label);
                         }
                     }
                     _ => {}
@@ -96,7 +93,7 @@ impl Units {
             }
         }
         for f in &prog.functions {
-            walk(&mut u, &names, &counts, &f.body, None, &f.name);
+            walk(&mut u, &names, &counts, &f.body, None);
         }
         u
     }
@@ -125,15 +122,14 @@ mod tests {
 
     #[test]
     fn lib_statements_fold_into_function_units() {
-        let prog = parse(
-            "func main() { lib exp(1) comp { flops: 3 } loop i = 0 .. 4 { lib exp(2) lib rand(1) } }",
-        )
-        .unwrap();
+        let prog =
+            parse("func main() { lib exp(1) comp { flops: 3 } loop i = 0 .. 4 { lib exp(2) lib rand(1) } }").unwrap();
         let u = Units::from_skeleton(&prog);
         assert_eq!(u.lib_units.len(), 2);
         let exp_unit = u.lib_units["exp"];
         // both exp statements resolve to the same unit
-        let exp_stmts: Vec<StmtId> = u.lib_stmt_to_unit.iter().filter(|(_, &v)| v == exp_unit).map(|(&k, _)| k).collect();
+        let exp_stmts: Vec<StmtId> =
+            u.lib_stmt_to_unit.iter().filter(|(_, &v)| v == exp_unit).map(|(&k, _)| k).collect();
         assert_eq!(exp_stmts.len(), 2);
         assert!(u.is_lib(exp_unit));
         assert_eq!(u.name(exp_unit), "lib:exp");

@@ -144,11 +144,8 @@ fn cfd_divide_underprojection_and_ablation() {
 
     let vel_stmt = app.translation.skeleton.stmt_by_label("velocity");
     // the labeled loop's body comp carries the cost; find the unit by name
-    let vel_unit = *base
-        .unit_times
-        .keys()
-        .find(|&&u| app.units.name(u).starts_with("velocity"))
-        .expect("velocity unit");
+    let vel_unit =
+        *base.unit_times.keys().find(|&&u| app.units.name(u).starts_with("velocity")).expect("velocity unit");
     let _ = vel_stmt;
 
     let share = |times: &std::collections::HashMap<xflow_skeleton::StmtId, f64>, total: f64| {
@@ -178,11 +175,7 @@ fn stassuij_vectorization_overprojection() {
     let mp = app.project_on(&m);
     let measured = app.measure_on(Some(&w), &m).unwrap();
 
-    let unit = *mp
-        .unit_times
-        .keys()
-        .find(|&&u| app.units.name(u).starts_with("scale_row"))
-        .expect("scale_row unit");
+    let unit = *mp.unit_times.keys().find(|&&u| app.units.name(u).starts_with("scale_row")).expect("scale_row unit");
     let projected = mp.unit_times[&unit];
     let measured_t = measured.unit_times.get(&unit).copied().unwrap_or(0.0);
     assert!(
@@ -221,12 +214,7 @@ fn xeon_more_memory_bound_breakdown() {
             mp.unit_breakdown.values().fold((0.0, 0.0), |acc, c| (acc.0 + c.tm, acc.1 + c.tc + c.tm));
         tm / tot
     };
-    assert!(
-        mem_frac(&x) > mem_frac(&q),
-        "xeon {:.3} vs bgq {:.3}",
-        mem_frac(&x),
-        mem_frac(&q)
-    );
+    assert!(mem_frac(&x) > mem_frac(&q), "xeon {:.3} vs bgq {:.3}", mem_frac(&x), mem_frac(&q));
 }
 
 /// Mini-application extraction end to end: the mini-app built from SORD's
@@ -248,12 +236,7 @@ fn miniapp_reproduces_selection_time() {
     let libs = xflow_sim::calibrate_library(512);
     let proj = xflow_hotspot::project(&bet, &machine, &xflow::Roofline, &libs);
     let rel = (proj.total_time - selected_time).abs() / selected_time;
-    assert!(
-        rel < 0.05,
-        "mini-app total {:.3e} vs selection {:.3e} (rel {rel:.3})",
-        proj.total_time,
-        selected_time
-    );
+    assert!(rel < 0.05, "mini-app total {:.3e} vs selection {:.3e} (rel {rel:.3})", proj.total_time, selected_time);
     // and it is much smaller than the original application
     assert!(mini.source_statement_count() < app.translation.skeleton.source_statement_count());
 }

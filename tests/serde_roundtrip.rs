@@ -47,10 +47,9 @@ fn minilang_program_round_trips_through_json() {
 
 #[test]
 fn bet_round_trips_through_json() {
-    let prog = xflow_skeleton::parse(
-        "func main() { loop i = 0 .. 100 { comp { flops: 2 } if prob(0.5) { lib rand(1) } } }",
-    )
-    .unwrap();
+    let prog =
+        xflow_skeleton::parse("func main() { loop i = 0 .. 100 { comp { flops: 2 } if prob(0.5) { lib rand(1) } } }")
+            .unwrap();
     let bet = xflow_bet::build(&prog, &Default::default()).unwrap();
     let json = serde_json::to_string(&bet).unwrap();
     let back: xflow_bet::Bet = serde_json::from_str(&json).unwrap();
