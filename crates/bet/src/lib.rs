@@ -43,3 +43,12 @@ pub mod node;
 pub use build::{build, build_with_config, BuildConfig, BuildError};
 pub use context::{cond_prob, expected_trips_with_break, merge_contexts, Ctx};
 pub use node::{Bet, BetKind, BetNode, BetNodeId, ConcreteOps};
+
+/// Wire-format version of this crate's serializable artifacts ([`Bet`] and
+/// its nodes).
+///
+/// Bump whenever a serialized layout changes shape; content-addressed caches
+/// fold this into their keys so stale artifacts are never deserialized.
+pub fn schema_version() -> u32 {
+    1
+}

@@ -27,6 +27,15 @@ pub use select::{select, Candidate, Criteria, Greedy, HotSpot, Selection};
 
 use xflow_skeleton::{Program, StaticCounts, StmtId};
 
+/// Wire-format version of this crate's serializable artifacts
+/// ([`ProjectionPlan`] and its blocks).
+///
+/// Bump whenever a serialized layout changes shape; content-addressed caches
+/// fold this into their keys so stale artifacts are never deserialized.
+pub fn schema_version() -> u32 {
+    1
+}
+
 /// Build selection candidates from a projection: every skeleton statement
 /// with projected cost becomes a candidate weighted by its static
 /// instruction count.

@@ -18,7 +18,7 @@ use xflow_skeleton::StmtId;
 /// Build a mini-application skeleton from the hot path of a selection.
 ///
 /// `ranked_stmts` is the selection in rank order (as for
-/// [`extract`](crate::hotpath::extract)). Each mounted function on the path
+/// [`extract`]). Each mounted function on the path
 /// becomes its own function in the mini-app (`<name>_ctx<k>` for distinct
 /// invocation contexts), so the call structure stays readable.
 pub fn build_miniapp(bet: &Bet, ranked_stmts: &[StmtId]) -> sk::Program {

@@ -21,6 +21,7 @@
 //! evaluated in the same node order so every floating-point accumulation
 //! happens in the same sequence.
 
+use serde::{Deserialize, Serialize};
 use xflow_bet::{Bet, BetKind};
 use xflow_hw::{BlockMetrics, BlockSummary, LibraryRegistry, MachineModel, PerfModel};
 use xflow_skeleton::StmtId;
@@ -28,7 +29,7 @@ use xflow_skeleton::StmtId;
 use crate::analysis::{NodeCost, Projection, StmtCosts};
 
 /// One cost-carrying BET node, pre-digested for per-machine evaluation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PlanBlock {
     /// Index of the originating node in the BET arena (`BetNodeId.0`).
     pub node: u32,
@@ -46,7 +47,7 @@ pub struct PlanBlock {
 ///
 /// Build once per application with [`ProjectionPlan::new`], then call
 /// [`ProjectionPlan::evaluate`] for every candidate machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProjectionPlan {
     /// ENR of every BET node, indexed by `BetNodeId.0`.
     enr: Vec<f64>,

@@ -33,3 +33,12 @@ pub use refined::RefinedModel;
 pub use roofline::{
     BlockMetrics, BlockSummary, BlockTime, ClassicRoofline, DivAwareRoofline, PerfModel, Roofline, VectorAwareRoofline,
 };
+
+/// Wire-format version of this crate's serializable artifacts
+/// ([`MachineModel`], [`LibraryRegistry`], block metrics/summaries).
+///
+/// Bump whenever a serialized layout changes shape; content-addressed caches
+/// fold this into their keys so stale artifacts are never deserialized.
+pub fn schema_version() -> u32 {
+    1
+}

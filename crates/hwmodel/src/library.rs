@@ -100,6 +100,38 @@ impl LibraryRegistry {
         v
     }
 
+    /// Stable content fingerprint of the registry: an FNV-1a hash over the
+    /// sorted function names and the exact bits of every mix component.
+    ///
+    /// Two registries fingerprint equal exactly when every registered mix is
+    /// bit-identical, independent of registration order, process, or
+    /// platform. Content-addressed caches fold this into projection-plan
+    /// keys so re-calibrating the library invalidates cached plans.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix_in(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        let mut names: Vec<&String> = self.mixes.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            mix_in(&mut h, name.as_bytes());
+            mix_in(&mut h, &[0]);
+            let mix = &self.mixes[name];
+            for m in [&mix.base, &mix.per_work] {
+                for v in [m.flops, m.iops, m.loads, m.stores, m.divs, m.elem_bytes] {
+                    mix_in(&mut h, &v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+
     /// Project the time of `calls` invocations of `name` with `work` each on
     /// a target machine. Unknown functions fall back to a conservative
     /// nominal mix (and are reported via the `Err` variant so callers can

@@ -22,13 +22,17 @@
 use crate::ast::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
 
 /// Named scalar inputs for a run (consumed by `input("name", default)`).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct InputSpec(HashMap<String, f64>);
+///
+/// Backed by a `BTreeMap` so iteration — and everything derived from it:
+/// cache keys, environment seeding, serialized form — is deterministic
+/// (sorted by input name) regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InputSpec(BTreeMap<String, f64>);
 
 impl InputSpec {
     pub fn new() -> Self {
@@ -55,9 +59,33 @@ impl InputSpec {
         self.0.get(name).copied().unwrap_or(default)
     }
 
-    /// Iterate over explicitly set inputs.
+    /// Iterate over explicitly set inputs, in sorted name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.0.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of explicitly set inputs.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no inputs are explicitly set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Canonical `name=bits` rendering used for content-addressed cache
+    /// keys: sorted by name, values spelled as exact `f64::to_bits` so two
+    /// specs collide exactly when every binding is bit-identical.
+    pub fn canonical_string(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.iter() {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_bits().to_string());
+            out.push(';');
+        }
+        out
     }
 }
 

@@ -10,7 +10,7 @@
 //!   outcome frequencies, loop trip counts, and dynamic instruction mixes —
 //!   and that streams operation/memory events to a [`Tracer`] for the
 //!   ground-truth simulator,
-//! * the source-to-skeleton translator ([`translate`]), the ROSE-engine
+//! * the source-to-skeleton translator ([`translate()`]), the ROSE-engine
 //!   substitute that statically characterizes instruction mixes, array
 //!   accesses, and control structure, and folds the profile into the
 //!   generated SKOPE-style skeleton.
@@ -46,5 +46,14 @@ pub use interp::{
 };
 pub use parser::parse;
 pub use printer::print;
-pub use translate::{translate, Translation};
+pub use translate::{translate, TranslateError, Translation};
 pub use vm::{compile, run_vm, run_vm_with_limits, VmProgram};
+
+/// Wire-format version of this crate's serializable artifacts
+/// ([`Program`], [`Profile`], [`Translation`], [`InputSpec`]).
+///
+/// Bump whenever a serialized layout changes shape; content-addressed caches
+/// fold this into their keys so stale artifacts are never deserialized.
+pub fn schema_version() -> u32 {
+    1
+}

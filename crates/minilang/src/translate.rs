@@ -30,12 +30,14 @@
 
 use crate::ast as ml;
 use crate::interp::Profile;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use xflow_skeleton as sk;
 use xflow_skeleton::expr::Expr as SkExpr;
 
 /// Result of translating a minilang program to a skeleton.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Translation {
     /// The generated skeleton (BST).
     pub skeleton: sk::Program,
@@ -47,9 +49,38 @@ pub struct Translation {
     pub warnings: Vec<String>,
 }
 
+/// A structural failure while translating minilang into a skeleton.
+///
+/// Warnings (unmodelable expressions, profile fallbacks) never error; they
+/// land in [`Translation::warnings`]. Errors are reserved for programs the
+/// skeleton representation cannot express at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// Two minilang functions share a name; the skeleton's function table
+    /// is keyed by name and cannot hold both.
+    DuplicateFunction { function: String },
+    /// The skeleton builder rejected a generated function for another reason.
+    Skeleton { function: String, message: String },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::DuplicateFunction { function } => {
+                write!(f, "duplicate function `{function}` in translated program")
+            }
+            TranslateError::Skeleton { function, message } => {
+                write!(f, "skeleton construction failed for `{function}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
 /// Translate a minilang program into a skeleton, folding in profiled branch
 /// and loop statistics.
-pub fn translate(prog: &ml::Program, profile: &Profile) -> Result<Translation, String> {
+pub fn translate(prog: &ml::Program, profile: &Profile) -> Result<Translation, TranslateError> {
     let mut tr = Translator {
         profile,
         out: sk::Program::new(),
@@ -68,7 +99,14 @@ pub fn translate(prog: &ml::Program, profile: &Profile) -> Result<Translation, S
         let body = tr.block(&f.body, &mut ctx);
         tr.out
             .add_function(sk::Function { id: sk::FuncId(0), name: f.name.clone(), params: f.params.clone(), body })
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| {
+            let message = e.to_string();
+            if message.contains("duplicate") {
+                TranslateError::DuplicateFunction { function: f.name.clone() }
+            } else {
+                TranslateError::Skeleton { function: f.name.clone(), message }
+            }
+        })?;
     }
     Ok(Translation { skeleton: tr.out, map: tr.map, inputs: tr.inputs, warnings: tr.warnings })
 }

@@ -121,7 +121,7 @@ impl CacheArray {
         self.hits + self.misses
     }
 
-    /// Hit rate in [0,1] (1.0 when never accessed).
+    /// Hit rate in `[0,1]` (1.0 when never accessed).
     pub fn hit_rate(&self) -> f64 {
         let n = self.accesses();
         if n == 0 {

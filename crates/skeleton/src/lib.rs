@@ -55,3 +55,12 @@ pub use expr::{env_from, BinOp, CmpOp, Env, Expr, Value};
 pub use parser::parse;
 pub use printer::print;
 pub use validate::validate;
+
+/// Wire-format version of this crate's serializable artifacts
+/// ([`Program`], [`Expr`], and friends).
+///
+/// Bump whenever a serialized layout changes shape; content-addressed caches
+/// fold this into their keys so stale artifacts are never deserialized.
+pub fn schema_version() -> u32 {
+    1
+}

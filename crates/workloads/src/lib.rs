@@ -4,11 +4,11 @@
 //!
 //! | Workload | Domain | What the paper used |
 //! |---|---|---|
-//! | [`sord`] | earth science | full Fortran/MPI earthquake simulator |
-//! | [`chargei`] | magnetic fusion | GTC's particle-in-cell charge deposition |
-//! | [`srad`] | medical imaging | speckle-reducing anisotropic diffusion |
-//! | [`cfd`] | fluid dynamics | unstructured finite-volume Euler solver |
-//! | [`stassuij`] | nuclear physics | GFMC two-body correlation kernel |
+//! | [`mod@sord`] | earth science | full Fortran/MPI earthquake simulator |
+//! | [`mod@chargei`] | magnetic fusion | GTC's particle-in-cell charge deposition |
+//! | [`mod@srad`] | medical imaging | speckle-reducing anisotropic diffusion |
+//! | [`mod@cfd`] | fluid dynamics | unstructured finite-volume Euler solver |
+//! | [`mod@stassuij`] | nuclear physics | GFMC two-body correlation kernel |
 //!
 //! Each port is a faithful *structural* reproduction: the control-flow
 //! shape, operation mixes, data-dependence patterns, and the specific

@@ -7,7 +7,7 @@
 //! The entry point [`run`] is pure with respect to stdout — it returns the
 //! output text — so every command is unit-testable.
 
-use crate::{bgq, compare, generic, knl, xeon, Criteria, InputSpec, MachineModel, ModeledApp};
+use crate::{bgq, compare, generic, knl, xeon, Criteria, InputSpec, MachineModel, ModeledApp, Session};
 use std::fmt::Write as _;
 
 /// Top-level usage text.
@@ -26,6 +26,7 @@ COMMANDS:
     simulate <FILE>   run the ground-truth simulator (measured profile)
     compare  <FILE>   side-by-side projected vs measured hot spots
     machines          list the built-in machine models
+    cache <stats|clear>  inspect or empty a --cache-dir artifact store
 
 OPTIONS:
     --machine <bgq|xeon|knl|generic>  target machine     [default: bgq]
@@ -34,6 +35,8 @@ OPTIONS:
     --coverage <0..1>              time-coverage criterion [default: 0.9]
     --leanness <0..1>              code-leanness criterion [default: 0.25]
     --top <N>                      rows to print           [default: 10]
+    --cache-dir <DIR>              persist/reuse stage artifacts in DIR
+    --no-cache                     model cold, bypassing every cache
 ";
 
 /// A parsed invocation.
@@ -44,6 +47,8 @@ struct Invocation {
     inputs: InputSpec,
     criteria: Criteria,
     top: usize,
+    cache_dir: Option<String>,
+    no_cache: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Invocation, String> {
@@ -56,6 +61,8 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         inputs: InputSpec::new(),
         criteria: Criteria { time_coverage: 0.9, code_leanness: 0.25 },
         top: 10,
+        cache_dir: None,
+        no_cache: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -98,6 +105,11 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 let v = it.next().ok_or("--top needs a value")?;
                 inv.top = v.parse().map_err(|_| format!("bad --top `{v}`"))?;
             }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory")?;
+                inv.cache_dir = Some(v.clone());
+            }
+            "--no-cache" => inv.no_cache = true,
             other if inv.file.is_none() && !other.starts_with("--") => inv.file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
@@ -114,9 +126,58 @@ pub fn run(args: &[String]) -> Result<String, String> {
     if inv.command == "help" || inv.command == "--help" {
         return Ok(USAGE.to_string());
     }
+    if inv.command == "cache" {
+        return run_cache(&inv);
+    }
     let file = inv.file.clone().ok_or_else(|| format!("`{}` needs a FILE argument\n\n{USAGE}", inv.command))?;
     let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
     run_on_source(&inv, &src)
+}
+
+/// The `cache stats` / `cache clear` subcommand (operates on a
+/// `--cache-dir` artifact store without modeling anything).
+fn run_cache(inv: &Invocation) -> Result<String, String> {
+    let action = inv.file.as_deref().ok_or("`cache` needs an action: stats | clear")?;
+    let dir = inv.cache_dir.as_deref().ok_or("`cache` needs --cache-dir <DIR>")?;
+    let path = std::path::Path::new(dir);
+    match action {
+        "stats" => {
+            let r = crate::session::disk_cache_report(path);
+            let mut out = String::new();
+            let _ = writeln!(out, "cache dir: {dir}");
+            let _ = writeln!(out, "entries: {}   bytes: {}", r.entries, r.bytes);
+            for (name, n) in crate::session::DiskCacheReport::STAGES.iter().zip(r.per_stage) {
+                let _ = writeln!(out, "  {name:<10} {n}");
+            }
+            Ok(out)
+        }
+        "clear" => {
+            let n = crate::session::clear_cache_dir(path).map_err(|e| e.to_string())?;
+            Ok(format!("removed {n} artifact(s) from {dir}\n"))
+        }
+        other => Err(format!("unknown cache action `{other}` (stats | clear)")),
+    }
+}
+
+/// Model the source honoring the cache flags: `--no-cache` forces a cold
+/// build, `--cache-dir` warm-starts from (and persists to) disk, and the
+/// default path shares the process-wide in-memory session. Cache traffic is
+/// reported on stderr so stdout stays byte-identical between warm and cold
+/// runs.
+fn modeled(inv: &Invocation, src: &str) -> Result<ModeledApp, String> {
+    if inv.no_cache {
+        let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
+        return ModeledApp::from_program(prog, &inv.inputs).map_err(|e| e.to_string());
+    }
+    match &inv.cache_dir {
+        Some(dir) => {
+            let session = Session::with_cache_dir(dir);
+            let app = session.model(src, &inv.inputs).map_err(|e| e.to_string())?;
+            eprintln!("[xflow cache] {} ({dir})", session.stats());
+            Ok(app)
+        }
+        None => ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string()),
+    }
 }
 
 fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
@@ -124,7 +185,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
         "skeleton" => {
             let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
             let prof = crate::xflow_minilang::profile(&prog, &inv.inputs).map_err(|e| e.to_string())?;
-            let t = crate::xflow_minilang::translate(&prog, &prof)?;
+            let t = crate::xflow_minilang::translate(&prog, &prof).map_err(|e| e.to_string())?;
             let mut out = crate::xflow_skeleton::print(&t.skeleton);
             if !t.warnings.is_empty() {
                 out.push_str("\n# translation notes:\n");
@@ -135,7 +196,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "bet" => {
-            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let app = modeled(inv, src)?;
             let mut out = String::new();
             let _ = writeln!(out, "skeleton statements : {}", app.translation.skeleton.source_statement_count());
             let _ = writeln!(out, "BET nodes           : {}", app.bet.len());
@@ -149,7 +210,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "hotspots" => {
-            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let app = modeled(inv, src)?;
             let mp = app.project_on(&inv.machine);
             let sel = mp.select(&app.units, inv.criteria);
             let mut out = String::new();
@@ -181,13 +242,13 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "hotpath" => {
-            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let app = modeled(inv, src)?;
             let mp = app.project_on(&inv.machine);
             let sel = mp.select(&app.units, inv.criteria);
             Ok(crate::hot_path_report(&app, &sel))
         }
         "miniapp" => {
-            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let app = modeled(inv, src)?;
             let mp = app.project_on(&inv.machine);
             let sel = mp.select(&app.units, inv.criteria);
             let mini = crate::build_miniapp(&app, &sel);
@@ -202,7 +263,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "simulate" => {
-            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let app = modeled(inv, src)?;
             let measured = app.measure_on(None, &inv.machine).map_err(|e| e.to_string())?;
             let mut out = String::new();
             let _ = writeln!(
@@ -236,7 +297,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "compare" => {
-            let app = ModeledApp::from_source(src, &inv.inputs).map_err(|e| e.to_string())?;
+            let app = modeled(inv, src)?;
             let mp = app.project_on(&inv.machine);
             let measured = app.measure_on(None, &inv.machine).map_err(|e| e.to_string())?;
             let cmp = compare(&mp, &measured, inv.top);

@@ -50,6 +50,7 @@ pub mod cli;
 pub mod compare;
 pub mod multirank;
 pub mod pipeline;
+pub mod session;
 pub mod sweep;
 pub mod units;
 
@@ -59,6 +60,7 @@ pub use pipeline::{
     default_library, fold_projection, initial_env, lib_time_by_function, MachineProjection, Measured, ModeledApp,
     PipelineError,
 };
+pub use session::{default_session, CacheStats, Session, SessionConfig, StageKeys, StageStats};
 pub use sweep::{format_sweep, Axis, DesignSpace, Sweep, SweepDelta, SweepPoint};
 pub use units::{Units, LIB_UNIT_BASE};
 

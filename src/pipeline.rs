@@ -15,12 +15,13 @@ use xflow_minilang::{self as ml, InputSpec, Translation};
 use xflow_skeleton::{Env, StmtId, Value};
 use xflow_workloads::{Scale, Workload};
 
-/// Pipeline failure.
+/// Pipeline failure. Each variant wraps the stage's structured error;
+/// [`std::error::Error::source`] exposes it so callers can walk causes.
 #[derive(Debug)]
 pub enum PipelineError {
     Parse(xflow_skeleton::ParseError),
     Runtime(ml::RuntimeError),
-    Translate(String),
+    Translate(ml::TranslateError),
     Bet(xflow_bet::BuildError),
 }
 
@@ -35,7 +36,16 @@ impl fmt::Display for PipelineError {
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Runtime(e) => Some(e),
+            PipelineError::Translate(e) => Some(e),
+            PipelineError::Bet(e) => Some(e),
+        }
+    }
+}
 
 /// The default (empirically calibrated) library registry, computed once
 /// per process. Calibration is deterministic (fixed seed), so sharing the
@@ -87,9 +97,12 @@ pub struct ModeledApp {
 
 impl ModeledApp {
     /// Model an application from minilang source and an input binding.
+    ///
+    /// Routes through the process-wide default [`Session`](crate::Session),
+    /// so repeated calls with identical source + inputs reuse every cached
+    /// stage artifact instead of re-running the front half of the pipeline.
     pub fn from_source(src: &str, inputs: &InputSpec) -> Result<ModeledApp, PipelineError> {
-        let program = ml::parse(src)?;
-        Self::from_program(program, inputs)
+        crate::session::default_session().model(src, inputs)
     }
 
     /// Model one of the built-in benchmark workloads at a scale preset.
@@ -97,29 +110,33 @@ impl ModeledApp {
         Self::from_source(w.source, &w.inputs(scale))
     }
 
-    /// Model an already-parsed program.
+    /// Model an already-parsed program. This is the cold, uncached path:
+    /// every stage runs from scratch.
     pub fn from_program(program: ml::Program, inputs: &InputSpec) -> Result<ModeledApp, PipelineError> {
         let profile = ml::profile(&program, inputs)?;
         let translation = ml::translate(&program, &profile).map_err(PipelineError::Translate)?;
         let env = initial_env(&translation, inputs);
         let bet = xflow_bet::build(&translation.skeleton, &env)?;
-        let mut units = Units::from_skeleton(&translation.skeleton);
-        // code leanness is a *source-level* notion (fraction of the
-        // application's statements): weight every unit by the number of
-        // source statements that map to it, not by its condensed op counts
-        let mut per_unit: HashMap<StmtId, f64> = HashMap::new();
-        for skel in translation.map.values() {
-            *per_unit.entry(units.unit_of(*skel)).or_insert(0.0) += 1.0;
+        Ok(Self::assemble(program, profile, translation, bet, inputs.clone(), None))
+    }
+
+    /// Assemble a modeled app from already-built stage artifacts (the
+    /// session layer's entry point). When `plan` is provided it seeds the
+    /// lazy plan slot, so the first `project_on` skips the plan build too.
+    pub(crate) fn assemble(
+        program: ml::Program,
+        profile: ml::Profile,
+        translation: Translation,
+        bet: Bet,
+        inputs: InputSpec,
+        plan: Option<ProjectionPlan>,
+    ) -> ModeledApp {
+        let units = build_units(&program, &translation);
+        let slot = OnceLock::new();
+        if let Some(p) = plan {
+            let _ = slot.set(p);
         }
-        for (unit, w) in per_unit {
-            units.instr.insert(unit, w);
-        }
-        // library units: opaque code, nominal single-statement weight
-        for unit in units.lib_units.values() {
-            units.instr.insert(*unit, 1.0);
-        }
-        units.total_instr = program.stmt_count() as f64;
-        Ok(ModeledApp { program, profile, translation, bet, units, inputs: inputs.clone(), plan: OnceLock::new() })
+        ModeledApp { program, profile, translation, bet, units, inputs, plan: slot }
     }
 
     /// The machine-independent projection plan (phase 1), built on first
@@ -174,11 +191,41 @@ impl ModeledApp {
     }
 }
 
+/// Build the comparable-unit table for a translated program.
+///
+/// Code leanness is a *source-level* notion (fraction of the application's
+/// statements), so every unit is weighted by the number of source statements
+/// that map to it, not by its condensed op counts; library units are opaque
+/// code with a nominal single-statement weight.
+pub(crate) fn build_units(program: &ml::Program, translation: &Translation) -> Units {
+    let mut units = Units::from_skeleton(&translation.skeleton);
+    let mut per_unit: HashMap<StmtId, f64> = HashMap::new();
+    for skel in translation.map.values() {
+        *per_unit.entry(units.unit_of(*skel)).or_insert(0.0) += 1.0;
+    }
+    for (unit, w) in per_unit {
+        units.instr.insert(unit, w);
+    }
+    for unit in units.lib_units.values() {
+        units.instr.insert(*unit, 1.0);
+    }
+    units.total_instr = program.stmt_count() as f64;
+    units
+}
+
 /// Seed the BET environment: program input defaults overridden by the
 /// concrete input binding.
+///
+/// Both maps are visited in sorted-name order — `translation.inputs` via an
+/// explicit sort, `inputs` by `InputSpec`'s ordered backing store — so
+/// seeding is reproducible run to run (the resulting `Env` is a `HashMap`,
+/// but deterministic visitation keeps warning/trace order stable and makes
+/// the function safe to fold into content hashes).
 pub fn initial_env(translation: &Translation, inputs: &InputSpec) -> Env {
     let mut env = Env::new();
-    for (k, v) in &translation.inputs {
+    let mut defaults: Vec<(&String, &f64)> = translation.inputs.iter().collect();
+    defaults.sort_by_key(|(k, _)| k.as_str());
+    for (k, v) in defaults {
         env.insert(k.clone(), Value::Scalar(inputs.get_or(k, *v)));
     }
     for (k, v) in inputs.iter() {

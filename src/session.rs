@@ -1,0 +1,636 @@
+//! Incremental modeling sessions: a content-addressed artifact store over
+//! the pipeline's stage graph.
+//!
+//! [`ModeledApp::from_source`] runs five stages — parse, profiled
+//! interpretation, translation, BET construction, projection-plan
+//! compilation — and a co-design service replays that chain for every
+//! query even when the source and inputs are byte-identical to the last
+//! one. A [`Session`] turns each stage output into a cache-keyed artifact:
+//!
+//! ```text
+//! source ──▶ Program ──▶ Profile ──▶ Translation ──▶ Bet ──▶ ProjectionPlan
+//!            parse_key   profile_key  translate_key  bet_key  plan_key
+//! ```
+//!
+//! ## Key derivation
+//!
+//! Keys are stable 64-bit FNV-1a content hashes, chained so that every key
+//! transitively covers everything upstream of its stage:
+//!
+//! * `salt`          = hash of the key-schema version and every crate's
+//!   `schema_version()` — a crate wire-format bump invalidates everything;
+//! * `parse_key`     = `fnv(salt, "parse", source bytes)`;
+//! * `profile_key`   = `fnv(parse_key, "profile", canonical InputSpec)`
+//!   (sorted `name=to_bits` pairs, so specs collide exactly on bit-equal
+//!   bindings);
+//! * `translate_key` = `fnv(profile_key, "translate")`;
+//! * `bet_key`       = `fnv(translate_key, "bet")`;
+//! * `plan_key`      = `fnv(bet_key, "plan", library fingerprint)`
+//!   ([`LibraryRegistry::fingerprint`] — re-calibration invalidates plans
+//!   but nothing upstream).
+//!
+//! Editing the source therefore misses every stage; changing only the
+//! inputs reuses the parsed program and rebuilds downstream; swapping the
+//! library registry rebuilds only the plan. Caching is sound because every
+//! stage is deterministic: profiling uses a fixed-seed generator, and
+//! `InputSpec` iterates in sorted order.
+//!
+//! ## Storage
+//!
+//! Artifacts live in per-stage in-memory LRU maps (capacity
+//! [`SessionConfig::capacity`] per stage) behind one mutex, holding
+//! `Arc`s so hits are cheap. With [`SessionConfig::cache_dir`] set, every
+//! build is also persisted as `<stage>-<salt>-<key>.json` (atomic
+//! tmp+rename) and later sessions warm-start from disk; a corrupted,
+//! truncated, or stale-schema file is treated as a miss and silently
+//! rebuilt. [`Session::stats`] exposes per-stage hit/miss/disk-hit
+//! counters so callers (and the invalidation tests) can observe exactly
+//! which stages rebuilt.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use xflow_bet::Bet;
+use xflow_hotspot::ProjectionPlan;
+use xflow_hw::LibraryRegistry;
+use xflow_minilang::{self as ml, InputSpec, Translation};
+use xflow_workloads::{Scale, Workload};
+
+use crate::pipeline::{default_library, initial_env, ModeledApp, PipelineError};
+
+/// Version of the key-derivation scheme itself. Bump when the chaining or
+/// canonicalization rules change, independent of any crate's wire format.
+const KEY_SCHEMA_VERSION: u32 = 1;
+
+/// Default per-stage LRU capacity.
+const DEFAULT_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Stable content hashing (FNV-1a, 64-bit)
+// ---------------------------------------------------------------------------
+
+/// Minimal FNV-1a hasher. `std::hash::DefaultHasher` is explicitly not
+/// stable across Rust releases, and cache keys leak into file names that
+/// outlive the process, so the hash is pinned here.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn seeded(seed: u64) -> Self {
+        let mut h = Fnv::new();
+        h.write_u64(seed);
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]); // terminator: ("ab","c") ≠ ("a","bc")
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Salt folded into every key: key-schema version plus each crate's wire
+/// format version, so bumping any `schema_version()` invalidates all
+/// persisted artifacts at once.
+fn key_salt() -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(KEY_SCHEMA_VERSION as u64);
+    h.write_u64(xflow_skeleton::schema_version() as u64);
+    h.write_u64(ml::schema_version() as u64);
+    h.write_u64(xflow_bet::schema_version() as u64);
+    h.write_u64(xflow_hotspot::schema_version() as u64);
+    h.write_u64(xflow_hw::schema_version() as u64);
+    h.finish()
+}
+
+/// The derived cache keys of one (source, inputs, library) query — one per
+/// stage. Exposed so tests and tools can locate or corrupt specific
+/// persisted artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageKeys {
+    pub parse: u64,
+    pub profile: u64,
+    pub translate: u64,
+    pub bet: u64,
+    pub plan: u64,
+}
+
+fn derive_keys(src: &str, inputs: &InputSpec, libs: &LibraryRegistry) -> StageKeys {
+    let salt = key_salt();
+    let parse = {
+        let mut h = Fnv::seeded(salt);
+        h.write_str("parse");
+        h.write_str(src);
+        h.finish()
+    };
+    let profile = {
+        let mut h = Fnv::seeded(parse);
+        h.write_str("profile");
+        h.write_str(&inputs.canonical_string());
+        h.finish()
+    };
+    let translate = {
+        let mut h = Fnv::seeded(profile);
+        h.write_str("translate");
+        h.finish()
+    };
+    let bet = {
+        let mut h = Fnv::seeded(translate);
+        h.write_str("bet");
+        h.finish()
+    };
+    let plan = {
+        let mut h = Fnv::seeded(bet);
+        h.write_str("plan");
+        h.write_u64(libs.fingerprint());
+        h.finish()
+    };
+    StageKeys { parse, profile, translate, bet, plan }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Hit/miss counters of one stage cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Served from the in-memory LRU.
+    pub hits: u64,
+    /// Served by deserializing a persisted artifact.
+    pub disk_hits: u64,
+    /// Rebuilt from scratch.
+    pub misses: u64,
+    /// Entries evicted from the in-memory LRU.
+    pub evictions: u64,
+}
+
+impl StageStats {
+    /// Total lookups against this stage.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.disk_hits + self.misses
+    }
+}
+
+/// Per-stage cache counters of a [`Session`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub parse: StageStats,
+    pub profile: StageStats,
+    pub translate: StageStats,
+    pub bet: StageStats,
+    pub plan: StageStats,
+}
+
+impl CacheStats {
+    fn stages(&self) -> [&StageStats; 5] {
+        [&self.parse, &self.profile, &self.translate, &self.bet, &self.plan]
+    }
+
+    /// Total in-memory hits across stages.
+    pub fn hits(&self) -> u64 {
+        self.stages().iter().map(|s| s.hits).sum()
+    }
+
+    /// Total disk hits across stages.
+    pub fn disk_hits(&self) -> u64 {
+        self.stages().iter().map(|s| s.disk_hits).sum()
+    }
+
+    /// Total misses (cold builds) across stages.
+    pub fn misses(&self) -> u64 {
+        self.stages().iter().map(|s| s.misses).sum()
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory hits: {}, disk hits: {}, misses: {}", self.hits(), self.disk_hits(), self.misses())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage LRU cache
+// ---------------------------------------------------------------------------
+
+struct StageCache<T> {
+    name: &'static str,
+    map: HashMap<u64, (u64, Arc<T>)>,
+    capacity: usize,
+    stats: StageStats,
+}
+
+impl<T> StageCache<T> {
+    fn new(name: &'static str, capacity: usize) -> Self {
+        StageCache { name, map: HashMap::new(), capacity: capacity.max(1), stats: StageStats::default() }
+    }
+
+    fn lookup(&mut self, key: u64, tick: u64) -> Option<Arc<T>> {
+        let (stamp, v) = self.map.get_mut(&key)?;
+        *stamp = tick;
+        Some(Arc::clone(v))
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<T>, tick: u64) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(&k, _)| k) {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, (tick, value));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Directory for persisted artifacts; `None` keeps the session
+    /// memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-stage in-memory LRU capacity (`None` → a small default).
+    pub capacity: Option<usize>,
+}
+
+struct Store {
+    tick: u64,
+    parse: StageCache<ml::Program>,
+    profile: StageCache<ml::Profile>,
+    translate: StageCache<Translation>,
+    bet: StageCache<Bet>,
+    plan: StageCache<ProjectionPlan>,
+}
+
+impl Store {
+    fn new(capacity: usize) -> Self {
+        Store {
+            tick: 0,
+            parse: StageCache::new("parse", capacity),
+            profile: StageCache::new("profile", capacity),
+            translate: StageCache::new("translate", capacity),
+            bet: StageCache::new("bet", capacity),
+            plan: StageCache::new("plan", capacity),
+        }
+    }
+}
+
+/// An incremental modeling session: the stage graph of
+/// [`ModeledApp::from_source`] with every stage output cached by content
+/// key, in memory and (optionally) on disk. See the module docs for the
+/// key-derivation and invalidation rules.
+///
+/// Sessions are `Sync`; one session can serve queries from many sweep
+/// threads (the store lock is held only while looking up or inserting —
+/// stage *builds* happen outside any artifact `Arc` but inside the lock,
+/// serializing identical concurrent queries instead of duplicating work).
+pub struct Session {
+    config: SessionConfig,
+    salt: u64,
+    store: Mutex<Store>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Memory-only session with default capacity.
+    pub fn new() -> Self {
+        Self::with_config(SessionConfig::default())
+    }
+
+    /// Session persisting artifacts under `dir` (created on first write).
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
+        Self::with_config(SessionConfig { cache_dir: Some(dir.into()), capacity: None })
+    }
+
+    /// Session with explicit configuration.
+    pub fn with_config(config: SessionConfig) -> Self {
+        let capacity = config.capacity.unwrap_or(DEFAULT_CAPACITY);
+        Session { config, salt: key_salt(), store: Mutex::new(Store::new(capacity)) }
+    }
+
+    /// Per-stage cache counters accumulated over this session's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        let store = self.store.lock().unwrap();
+        CacheStats {
+            parse: store.parse.stats,
+            profile: store.profile.stats,
+            translate: store.translate.stats,
+            bet: store.bet.stats,
+            plan: store.plan.stats,
+        }
+    }
+
+    /// The cache keys a query derives, without running anything. Key
+    /// equality is exactly artifact reusability.
+    pub fn keys(&self, src: &str, inputs: &InputSpec) -> StageKeys {
+        derive_keys(src, inputs, default_library())
+    }
+
+    /// Model an application, reusing every stage artifact whose content key
+    /// matches a previous query (this session's memory, or the cache
+    /// directory). Equivalent to a cold [`ModeledApp::from_program`] — the
+    /// round-trip tests assert bit-identical projections.
+    pub fn model(&self, src: &str, inputs: &InputSpec) -> Result<ModeledApp, PipelineError> {
+        self.model_with_library(src, inputs, default_library())
+    }
+
+    /// [`Session::model`] with an explicit library registry; only the
+    /// projection-plan stage is keyed by the registry fingerprint.
+    pub fn model_with_library(
+        &self,
+        src: &str,
+        inputs: &InputSpec,
+        libs: &LibraryRegistry,
+    ) -> Result<ModeledApp, PipelineError> {
+        let keys = derive_keys(src, inputs, libs);
+        let mut store = self.store.lock().unwrap();
+        store.tick += 1;
+        let tick = store.tick;
+
+        let program = stage(&self.config, self.salt, &mut store.parse, keys.parse, tick, || {
+            ml::parse(src).map_err(PipelineError::from)
+        })?;
+        let profile = stage(&self.config, self.salt, &mut store.profile, keys.profile, tick, || {
+            ml::profile(&program, inputs).map_err(PipelineError::from)
+        })?;
+        let translation = stage(&self.config, self.salt, &mut store.translate, keys.translate, tick, || {
+            ml::translate(&program, &profile).map_err(PipelineError::Translate)
+        })?;
+        let bet = stage(&self.config, self.salt, &mut store.bet, keys.bet, tick, || {
+            let env = initial_env(&translation, inputs);
+            xflow_bet::build(&translation.skeleton, &env).map_err(PipelineError::from)
+        })?;
+        let plan =
+            stage(&self.config, self.salt, &mut store.plan, keys.plan, tick, || Ok(ProjectionPlan::new(&bet, libs)))?;
+        drop(store);
+
+        Ok(ModeledApp::assemble(
+            (*program).clone(),
+            (*profile).clone(),
+            (*translation).clone(),
+            (*bet).clone(),
+            inputs.clone(),
+            Some((*plan).clone()),
+        ))
+    }
+
+    /// Model a built-in benchmark workload at a scale preset.
+    pub fn model_workload(&self, w: &Workload, scale: Scale) -> Result<ModeledApp, PipelineError> {
+        self.model(w.source, &w.inputs(scale))
+    }
+
+    /// Delete this session's persisted artifacts, returning how many files
+    /// were removed. Only files matching the artifact naming scheme are
+    /// touched; a memory-only session removes nothing.
+    pub fn clear_disk(&self) -> std::io::Result<usize> {
+        let Some(dir) = &self.config.cache_dir else { return Ok(0) };
+        clear_cache_dir(dir)
+    }
+}
+
+/// One stage lookup-or-build: in-memory LRU, then disk, then the `build`
+/// closure (persisting the result when a cache directory is configured).
+fn stage<T, F>(
+    config: &SessionConfig,
+    salt: u64,
+    cache: &mut StageCache<T>,
+    key: u64,
+    tick: u64,
+    build: F,
+) -> Result<Arc<T>, PipelineError>
+where
+    T: serde::Serialize + serde::Deserialize,
+    F: FnOnce() -> Result<T, PipelineError>,
+{
+    if let Some(hit) = cache.lookup(key, tick) {
+        cache.stats.hits += 1;
+        return Ok(hit);
+    }
+    if let Some(dir) = &config.cache_dir {
+        if let Some(v) = load_artifact::<T>(dir, cache.name, salt, key) {
+            cache.stats.disk_hits += 1;
+            let arc = Arc::new(v);
+            cache.insert(key, Arc::clone(&arc), tick);
+            return Ok(arc);
+        }
+    }
+    cache.stats.misses += 1;
+    let value = build()?;
+    if let Some(dir) = &config.cache_dir {
+        store_artifact(dir, cache.name, salt, key, &value);
+    }
+    let arc = Arc::new(value);
+    cache.insert(key, Arc::clone(&arc), tick);
+    Ok(arc)
+}
+
+// ---------------------------------------------------------------------------
+// Disk persistence
+// ---------------------------------------------------------------------------
+
+/// Artifact file name: the salt (schema fingerprint) and content key are
+/// both in the name, so a schema bump simply stops matching old files.
+fn artifact_path(dir: &Path, stage: &str, salt: u64, key: u64) -> PathBuf {
+    dir.join(format!("{stage}-{salt:016x}-{key:016x}.json"))
+}
+
+/// Load a persisted artifact; any failure (missing, unreadable, truncated,
+/// corrupted) is a cache miss, never an error.
+fn load_artifact<T: serde::Deserialize>(dir: &Path, stage: &str, salt: u64, key: u64) -> Option<T> {
+    let text = fs::read_to_string(artifact_path(dir, stage, salt, key)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Persist an artifact atomically (tmp + rename). Failures are silent: the
+/// cache is an accelerator, not a durability contract.
+fn store_artifact<T: serde::Serialize>(dir: &Path, stage: &str, salt: u64, key: u64, value: &T) {
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = artifact_path(dir, stage, salt, key);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let Ok(text) = serde_json::to_string(value) else { return };
+    let write = fs::File::create(&tmp).and_then(|mut f| f.write_all(text.as_bytes()));
+    if write.is_ok() {
+        let _ = fs::rename(&tmp, &path);
+    } else {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+/// Whether a file name matches the artifact naming scheme of any stage.
+fn is_artifact_file(name: &str) -> bool {
+    let Some(rest) = name.strip_suffix(".json") else { return false };
+    let mut parts = rest.splitn(2, '-');
+    let stage = parts.next().unwrap_or("");
+    let Some(hashes) = parts.next() else { return false };
+    matches!(stage, "parse" | "profile" | "translate" | "bet" | "plan")
+        && hashes.len() == 33
+        && hashes.as_bytes()[16] == b'-'
+        && hashes.chars().enumerate().all(|(i, c)| i == 16 || c.is_ascii_hexdigit())
+}
+
+/// Summary of a cache directory's contents (the `cache stats` subcommand).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheReport {
+    /// Artifact files per stage, in pipeline order.
+    pub per_stage: [usize; 5],
+    /// Total artifact files.
+    pub entries: usize,
+    /// Total artifact bytes.
+    pub bytes: u64,
+}
+
+impl DiskCacheReport {
+    /// Stage names matching `per_stage` order.
+    pub const STAGES: [&'static str; 5] = ["parse", "profile", "translate", "bet", "plan"];
+}
+
+/// Scan a cache directory (missing directory → empty report).
+pub fn disk_cache_report(dir: &Path) -> DiskCacheReport {
+    let mut report = DiskCacheReport::default();
+    let Ok(entries) = fs::read_dir(dir) else { return report };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !is_artifact_file(name) {
+            continue;
+        }
+        if let Some(i) = DiskCacheReport::STAGES.iter().position(|s| name.starts_with(&format!("{s}-"))) {
+            report.per_stage[i] += 1;
+        }
+        report.entries += 1;
+        report.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+    }
+    report
+}
+
+/// Delete all artifact files in a cache directory, returning the count.
+/// Non-artifact files are left alone; a missing directory removes nothing.
+pub fn clear_cache_dir(dir: &Path) -> std::io::Result<usize> {
+    let mut removed = 0;
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_artifact_file(name) {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// The process-wide default session backing [`ModeledApp::from_source`]:
+/// memory-only, so repeated modeling of the same source + inputs (test
+/// suites, benches, examples, sweeps) reuses the front half of the
+/// pipeline without any opt-in.
+pub fn default_session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(Session::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+fn main() {
+    let n = input("N", 64);
+    let a = zeros(n);
+    @fill: for i in 0 .. n { a[i] = rnd(); }
+    @scale: for i in 0 .. n { a[i] = a[i] * 0.5 + 1.0; }
+}
+"#;
+
+    #[test]
+    fn keys_are_stable_within_process() {
+        let s = Session::new();
+        let i = InputSpec::from_pairs([("N", 128.0)]);
+        assert_eq!(s.keys(SRC, &i), s.keys(SRC, &i));
+    }
+
+    #[test]
+    fn key_chain_distinguishes_stages_and_inputs() {
+        let s = Session::new();
+        let a = s.keys(SRC, &InputSpec::from_pairs([("N", 128.0)]));
+        let b = s.keys(SRC, &InputSpec::from_pairs([("N", 256.0)]));
+        // same source, different inputs: parse shared, downstream forked
+        assert_eq!(a.parse, b.parse);
+        assert_ne!(a.profile, b.profile);
+        assert_ne!(a.bet, b.bet);
+        // all five keys of one query are distinct
+        let ks = [a.parse, a.profile, a.translate, a.bet, a.plan];
+        for i in 0..ks.len() {
+            for j in i + 1..ks.len() {
+                assert_ne!(ks[i], ks[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn input_order_does_not_change_keys() {
+        let s = Session::new();
+        let a = InputSpec::from_pairs([("N", 8.0), ("M", 9.0)]);
+        let b = InputSpec::from_pairs([("M", 9.0), ("N", 8.0)]);
+        assert_eq!(s.keys(SRC, &a), s.keys(SRC, &b));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: StageCache<u32> = StageCache::new("parse", 2);
+        c.insert(1, Arc::new(10), 1);
+        c.insert(2, Arc::new(20), 2);
+        assert!(c.lookup(1, 3).is_some()); // refresh key 1
+        c.insert(3, Arc::new(30), 4); // evicts key 2
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.lookup(2, 5).is_none());
+        assert!(c.lookup(1, 6).is_some());
+        assert!(c.lookup(3, 7).is_some());
+    }
+
+    #[test]
+    fn artifact_file_name_filter() {
+        assert!(is_artifact_file("parse-0123456789abcdef-fedcba9876543210.json"));
+        assert!(is_artifact_file("plan-0000000000000000-0000000000000000.json"));
+        assert!(!is_artifact_file("parse-0123-fedc.json"));
+        assert!(!is_artifact_file("notes.txt"));
+        assert!(!is_artifact_file("other-0123456789abcdef-fedcba9876543210.json"));
+    }
+}

@@ -151,6 +151,21 @@ impl DesignSpace {
         self.sweep_with(app, &Roofline, threads)
     }
 
+    /// Model `src` through a [`Session`](crate::Session) and sweep the
+    /// result — the repeated-query shape of a co-design service: the second
+    /// sweep of the same source + inputs reuses every cached stage artifact
+    /// and pays only the per-point roofline evaluations.
+    pub fn sweep_source(
+        &self,
+        session: &crate::Session,
+        src: &str,
+        inputs: &xflow_minilang::InputSpec,
+        threads: usize,
+    ) -> Result<Sweep, crate::PipelineError> {
+        let app = session.model(src, inputs)?;
+        Ok(self.sweep(&app, threads))
+    }
+
     /// Sweep with an explicit (thread-safe) performance model.
     pub fn sweep_with(&self, app: &ModeledApp, model: &(dyn PerfModel + Sync), threads: usize) -> Sweep {
         let plan = app.plan();
