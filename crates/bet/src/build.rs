@@ -13,6 +13,7 @@
 
 use crate::context::{cond_prob, expected_trips_with_break, merge_contexts, Ctx};
 use crate::node::{Bet, BetKind, BetNode, BetNodeId, ConcreteOps};
+use xflow_obs::{AttrValue, Recorder};
 use xflow_skeleton as sk;
 use xflow_skeleton::expr::{Env, Value};
 
@@ -62,6 +63,78 @@ impl std::error::Error for BuildError {}
 /// values of input variables of array dimensions").
 pub fn build(prog: &sk::Program, inputs: &Env) -> Result<Bet, BuildError> {
     build_with_config(prog, inputs, BuildConfig::default())
+}
+
+/// [`build_with_config`] under a telemetry recorder.
+///
+/// Wraps construction in a `bet.build` span and, when the recorder is
+/// enabled, reports the tree's composition as counters (`bet.nodes`,
+/// `bet.mounts`, `bet.loops`, `bet.arms`, `bet.comps`, `bet.libs`,
+/// `bet.promotions`, `bet.warnings`) plus one `bet.promote` instant event
+/// per `return`/`break`/`continue` node that moved probability mass. With
+/// [`xflow_obs::NoopRecorder`] the per-node accounting is skipped entirely.
+pub fn build_observed<R: Recorder + ?Sized>(
+    prog: &sk::Program,
+    inputs: &Env,
+    cfg: BuildConfig,
+    rec: &R,
+) -> Result<Bet, BuildError> {
+    let span = rec.span_start("bet.build", &[]);
+    let result = build_with_config(prog, inputs, cfg);
+    match &result {
+        Ok(bet) if rec.enabled() => {
+            let (mut mounts, mut loops, mut arms, mut comps, mut libs, mut promotions) =
+                (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+            for node in bet.iter() {
+                match &node.kind {
+                    BetKind::Call { .. } => mounts += 1,
+                    BetKind::Loop => loops += 1,
+                    BetKind::Arm { .. } => arms += 1,
+                    BetKind::Comp { .. } => comps += 1,
+                    BetKind::Lib { .. } => libs += 1,
+                    BetKind::Return | BetKind::Break | BetKind::Continue => {
+                        promotions += 1;
+                        rec.event(
+                            "bet.promote",
+                            &[
+                                ("kind", AttrValue::Str(node.kind.tag())),
+                                ("node", AttrValue::U64(u64::from(node.id.0))),
+                                ("mass", AttrValue::F64(node.prob)),
+                            ],
+                        );
+                    }
+                    BetKind::Root => {}
+                }
+            }
+            rec.add("bet.nodes", bet.len() as u64);
+            rec.add("bet.mounts", mounts);
+            rec.add("bet.loops", loops);
+            rec.add("bet.arms", arms);
+            rec.add("bet.comps", comps);
+            rec.add("bet.libs", libs);
+            rec.add("bet.promotions", promotions);
+            rec.add("bet.warnings", bet.warnings.len() as u64);
+            rec.span_end(
+                span,
+                &[
+                    ("outcome", AttrValue::Str("ok")),
+                    ("nodes", AttrValue::U64(bet.len() as u64)),
+                    ("mounts", AttrValue::U64(mounts)),
+                    ("loops", AttrValue::U64(loops)),
+                    ("arms", AttrValue::U64(arms)),
+                    ("promotions", AttrValue::U64(promotions)),
+                    ("warnings", AttrValue::U64(bet.warnings.len() as u64)),
+                ],
+            );
+        }
+        Ok(_) => rec.span_end(span, &[]),
+        Err(e) if rec.enabled() => {
+            let msg = e.to_string();
+            rec.span_end(span, &[("outcome", AttrValue::Str("error")), ("error", AttrValue::Str(&msg))]);
+        }
+        Err(_) => rec.span_end(span, &[]),
+    }
+    result
 }
 
 /// [`build`] with explicit limits.
@@ -779,6 +852,50 @@ func main() {
         assert_eq!(probs, vec![0.25, 0.25, 0.5]);
         let total: f64 = probs.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_build_counts_node_kinds_and_promotions() {
+        use xflow_obs::{CollectingRecorder, NoopRecorder};
+        let src = r#"
+func main() {
+  call work(4)
+  loop i = 0 .. 10 {
+    if prob(0.5) { comp { flops: 1 } }
+    break prob(0.1)
+  }
+  lib exp(1)
+}
+func work(m) { comp { flops: m } }
+"#;
+        let prog = parse(src).unwrap();
+        let rec = CollectingRecorder::new();
+        let bet = build_observed(&prog, &Env::new(), BuildConfig::default(), &rec).unwrap();
+        assert_eq!(rec.counter_value("bet.nodes"), bet.len() as u64);
+        assert_eq!(rec.counter_value("bet.mounts"), 1);
+        assert_eq!(rec.counter_value("bet.loops"), 1);
+        assert_eq!(rec.counter_value("bet.comps"), 2);
+        assert_eq!(rec.counter_value("bet.libs"), 1);
+        assert_eq!(rec.counter_value("bet.promotions"), 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.iter().filter(|s| s.name == "bet.build").count(), 1);
+        assert_eq!(snap.events.iter().filter(|e| e.name == "bet.promote").count(), 1);
+        // and the observed path returns the identical tree as the plain one
+        let plain = build(&prog, &Env::new()).unwrap();
+        assert_eq!(plain.len(), bet.len());
+        let noop = build_observed(&prog, &Env::new(), BuildConfig::default(), &NoopRecorder).unwrap();
+        assert_eq!(noop.len(), bet.len());
+    }
+
+    #[test]
+    fn observed_build_reports_errors() {
+        use xflow_obs::CollectingRecorder;
+        let prog = parse("func main() { call ghost() }").unwrap();
+        let rec = CollectingRecorder::new();
+        assert!(build_observed(&prog, &Env::new(), BuildConfig::default(), &rec).is_err());
+        let snap = rec.snapshot();
+        let span = snap.spans.iter().find(|s| s.name == "bet.build").unwrap();
+        assert!(span.attrs.iter().any(|(k, v)| k == "outcome" && *v == xflow_obs::OwnedAttr::Str("error".into())));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod build;
 pub mod context;
 pub mod node;
 
-pub use build::{build, build_with_config, BuildConfig, BuildError};
+pub use build::{build, build_observed, build_with_config, BuildConfig, BuildError};
 pub use context::{cond_prob, expected_trips_with_break, merge_contexts, Ctx};
 pub use node::{Bet, BetKind, BetNode, BetNodeId, ConcreteOps};
 

@@ -24,6 +24,7 @@
 use serde::{Deserialize, Serialize};
 use xflow_bet::{Bet, BetKind};
 use xflow_hw::{BlockMetrics, BlockSummary, LibraryRegistry, MachineModel, PerfModel};
+use xflow_obs::{AttrValue, BlockProvenance, NoopRecorder, Recorder, SpanId};
 use xflow_skeleton::StmtId;
 
 use crate::analysis::{NodeCost, Projection, StmtCosts};
@@ -157,12 +158,46 @@ impl ProjectionPlan {
         &self.unknown_libs
     }
 
+    /// Upper bound on statement ids (sizes dense per-statement tables).
+    pub fn stmt_bound(&self) -> usize {
+        self.stmt_bound
+    }
+
     /// Evaluate the plan on one machine (phase 2).
     ///
     /// A tight loop over the pre-compiled blocks: one roofline projection
     /// per block, then scalar accumulation. Produces a [`Projection`]
     /// bit-identical to the legacy single pass.
     pub fn evaluate(&self, machine: &MachineModel, model: &dyn PerfModel) -> Projection {
+        self.evaluate_observed(machine, model, &NoopRecorder)
+    }
+
+    /// [`ProjectionPlan::evaluate`] under a telemetry recorder.
+    ///
+    /// Identical arithmetic — `evaluate` itself delegates here with the
+    /// [`NoopRecorder`], so there is exactly one evaluation loop in the
+    /// workspace. When the recorder is enabled, the loop runs inside a
+    /// `plan.evaluate` span (machine name, block count; projected total as
+    /// an exit attribute) and emits one [`BlockProvenance`] per block via
+    /// [`Recorder::block_cost`], in plan (BET node) order, carrying the
+    /// exact addends of the accumulation: summing `total` over the stream
+    /// reproduces `Projection::total_time` to the bit.
+    pub fn evaluate_observed<R: Recorder + ?Sized>(
+        &self,
+        machine: &MachineModel,
+        model: &dyn PerfModel,
+        rec: &R,
+    ) -> Projection {
+        let enabled = rec.enabled();
+        let span = if enabled {
+            rec.span_start(
+                "plan.evaluate",
+                &[("machine", AttrValue::Str(&machine.name)), ("blocks", AttrValue::U64(self.blocks.len() as u64))],
+            )
+        } else {
+            SpanId::NONE
+        };
+
         let mut node_costs =
             vec![NodeCost { per_invocation: Default::default(), enr: 0.0, total: 0.0 }; self.enr.len()];
         for (i, nc) in node_costs.iter_mut().enumerate() {
@@ -188,6 +223,32 @@ impl ProjectionPlan {
                     s.metrics.add_scaled(&block.stmt_metrics, e);
                 }
             }
+
+            if enabled {
+                let floor = time.tc.min(time.tm);
+                let delta = if floor > 0.0 { time.overlap / floor } else { 0.0 };
+                rec.block_cost(&BlockProvenance {
+                    node: block.node,
+                    stmt: block.stmt.map(|s| s.0),
+                    enr: e,
+                    tc: time.tc,
+                    tm: time.tm,
+                    overlap: time.overlap,
+                    delta,
+                    total,
+                    threads: block.summary.threads_on(machine),
+                    flops: block.summary.metrics.flops,
+                    iops: block.summary.metrics.iops,
+                    loads: block.summary.metrics.loads,
+                    stores: block.summary.metrics.stores,
+                    bytes: block.summary.metrics.bytes(),
+                });
+            }
+        }
+
+        if enabled {
+            rec.add("plan.blocks", self.blocks.len() as u64);
+            rec.span_end(span, &[("total_time", AttrValue::F64(total_time))]);
         }
 
         Projection { node_costs, per_stmt, total_time, unknown_libs: self.unknown_libs.clone() }
@@ -258,6 +319,56 @@ func main() {
         let bet = bet_for("func main() { lib zeta(1) lib alpha(1) lib zeta(1) }");
         let plan = ProjectionPlan::new(&bet, &LibraryRegistry::new());
         assert_eq!(plan.unknown_libs(), ["zeta".to_string(), "alpha".to_string()]);
+    }
+
+    #[test]
+    fn observed_evaluate_is_bit_identical_and_provenance_reconciles() {
+        use xflow_obs::CollectingRecorder;
+        let src = r#"
+func main() {
+  comp { flops: 10, loads: 4 }
+  parloop i = 0 .. 200 {
+    comp { flops: 64, loads: 16, stores: 8, bytes: 8 }
+    lib exp(4)
+  }
+  lib mystery(1)
+}
+"#;
+        let bet = bet_for(src);
+        let plan = ProjectionPlan::new(&bet, &LibraryRegistry::with_defaults());
+        for machine in [generic(), bgq(), xeon()] {
+            let plain = plan.evaluate(&machine, &Roofline);
+            let rec = CollectingRecorder::new();
+            let observed = plan.evaluate_observed(&machine, &Roofline, &rec);
+            assert_eq!(observed.total_time.to_bits(), plain.total_time.to_bits());
+
+            let blocks = rec.block_provenance();
+            assert_eq!(blocks.len(), plan.blocks().len());
+            // the provenance stream carries the exact addends, in order
+            let sum = blocks.iter().fold(0.0f64, |acc, b| acc + b.total);
+            assert_eq!(sum.to_bits(), plain.total_time.to_bits());
+            assert_eq!(rec.counter_value("plan.blocks"), plan.blocks().len() as u64);
+            let snap = rec.snapshot();
+            let span = snap.spans.iter().find(|s| s.name == "plan.evaluate").unwrap();
+            assert!(span.attrs.iter().any(|(k, _)| k == "machine"));
+            assert!(span.attrs.iter().any(|(k, _)| k == "total_time"));
+        }
+    }
+
+    #[test]
+    fn provenance_delta_matches_overlap_definition() {
+        use xflow_obs::CollectingRecorder;
+        let bet = bet_for("func main() { loop i = 0 .. 100 { comp { flops: 32, loads: 8, bytes: 8 } } }");
+        let plan = ProjectionPlan::new(&bet, &LibraryRegistry::with_defaults());
+        let rec = CollectingRecorder::new();
+        plan.evaluate_observed(&bgq(), &Roofline, &rec);
+        for b in rec.block_provenance() {
+            let floor = b.tc.min(b.tm);
+            if floor > 0.0 {
+                assert!((b.delta * floor - b.overlap).abs() <= 1e-15 * b.overlap.abs().max(1.0));
+                assert!((0.0..=1.0).contains(&b.delta), "δ must be a fraction, got {}", b.delta);
+            }
+        }
     }
 
     #[test]

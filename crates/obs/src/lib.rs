@@ -1,0 +1,54 @@
+//! # xflow-obs — pipeline telemetry core
+//!
+//! A lightweight, dependency-free observability layer for the modeling
+//! pipeline: structured **spans** (enter/exit with wall time and thread
+//! id), **counters** and **histograms** behind a [`MetricsRegistry`], a
+//! typed per-block **provenance stream** ([`BlockProvenance`]), and a
+//! Chrome trace-event exporter ([`chrome`]) whose output loads directly in
+//! `chrome://tracing` and Perfetto.
+//!
+//! The design constraint is that *disabled telemetry is free*: every
+//! instrumented API in the workspace is generic over [`Recorder`] and
+//! defaults to [`NoopRecorder`], whose methods are empty `#[inline]`
+//! bodies — monomorphization folds the `rec.enabled()` guards away, so the
+//! uninstrumented hot path compiles to the same code as before the layer
+//! existed (`exp_obs` records the measured overhead). Instrumentation
+//! sites must guard any attribute construction (string formatting, `Vec`
+//! building) behind [`Recorder::enabled`] so the noop path allocates
+//! nothing.
+//!
+//! Three concrete recorders cover the workspace's needs:
+//!
+//! * [`NoopRecorder`] — the zero-overhead default;
+//! * [`CollectingRecorder`] — thread-safe accumulation of spans, events,
+//!   counters, histograms, and block provenance; snapshot it with
+//!   [`CollectingRecorder::snapshot`] and export with
+//!   [`TraceSnapshot::to_chrome_json`];
+//! * [`ProgressTicker`] — a decorator that forwards everything to an inner
+//!   recorder while driving a live stderr ticker off one counter (the
+//!   design-space sweep uses it for per-point progress).
+//!
+//! ```
+//! use xflow_obs::{AttrValue, CollectingRecorder, Recorder};
+//!
+//! let rec = CollectingRecorder::new();
+//! let span = rec.span_start("demo.work", &[("points", AttrValue::U64(3))]);
+//! rec.add("demo.points", 3);
+//! rec.span_end(span, &[("outcome", AttrValue::Str("ok"))]);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.spans.len(), 1);
+//! assert!(snap.to_chrome_json().contains("\"traceEvents\""));
+//! ```
+
+pub mod chrome;
+pub mod collect;
+pub mod progress;
+pub mod provenance;
+pub mod recorder;
+pub mod registry;
+
+pub use collect::{CollectingRecorder, EventRecord, SpanRecord, TraceSnapshot};
+pub use progress::ProgressTicker;
+pub use provenance::BlockProvenance;
+pub use recorder::{span, Attr, AttrValue, NoopRecorder, OwnedAttr, Recorder, SpanGuard, SpanId};
+pub use registry::{Counter, HistogramSummary, MetricsRegistry};

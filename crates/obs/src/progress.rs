@@ -1,0 +1,139 @@
+//! A live progress ticker driven by the metrics stream.
+//!
+//! [`ProgressTicker`] is a forwarding decorator: it implements [`Recorder`]
+//! by delegating every call to an inner recorder, and additionally watches
+//! one counter name. Each time that counter is bumped it repaints a
+//! `\r[label] done/total` line on stderr (at most once per whole-percent
+//! step, so a hundred-thousand-point sweep doesn't flood the terminal).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::provenance::BlockProvenance;
+use crate::recorder::{Attr, Recorder, SpanId};
+
+/// Recorder decorator painting a stderr progress line from a watched
+/// counter while forwarding everything to the inner recorder.
+pub struct ProgressTicker<R: Recorder + ?Sized> {
+    label: String,
+    watched: String,
+    total: u64,
+    done: AtomicU64,
+    last_painted: AtomicU64,
+    inner: R,
+}
+
+impl<R: Recorder> ProgressTicker<R> {
+    /// Watch counter `watched` up to `total` bumps, labelled `label`.
+    pub fn new(inner: R, label: &str, watched: &str, total: u64) -> Self {
+        ProgressTicker {
+            label: label.to_string(),
+            watched: watched.to_string(),
+            total,
+            done: AtomicU64::new(0),
+            last_painted: AtomicU64::new(u64::MAX),
+            inner,
+        }
+    }
+
+    /// The wrapped recorder.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Unwrap, returning the inner recorder.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Recorder + ?Sized> ProgressTicker<R> {
+    /// Bumps of the watched counter seen so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Erase the ticker line (call once after the watched work completes).
+    pub fn finish(&self) {
+        if self.last_painted.load(Ordering::Relaxed) != u64::MAX {
+            eprint!("\r\x1b[2K");
+        }
+    }
+
+    fn tick(&self, delta: u64) {
+        let done = self.done.fetch_add(delta, Ordering::Relaxed) + delta;
+        // repaint at most once per whole-percent step (always for the final
+        // bump); racing threads may both paint, which is harmless
+        let pct = (done * 100).checked_div(self.total).unwrap_or(100);
+        let last = self.last_painted.load(Ordering::Relaxed);
+        if pct != last || done == self.total {
+            self.last_painted.store(pct, Ordering::Relaxed);
+            eprint!("\r[{}] {}/{} ({pct}%)", self.label, done.min(self.total), self.total);
+        }
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for ProgressTicker<R> {
+    /// Always enabled: the ticker needs the counter stream even when the
+    /// inner recorder is a noop (progress display without trace capture).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &str, attrs: &[Attr<'_>]) -> SpanId {
+        self.inner.span_start(name, attrs)
+    }
+
+    fn span_end(&self, span: SpanId, attrs: &[Attr<'_>]) {
+        self.inner.span_end(span, attrs)
+    }
+
+    fn add(&self, counter: &str, delta: u64) {
+        if counter == self.watched {
+            self.tick(delta);
+        }
+        self.inner.add(counter, delta)
+    }
+
+    fn observe(&self, histogram: &str, value: f64) {
+        self.inner.observe(histogram, value)
+    }
+
+    fn event(&self, name: &str, attrs: &[Attr<'_>]) {
+        self.inner.event(name, attrs)
+    }
+
+    fn block_cost(&self, block: &BlockProvenance) {
+        self.inner.block_cost(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::CollectingRecorder;
+
+    #[test]
+    fn forwards_and_counts_watched_bumps() {
+        let ticker = ProgressTicker::new(CollectingRecorder::new(), "sweep", "sweep.points", 4);
+        for _ in 0..4 {
+            ticker.add("sweep.points", 1);
+        }
+        ticker.add("other", 10);
+        ticker.finish();
+        assert_eq!(ticker.done(), 4);
+        assert_eq!(ticker.inner().counter_value("sweep.points"), 4);
+        assert_eq!(ticker.inner().counter_value("other"), 10);
+        assert!(ticker.enabled());
+    }
+
+    #[test]
+    fn works_behind_a_trait_object() {
+        let ticker = ProgressTicker::new(CollectingRecorder::new(), "t", "n", 2);
+        let dyn_rec: &dyn Recorder = &ticker;
+        let s = dyn_rec.span_start("s", &[]);
+        dyn_rec.span_end(s, &[]);
+        dyn_rec.add("n", 2);
+        assert_eq!(ticker.done(), 2);
+        assert_eq!(ticker.into_inner().snapshot().spans.len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! The typed per-block cost provenance record.
+//!
+//! `ProjectionPlan::evaluate_observed` emits one [`BlockProvenance`] per
+//! cost-carrying BET node, in plan (BET node) order, carrying the exact
+//! floating-point addends of the projection: summing `total` over the
+//! stream in order reproduces the projected application time *to the bit*
+//! — the reconciliation invariant the `explain` report and its tests rely
+//! on. The crate stays dependency-free, so node/statement identifiers are
+//! raw `u32`s rather than the skeleton crate's newtypes.
+
+/// Cost provenance of one cost-carrying BET node on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockProvenance {
+    /// BET arena index of the originating node (`BetNodeId.0`).
+    pub node: u32,
+    /// Skeleton statement id the cost aggregates into (`StmtId.0`).
+    pub stmt: Option<u32>,
+    /// Expected number of repetitions of the node.
+    pub enr: f64,
+    /// Per-invocation computation seconds (`Tc`).
+    pub tc: f64,
+    /// Per-invocation memory seconds (`Tm`).
+    pub tm: f64,
+    /// Per-invocation overlapped seconds (`To`).
+    pub overlap: f64,
+    /// Realized overlap degree `δ = To / min(Tc, Tm)` (0 when either
+    /// component is zero).
+    pub delta: f64,
+    /// ENR-weighted contribution to the projected total:
+    /// `(Tc + Tm − To) × ENR`, exactly as accumulated by the evaluator.
+    pub total: f64,
+    /// Effective concurrent threads the projection assumed for the block.
+    pub threads: f64,
+    /// Per-invocation floating point operations.
+    pub flops: f64,
+    /// Per-invocation fixed point operations.
+    pub iops: f64,
+    /// Per-invocation element loads.
+    pub loads: f64,
+    /// Per-invocation element stores.
+    pub stores: f64,
+    /// Per-invocation bytes touched (before cache filtering).
+    pub bytes: f64,
+}
+
+impl BlockProvenance {
+    /// Whether the block is memory-bound on this machine (`Tm > Tc`).
+    pub fn memory_bound(&self) -> bool {
+        self.tm > self.tc
+    }
+
+    /// Operational intensity (flops per byte; 0 when neither moves).
+    pub fn operational_intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            if self.flops == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> BlockProvenance {
+        BlockProvenance {
+            node: 1,
+            stmt: Some(2),
+            enr: 10.0,
+            tc: 1.0,
+            tm: 2.0,
+            overlap: 0.5,
+            delta: 0.5,
+            total: 25.0,
+            threads: 1.0,
+            flops: 8.0,
+            iops: 0.0,
+            loads: 1.0,
+            stores: 0.0,
+            bytes: 8.0,
+        }
+    }
+
+    #[test]
+    fn verdict_and_intensity() {
+        let b = block();
+        assert!(b.memory_bound());
+        assert!((b.operational_intensity() - 1.0).abs() < 1e-12);
+        let pure = BlockProvenance { bytes: 0.0, ..b };
+        assert!(pure.operational_intensity().is_infinite());
+        let idle = BlockProvenance { bytes: 0.0, flops: 0.0, ..b };
+        assert_eq!(idle.operational_intensity(), 0.0);
+    }
+}

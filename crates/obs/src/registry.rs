@@ -1,0 +1,167 @@
+//! The metrics registry: named monotonic counters and summary histograms.
+//!
+//! This is the workspace's *single* counter implementation — the session
+//! layer's cache statistics, the sweep progress counter, and the
+//! collecting recorder all count through [`Counter`]. Counters are plain
+//! relaxed `AtomicU64`s, so handles obtained once via
+//! [`MetricsRegistry::counter`] can be bumped from any thread without
+//! touching the registry lock again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter. Cheap to clone a handle to (via `Arc`) and bump
+/// from any thread.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Summary statistics of one histogram (count/sum/min/max — enough for
+/// the latency and size distributions the pipeline records).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A named registry of counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, HistogramSummary>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle to a named counter, created zeroed on first request. Hot
+    /// call sites should obtain the handle once and bump it directly.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Increment a named counter by `delta` (registry-lookup path; prefer
+    /// [`MetricsRegistry::counter`] handles in hot loops).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Current value of a named counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.lock().unwrap().get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Record one observation of a named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert(HistogramSummary { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY })
+            .observe(value);
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        self.histograms.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.get("x"), 5);
+        assert_eq!(reg.get("never"), 0);
+    }
+
+    #[test]
+    fn counters_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.add("b", 1);
+        reg.add("a", 1);
+        let names: Vec<String> = reg.counters().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn histogram_summarizes() {
+        let reg = MetricsRegistry::new();
+        for v in [1.0, 3.0, 2.0] {
+            reg.observe("lat", v);
+        }
+        let h = reg.histograms()[0].1;
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.get("n"), 4000);
+    }
+}

@@ -7,8 +7,10 @@
 //! The entry point [`run`] is pure with respect to stdout — it returns the
 //! output text — so every command is unit-testable.
 
-use crate::{bgq, compare, generic, knl, xeon, Criteria, InputSpec, MachineModel, ModeledApp, Session};
+use crate::{bgq, compare, generic, knl, xeon, Criteria, InputSpec, MachineModel, ModeledApp, Scale, Session};
+use crate::{CollectingRecorder, SessionConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -19,6 +21,7 @@ USAGE:
 
 COMMANDS:
     hotspots <FILE>   project hot spots of a minilang program on a machine
+    explain  <FILE>   per-block provenance: ENR, context chain, roofline operands
     hotpath  <FILE>   print the merged hot path with contexts
     miniapp  <FILE>   emit a mini-application skeleton of the hot region
     skeleton <FILE>   print the generated code skeleton (SKOPE-style)
@@ -28,6 +31,8 @@ COMMANDS:
     machines          list the built-in machine models
     cache <stats|clear>  inspect or empty a --cache-dir artifact store
 
+FILE may also name a built-in workload (sord, chargei, srad, cfd, stassuij).
+
 OPTIONS:
     --machine <bgq|xeon|knl|generic>  target machine     [default: bgq]
     --machine-file <FILE.json>     load a custom machine model from JSON
@@ -35,6 +40,9 @@ OPTIONS:
     --coverage <0..1>              time-coverage criterion [default: 0.9]
     --leanness <0..1>              code-leanness criterion [default: 0.25]
     --top <N>                      rows to print           [default: 10]
+    --scale <test|eval>            workload input preset   [default: test]
+    --json                         machine-readable output (explain)
+    --trace-out <FILE>             write a Chrome trace of the run to FILE
     --cache-dir <DIR>              persist/reuse stage artifacts in DIR
     --no-cache                     model cold, bypassing every cache
 ";
@@ -49,6 +57,12 @@ struct Invocation {
     top: usize,
     cache_dir: Option<String>,
     no_cache: bool,
+    json: bool,
+    scale: Scale,
+    trace_out: Option<String>,
+    /// Created when `--trace-out` is given; threaded through the session
+    /// and every observed evaluation so one trace covers the whole run.
+    recorder: Option<Arc<CollectingRecorder>>,
 }
 
 fn parse_args(args: &[String]) -> Result<Invocation, String> {
@@ -63,6 +77,10 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         top: 10,
         cache_dir: None,
         no_cache: false,
+        json: false,
+        scale: Scale::Test,
+        trace_out: None,
+        recorder: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -110,6 +128,20 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 inv.cache_dir = Some(v.clone());
             }
             "--no-cache" => inv.no_cache = true,
+            "--json" => inv.json = true,
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs test | eval")?;
+                inv.scale = match v.to_lowercase().as_str() {
+                    "test" => Scale::Test,
+                    "eval" => Scale::Eval,
+                    other => return Err(format!("unknown scale `{other}` (test, eval)")),
+                };
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                inv.trace_out = Some(v.clone());
+                inv.recorder = Some(Arc::new(CollectingRecorder::new()));
+            }
             other if inv.file.is_none() && !other.starts_with("--") => inv.file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
@@ -119,7 +151,7 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
 
 /// Execute a CLI invocation, returning the text to print.
 pub fn run(args: &[String]) -> Result<String, String> {
-    let inv = parse_args(args)?;
+    let mut inv = parse_args(args)?;
     if inv.command == "machines" {
         return Ok(machines_text());
     }
@@ -130,8 +162,41 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return run_cache(&inv);
     }
     let file = inv.file.clone().ok_or_else(|| format!("`{}` needs a FILE argument\n\n{USAGE}", inv.command))?;
-    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    run_on_source(&inv, &src)
+    let src = resolve_source(&mut inv, &file)?;
+    let mut session = None;
+    let out = run_on_source(&inv, &src, &mut session)?;
+    if let Some(path) = &inv.trace_out {
+        let rec = inv.recorder.as_ref().expect("--trace-out allocates a recorder");
+        let mut snap = rec.snapshot();
+        if let Some(s) = &session {
+            snap.merge_registry(s.registry());
+        }
+        std::fs::write(path, snap.to_chrome_json()).map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    }
+    Ok(out)
+}
+
+/// Resolve the FILE argument: a readable path wins; otherwise the name of
+/// a built-in workload (whose scale-preset inputs seed the binding, with
+/// `--input` overrides applied on top).
+fn resolve_source(inv: &mut Invocation, file: &str) -> Result<String, String> {
+    match std::fs::read_to_string(file) {
+        Ok(src) => Ok(src),
+        Err(e) => {
+            let want = file.to_lowercase();
+            match xflow_workloads::all().into_iter().find(|w| w.name.to_lowercase() == want) {
+                Some(w) => {
+                    let mut inputs = w.inputs(inv.scale);
+                    for (k, v) in inv.inputs.iter() {
+                        inputs.set(k, v);
+                    }
+                    inv.inputs = inputs;
+                    Ok(w.source.to_string())
+                }
+                None => Err(format!("cannot read {file}: {e}")),
+            }
+        }
+    }
 }
 
 /// The `cache stats` / `cache clear` subcommand (operates on a
@@ -164,10 +229,27 @@ fn run_cache(inv: &Invocation) -> Result<String, String> {
 /// default path shares the process-wide in-memory session. Cache traffic is
 /// reported on stderr so stdout stays byte-identical between warm and cold
 /// runs.
-fn modeled(inv: &Invocation, src: &str) -> Result<ModeledApp, String> {
+fn modeled(inv: &Invocation, src: &str, session_out: &mut Option<Session>) -> Result<ModeledApp, String> {
     if inv.no_cache {
         let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
         return ModeledApp::from_program(prog, &inv.inputs).map_err(|e| e.to_string());
+    }
+    if let Some(rec) = &inv.recorder {
+        // a traced run gets its own session so the stage spans land in the
+        // recorder; the session outlives the command so `run` can fold its
+        // cache counters into the exported trace
+        let config = SessionConfig {
+            cache_dir: inv.cache_dir.clone().map(Into::into),
+            recorder: Some(rec.clone()),
+            ..SessionConfig::default()
+        };
+        let session = Session::with_config(config);
+        let app = session.model(src, &inv.inputs).map_err(|e| e.to_string())?;
+        if let Some(dir) = &inv.cache_dir {
+            eprintln!("[xflow cache] {} ({dir})", session.stats());
+        }
+        *session_out = Some(session);
+        return Ok(app);
     }
     match &inv.cache_dir {
         Some(dir) => {
@@ -180,7 +262,7 @@ fn modeled(inv: &Invocation, src: &str) -> Result<ModeledApp, String> {
     }
 }
 
-fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
+fn run_on_source(inv: &Invocation, src: &str, session_out: &mut Option<Session>) -> Result<String, String> {
     match inv.command.as_str() {
         "skeleton" => {
             let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
@@ -196,7 +278,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "bet" => {
-            let app = modeled(inv, src)?;
+            let app = modeled(inv, src, session_out)?;
             let mut out = String::new();
             let _ = writeln!(out, "skeleton statements : {}", app.translation.skeleton.source_statement_count());
             let _ = writeln!(out, "BET nodes           : {}", app.bet.len());
@@ -210,7 +292,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "hotspots" => {
-            let app = modeled(inv, src)?;
+            let app = modeled(inv, src, session_out)?;
             let mp = app.project_on(&inv.machine);
             let sel = mp.select(&app.units, inv.criteria);
             let mut out = String::new();
@@ -241,14 +323,28 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             }
             Ok(out)
         }
+        "explain" => {
+            let app = modeled(inv, src, session_out)?;
+            let report = match &inv.recorder {
+                Some(rec) => crate::explain::explain_observed(&app, &inv.machine, rec),
+                None => crate::explain::explain(&app, &inv.machine),
+            };
+            if inv.json {
+                let mut out = report.to_json();
+                out.push('\n');
+                Ok(out)
+            } else {
+                Ok(report.render(inv.top))
+            }
+        }
         "hotpath" => {
-            let app = modeled(inv, src)?;
+            let app = modeled(inv, src, session_out)?;
             let mp = app.project_on(&inv.machine);
             let sel = mp.select(&app.units, inv.criteria);
             Ok(crate::hot_path_report(&app, &sel))
         }
         "miniapp" => {
-            let app = modeled(inv, src)?;
+            let app = modeled(inv, src, session_out)?;
             let mp = app.project_on(&inv.machine);
             let sel = mp.select(&app.units, inv.criteria);
             let mini = crate::build_miniapp(&app, &sel);
@@ -263,7 +359,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "simulate" => {
-            let app = modeled(inv, src)?;
+            let app = modeled(inv, src, session_out)?;
             let measured = app.measure_on(None, &inv.machine).map_err(|e| e.to_string())?;
             let mut out = String::new();
             let _ = writeln!(
@@ -297,7 +393,7 @@ fn run_on_source(inv: &Invocation, src: &str) -> Result<String, String> {
             Ok(out)
         }
         "compare" => {
-            let app = modeled(inv, src)?;
+            let app = modeled(inv, src, session_out)?;
             let mp = app.project_on(&inv.machine);
             let measured = app.measure_on(None, &inv.machine).map_err(|e| e.to_string())?;
             let cmp = compare(&mp, &measured, inv.top);
@@ -487,6 +583,46 @@ fn main() {
             std::fs::write(&mfile, serde_json::to_string(&m).unwrap()).unwrap();
             let err = run(&args(&["hotspots", path, "--machine-file", mfile.to_str().unwrap()])).unwrap_err();
             assert!(err.contains("invalid machine model"), "{err}");
+        });
+    }
+
+    #[test]
+    fn explain_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["explain", path, "--machine", "xeon", "--top", "2"])).unwrap();
+            assert!(out.contains("machine: Xeon"), "{out}");
+            assert!(out.contains("context:"), "{out}");
+            assert!(out.contains("bound") || out.contains("memory") || out.contains("compute"), "{out}");
+        });
+    }
+
+    #[test]
+    fn explain_workload_by_name_json() {
+        let out = run(&args(&["explain", "cfd", "--machine", "bgq", "--json"])).unwrap();
+        assert!(out.starts_with('{'), "{out}");
+        assert!(out.contains("\"machine\":\"BG/Q\""), "{out}");
+        assert!(out.contains("compute_flux"), "{out}");
+        // same invocation is deterministic
+        let again = run(&args(&["explain", "cfd", "--machine", "bgq", "--json"])).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn trace_out_writes_a_chrome_trace() {
+        with_demo_file(|path| {
+            let dir = std::path::Path::new(path).parent().unwrap();
+            let trace = dir.join("trace.json");
+            let out = run(&args(&["explain", path, "--no-cache-not-a-flag"])).unwrap_err();
+            assert!(out.contains("unknown option"), "{out}");
+            let out = run(&args(&["explain", path, "--trace-out", trace.to_str().unwrap()])).unwrap();
+            assert!(out.contains("context:"), "{out}");
+            let text = std::fs::read_to_string(&trace).unwrap();
+            assert!(text.starts_with("{\"displayTimeUnit\":\"ms\""), "{text}");
+            for stage in ["session.parse", "session.profile", "session.translate", "session.bet", "session.plan"] {
+                assert!(text.contains(stage), "trace must span stage {stage}");
+            }
+            assert!(text.contains("plan.evaluate"), "trace must cover the explain evaluation");
+            assert!(text.contains("session.parse.misses"), "trace must carry the session cache counters");
         });
     }
 

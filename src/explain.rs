@@ -1,0 +1,391 @@
+//! The `explain` provenance report: why the projection says what it says.
+//!
+//! [`explain`] re-evaluates an app's projection plan through an observed
+//! recorder and turns the resulting [`BlockProvenance`] stream into a
+//! human-readable breakdown: per cost-carrying BET node the exact `Tc`,
+//! `Tm`, overlap, ENR and roofline operands the evaluator used, and per
+//! comparable unit a ranked table with the compute-vs-memory verdict and
+//! the invocation-context probability chain of the unit's dominant node.
+//!
+//! The report is *reconciling by construction*: `blocks` are kept in plan
+//! order with the evaluator's exact addends, so summing their `total`
+//! fields in stream order reproduces [`Explain::total`] — and therefore
+//! `project_on`'s projected application time — to the bit. A report whose
+//! numbers can drift from the projection would be worse than no report.
+
+use crate::pipeline::ModeledApp;
+use crate::units::Units;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use xflow_bet::{Bet, BetKind, BetNodeId};
+use xflow_hw::{MachineModel, PerfModel, Roofline};
+use xflow_obs::{BlockProvenance, CollectingRecorder};
+use xflow_skeleton::StmtId;
+
+/// One cost-carrying BET node with the evaluator's exact numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainBlock {
+    /// BET arena index of the node.
+    pub node: u32,
+    /// Skeleton statement id (absent for synthetic nodes).
+    pub stmt: Option<u32>,
+    /// Comparable unit the block's time aggregates into.
+    pub unit: String,
+    /// Expected number of repetitions.
+    pub enr: f64,
+    /// Per-invocation computation seconds.
+    pub tc: f64,
+    /// Per-invocation memory seconds.
+    pub tm: f64,
+    /// Per-invocation overlapped seconds.
+    pub overlap: f64,
+    /// Realized overlap degree `To / min(Tc, Tm)`.
+    pub delta: f64,
+    /// ENR-weighted contribution `(Tc + Tm − To) × ENR`, exactly as
+    /// accumulated by the evaluator.
+    pub total: f64,
+    /// Threads the projection assumed for the block.
+    pub threads: f64,
+    /// Roofline operands (per invocation).
+    pub flops: f64,
+    pub iops: f64,
+    pub loads: f64,
+    pub stores: f64,
+    pub bytes: f64,
+    /// Operational intensity in flops per byte.
+    pub intensity: f64,
+    /// `"memory"` or `"compute"` — which roofline side dominates.
+    pub bound: String,
+}
+
+/// One step of an invocation-context chain, root first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChainStep {
+    pub node: u32,
+    /// BET node kind tag (`root`, `call`, `loop`, `arm`, `comp`, `lib`).
+    pub kind: String,
+    /// Function name for call/lib nodes.
+    pub name: Option<String>,
+    /// Conditional execution probability given the parent.
+    pub prob: f64,
+    /// Expected iterations (loops; 1 otherwise).
+    pub iters: f64,
+}
+
+/// One comparable unit, with its dominant node's context chain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainUnit {
+    pub name: String,
+    /// Projected seconds attributed to the unit.
+    pub time: f64,
+    /// Fraction of the projected application total.
+    pub share: f64,
+    /// ENR-weighted Tc / Tm across the unit's blocks.
+    pub tc: f64,
+    pub tm: f64,
+    pub bound: String,
+    /// The unit's most expensive block.
+    pub dominant_node: u32,
+    /// ENR of the dominant block.
+    pub enr: f64,
+    /// Invocation-context chain of the dominant block, root first.
+    pub chain: Vec<ChainStep>,
+    /// Product of conditional probabilities along the chain.
+    pub path_prob: f64,
+}
+
+/// The full provenance report of one app on one machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Explain {
+    pub machine: String,
+    /// Performance model that produced the numbers.
+    pub model: String,
+    /// Projected application seconds (bit-equal to `project_on`'s total).
+    pub total: f64,
+    /// Every cost-carrying block in plan (BET node) order. Summing
+    /// `total` over this list in order reproduces [`Explain::total`]
+    /// exactly.
+    pub blocks: Vec<ExplainBlock>,
+    /// Comparable units ranked by descending projected time.
+    pub units: Vec<ExplainUnit>,
+}
+
+/// Build the provenance report, recording the evaluation into `rec` (the
+/// `plan.evaluate` span and block stream land in the recorder, so a
+/// `--trace-out` capture sees the explain evaluation too).
+pub fn explain_observed(app: &ModeledApp, machine: &MachineModel, rec: &CollectingRecorder) -> Explain {
+    let model = Roofline;
+    let skip = rec.block_provenance().len();
+    let projection = app.plan().evaluate_observed(machine, &model, rec);
+    let blocks = &rec.block_provenance()[skip..];
+    assemble(app, machine, model.name(), projection.total_time, blocks)
+}
+
+/// Build the provenance report with a private recorder.
+pub fn explain(app: &ModeledApp, machine: &MachineModel) -> Explain {
+    explain_observed(app, machine, &CollectingRecorder::new())
+}
+
+fn assemble(app: &ModeledApp, machine: &MachineModel, model: &str, total: f64, stream: &[BlockProvenance]) -> Explain {
+    let units = &app.units;
+    let blocks: Vec<ExplainBlock> = stream
+        .iter()
+        .map(|b| ExplainBlock {
+            node: b.node,
+            stmt: b.stmt,
+            unit: unit_name(units, b),
+            enr: b.enr,
+            tc: b.tc,
+            tm: b.tm,
+            overlap: b.overlap,
+            delta: b.delta,
+            total: b.total,
+            threads: b.threads,
+            flops: b.flops,
+            iops: b.iops,
+            loads: b.loads,
+            stores: b.stores,
+            bytes: b.bytes,
+            intensity: b.operational_intensity(),
+            bound: verdict(b.tc, b.tm).to_string(),
+        })
+        .collect();
+
+    // fold the stream into units, keeping each unit's dominant block
+    struct Acc {
+        time: f64,
+        tc: f64,
+        tm: f64,
+        dominant: usize,
+        dominant_total: f64,
+        first: usize,
+    }
+    let mut acc: HashMap<StmtId, Acc> = HashMap::new();
+    let mut order: Vec<StmtId> = Vec::new();
+    for (i, b) in stream.iter().enumerate() {
+        let unit = unit_of(units, b);
+        let a = acc.entry(unit).or_insert_with(|| {
+            order.push(unit);
+            Acc { time: 0.0, tc: 0.0, tm: 0.0, dominant: i, dominant_total: f64::NEG_INFINITY, first: i }
+        });
+        a.time += b.total;
+        a.tc += b.tc * b.enr;
+        a.tm += b.tm * b.enr;
+        if b.total > a.dominant_total {
+            a.dominant_total = b.total;
+            a.dominant = i;
+        }
+    }
+    // rank by descending time; ties broken by first appearance in the
+    // stream so the report is deterministic
+    order.sort_by(|x, y| {
+        let (ax, ay) = (&acc[x], &acc[y]);
+        ay.time.partial_cmp(&ax.time).unwrap_or(std::cmp::Ordering::Equal).then(ax.first.cmp(&ay.first))
+    });
+    let unit_rows: Vec<ExplainUnit> = order
+        .iter()
+        .map(|u| {
+            let a = &acc[u];
+            let dom = &stream[a.dominant];
+            let chain = context_chain(&app.bet, BetNodeId(dom.node));
+            let path_prob = chain.iter().map(|s| s.prob).product();
+            ExplainUnit {
+                name: units.name(*u),
+                time: a.time,
+                share: if total > 0.0 { a.time / total } else { 0.0 },
+                tc: a.tc,
+                tm: a.tm,
+                bound: verdict(a.tc, a.tm).to_string(),
+                dominant_node: dom.node,
+                enr: dom.enr,
+                chain,
+                path_prob,
+            }
+        })
+        .collect();
+
+    Explain { machine: machine.name.clone(), model: model.to_string(), total, blocks, units: unit_rows }
+}
+
+fn verdict(tc: f64, tm: f64) -> &'static str {
+    if tm > tc {
+        "memory"
+    } else {
+        "compute"
+    }
+}
+
+fn unit_of(units: &Units, b: &BlockProvenance) -> StmtId {
+    // synthetic nodes without a statement fold into a shared pseudo-unit
+    b.stmt.map(|s| units.unit_of(StmtId(s))).unwrap_or(StmtId(u32::MAX))
+}
+
+fn unit_name(units: &Units, b: &BlockProvenance) -> String {
+    match b.stmt {
+        Some(s) => units.name(units.unit_of(StmtId(s))),
+        None => "<synthetic>".to_string(),
+    }
+}
+
+/// The invocation-context chain of a node: root → … → node, one step per
+/// BET ancestor, carrying each step's conditional probability and trip
+/// count (the paper's "invocation context" of a hot block).
+pub fn context_chain(bet: &Bet, id: BetNodeId) -> Vec<ChainStep> {
+    let mut path = bet.ancestry(id);
+    path.reverse();
+    path.iter()
+        .map(|&nid| {
+            let n = bet.node(nid);
+            let name = match &n.kind {
+                BetKind::Call { func } | BetKind::Lib { func, .. } => Some(func.clone()),
+                _ => None,
+            };
+            ChainStep { node: nid.0, kind: n.kind.tag().to_string(), name, prob: n.prob, iters: n.iters }
+        })
+        .collect()
+}
+
+impl Explain {
+    /// Deterministic JSON form (stable field and row order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("explain report serializes")
+    }
+
+    /// Render the human table, limited to the top `top` units.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "machine: {}   model: {}   projected total: {:.3e} s", self.machine, self.model, self.total);
+        let _ = writeln!(out, "blocks: {}   units: {}\n", self.blocks.len(), self.units.len());
+        let _ = writeln!(
+            out,
+            "{:<4} {:<24} {:>10} {:>7} {:>8} {:>10} {:>10} {:>10} {:>7}",
+            "#", "block", "time (s)", "share", "bound", "ENR", "Tc (s)", "Tm (s)", "OI"
+        );
+        for (i, u) in self.units.iter().take(top).enumerate() {
+            let dom = self.blocks.iter().find(|b| b.node == u.dominant_node);
+            let oi = dom.map(|b| b.intensity).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{:<4} {:<24} {:>10.3e} {:>6.1}% {:>8} {:>10.3e} {:>10.3e} {:>10.3e} {:>7.3}",
+                i + 1,
+                u.name,
+                u.time,
+                u.share * 100.0,
+                u.bound,
+                u.enr,
+                u.tc,
+                u.tm,
+                oi
+            );
+            let _ = writeln!(out, "     context: {} (p = {:.3})", render_chain(&u.chain), u.path_prob);
+        }
+        out
+    }
+}
+
+/// Render a context chain as `root → step ×N → …` with probabilities on
+/// non-certain steps.
+fn render_chain(chain: &[ChainStep]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for s in chain {
+        let mut p = match &s.name {
+            Some(n) => format!("{} {n}", s.kind),
+            None => s.kind.clone(),
+        };
+        if s.iters != 1.0 {
+            let _ = write!(p, " ×{:.0}", s.iters);
+        }
+        if s.prob != 1.0 {
+            let _ = write!(p, " (p={:.2})", s.prob);
+        }
+        parts.push(p);
+    }
+    parts.join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSpec;
+    use xflow_hw::{bgq, generic, xeon};
+
+    const SRC: &str = r#"
+fn main() {
+    let n = input("N", 300);
+    let a = zeros(n);
+    @fill: for i in 0 .. n { a[i] = rnd(); }
+    @sum: for i in 0 .. n { a[0] = a[0] + a[i] * a[i]; }
+    print(a[0]);
+}
+"#;
+
+    fn app() -> ModeledApp {
+        ModeledApp::from_source(SRC, &InputSpec::new()).unwrap()
+    }
+
+    #[test]
+    fn totals_reconcile_to_the_bit() {
+        let app = app();
+        for m in [generic(), bgq(), xeon()] {
+            let report = explain(&app, &m);
+            let sum = report.blocks.iter().map(|b| b.total).sum::<f64>();
+            assert_eq!(sum.to_bits(), report.total.to_bits(), "stream must reconcile on {}", m.name);
+            assert_eq!(report.total.to_bits(), app.project_on(&m).total.to_bits());
+        }
+    }
+
+    #[test]
+    fn units_are_ranked_and_named() {
+        let app = app();
+        let report = explain(&app, &bgq());
+        assert!(!report.units.is_empty());
+        for w in report.units.windows(2) {
+            assert!(w[0].time >= w[1].time, "units must be ranked by time");
+        }
+        let names: Vec<&str> = report.units.iter().map(|u| u.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("sum") || n.contains("fill")), "{names:?}");
+        let top = &report.units[0];
+        assert!(top.share > 0.0 && top.share <= 1.0);
+        assert!(top.bound == "memory" || top.bound == "compute");
+    }
+
+    #[test]
+    fn chains_start_at_the_root_and_multiply_probs() {
+        let app = app();
+        let report = explain(&app, &generic());
+        for u in &report.units {
+            assert_eq!(u.chain.first().unwrap().kind, "root");
+            assert_eq!(u.chain.last().unwrap().node, u.dominant_node);
+            let p: f64 = u.chain.iter().map(|s| s.prob).product();
+            assert_eq!(p.to_bits(), u.path_prob.to_bits());
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parseable() {
+        let app = app();
+        let a = explain(&app, &bgq()).to_json();
+        let b = explain(&app, &bgq()).to_json();
+        assert_eq!(a, b);
+        let back: Explain = serde_json::from_str(&a).unwrap();
+        assert!(!back.blocks.is_empty());
+        assert!(back.total > 0.0);
+        let fwd = explain(&app, &bgq());
+        assert_eq!(back.total.to_bits(), fwd.total.to_bits(), "JSON round-trip must preserve totals exactly");
+    }
+
+    #[test]
+    fn human_render_mentions_hot_blocks_and_contexts() {
+        let app = app();
+        let report = explain(&app, &xeon());
+        let text = report.render(5);
+        assert!(text.contains("machine: Xeon"), "{text}");
+        assert!(text.contains("context:"), "{text}");
+        assert!(text.contains("loop"), "{text}");
+        // top limiting works
+        let one = report.render(1);
+        assert!(one.matches("context:").count() == 1, "{one}");
+    }
+}

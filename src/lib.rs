@@ -48,6 +48,7 @@
 
 pub mod cli;
 pub mod compare;
+pub mod explain;
 pub mod multirank;
 pub mod pipeline;
 pub mod session;
@@ -55,6 +56,7 @@ pub mod sweep;
 pub mod units;
 
 pub use compare::{compare, evaluate, Comparison};
+pub use explain::{explain, explain_observed, ChainStep, Explain, ExplainBlock, ExplainUnit};
 pub use multirank::{format_scaling, project_scaling, BspSpec, RankPoint, ScalingKind};
 pub use pipeline::{
     default_library, fold_projection, initial_env, lib_time_by_function, MachineProjection, Measured, ModeledApp,
@@ -69,6 +71,7 @@ pub use xflow_bet;
 pub use xflow_hotspot;
 pub use xflow_hw;
 pub use xflow_minilang;
+pub use xflow_obs;
 pub use xflow_sim;
 pub use xflow_skeleton;
 pub use xflow_workloads;
@@ -77,6 +80,7 @@ pub use xflow_workloads;
 pub use xflow_hotspot::{Criteria, Greedy, Selection};
 pub use xflow_hw::{bgq, generic, knl, xeon, MachineBuilder, MachineModel, PerfModel, Roofline};
 pub use xflow_minilang::InputSpec;
+pub use xflow_obs::{CollectingRecorder, MetricsRegistry, NoopRecorder, ProgressTicker, Recorder, TraceSnapshot};
 pub use xflow_workloads::{Scale, Workload};
 
 /// Hot-spot selection criteria used by this reproduction's experiments.

@@ -57,6 +57,7 @@ use xflow_bet::Bet;
 use xflow_hotspot::ProjectionPlan;
 use xflow_hw::LibraryRegistry;
 use xflow_minilang::{self as ml, InputSpec, Translation};
+use xflow_obs::{AttrValue, Counter, MetricsRegistry, NoopRecorder, Recorder, SpanId};
 use xflow_workloads::{Scale, Workload};
 
 use crate::pipeline::{default_library, initial_env, ModeledApp, PipelineError};
@@ -237,16 +238,47 @@ impl std::fmt::Display for CacheStats {
 // Per-stage LRU cache
 // ---------------------------------------------------------------------------
 
+/// Handles to one stage's cache counters in the session's
+/// [`MetricsRegistry`] (names `session.<stage>.{hits,disk_hits,misses,
+/// evictions}`). The registry is the *only* counter implementation — the
+/// [`StageStats`] the session reports are snapshots of these counters.
+struct StageCounters {
+    hits: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl StageCounters {
+    fn for_stage(registry: &MetricsRegistry, stage: &str) -> Self {
+        StageCounters {
+            hits: registry.counter(&format!("session.{stage}.hits")),
+            disk_hits: registry.counter(&format!("session.{stage}.disk_hits")),
+            misses: registry.counter(&format!("session.{stage}.misses")),
+            evictions: registry.counter(&format!("session.{stage}.evictions")),
+        }
+    }
+
+    fn snapshot(&self) -> StageStats {
+        StageStats {
+            hits: self.hits.get(),
+            disk_hits: self.disk_hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+}
+
 struct StageCache<T> {
     name: &'static str,
     map: HashMap<u64, (u64, Arc<T>)>,
     capacity: usize,
-    stats: StageStats,
+    counters: StageCounters,
 }
 
 impl<T> StageCache<T> {
-    fn new(name: &'static str, capacity: usize) -> Self {
-        StageCache { name, map: HashMap::new(), capacity: capacity.max(1), stats: StageStats::default() }
+    fn new(name: &'static str, capacity: usize, counters: StageCounters) -> Self {
+        StageCache { name, map: HashMap::new(), capacity: capacity.max(1), counters }
     }
 
     fn lookup(&mut self, key: u64, tick: u64) -> Option<Arc<T>> {
@@ -259,7 +291,7 @@ impl<T> StageCache<T> {
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(oldest) = self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(&k, _)| k) {
                 self.map.remove(&oldest);
-                self.stats.evictions += 1;
+                self.counters.evictions.add(1);
             }
         }
         self.map.insert(key, (tick, value));
@@ -271,13 +303,28 @@ impl<T> StageCache<T> {
 // ---------------------------------------------------------------------------
 
 /// Configuration of a [`Session`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SessionConfig {
     /// Directory for persisted artifacts; `None` keeps the session
     /// memory-only.
     pub cache_dir: Option<PathBuf>,
     /// Per-stage in-memory LRU capacity (`None` → a small default).
     pub capacity: Option<usize>,
+    /// Telemetry recorder observing the session's stages; `None` is the
+    /// zero-overhead noop. Each stage lookup runs inside a
+    /// `session.<stage>` span whose exit attributes carry the artifact key
+    /// and the cache outcome (`hit` / `disk` / `miss` / `error`).
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for SessionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionConfig")
+            .field("cache_dir", &self.cache_dir)
+            .field("capacity", &self.capacity)
+            .field("recorder", &self.recorder.as_ref().map(|_| "dyn Recorder"))
+            .finish()
+    }
 }
 
 struct Store {
@@ -290,14 +337,14 @@ struct Store {
 }
 
 impl Store {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, registry: &MetricsRegistry) -> Self {
         Store {
             tick: 0,
-            parse: StageCache::new("parse", capacity),
-            profile: StageCache::new("profile", capacity),
-            translate: StageCache::new("translate", capacity),
-            bet: StageCache::new("bet", capacity),
-            plan: StageCache::new("plan", capacity),
+            parse: StageCache::new("parse", capacity, StageCounters::for_stage(registry, "parse")),
+            profile: StageCache::new("profile", capacity, StageCounters::for_stage(registry, "profile")),
+            translate: StageCache::new("translate", capacity, StageCounters::for_stage(registry, "translate")),
+            bet: StageCache::new("bet", capacity, StageCounters::for_stage(registry, "bet")),
+            plan: StageCache::new("plan", capacity, StageCounters::for_stage(registry, "plan")),
         }
     }
 }
@@ -314,6 +361,7 @@ impl Store {
 pub struct Session {
     config: SessionConfig,
     salt: u64,
+    registry: MetricsRegistry,
     store: Mutex<Store>,
 }
 
@@ -331,24 +379,47 @@ impl Session {
 
     /// Session persisting artifacts under `dir` (created on first write).
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
-        Self::with_config(SessionConfig { cache_dir: Some(dir.into()), capacity: None })
+        Self::with_config(SessionConfig { cache_dir: Some(dir.into()), ..SessionConfig::default() })
+    }
+
+    /// Memory-only session observed by a telemetry recorder.
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        Self::with_config(SessionConfig { recorder: Some(recorder), ..SessionConfig::default() })
     }
 
     /// Session with explicit configuration.
     pub fn with_config(config: SessionConfig) -> Self {
         let capacity = config.capacity.unwrap_or(DEFAULT_CAPACITY);
-        Session { config, salt: key_salt(), store: Mutex::new(Store::new(capacity)) }
+        let registry = MetricsRegistry::new();
+        let store = Mutex::new(Store::new(capacity, &registry));
+        Session { config, salt: key_salt(), registry, store }
     }
 
-    /// Per-stage cache counters accumulated over this session's lifetime.
+    /// The session's metrics registry: the single home of its cache
+    /// counters (`session.<stage>.{hits,disk_hits,misses,evictions}`).
+    /// Merge it into an exported trace with
+    /// [`xflow_obs::TraceSnapshot::merge_registry`].
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn recorder(&self) -> &dyn Recorder {
+        match &self.config.recorder {
+            Some(r) => r.as_ref(),
+            None => &NoopRecorder,
+        }
+    }
+
+    /// Per-stage cache counters accumulated over this session's lifetime
+    /// (snapshots of the [`Session::registry`] counters).
     pub fn stats(&self) -> CacheStats {
         let store = self.store.lock().unwrap();
         CacheStats {
-            parse: store.parse.stats,
-            profile: store.profile.stats,
-            translate: store.translate.stats,
-            bet: store.bet.stats,
-            plan: store.plan.stats,
+            parse: store.parse.counters.snapshot(),
+            profile: store.profile.counters.snapshot(),
+            translate: store.translate.counters.snapshot(),
+            bet: store.bet.counters.snapshot(),
+            plan: store.plan.counters.snapshot(),
         }
     }
 
@@ -375,25 +446,28 @@ impl Session {
         libs: &LibraryRegistry,
     ) -> Result<ModeledApp, PipelineError> {
         let keys = derive_keys(src, inputs, libs);
+        let rec = self.recorder();
         let mut store = self.store.lock().unwrap();
         store.tick += 1;
         let tick = store.tick;
 
-        let program = stage(&self.config, self.salt, &mut store.parse, keys.parse, tick, || {
+        let program = stage(&self.config, self.salt, rec, &mut store.parse, keys.parse, tick, || {
             ml::parse(src).map_err(PipelineError::from)
         })?;
-        let profile = stage(&self.config, self.salt, &mut store.profile, keys.profile, tick, || {
+        let profile = stage(&self.config, self.salt, rec, &mut store.profile, keys.profile, tick, || {
             ml::profile(&program, inputs).map_err(PipelineError::from)
         })?;
-        let translation = stage(&self.config, self.salt, &mut store.translate, keys.translate, tick, || {
+        let translation = stage(&self.config, self.salt, rec, &mut store.translate, keys.translate, tick, || {
             ml::translate(&program, &profile).map_err(PipelineError::Translate)
         })?;
-        let bet = stage(&self.config, self.salt, &mut store.bet, keys.bet, tick, || {
+        let bet = stage(&self.config, self.salt, rec, &mut store.bet, keys.bet, tick, || {
             let env = initial_env(&translation, inputs);
-            xflow_bet::build(&translation.skeleton, &env).map_err(PipelineError::from)
+            xflow_bet::build_observed(&translation.skeleton, &env, xflow_bet::BuildConfig::default(), rec)
+                .map_err(PipelineError::from)
         })?;
-        let plan =
-            stage(&self.config, self.salt, &mut store.plan, keys.plan, tick, || Ok(ProjectionPlan::new(&bet, libs)))?;
+        let plan = stage(&self.config, self.salt, rec, &mut store.plan, keys.plan, tick, || {
+            Ok(ProjectionPlan::new(&bet, libs))
+        })?;
         drop(store);
 
         Ok(ModeledApp::assemble(
@@ -422,9 +496,15 @@ impl Session {
 
 /// One stage lookup-or-build: in-memory LRU, then disk, then the `build`
 /// closure (persisting the result when a cache directory is configured).
+///
+/// With an enabled recorder the whole lookup runs inside a
+/// `session.<stage>` span whose exit attributes name the artifact key and
+/// the cache outcome (`hit` / `disk` / `miss` / `error`); attribute
+/// construction is skipped entirely on the noop path.
 fn stage<T, F>(
     config: &SessionConfig,
     salt: u64,
+    rec: &dyn Recorder,
     cache: &mut StageCache<T>,
     key: u64,
     tick: u64,
@@ -434,25 +514,48 @@ where
     T: serde::Serialize + serde::Deserialize,
     F: FnOnce() -> Result<T, PipelineError>,
 {
+    let enabled = rec.enabled();
+    let name = cache.name;
+    let span = if enabled {
+        rec.span_start(&format!("session.{name}"), &[("key", AttrValue::Str(&format!("{key:016x}")))])
+    } else {
+        SpanId::NONE
+    };
+    let end = |outcome: &str, span: SpanId| {
+        if enabled {
+            rec.add(&format!("session.{name}.lookup.{outcome}"), 1);
+            rec.span_end(span, &[("outcome", AttrValue::Str(outcome))]);
+        }
+    };
+
     if let Some(hit) = cache.lookup(key, tick) {
-        cache.stats.hits += 1;
+        cache.counters.hits.add(1);
+        end("hit", span);
         return Ok(hit);
     }
     if let Some(dir) = &config.cache_dir {
         if let Some(v) = load_artifact::<T>(dir, cache.name, salt, key) {
-            cache.stats.disk_hits += 1;
+            cache.counters.disk_hits.add(1);
             let arc = Arc::new(v);
             cache.insert(key, Arc::clone(&arc), tick);
+            end("disk", span);
             return Ok(arc);
         }
     }
-    cache.stats.misses += 1;
-    let value = build()?;
+    cache.counters.misses.add(1);
+    let value = match build() {
+        Ok(v) => v,
+        Err(e) => {
+            end("error", span);
+            return Err(e);
+        }
+    };
     if let Some(dir) = &config.cache_dir {
         store_artifact(dir, cache.name, salt, key, &value);
     }
     let arc = Arc::new(value);
     cache.insert(key, Arc::clone(&arc), tick);
+    end("miss", span);
     Ok(arc)
 }
 
@@ -614,15 +717,58 @@ fn main() {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut c: StageCache<u32> = StageCache::new("parse", 2);
+        let reg = MetricsRegistry::new();
+        let mut c: StageCache<u32> = StageCache::new("parse", 2, StageCounters::for_stage(&reg, "parse"));
         c.insert(1, Arc::new(10), 1);
         c.insert(2, Arc::new(20), 2);
         assert!(c.lookup(1, 3).is_some()); // refresh key 1
         c.insert(3, Arc::new(30), 4); // evicts key 2
-        assert_eq!(c.stats.evictions, 1);
+        assert_eq!(reg.get("session.parse.evictions"), 1);
         assert!(c.lookup(2, 5).is_none());
         assert!(c.lookup(1, 6).is_some());
         assert!(c.lookup(3, 7).is_some());
+    }
+
+    #[test]
+    fn stats_snapshot_registry_counters() {
+        let s = Session::new();
+        let i = InputSpec::from_pairs([("N", 16.0)]);
+        s.model(SRC, &i).unwrap();
+        s.model(SRC, &i).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.misses(), 5, "cold run builds all five stages");
+        assert_eq!(stats.hits(), 5, "warm run hits all five stages");
+        // the Display line the CLI prints is backed by the same counters
+        assert_eq!(s.registry().get("session.parse.hits"), stats.parse.hits);
+        assert_eq!(s.registry().get("session.plan.misses"), stats.plan.misses);
+        assert_eq!(format!("{stats}"), "memory hits: 5, disk hits: 0, misses: 5");
+    }
+
+    #[test]
+    fn observed_session_emits_stage_spans_with_outcomes() {
+        use xflow_obs::{CollectingRecorder, OwnedAttr};
+        let rec = Arc::new(CollectingRecorder::new());
+        let s = Session::with_recorder(rec.clone());
+        let i = InputSpec::from_pairs([("N", 16.0)]);
+        s.model(SRC, &i).unwrap();
+        s.model(SRC, &i).unwrap();
+        let snap = rec.snapshot();
+        for stage in ["parse", "profile", "translate", "bet", "plan"] {
+            let name = format!("session.{stage}");
+            let spans: Vec<_> = snap.spans.iter().filter(|sp| sp.name == name).collect();
+            assert_eq!(spans.len(), 2, "one span per lookup of {name}");
+            let outcomes: Vec<&OwnedAttr> =
+                spans.iter().flat_map(|sp| sp.attrs.iter().filter(|(k, _)| k == "outcome").map(|(_, v)| v)).collect();
+            assert!(outcomes.contains(&&OwnedAttr::Str("miss".into())), "{name}: {outcomes:?}");
+            assert!(outcomes.contains(&&OwnedAttr::Str("hit".into())), "{name}: {outcomes:?}");
+            assert!(spans.iter().all(|sp| sp.attrs.iter().any(|(k, _)| k == "key")));
+            assert_eq!(rec.counter_value(&format!("session.{stage}.lookup.miss")), 1);
+            assert_eq!(rec.counter_value(&format!("session.{stage}.lookup.hit")), 1);
+        }
+        // the bet build itself is traced nested under the bet stage
+        let bet_build = snap.spans.iter().find(|sp| sp.name == "bet.build").unwrap();
+        let bet_stage = snap.spans.iter().find(|sp| sp.name == "session.bet").unwrap();
+        assert_eq!(bet_build.parent, Some(bet_stage.id));
     }
 
     #[test]

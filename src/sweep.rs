@@ -38,8 +38,10 @@
 //! ```
 
 use crate::pipeline::{fold_projection, MachineProjection, ModeledApp};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use xflow_hw::{MachineModel, PerfModel, Roofline};
+use xflow_obs::{AttrValue, NoopRecorder, Recorder, SpanId};
 use xflow_skeleton::StmtId;
 
 /// One swept machine parameter: a name, the values to try, and how to
@@ -168,6 +170,27 @@ impl DesignSpace {
 
     /// Sweep with an explicit (thread-safe) performance model.
     pub fn sweep_with(&self, app: &ModeledApp, model: &(dyn PerfModel + Sync), threads: usize) -> Sweep {
+        self.sweep_observed(app, model, threads, &NoopRecorder)
+    }
+
+    /// [`DesignSpace::sweep_with`] under a telemetry recorder.
+    ///
+    /// Identical arithmetic — the plain entry points delegate here with the
+    /// [`NoopRecorder`]. With an enabled recorder the whole sweep runs
+    /// inside a `sweep` span, each point gets a `sweep.point` span carrying
+    /// its index and machine name (for grid spaces the name embeds the
+    /// point's full `axis=value` coordinates), and the `sweep.points`
+    /// counter advances once per completed point — hook an
+    /// [`xflow_obs::ProgressTicker`] on that counter for a live ticker. A
+    /// point that panics is re-raised with its index and coordinates
+    /// prepended, so a failed point names its `(axis=value, …)` binding.
+    pub fn sweep_observed<R: Recorder + Sync + ?Sized>(
+        &self,
+        app: &ModeledApp,
+        model: &(dyn PerfModel + Sync),
+        threads: usize,
+        rec: &R,
+    ) -> Sweep {
         let plan = app.plan();
         let units = &app.units;
         let threads = match threads {
@@ -176,10 +199,44 @@ impl DesignSpace {
         }
         .min(self.machines.len().max(1));
 
+        let sweep_span = if rec.enabled() {
+            rec.span_start(
+                "sweep",
+                &[("points", AttrValue::U64(self.machines.len() as u64)), ("threads", AttrValue::U64(threads as u64))],
+            )
+        } else {
+            SpanId::NONE
+        };
+
         let eval = |i: usize| -> SweepPoint {
             let machine = &self.machines[i];
-            let mp = fold_projection(units, machine, plan.evaluate(machine, model));
-            summarize(i, mp)
+            let span = if rec.enabled() {
+                rec.span_start(
+                    "sweep.point",
+                    &[("index", AttrValue::U64(i as u64)), ("machine", AttrValue::Str(&machine.name))],
+                )
+            } else {
+                SpanId::NONE
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mp = fold_projection(units, machine, plan.evaluate_observed(machine, model, rec));
+                summarize(i, mp)
+            }));
+            match result {
+                Ok(point) => {
+                    if rec.enabled() {
+                        rec.span_end(span, &[("outcome", AttrValue::Str("ok"))]);
+                    }
+                    rec.add("sweep.points", 1);
+                    point
+                }
+                Err(payload) => {
+                    if rec.enabled() {
+                        rec.span_end(span, &[("outcome", AttrValue::Str("panic"))]);
+                    }
+                    panic!("sweep point {i} ({}) failed: {}", machine.name, panic_message(payload.as_ref()));
+                }
+            }
         };
 
         let points = if threads <= 1 {
@@ -187,7 +244,7 @@ impl DesignSpace {
         } else {
             let next = AtomicUsize::new(0);
             let n = self.machines.len();
-            let per_worker: Vec<Vec<(usize, SweepPoint)>> = crossbeam::thread::scope(|s| {
+            let scope_result = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         s.spawn(|_| {
@@ -203,9 +260,17 @@ impl DesignSpace {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-            })
-            .expect("sweep scope panicked");
+                // re-raise a worker's panic payload intact, so the enriched
+                // per-point message (index + axis=value coordinates) survives
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+                    .collect::<Vec<Vec<(usize, SweepPoint)>>>()
+            });
+            let per_worker = match scope_result {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            };
 
             // merge into point order so results are scheduling-independent
             let mut slots: Vec<Option<SweepPoint>> = (0..n).map(|_| None).collect();
@@ -215,7 +280,22 @@ impl DesignSpace {
             slots.into_iter().map(|p| p.expect("sweep point not evaluated")).collect()
         };
 
+        if rec.enabled() {
+            rec.span_end(sweep_span, &[("outcome", AttrValue::Str("ok"))]);
+        }
         Sweep { points }
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads; the
+/// common cases from `panic!` and `assert!`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -393,6 +473,62 @@ mod tests {
         assert!((deltas[0].speedup - 1.0).abs() < 1e-12);
         assert!(deltas[1].speedup >= 1.0);
         assert!(!deltas[0].ranking_changed);
+    }
+
+    #[test]
+    fn observed_sweep_traces_points_and_matches_plain() {
+        use xflow_obs::CollectingRecorder;
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0]), Axis::mlp(&[2.0, 4.0])]);
+        let plain = space.sweep(&app, 2);
+        let rec = CollectingRecorder::new();
+        let observed = space.sweep_observed(&app, &Roofline, 2, &rec);
+        for (a, b) in observed.points.iter().zip(&plain.points) {
+            assert_eq!(a.mp.total.to_bits(), b.mp.total.to_bits());
+        }
+        assert_eq!(rec.counter_value("sweep.points"), 4);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.iter().filter(|s| s.name == "sweep.point").count(), 4);
+        let sweep_span = snap.spans.iter().find(|s| s.name == "sweep").unwrap();
+        assert!(sweep_span.attrs.iter().any(|(k, _)| k == "points"));
+        // every point span names its full axis=value coordinates
+        for s in snap.spans.iter().filter(|s| s.name == "sweep.point") {
+            let machine = s.attrs.iter().find(|(k, _)| k == "machine").unwrap();
+            match &machine.1 {
+                xflow_obs::OwnedAttr::Str(name) => {
+                    assert!(name.contains("dram_bw_gbs=") && name.contains("mlp="), "{name}");
+                }
+                other => panic!("machine attr should be a string, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_point_names_its_coordinates() {
+        struct PanicAt40;
+        impl PerfModel for PanicAt40 {
+            fn project(&self, machine: &MachineModel, m: &xflow_hw::BlockMetrics) -> xflow_hw::BlockTime {
+                if machine.dram_bw_gbs == 40.0 {
+                    panic!("synthetic model failure");
+                }
+                Roofline.project(machine, m)
+            }
+            fn name(&self) -> &str {
+                "panic-at-40"
+            }
+        }
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 40.0]), Axis::mlp(&[2.0, 4.0])]);
+        for threads in [1, 2] {
+            let err = match catch_unwind(AssertUnwindSafe(|| space.sweep_with(&app, &PanicAt40, threads))) {
+                Err(payload) => payload,
+                Ok(_) => panic!("sweep should have panicked"),
+            };
+            let msg = panic_message(err.as_ref()).to_string();
+            assert!(msg.contains("sweep point"), "{msg}");
+            assert!(msg.contains("dram_bw_gbs=40"), "failure must name its axis=value binding: {msg}");
+            assert!(msg.contains("synthetic model failure"), "{msg}");
+        }
     }
 
     #[test]
