@@ -1,0 +1,62 @@
+//! Invariant fuzzing of the analytic pipeline, runnable from CI.
+//!
+//! Generates seeded random minilang programs and pushes each through
+//! parse → translate → BET → projection (plus differential validation
+//! for the escape-free dialect), checking structural invariants and
+//! panic-freedom. Failures are shrunk to a minimal reproducer and
+//! written to `--repro-dir` so CI can upload them as artifacts.
+//!
+//! ```text
+//! fuzz_bet [--programs 200] [--seed 0xF055EED] [--repro-dir DIR]
+//! ```
+//!
+//! Exits 1 when any program fails, 0 otherwise (rejections — programs
+//! the translator legitimately refuses — are not failures).
+
+use xflow_validate::{run_fuzz, FuzzConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = FuzzConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} needs a value", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--programs" => {
+                cfg.programs = need(i).parse().expect("--programs needs a count");
+                i += 1;
+            }
+            "--seed" => {
+                let v = need(i);
+                cfg.seed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).expect("--seed needs a number"),
+                    None => v.parse().expect("--seed needs a number"),
+                };
+                i += 1;
+            }
+            "--repro-dir" => {
+                let dir = need(i);
+                std::fs::create_dir_all(&dir).expect("create repro dir");
+                cfg.repro_dir = Some(dir.into());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                eprintln!("usage: fuzz_bet [--programs N] [--seed S] [--repro-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let summary = run_fuzz(&cfg);
+    print!("{}", summary.render());
+    if !summary.ok() {
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,8 @@
 //! Every binary accepts `--scale test|eval` (default `eval`) and prints to
 //! stdout; pass `--json DIR` to also write machine-readable results.
 
+pub mod gate;
+
 use serde::Serialize;
 use std::collections::HashMap;
 use xflow::{bgq, compare, xeon, Comparison, MachineModel, Measured, ModeledApp, Scale, Workload};

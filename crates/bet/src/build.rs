@@ -486,9 +486,15 @@ impl<'p> Builder<'p> {
         self.bet.node_mut(loop_node).iters = eff_trips;
 
         // probability the loop is escaped via return (terminates the
-        // function, not just the loop): promoted to the enclosing block
-        let ret_escape =
-            if body_esc.ret > 0.0 { 1.0 - (1.0 - body_esc.ret.clamp(0.0, 1.0)).powf(eff_trips.max(1.0)) } else { 0.0 };
+        // function, not just the loop): promoted to the enclosing block.
+        // Per-iteration mass × expected iterations — for a pure-return
+        // loop this is p·(1−(1−p)ⁿ)/p = 1−(1−p)ⁿ, the exact truncated-
+        // geometric escape probability, and with breaks present eff_trips
+        // already accounts for their preemption. Raising (1−p) to the
+        // *truncated expectation* instead would underestimate the escape
+        // (Jensen), under-truncate enclosing loops, and let the promoted
+        // return mass exceed one event per function call.
+        let ret_escape = (body_esc.ret.max(0.0) * eff_trips).min(1.0);
         escape.ret += ctx.prob * ret_escape;
 
         // fall-through: variables assigned in one modeled pass persist; the

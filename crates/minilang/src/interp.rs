@@ -325,9 +325,23 @@ pub struct Interp<'p, T: Tracer> {
     cur_stmt: MStmtId,
 }
 
+/// Seed used by [`run`]/[`crate::run_vm`] when no explicit seed is given.
+///
+/// Both execution engines draw `rnd()` values from the same splitmix64
+/// stream, so a profiled run, a VM run, and a simulated run with equal
+/// seeds observe identical branch outcomes and visit counts — the property
+/// the differential validator (`xflow-validate`) relies on.
+pub const DEFAULT_SEED: u64 = 0x5EED_1234_ABCD_0001;
+
 /// Profile a program without tracing (the "local profiled run").
 pub fn profile(prog: &Program, inputs: &InputSpec) -> Result<Profile, RuntimeError> {
     let (p, _, _) = run(prog, inputs, NullTracer)?;
+    Ok(p)
+}
+
+/// [`profile`] with an explicit `rnd()` seed.
+pub fn profile_seeded(prog: &Program, inputs: &InputSpec, seed: u64) -> Result<Profile, RuntimeError> {
+    let (p, _, _) = run_with_limits_seeded(prog, inputs, NullTracer, Limits::default(), seed)?;
     Ok(p)
 }
 
@@ -344,12 +358,23 @@ pub fn run_with_limits<T: Tracer>(
     tracer: T,
     limits: Limits,
 ) -> Result<(Profile, T, f64), RuntimeError> {
+    run_with_limits_seeded(prog, inputs, tracer, limits, DEFAULT_SEED)
+}
+
+/// [`run_with_limits`] with an explicit `rnd()` seed.
+pub fn run_with_limits_seeded<T: Tracer>(
+    prog: &Program,
+    inputs: &InputSpec,
+    tracer: T,
+    limits: Limits,
+    seed: u64,
+) -> Result<(Profile, T, f64), RuntimeError> {
     let mut interp = Interp {
         prog,
         inputs,
         tracer,
         profile: Profile::default(),
-        rng: Lcg(0x5EED_1234_ABCD_0001),
+        rng: Lcg(seed),
         next_base: 0x1000, // leave page zero unused
         steps: 0,
         depth: 0,

@@ -41,13 +41,13 @@ pub mod vm;
 
 pub use ast::{Block, Builtin, Function, MStmtId, Program, Stmt, StmtKind};
 pub use interp::{
-    profile, run, run_with_limits, BranchStats, InputSpec, Limits, LoopStats, NullTracer, OpCounts, Profile,
-    RuntimeError, Tracer,
+    profile, profile_seeded, run, run_with_limits, run_with_limits_seeded, BranchStats, InputSpec, Limits, LoopStats,
+    NullTracer, OpCounts, Profile, RuntimeError, Tracer, DEFAULT_SEED,
 };
 pub use parser::parse;
 pub use printer::print;
 pub use translate::{translate, TranslateError, Translation};
-pub use vm::{compile, run_vm, run_vm_with_limits, VmProgram};
+pub use vm::{compile, run_vm, run_vm_with_limits, run_vm_with_limits_seeded, VmProgram};
 
 /// Wire-format version of this crate's serializable artifacts
 /// ([`Program`], [`Profile`], [`Translation`], [`InputSpec`]).

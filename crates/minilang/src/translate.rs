@@ -237,7 +237,42 @@ fn collect_calls(b: &ml::Block, out: &mut Vec<(String, Vec<ml::Expr>)>) {
     }
 }
 
+/// Scalars assigned anywhere in a block, through nested control flow.
+/// A loop body re-executes: a scalar it assigns holds a different value on
+/// every iteration after the first, so the entry-time tracked value must
+/// not model conditions or bounds inside (or after) the loop.
+fn assigned_scalars(b: &ml::Block, out: &mut HashSet<String>) {
+    for s in &b.stmts {
+        match &s.kind {
+            ml::StmtKind::AssignScalar { name, .. } => {
+                out.insert(name.clone());
+            }
+            ml::StmtKind::For { body, .. } | ml::StmtKind::While { body, .. } => assigned_scalars(body, out),
+            ml::StmtKind::If { arms, else_body } => {
+                for (_, b) in arms {
+                    assigned_scalars(b, out);
+                }
+                if let Some(e) = else_body {
+                    assigned_scalars(e, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Per-function translation context.
+/// Whether the expression contains a `%` anywhere (only `Bin`/`Neg` can
+/// nest other modelable expressions; everything else is unmodelable and
+/// makes the caller bail regardless).
+fn contains_mod(e: &ml::Expr) -> bool {
+    match e {
+        ml::Expr::Bin(l, op, r) => *op == ml::BinOp::Mod || contains_mod(l) || contains_mod(r),
+        ml::Expr::Neg(i) => contains_mod(i),
+        _ => false,
+    }
+}
+
 struct FnCtx {
     /// Scalars whose values are modelable in the skeleton.
     tracked: HashSet<String>,
@@ -376,15 +411,27 @@ impl<'p> Translator<'p> {
                     let id = self.out.fresh_stmt_id();
                     self.map.insert(s.id, id);
                     let bounds = (self.model_expr(lo, ctx), self.model_expr(hi, ctx), self.model_expr(step, ctx));
+                    // scalars the body assigns are loop-carried: their
+                    // entry value must not model anything inside the body
+                    let mut carried = HashSet::new();
+                    assigned_scalars(body, &mut carried);
                     let kind = if let (Some(lo), Some(hi), Some(st)) = bounds {
                         // loop var becomes modelable inside the body
                         ctx.tracked.insert(var.clone());
+                        for v in &carried {
+                            if v != var {
+                                ctx.tracked.remove(v);
+                            }
+                        }
                         let mut body = self.block(body, ctx);
                         self.fold_loop_bookkeeping(s.id, &mut body);
                         sk::StmtKind::Loop { var: var.clone(), lo, hi, step: st, parallel: *parallel, body }
                     } else {
                         let trips = self.profiled_trips(s.id);
                         ctx.tracked.remove(var);
+                        for v in &carried {
+                            ctx.tracked.remove(v);
+                        }
                         let mut body = self.block(body, ctx);
                         self.fold_loop_bookkeeping(s.id, &mut body);
                         sk::StmtKind::While { trips: SkExpr::Num(trips), body }
@@ -396,6 +443,12 @@ impl<'p> Translator<'p> {
                     let id = self.out.fresh_stmt_id();
                     self.map.insert(s.id, id);
                     let trips = self.profiled_trips(s.id);
+                    // scalars the body assigns are loop-carried (see `For`)
+                    let mut carried = HashSet::new();
+                    assigned_scalars(body, &mut carried);
+                    for v in &carried {
+                        ctx.tracked.remove(v);
+                    }
                     // condition cost is paid every iteration: prepend it
                     let mut cond_ops = StaticOps::default();
                     self.count_expr(cond, false, &mut cond_ops, ctx);
@@ -795,6 +848,13 @@ impl<'p> Translator<'p> {
     /// Translate a branch condition; deterministic when modelable.
     fn model_cond(&self, e: &ml::Expr, ctx: &FnCtx) -> Option<sk::Cond> {
         if let ml::Expr::Cmp(l, op, r) = e {
+            // `%` survives expression translation but is opaque to the
+            // BET's affine range analysis (its cond_prob falls back to
+            // 0.5); the profiled marginal is strictly more faithful, so
+            // refuse to model comparisons containing it.
+            if contains_mod(l) || contains_mod(r) {
+                return None;
+            }
             let lhs = self.model_expr(l, ctx)?;
             let rhs = self.model_expr(r, ctx)?;
             let op = match op {

@@ -537,11 +537,23 @@ pub fn run_vm<T: Tracer>(vm: &VmProgram, inputs: &InputSpec, tracer: T) -> Resul
 pub fn run_vm_with_limits<T: Tracer>(
     vm: &VmProgram,
     inputs: &InputSpec,
-    mut tracer: T,
+    tracer: T,
     limits: Limits,
 ) -> Result<(Profile, T, f64), RuntimeError> {
+    run_vm_with_limits_seeded(vm, inputs, tracer, limits, crate::DEFAULT_SEED)
+}
+
+/// [`run_vm_with_limits`] with an explicit `rnd()` seed (see
+/// [`crate::DEFAULT_SEED`] for the cross-engine determinism contract).
+pub fn run_vm_with_limits_seeded<T: Tracer>(
+    vm: &VmProgram,
+    inputs: &InputSpec,
+    mut tracer: T,
+    limits: Limits,
+    seed: u64,
+) -> Result<(Profile, T, f64), RuntimeError> {
     let mut profile = Profile::default();
-    let mut rng = Lcg(0x5EED_1234_ABCD_0001);
+    let mut rng = Lcg(seed);
     let mut next_base: u64 = 0x1000;
     let mut steps: u64 = 0;
     let mut cur_stmt = MStmtId(0);

@@ -126,9 +126,24 @@ pub fn simulate(
     machine: &MachineModel,
     cfg: SimConfig,
 ) -> Result<SimReport, RuntimeError> {
+    simulate_with_seed(prog, inputs, machine, cfg, xflow_minilang::DEFAULT_SEED)
+}
+
+/// [`simulate`] with an explicit `rnd()` seed. A simulation seeded the same
+/// as the profiled run that built a BET observes the exact same dynamic
+/// branch outcomes, which is what lets the differential validator demand
+/// *exact* analytic-vs-simulated visit counts.
+pub fn simulate_with_seed(
+    prog: &Program,
+    inputs: &InputSpec,
+    machine: &MachineModel,
+    cfg: SimConfig,
+    seed: u64,
+) -> Result<SimReport, RuntimeError> {
     let tracer = SimTracer::new(machine, cfg);
     let vm = xflow_minilang::compile(prog)?;
-    let (profile, tracer, _ret) = xflow_minilang::run_vm(&vm, inputs, tracer)?;
+    let (profile, tracer, _ret) =
+        xflow_minilang::run_vm_with_limits_seeded(&vm, inputs, tracer, xflow_minilang::Limits::default(), seed)?;
     finish_report(machine, profile, tracer)
 }
 

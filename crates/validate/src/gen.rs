@@ -1,0 +1,651 @@
+//! Deterministic random minilang program generator.
+//!
+//! Everything is derived from a caller-provided seed through a private
+//! splitmix64 stream — no wall-clock, no global state — so a failing
+//! program is reproducible from its seed alone and CI runs are stable.
+//!
+//! Generated programs are **valid by construction**: every variable is
+//! initialized before use, array indices are reduced modulo the array
+//! length with non-negative operands, loop bounds are small constants or
+//! the `N` input, helpers form a call DAG (no recursion), and every
+//! helper is called from exactly one site with constant scalar arguments
+//! (one BET mount, one context — the paper's ≤2× size bound assumes call
+//! sites are not duplicated). Scalars are seeded from `rnd()` so branch
+//! arms never bind *modelable* context values, which keeps the BET's
+//! context population at one and the generated corpus inside the
+//! structural invariants an honest pipeline must uphold.
+//!
+//! Two dialects:
+//! * the **differential-safe** core (`allow_escapes = false`) uses only
+//!   constructs whose analytic ENR is exact (counted loops, branches,
+//!   calls, library calls) so the fuzzer can demand exact analytic-vs-
+//!   executed visit counts;
+//! * the **full** dialect adds `while`, `break`, `continue`, early
+//!   `return`, and `parfor`, whose truncated-geometric modeling is
+//!   expectation-only — those programs are checked structurally.
+
+use std::fmt::Write;
+
+/// Array length of every generated array (indices are reduced mod this).
+pub const ARR_LEN: usize = 16;
+
+/// splitmix64 — the same generator family the interpreter's `rnd()` uses,
+/// but a private copy so generation and execution streams never couple.
+#[derive(Debug, Clone)]
+pub struct Rng(pub u64);
+
+impl Rng {
+    #[allow(clippy::should_implement_trait)] // fixed-width step, not an iterator
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Helper functions besides `main` (0..=max).
+    pub max_helpers: usize,
+    /// Statements per generated block.
+    pub max_block_stmts: usize,
+    /// Maximum loop/branch nesting depth.
+    pub max_depth: usize,
+    /// Allow `while`/`break`/`continue`/early-`return`/`parfor` (the
+    /// expectation-only constructs; see module docs).
+    pub allow_escapes: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self { max_helpers: 2, max_block_stmts: 4, max_depth: 3, allow_escapes: false }
+    }
+}
+
+/// A generated statement. Expressions are pre-rendered strings (safe by
+/// construction); shrinking operates on the statement tree only.
+#[derive(Debug, Clone)]
+pub enum GStmt {
+    /// `let sK = expr;`
+    LetScalar(u32, String),
+    /// `sK = expr;`
+    Assign(u32, String),
+    /// `aK[idx] = expr;`
+    Store(u32, String, String),
+    /// `print(expr);`
+    Print(String),
+    /// `for iD in 0 .. bound [step s] { body }` (bound is a rendered expr).
+    For { var: u32, bound: String, step: u32, parallel: bool, body: Vec<GStmt> },
+    /// `let wD = n0; while wD > 0 { body  wD = wD - 1; }`
+    While { var: u32, trips: u32, body: Vec<GStmt> },
+    /// `if c0 { a0 } [else if c1 { a1 }] [else { e }]`
+    If { arms: Vec<(String, Vec<GStmt>)>, else_body: Option<Vec<GStmt>> },
+    /// `hK(a0, a1, c);` — the single call site of helper K.
+    Call(usize),
+    /// `if cond { break; }`
+    Break(String),
+    /// `if cond { continue; }`
+    Continue(String),
+    /// `if cond { return 0.0; }`
+    Return(String),
+}
+
+/// A generated program: helpers `h0..` plus `main`. Render with
+/// [`render`]; shrink with [`GenProgram::shrink_candidates`].
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// Bodies of helper functions (index = helper number).
+    pub helpers: Vec<Vec<GStmt>>,
+    /// Body of `main`.
+    pub main: Vec<GStmt>,
+}
+
+impl GenProgram {
+    /// Whether the program uses expectation-only constructs (these make
+    /// exact ENR comparison inapplicable; see module docs).
+    pub fn has_escapes(&self) -> bool {
+        fn block_has(b: &[GStmt]) -> bool {
+            b.iter().any(|s| match s {
+                GStmt::While { .. } => true,
+                GStmt::Break(_) | GStmt::Continue(_) | GStmt::Return(_) => true,
+                GStmt::For { body, parallel, .. } => *parallel || block_has(body),
+                GStmt::If { arms, else_body } => {
+                    arms.iter().any(|(_, b)| block_has(b)) || else_body.as_ref().map(|b| block_has(b)).unwrap_or(false)
+                }
+                _ => false,
+            })
+        }
+        block_has(&self.main) || self.helpers.iter().any(|h| block_has(h))
+    }
+
+    /// All programs obtained by deleting exactly one statement (at any
+    /// nesting depth) or one entire unused-after-deletion helper. Used by
+    /// the fuzzer's greedy shrinker.
+    pub fn shrink_candidates(&self) -> Vec<GenProgram> {
+        let mut out = Vec::new();
+        let blocks = 1 + self.helpers.len();
+        for bi in 0..blocks {
+            let len = self.block(bi).len();
+            for path_head in 0..len {
+                let mut paths = Vec::new();
+                collect_paths(self.block(bi), &mut vec![path_head], &mut paths, path_head);
+                for p in paths {
+                    let mut c = self.clone();
+                    remove_at(c.block_mut(bi), &p);
+                    out.push(c);
+                }
+            }
+        }
+        // dropping a whole helper (and its call site) is a bigger step the
+        // one-statement deletions cannot reach once the call is load-bearing
+        for h in 0..self.helpers.len() {
+            let mut c = self.clone();
+            c.helpers[h] = Vec::new();
+            out.push(c);
+        }
+        out
+    }
+
+    fn block(&self, i: usize) -> &[GStmt] {
+        if i == 0 {
+            &self.main
+        } else {
+            &self.helpers[i - 1]
+        }
+    }
+
+    fn block_mut(&mut self, i: usize) -> &mut Vec<GStmt> {
+        if i == 0 {
+            &mut self.main
+        } else {
+            &mut self.helpers[i - 1]
+        }
+    }
+}
+
+/// Collect every statement path (index chain) rooted at `head`.
+fn collect_paths(block: &[GStmt], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>, head: usize) {
+    out.push(prefix.clone());
+    let s = &block[head];
+    let children: Vec<&Vec<GStmt>> = match s {
+        GStmt::For { body, .. } | GStmt::While { body, .. } => vec![body],
+        GStmt::If { arms, else_body } => {
+            let mut v: Vec<&Vec<GStmt>> = arms.iter().map(|(_, b)| b).collect();
+            if let Some(e) = else_body {
+                v.push(e);
+            }
+            v
+        }
+        _ => vec![],
+    };
+    for (ci, child) in children.into_iter().enumerate() {
+        for (si, _) in child.iter().enumerate() {
+            prefix.push(ci);
+            prefix.push(si);
+            collect_paths(child, prefix, out, si);
+            prefix.pop();
+            prefix.pop();
+        }
+    }
+}
+
+/// Remove the statement at `path` (alternating stmt-index / child-block
+/// pairs as produced by [`collect_paths`]).
+fn remove_at(block: &mut Vec<GStmt>, path: &[usize]) {
+    if path.len() == 1 {
+        if path[0] < block.len() {
+            block.remove(path[0]);
+        }
+        return;
+    }
+    let (head, rest) = (path[0], &path[1..]);
+    let Some(s) = block.get_mut(head) else { return };
+    let child_idx = rest[0];
+    let child: Option<&mut Vec<GStmt>> = match s {
+        GStmt::For { body, .. } | GStmt::While { body, .. } => (child_idx == 0).then_some(body),
+        GStmt::If { arms, else_body } => {
+            if child_idx < arms.len() {
+                Some(&mut arms[child_idx].1)
+            } else {
+                else_body.as_mut()
+            }
+        }
+        _ => None,
+    };
+    if let Some(c) = child {
+        remove_at(c, &rest[1..]);
+    }
+}
+
+struct Gen<'a> {
+    rng: &'a mut Rng,
+    cfg: &'a GenConfig,
+    /// Scalars in scope per lexical block (function-flat at runtime, but
+    /// conditional definitions must not leak to be use-safe).
+    scopes: Vec<Vec<u32>>,
+    loop_vars: Vec<u32>,
+    next_scalar: u32,
+    next_loop_var: u32,
+    /// Helpers this function may call (strictly lower-numbered → DAG).
+    callable: usize,
+    calls_emitted: Vec<bool>,
+    in_loop: bool,
+}
+
+impl<'a> Gen<'a> {
+    fn scalar_in_scope(&mut self) -> Option<u32> {
+        let all: Vec<u32> = self.scopes.iter().flatten().copied().collect();
+        if all.is_empty() {
+            None
+        } else {
+            Some(all[self.rng.below(all.len() as u64) as usize])
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.chance(0.35) {
+            return self.atom();
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        match self.rng.below(8) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("min({a}, {b})"),
+            4 => format!("max({a}, {b})"),
+            5 => format!("sqrt(abs({a}) + 1.0)"),
+            6 => format!("exp(min({a}, 4.0))"),
+            _ => format!("(sin({a}) + cos({b}))"),
+        }
+    }
+
+    fn atom(&mut self) -> String {
+        match self.rng.below(6) {
+            0 => format!("{:.2}", self.rng.unit() * 4.0 - 2.0),
+            1 => "rnd()".to_string(),
+            2 => match self.scalar_in_scope() {
+                Some(s) => format!("s{s}"),
+                None => "0.5".to_string(),
+            },
+            3 if !self.loop_vars.is_empty() => {
+                let v = self.loop_vars[self.rng.below(self.loop_vars.len() as u64) as usize];
+                format!("i{v}")
+            }
+            4 => {
+                let arr = self.rng.below(2);
+                format!("a{arr}[{}]", self.index())
+            }
+            _ => format!("{:.2}", self.rng.unit() * 3.0 + 0.25),
+        }
+    }
+
+    /// A guaranteed in-bounds, non-negative array index.
+    fn index(&mut self) -> String {
+        if !self.loop_vars.is_empty() && self.rng.chance(0.7) {
+            let v = self.loop_vars[self.rng.below(self.loop_vars.len() as u64) as usize];
+            let off = self.rng.below(ARR_LEN as u64);
+            format!("(i{v} + {off}) % {ARR_LEN}")
+        } else {
+            format!("{}", self.rng.below(ARR_LEN as u64))
+        }
+    }
+
+    /// A branch condition. `first` marks the first arm of an `if` chain.
+    ///
+    /// The differential-exact dialect (`allow_escapes = false`) restricts
+    /// conditions to forms whose analytic arm probability is exact:
+    /// data-dependent conditions (array load / untracked scalar / `rnd()`)
+    /// use profiled marginals, which multiply back to the executed counts
+    /// bit-for-bit. Two analytic approximations must be kept out:
+    /// * modelable loop-variable comparisons become affine-fraction (or,
+    ///   for `%`, unknown → 0.5-fallback) probabilities — expectations,
+    ///   not per-run counts;
+    /// * lib calls (incl. `rnd()`) in a *non-first* arm's condition are
+    ///   charged to the preceding comp run unconditionally by `translate`,
+    ///   but only execute when every earlier arm declined.
+    fn cond(&mut self, first: bool) -> String {
+        if !self.cfg.allow_escapes {
+            return match self.rng.below(3) {
+                0 if first => format!("rnd() < {:.2}", 0.1 + self.rng.unit() * 0.8),
+                1 => match self.scalar_in_scope() {
+                    // generated scalars are rnd-tainted, hence untracked,
+                    // hence data-dependent → profiled probability
+                    Some(s) => format!("s{s} < {:.2}", self.rng.unit() * 2.0),
+                    None => {
+                        let i = self.index();
+                        let arr = self.rng.below(2);
+                        format!("a{arr}[{i}] < {:.2}", self.rng.unit())
+                    }
+                },
+                _ => {
+                    let i = self.index();
+                    let arr = self.rng.below(2);
+                    format!("a{arr}[{i}] < {:.2}", self.rng.unit())
+                }
+            };
+        }
+        match self.rng.below(4) {
+            0 => format!("rnd() < {:.2}", 0.1 + self.rng.unit() * 0.8),
+            1 if !self.loop_vars.is_empty() => {
+                let v = self.loop_vars[self.rng.below(self.loop_vars.len() as u64) as usize];
+                format!("i{v} % {} == 0", 2 + self.rng.below(4))
+            }
+            2 => {
+                let a = self.expr(1);
+                format!("{a} < {:.2}", self.rng.unit() * 2.0)
+            }
+            _ => {
+                let i = self.index();
+                let arr = self.rng.below(2);
+                format!("a{arr}[{i}] < {:.2}", self.rng.unit())
+            }
+        }
+    }
+
+    fn block(&mut self, depth: usize) -> Vec<GStmt> {
+        let n = 1 + self.rng.below(self.cfg.max_block_stmts as u64) as usize;
+        self.scopes.push(Vec::new());
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(self.stmt(depth));
+        }
+        self.scopes.pop();
+        out
+    }
+
+    fn stmt(&mut self, depth: usize) -> GStmt {
+        let structural = depth < self.cfg.max_depth && self.rng.chance(0.4);
+        if structural {
+            match self.rng.below(3) {
+                0 => {
+                    // counted loop; bound is a small constant or the N input
+                    let var = self.next_loop_var;
+                    self.next_loop_var += 1;
+                    let bound =
+                        if self.rng.chance(0.3) { "n".to_string() } else { format!("{}", 2 + self.rng.below(10)) };
+                    let step = if self.rng.chance(0.2) { 2 } else { 1 };
+                    let parallel = self.cfg.allow_escapes && self.rng.chance(0.15);
+                    self.loop_vars.push(var);
+                    let was_in_loop = std::mem::replace(&mut self.in_loop, true);
+                    let body = self.block(depth + 1);
+                    self.in_loop = was_in_loop;
+                    self.loop_vars.pop();
+                    GStmt::For { var, bound, step, parallel, body }
+                }
+                1 if self.cfg.allow_escapes && self.rng.chance(0.5) => {
+                    // bounded countdown while (terminates by construction)
+                    let var = self.next_loop_var;
+                    self.next_loop_var += 1;
+                    let trips = 2 + self.rng.below(8) as u32;
+                    let was_in_loop = std::mem::replace(&mut self.in_loop, true);
+                    let body = self.block(depth + 1);
+                    self.in_loop = was_in_loop;
+                    GStmt::While { var, trips, body }
+                }
+                _ => {
+                    let n_arms = 1 + self.rng.below(2) as usize;
+                    let mut arms = Vec::new();
+                    for _ in 0..n_arms {
+                        let c = self.cond(arms.is_empty());
+                        let b = self.block(depth + 1);
+                        arms.push((c, b));
+                    }
+                    let else_body = if self.rng.chance(0.5) { Some(self.block(depth + 1)) } else { None };
+                    GStmt::If { arms, else_body }
+                }
+            }
+        } else {
+            match self.rng.below(10) {
+                0 | 1 => {
+                    let id = self.next_scalar;
+                    self.next_scalar += 1;
+                    let e = self.expr(2);
+                    // taint with rnd() so the binding is never a modelable
+                    // context value (see module docs: keeps contexts at 1)
+                    let e = format!("({e} + 0.0 * rnd())");
+                    self.scopes.last_mut().expect("scope").push(id);
+                    GStmt::LetScalar(id, e)
+                }
+                2 | 3 => match self.scalar_in_scope() {
+                    Some(s) => {
+                        let e = self.expr(2);
+                        // rnd-taint like `let`: a modelable (constant)
+                        // re-assignment inside a branch arm would re-track
+                        // the scalar and fork the BET context population
+                        let e = format!("({e} + 0.0 * rnd())");
+                        GStmt::Assign(s, e)
+                    }
+                    None => GStmt::Print(self.expr(1)),
+                },
+                4..=6 => {
+                    let arr = self.rng.below(2) as u32;
+                    let idx = self.index();
+                    let e = self.expr(2);
+                    GStmt::Store(arr, idx, e)
+                }
+                7 if self.callable > 0 && !self.calls_emitted.iter().all(|&c| c) => {
+                    // call the lowest not-yet-called helper (single site)
+                    let h = self.calls_emitted.iter().position(|&c| !c).expect("free helper");
+                    self.calls_emitted[h] = true;
+                    GStmt::Call(h)
+                }
+                7 | 8 => GStmt::Print(self.expr(2)),
+                _ if self.cfg.allow_escapes && self.in_loop => {
+                    let c = self.cond(true);
+                    match self.rng.below(3) {
+                        // `continue` only in `for` bodies would need loop-kind
+                        // tracking; a countdown-while `continue` would skip the
+                        // decrement and never terminate, so it is for-only —
+                        // the renderer guards this (see `render_stmt`).
+                        0 => GStmt::Break(c),
+                        1 => GStmt::Return(c),
+                        _ => GStmt::Break(c),
+                    }
+                }
+                _ => GStmt::Print(self.expr(1)),
+            }
+        }
+    }
+}
+
+/// Generate a program from a seed.
+pub fn generate(seed: u64, cfg: &GenConfig) -> GenProgram {
+    let mut rng = Rng(seed);
+    let n_helpers = rng.below(cfg.max_helpers as u64 + 1) as usize;
+    let mut helpers = Vec::new();
+    for h in 0..n_helpers {
+        let mut g = Gen {
+            rng: &mut rng,
+            cfg,
+            // params: a0, a1 (arrays), s0 (scalar), n
+            scopes: vec![vec![0]],
+            loop_vars: Vec::new(),
+            next_scalar: 1,
+            next_loop_var: 100 + h as u32 * 10,
+            callable: h,
+            calls_emitted: vec![true; h], // helpers call nothing: keep mounts at one per helper
+            in_loop: false,
+        };
+        helpers.push(g.block(1));
+    }
+    let mut g = Gen {
+        rng: &mut rng,
+        cfg,
+        scopes: vec![vec![0, 1]],
+        loop_vars: Vec::new(),
+        next_scalar: 2,
+        next_loop_var: 0,
+        callable: n_helpers,
+        calls_emitted: vec![false; n_helpers],
+        in_loop: false,
+    };
+    let mut main = g.block(0);
+    // guarantee every helper is reachable exactly once
+    for h in 0..n_helpers {
+        if !g.calls_emitted[h] {
+            main.push(GStmt::Call(h));
+        }
+    }
+    GenProgram { helpers, main }
+}
+
+/// Render a generated program to minilang source text.
+pub fn render(p: &GenProgram) -> String {
+    let mut out = String::new();
+    for (h, body) in p.helpers.iter().enumerate() {
+        let _ = writeln!(out, "fn h{h}(a0, a1, s0, n) {{");
+        for s in body {
+            render_stmt(s, &mut out, 1, LoopKind::None);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    let _ = writeln!(out, "fn main() {{");
+    let _ = writeln!(out, "    let n = input(\"N\", 8);");
+    let _ = writeln!(out, "    let a0 = zeros({ARR_LEN});");
+    let _ = writeln!(out, "    let a1 = zeros({ARR_LEN});");
+    let _ = writeln!(out, "    let s0 = (0.75 + 0.0 * rnd());");
+    let _ = writeln!(out, "    let s1 = (rnd() * 2.0);");
+    for s in &p.main {
+        render_stmt(s, &mut out, 1, LoopKind::None);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LoopKind {
+    None,
+    For,
+    While,
+}
+
+fn render_stmt(s: &GStmt, out: &mut String, indent: usize, in_loop: LoopKind) {
+    let pad = "    ".repeat(indent);
+    match s {
+        GStmt::LetScalar(id, e) => {
+            let _ = writeln!(out, "{pad}let s{id} = {e};");
+        }
+        GStmt::Assign(id, e) => {
+            let _ = writeln!(out, "{pad}s{id} = {e};");
+        }
+        GStmt::Store(arr, idx, e) => {
+            let _ = writeln!(out, "{pad}a{arr}[{idx}] = {e};");
+        }
+        GStmt::Print(e) => {
+            let _ = writeln!(out, "{pad}print({e});");
+        }
+        GStmt::For { var, bound, step, parallel, body } => {
+            let kw = if *parallel { "parfor" } else { "for" };
+            let step_txt = if *step != 1 { format!(" step {step}") } else { String::new() };
+            let _ = writeln!(out, "{pad}{kw} i{var} in 0 .. {bound}{step_txt} {{");
+            for b in body {
+                render_stmt(b, out, indent + 1, LoopKind::For);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        GStmt::While { var, trips, body } => {
+            let _ = writeln!(out, "{pad}let w{var} = {trips};");
+            let _ = writeln!(out, "{pad}while w{var} > 0 {{");
+            for b in body {
+                render_stmt(b, out, indent + 1, LoopKind::While);
+            }
+            let _ = writeln!(out, "{}w{var} = w{var} - 1;", "    ".repeat(indent + 1));
+            let _ = writeln!(out, "{pad}}}");
+        }
+        GStmt::If { arms, else_body } => {
+            for (i, (c, b)) in arms.iter().enumerate() {
+                let kw = if i == 0 { format!("{pad}if") } else { "} else if".to_string() };
+                if i == 0 {
+                    let _ = writeln!(out, "{kw} {c} {{");
+                } else {
+                    let _ = writeln!(out, "{pad}{kw} {c} {{");
+                }
+                for s in b {
+                    render_stmt(s, out, indent + 1, in_loop);
+                }
+            }
+            if let Some(e) = else_body {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in e {
+                    render_stmt(s, out, indent + 1, in_loop);
+                }
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        GStmt::Call(h) => {
+            let _ = writeln!(out, "{pad}h{h}(a0, a1, 1.25, n);");
+        }
+        GStmt::Break(c) => {
+            if in_loop == LoopKind::None {
+                let _ = writeln!(out, "{pad}print(0.0);");
+            } else {
+                let _ = writeln!(out, "{pad}if {c} {{ break; }}");
+            }
+        }
+        GStmt::Continue(c) => {
+            // a countdown-while `continue` skips the decrement and never
+            // terminates; only render inside `for` bodies
+            if in_loop == LoopKind::For {
+                let _ = writeln!(out, "{pad}if {c} {{ continue; }}");
+            } else {
+                let _ = writeln!(out, "{pad}print(1.0);");
+            }
+        }
+        GStmt::Return(c) => {
+            let _ = writeln!(out, "{pad}if {c} {{ return 0.0; }}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let cfg = GenConfig::default();
+        let a = render(&generate(42, &cfg));
+        let b = render(&generate(42, &cfg));
+        let c = render(&generate(43, &cfg));
+        assert_eq!(a, b, "same seed must produce the same program");
+        assert_ne!(a, c, "different seeds should produce different programs");
+    }
+
+    #[test]
+    fn generated_programs_parse() {
+        let cfg = GenConfig { allow_escapes: true, ..GenConfig::default() };
+        for seed in 0..50 {
+            let src = render(&generate(seed, &cfg));
+            xflow_minilang::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_only_remove() {
+        let cfg = GenConfig { allow_escapes: true, ..GenConfig::default() };
+        let p = generate(7, &cfg);
+        let n = render(&p).lines().count();
+        for c in p.shrink_candidates() {
+            assert!(render(&c).lines().count() <= n);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Structural invariants of the analytic model.
+//!
+//! These checks are oracle-free: they hold for *every* well-formed BET and
+//! projection regardless of what program produced it, so both the
+//! differential validator and the fuzzer enforce them.
+//!
+//! The invariant list (ISSUE / paper Section V):
+//! 1. probabilities — every node's conditional probability is finite and
+//!    in `[0, 1]`; sibling branch-arm probabilities for one branch
+//!    statement sum to at most 1 (the else mass flows on implicitly, and
+//!    arms below the `1e-12` mass floor are pruned, so the sum may fall
+//!    short of 1 but must never exceed it);
+//! 2. ENR conservation across promotion — a loop entry produces at most
+//!    one break event and a function invocation at most one return event,
+//!    so the summed ENR of `Break` nodes under a loop is bounded by the
+//!    loop's ENR, the summed ENR of `Return` nodes under a call by the
+//!    call's ENR, and `Continue` events by the loop's total iterations;
+//! 3. size — the BET has at most `max_size_ratio` (2× per the paper)
+//!    nodes per source statement;
+//! 4. cost sanity — Tc, Tm, To of every projected block are finite and
+//!    non-negative, the overlap never exceeds either component, and the
+//!    block total is `Tc + Tm − To`.
+
+use serde::Serialize;
+use xflow_bet::{Bet, BetKind, BetNodeId};
+use xflow_hotspot::Projection;
+
+/// Tolerance for probability-range checks (pure products of clamped
+/// values; only accumulation round-off can push them past the bound).
+const PROB_EPS: f64 = 1e-9;
+/// Tolerance for conservation sums across promotion: these compound
+/// context merging and truncated-geometric trip modeling, so a little
+/// more slack is warranted.
+const CONS_EPS: f64 = 1e-6;
+
+/// One violated invariant with a human-readable description.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Short stable name of the invariant (e.g. `arm-prob-sum`).
+    pub invariant: String,
+    /// What exactly went wrong, with node ids and values.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &str, detail: String) -> Self {
+        Self { invariant: invariant.to_string(), detail }
+    }
+}
+
+/// Check all structural BET invariants. Returns every violation found.
+pub fn check_bet(bet: &Bet, skeleton_stmts: usize, max_size_ratio: f64) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let enr = bet.enr();
+
+    for node in bet.iter() {
+        let id = node.id.0;
+        if !node.prob.is_finite() || node.prob < 0.0 || node.prob > 1.0 + PROB_EPS {
+            v.push(Violation::new("node-prob-range", format!("node {id}: prob = {}", node.prob)));
+        }
+        if !node.iters.is_finite() || node.iters < 0.0 {
+            v.push(Violation::new("node-iters-range", format!("node {id}: iters = {}", node.iters)));
+        }
+        let e = enr[id as usize];
+        if !e.is_finite() || e < 0.0 {
+            v.push(Violation::new("enr-range", format!("node {id}: ENR = {e}")));
+        }
+    }
+    if enr.first() != Some(&1.0) {
+        v.push(Violation::new("enr-root", format!("ENR(root) = {:?}, expected 1", enr.first())));
+    }
+
+    // 1b. sibling arm probabilities: group Arm children of one parent by
+    // the branch statement they instantiate; masses must sum to ≤ 1.
+    for node in bet.iter() {
+        let mut sums: Vec<(Option<xflow_skeleton::StmtId>, f64)> = Vec::new();
+        for &c in &node.children {
+            let child = bet.node(c);
+            if matches!(child.kind, BetKind::Arm { .. }) {
+                match sums.iter_mut().find(|(s, _)| *s == child.stmt) {
+                    Some((_, sum)) => *sum += child.prob,
+                    None => sums.push((child.stmt, child.prob)),
+                }
+            }
+        }
+        for (stmt, sum) in sums {
+            if sum > 1.0 + PROB_EPS {
+                v.push(Violation::new(
+                    "arm-prob-sum",
+                    format!("node {}: arms of {stmt:?} sum to {sum} > 1", node.id.0),
+                ));
+            }
+        }
+    }
+
+    // 2. ENR conservation across promotion. Attribute every escape node to
+    // its nearest enclosing Loop (breaks/continues) or Call/Root (returns).
+    let n = bet.len();
+    let mut brk_sum = vec![0.0f64; n];
+    let mut cont_sum = vec![0.0f64; n];
+    let mut ret_sum = vec![0.0f64; n];
+    for node in bet.iter() {
+        let (target_loop, target_call) = match node.kind {
+            BetKind::Break | BetKind::Continue => (true, false),
+            BetKind::Return => (false, true),
+            _ => continue,
+        };
+        let mut cur = node.parent;
+        while let Some(p) = cur {
+            let pk = &bet.node(p).kind;
+            if target_loop && matches!(pk, BetKind::Loop) {
+                break;
+            }
+            if target_call && matches!(pk, BetKind::Call { .. } | BetKind::Root) {
+                break;
+            }
+            cur = bet.node(p).parent;
+        }
+        let Some(owner) = cur else { continue };
+        let e = enr[node.id.0 as usize];
+        match node.kind {
+            BetKind::Break => brk_sum[owner.0 as usize] += e,
+            BetKind::Continue => cont_sum[owner.0 as usize] += e,
+            BetKind::Return => ret_sum[owner.0 as usize] += e,
+            _ => unreachable!(),
+        }
+    }
+    for node in bet.iter() {
+        let i = node.id.0 as usize;
+        let e = enr[i];
+        if matches!(node.kind, BetKind::Loop) {
+            if brk_sum[i] > e * (1.0 + CONS_EPS) + CONS_EPS {
+                v.push(Violation::new(
+                    "break-conservation",
+                    format!("loop node {i}: break ENR {} exceeds loop ENR {e}", brk_sum[i]),
+                ));
+            }
+            let iterations = e * node.iters;
+            if cont_sum[i] > iterations * (1.0 + CONS_EPS) + CONS_EPS {
+                v.push(Violation::new(
+                    "continue-conservation",
+                    format!("loop node {i}: continue ENR {} exceeds iterations {iterations}", cont_sum[i]),
+                ));
+            }
+        }
+        if matches!(node.kind, BetKind::Call { .. } | BetKind::Root) && ret_sum[i] > e * (1.0 + CONS_EPS) + CONS_EPS {
+            v.push(Violation::new(
+                "return-conservation",
+                format!("call node {i}: return ENR {} exceeds call ENR {e}", ret_sum[i]),
+            ));
+        }
+    }
+
+    // 3. size bound (paper: node count stays below 2× source statements).
+    let ratio = bet.size_ratio(skeleton_stmts);
+    if ratio > max_size_ratio {
+        v.push(Violation::new(
+            "size-ratio",
+            format!("{} nodes for {skeleton_stmts} statements: ratio {ratio:.3} > {max_size_ratio}", bet.len()),
+        ));
+    }
+
+    // tree shape: children point back at their parent.
+    for node in bet.iter() {
+        for &c in &node.children {
+            if bet.node(c).parent != Some(BetNodeId(node.id.0)) {
+                v.push(Violation::new(
+                    "tree-shape",
+                    format!("node {} lists child {} whose parent differs", node.id.0, c.0),
+                ));
+            }
+        }
+    }
+
+    v
+}
+
+/// Check the cost-sanity invariants of one evaluated projection.
+pub fn check_projection(projection: &Projection) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut sum = 0.0f64;
+    for (i, nc) in projection.node_costs.iter().enumerate() {
+        let t = &nc.per_invocation;
+        for (what, val) in [("tc", t.tc), ("tm", t.tm), ("overlap", t.overlap), ("total", t.total)] {
+            if !val.is_finite() || val < 0.0 {
+                v.push(Violation::new("cost-nonneg", format!("node {i}: {what} = {val}")));
+            }
+        }
+        if t.overlap > t.tc.min(t.tm) * (1.0 + PROB_EPS) + f64::MIN_POSITIVE {
+            v.push(Violation::new(
+                "overlap-bound",
+                format!("node {i}: overlap {} exceeds min(tc {}, tm {})", t.overlap, t.tc, t.tm),
+            ));
+        }
+        let recomposed = t.tc + t.tm - t.overlap;
+        if (t.total - recomposed).abs() > recomposed.abs().max(1e-300) * 1e-9 {
+            v.push(Violation::new(
+                "total-decomposition",
+                format!("node {i}: total {} != tc + tm - overlap = {recomposed}", t.total),
+            ));
+        }
+        if !nc.enr.is_finite() || nc.enr < 0.0 {
+            v.push(Violation::new("cost-enr-range", format!("node {i}: ENR = {}", nc.enr)));
+        }
+        if !nc.total.is_finite() || nc.total < 0.0 {
+            v.push(Violation::new("cost-nonneg", format!("node {i}: weighted total = {}", nc.total)));
+        }
+        sum += nc.total;
+    }
+    let tt = projection.total_time;
+    if !tt.is_finite() || tt < 0.0 {
+        v.push(Violation::new("total-time-range", format!("total_time = {tt}")));
+    }
+    if (tt - sum).abs() > sum.abs().max(1e-300) * 1e-6 {
+        v.push(Violation::new("total-time-sum", format!("total_time {tt} differs from summed node costs {sum}")));
+    }
+    for (stmt, c) in projection.per_stmt.iter() {
+        for (what, val) in [("total", c.total), ("tc", c.tc), ("tm", c.tm), ("overlap", c.overlap)] {
+            if !val.is_finite() || val < 0.0 {
+                v.push(Violation::new("stmt-cost-nonneg", format!("{stmt:?}: {what} = {val}")));
+            }
+        }
+    }
+    v
+}

@@ -1,0 +1,36 @@
+//! Shared JSON serialization for machine-readable reports.
+//!
+//! Every `--json` report the CLI emits (`explain --json`,
+//! `validate --json`) routes through [`to_json`] so numeric formatting
+//! cannot drift between report kinds: floats are rendered with Rust's
+//! shortest round-trip formatting (`{:?}`), meaning the decimal string
+//! parses back to the bit-identical `f64`. Consumers diffing two reports
+//! therefore never see spurious differences from formatting precision.
+
+use serde::Serialize;
+
+/// Serialize a report to its canonical JSON string.
+///
+/// Panics only if the value's `Serialize` impl itself fails, which for
+/// the plain data structs used in reports cannot happen.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("report serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_through_report_json() {
+        // Values chosen to stress shortest-round-trip formatting: a
+        // subnormal, an ugly fraction, a large magnitude, and negatives.
+        let vals: Vec<f64> =
+            vec![0.1 + 0.2, 1.0 / 3.0, 6.02214076e23, -2.2250738585072014e-308, 1e-9, 123_456_789.123_456_78];
+        let json = to_json(&vals);
+        let back: Vec<f64> = serde_json::from_str(&json).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} did not round-trip");
+        }
+    }
+}

@@ -199,6 +199,20 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+/// Identity deserialization: lets callers parse arbitrary JSON into the
+/// [`Content`] tree and walk it (e.g. schema-free report comparison).
+impl Deserialize for Content {
+    fn deserialize(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
 impl Serialize for char {
     fn serialize(&self) -> Content {
         Content::Str(self.to_string())

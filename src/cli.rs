@@ -28,6 +28,7 @@ COMMANDS:
     bet      <FILE>   print BET statistics (nodes, size ratio, warnings)
     simulate <FILE>   run the ground-truth simulator (measured profile)
     compare  <FILE>   side-by-side projected vs measured hot spots
+    validate <FILE>   differential check: analytic model vs executed oracle
     machines          list the built-in machine models
     cache <stats|clear>  inspect or empty a --cache-dir artifact store
 
@@ -41,7 +42,8 @@ OPTIONS:
     --leanness <0..1>              code-leanness criterion [default: 0.25]
     --top <N>                      rows to print           [default: 10]
     --scale <test|eval>            workload input preset   [default: test]
-    --json                         machine-readable output (explain)
+    --seed <N>                     RNG seed for validate's oracle runs
+    --json                         machine-readable output (explain, validate)
     --trace-out <FILE>             write a Chrome trace of the run to FILE
     --cache-dir <DIR>              persist/reuse stage artifacts in DIR
     --no-cache                     model cold, bypassing every cache
@@ -59,6 +61,7 @@ struct Invocation {
     no_cache: bool,
     json: bool,
     scale: Scale,
+    seed: Option<u64>,
     trace_out: Option<String>,
     /// Created when `--trace-out` is given; threaded through the session
     /// and every observed evaluation so one trace covers the whole run.
@@ -79,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         no_cache: false,
         json: false,
         scale: Scale::Test,
+        seed: None,
         trace_out: None,
         recorder: None,
     };
@@ -137,6 +141,14 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     other => return Err(format!("unknown scale `{other}` (test, eval)")),
                 };
             }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                inv.seed = Some(parsed.map_err(|_| format!("bad --seed `{v}`"))?);
+            }
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a path")?;
                 inv.trace_out = Some(v.clone());
@@ -160,6 +172,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
     if inv.command == "cache" {
         return run_cache(&inv);
+    }
+    if inv.command == "validate" {
+        return run_validate(&inv);
     }
     let file = inv.file.clone().ok_or_else(|| format!("`{}` needs a FILE argument\n\n{USAGE}", inv.command))?;
     let src = resolve_source(&mut inv, &file)?;
@@ -196,6 +211,54 @@ fn resolve_source(inv: &mut Invocation, file: &str) -> Result<String, String> {
                 None => Err(format!("cannot read {file}: {e}")),
             }
         }
+    }
+}
+
+/// The `validate` subcommand: run the program on the interpreter/VM and
+/// the cycle simulator, then check the analytic BET and projection
+/// against those oracles. Returns `Err` (→ exit code 1) when any check
+/// fails so CI can gate on it; the payload is still the full report.
+fn run_validate(inv: &Invocation) -> Result<String, String> {
+    let file = inv.file.as_deref().ok_or_else(|| format!("`validate` needs a FILE argument\n\n{USAGE}"))?;
+    let libs = xflow_validate::default_library();
+    let mut cfg = xflow_validate::ValidationConfig::default();
+    if let Some(s) = inv.seed {
+        cfg.seed = s;
+    }
+    let report = match std::fs::read_to_string(file) {
+        Ok(src) => {
+            xflow_validate::validate_source(&src, &inv.inputs, &inv.machine, libs, &cfg).map_err(|e| e.to_string())?
+        }
+        Err(e) => {
+            let want = file.to_lowercase();
+            match xflow_workloads::all().into_iter().find(|w| w.name.to_lowercase() == want) {
+                Some(w) => {
+                    let prog = w.program();
+                    let mut inputs = w.inputs(inv.scale);
+                    for (k, v) in inv.inputs.iter() {
+                        inputs.set(k, v);
+                    }
+                    let sim_cfg = w.sim_config(&prog, &inv.machine);
+                    let mut r = xflow_validate::validate_program(&prog, &inputs, &inv.machine, sim_cfg, libs, &cfg)
+                        .map_err(|e| e.to_string())?;
+                    r.workload = w.name.to_string();
+                    r
+                }
+                None => return Err(format!("cannot read {file}: {e}")),
+            }
+        }
+    };
+    let out = if inv.json {
+        let mut j = xflow_validate::to_json(&report);
+        j.push('\n');
+        j
+    } else {
+        report.render()
+    };
+    if report.passed {
+        Ok(out)
+    } else {
+        Err(out)
     }
 }
 
@@ -623,6 +686,28 @@ fn main() {
             }
             assert!(text.contains("plan.evaluate"), "trace must cover the explain evaluation");
             assert!(text.contains("session.parse.misses"), "trace must carry the session cache counters");
+        });
+    }
+
+    #[test]
+    fn validate_workload_text_and_json() {
+        let out = run(&args(&["validate", "srad", "--machine", "xeon"])).unwrap();
+        assert!(out.contains("validate SRAD on Xeon"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+        let out = run(&args(&["validate", "srad", "--machine", "xeon", "--json"])).unwrap();
+        assert!(out.starts_with('{'), "{out}");
+        assert!(out.contains("\"passed\":true"), "{out}");
+        assert!(out.contains("\"enr_exact\":true"), "{out}");
+    }
+
+    #[test]
+    fn validate_on_demo_file_honors_seed() {
+        with_demo_file(|path| {
+            let a = run(&args(&["validate", path, "--seed", "7"])).unwrap();
+            assert!(a.contains("seed 0x7"), "{a}");
+            assert!(a.contains("PASS"), "{a}");
+            let b = run(&args(&["validate", path, "--seed", "0x7"])).unwrap();
+            assert_eq!(a, b, "decimal and hex seeds must agree");
         });
     }
 

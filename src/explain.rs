@@ -247,9 +247,11 @@ pub fn context_chain(bet: &Bet, id: BetNodeId) -> Vec<ChainStep> {
 }
 
 impl Explain {
-    /// Deterministic JSON form (stable field and row order).
+    /// Deterministic JSON form (stable field and row order), routed
+    /// through the shared report serializer so `explain --json` and
+    /// `validate --json` format numbers identically.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("explain report serializes")
+        xflow_validate::jsonfmt::to_json(self)
     }
 
     /// Render the human table, limited to the top `top` units.

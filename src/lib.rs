@@ -74,6 +74,7 @@ pub use xflow_minilang;
 pub use xflow_obs;
 pub use xflow_sim;
 pub use xflow_skeleton;
+pub use xflow_validate;
 pub use xflow_workloads;
 
 // …and the most common types at the top level.
