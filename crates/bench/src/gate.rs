@@ -177,6 +177,21 @@ mod tests {
     }
 
     #[test]
+    fn kernel_bench_keys_classify_correctly() {
+        // pins the direction of every gated BENCH_kernel.json metric so a
+        // key rename can't silently demote a gate to informational
+        for key in ["eval_point_seconds", "kernel_point_seconds", "batch_point_seconds"] {
+            assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
+        }
+        for key in ["speedup_kernel_vs_evaluate", "speedup_batch_vs_evaluate", "sweep_points_per_sec"] {
+            assert_eq!(direction_of(key), Direction::HigherIsBetter, "{key}");
+        }
+        for key in ["grid_points", "available_cores", "sweep_threads", "threads_requested[0]"] {
+            assert_eq!(direction_of(key), Direction::Informational, "{key}");
+        }
+    }
+
+    #[test]
     fn slower_time_and_lower_speedup_regress() {
         let base = content(r#"{"run_seconds": 1.0, "speedup": 10.0, "grid_points": 25}"#);
         let cfg = GateConfig::default();

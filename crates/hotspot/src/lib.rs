@@ -13,6 +13,7 @@
 
 pub mod analysis;
 pub mod hotpath;
+pub mod kernel;
 pub mod miniapp;
 pub mod plan;
 pub mod quality;
@@ -20,6 +21,7 @@ pub mod select;
 
 pub use analysis::{project, project_single_pass, NodeCost, Projection, StmtCost, StmtCosts};
 pub use hotpath::{extract, render, HotPath};
+pub use kernel::{PlanKernel, Scratch};
 pub use miniapp::build_miniapp;
 pub use plan::{PlanBlock, ProjectionPlan};
 pub use quality::{coverage_curve, quality_at, quality_curve, top_k_overlap, MeasuredTimes};

@@ -205,6 +205,10 @@ impl ProjectionPlan {
         }
         let mut per_stmt = StmtCosts::with_stmt_capacity(self.stmt_bound);
         let mut total_time = 0.0;
+        // Machine pre-resolution: the telemetry branch reports each block's
+        // effective thread count, which only needs the core count — hoist
+        // the integer→float conversion out of the per-block work.
+        let cores = machine.cores as f64;
 
         for block in &self.blocks {
             let e = block.summary.enr;
@@ -236,7 +240,7 @@ impl ProjectionPlan {
                     overlap: time.overlap,
                     delta,
                     total,
-                    threads: block.summary.threads_on(machine),
+                    threads: block.summary.threads_with_cores(cores),
                     flops: block.summary.metrics.flops,
                     iops: block.summary.metrics.iops,
                     loads: block.summary.metrics.loads,
@@ -252,6 +256,34 @@ impl ProjectionPlan {
         }
 
         Projection { node_costs, per_stmt, total_time, unknown_libs: self.unknown_libs.clone() }
+    }
+
+    /// Compile the structure-of-arrays evaluation kernel for this plan
+    /// (see [`crate::PlanKernel`]). Build once per application; the kernel
+    /// plus a reusable [`crate::Scratch`] is the fast path for evaluating
+    /// many machines.
+    pub fn kernel(&self) -> crate::PlanKernel {
+        crate::PlanKernel::new(self)
+    }
+
+    /// Evaluate the plan on a batch of machines, sharing one kernel and
+    /// one scratch across the batch. Machines the model can
+    /// [`PerfModel::specialize`] for go through the SoA kernel; the rest
+    /// fall back to the scalar [`ProjectionPlan::evaluate`]. Every
+    /// projection is bit-identical to evaluating that machine alone.
+    pub fn evaluate_batch(&self, machines: &[MachineModel], model: &dyn PerfModel) -> Vec<Projection> {
+        let kernel = self.kernel();
+        let mut scratch = kernel.make_scratch();
+        machines
+            .iter()
+            .map(|machine| match model.specialize(machine) {
+                Some(spec) => {
+                    kernel.evaluate_spec_into(&spec, &mut scratch);
+                    scratch.projection(&kernel)
+                }
+                None => self.evaluate(machine, model),
+            })
+            .collect()
     }
 }
 

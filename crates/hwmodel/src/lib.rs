@@ -25,6 +25,7 @@ pub mod machine;
 pub mod network;
 pub mod refined;
 pub mod roofline;
+pub mod spec;
 
 pub use library::{InstrMix, LibraryRegistry, UnknownLibrary};
 pub use machine::{bgq, generic, knl, xeon, CacheLevel, MachineBuilder, MachineModel};
@@ -33,6 +34,7 @@ pub use refined::RefinedModel;
 pub use roofline::{
     BlockMetrics, BlockSummary, BlockTime, ClassicRoofline, DivAwareRoofline, PerfModel, Roofline, VectorAwareRoofline,
 };
+pub use spec::MachineSpec;
 
 /// Wire-format version of this crate's serializable artifacts
 /// ([`MachineModel`], [`LibraryRegistry`], block metrics/summaries).

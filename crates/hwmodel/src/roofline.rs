@@ -18,6 +18,7 @@
 //! compiler fully vectorizes (STASSUIJ hot spot 1).
 
 use crate::machine::MachineModel;
+use crate::spec::MachineSpec;
 use serde::{Deserialize, Serialize};
 
 /// Concrete (numeric) per-invocation operation statistics of a code block.
@@ -129,8 +130,15 @@ impl BlockSummary {
     /// Effective thread count on a machine: available parallelism clamped
     /// by the core count, and at least one thread.
     pub fn threads_on(&self, machine: &MachineModel) -> f64 {
+        self.threads_with_cores(machine.cores as f64)
+    }
+
+    /// [`BlockSummary::threads_on`] against a pre-resolved core count, so
+    /// loops over many blocks of one machine hoist the `cores as f64`
+    /// conversion out of the per-block work.
+    pub fn threads_with_cores(&self, cores: f64) -> f64 {
         if self.parallelizable {
-            self.avail_par.min(machine.cores as f64).max(1.0)
+            self.avail_par.min(cores).max(1.0)
         } else {
             1.0
         }
@@ -166,6 +174,15 @@ pub trait PerfModel: Send + Sync {
         } else {
             self.project(machine, &block.metrics)
         }
+    }
+
+    /// Pre-resolve this model's machine-dependent constants into a flat
+    /// [`MachineSpec`] for the batched evaluation kernel, or `None` when
+    /// the model cannot be expressed as one (the default). Only the
+    /// extended [`Roofline`] specializes; ablation variants and custom
+    /// models keep the virtual-dispatch path.
+    fn specialize(&self, _machine: &MachineModel) -> Option<MachineSpec> {
+        None
     }
 
     /// Short name for reports.
@@ -252,6 +269,10 @@ impl PerfModel for Roofline {
         // unchanged.
         let tm = (per_core / p).max(shared);
         Self::assemble(tc, tm, m.flops)
+    }
+
+    fn specialize(&self, machine: &MachineModel) -> Option<MachineSpec> {
+        Some(MachineSpec::resolve(machine))
     }
 
     fn name(&self) -> &str {

@@ -8,7 +8,7 @@
 //! output text — so every command is unit-testable.
 
 use crate::{bgq, compare, generic, knl, xeon, Criteria, InputSpec, MachineModel, ModeledApp, Scale, Session};
-use crate::{CollectingRecorder, SessionConfig};
+use crate::{Axis, CollectingRecorder, DesignSpace, SessionConfig, SweepOptions};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -29,6 +29,7 @@ COMMANDS:
     simulate <FILE>   run the ground-truth simulator (measured profile)
     compare  <FILE>   side-by-side projected vs measured hot spots
     validate <FILE>   differential check: analytic model vs executed oracle
+    sweep    <FILE>   project across a machine grid (--axis, work-stealing)
     machines          list the built-in machine models
     cache <stats|clear>  inspect or empty a --cache-dir artifact store
 
@@ -47,6 +48,16 @@ OPTIONS:
     --trace-out <FILE>             write a Chrome trace of the run to FILE
     --cache-dir <DIR>              persist/reuse stage artifacts in DIR
     --no-cache                     model cold, bypassing every cache
+
+SWEEP OPTIONS (the grid is the cartesian product of the axes, applied to
+the --machine base; the last axis varies fastest):
+    --axis NAME=V1,V2,...          swept machine parameter (repeatable);
+                                   names: dram_bw_gbs, cores, mlp, freq_ghz,
+                                   vector_lanes, issue_width, l1_hit_rate,
+                                   llc_hit_rate, vector_efficiency,
+                                   load_store_per_cycle
+    --threads <N>                  sweep worker threads  [default: 0 = auto]
+    --chunk <N>                    work-stealing chunk size [default: 0 = auto]
 ";
 
 /// A parsed invocation.
@@ -62,6 +73,8 @@ struct Invocation {
     json: bool,
     scale: Scale,
     seed: Option<u64>,
+    axes: Vec<Axis>,
+    sweep_opts: SweepOptions,
     trace_out: Option<String>,
     /// Created when `--trace-out` is given; threaded through the session
     /// and every observed evaluation so one trace covers the whole run.
@@ -83,6 +96,8 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         json: false,
         scale: Scale::Test,
         seed: None,
+        axes: Vec::new(),
+        sweep_opts: SweepOptions::default(),
         trace_out: None,
         recorder: None,
     };
@@ -149,6 +164,18 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 };
                 inv.seed = Some(parsed.map_err(|_| format!("bad --seed `{v}`"))?);
             }
+            "--axis" => {
+                let v = it.next().ok_or("--axis needs NAME=V1,V2,...")?;
+                inv.axes.push(parse_axis(v)?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                inv.sweep_opts.threads = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+            }
+            "--chunk" => {
+                let v = it.next().ok_or("--chunk needs a value")?;
+                inv.sweep_opts.chunk = v.parse().map_err(|_| format!("bad --chunk `{v}`"))?;
+            }
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a path")?;
                 inv.trace_out = Some(v.clone());
@@ -159,6 +186,31 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         }
     }
     Ok(inv)
+}
+
+/// Parse one `--axis NAME=V1,V2,...` value into an [`Axis`] over a named
+/// machine parameter.
+fn parse_axis(spec: &str) -> Result<Axis, String> {
+    let (name, values) = spec.split_once('=').ok_or_else(|| format!("bad --axis `{spec}`, expected NAME=V1,V2,..."))?;
+    let apply: fn(&mut MachineModel, f64) = match name {
+        "dram_bw_gbs" => |m, v| m.dram_bw_gbs = v,
+        "cores" => |m, v| m.cores = v as u32,
+        "mlp" => |m, v| m.mlp = v,
+        "freq_ghz" => |m, v| m.freq_ghz = v,
+        "vector_lanes" => |m, v| m.vector_lanes = v,
+        "issue_width" => |m, v| m.issue_width = v,
+        "l1_hit_rate" => |m, v| m.l1_hit_rate = v,
+        "llc_hit_rate" => |m, v| m.llc_hit_rate = v,
+        "vector_efficiency" => |m, v| m.vector_efficiency = v,
+        "load_store_per_cycle" => |m, v| m.load_store_per_cycle = v,
+        other => return Err(format!("unknown --axis parameter `{other}` (see `xflow help`)")),
+    };
+    let parsed: Result<Vec<f64>, _> = values.split(',').map(|v| v.trim().parse::<f64>()).collect();
+    let parsed = parsed.map_err(|_| format!("bad value in --axis `{spec}`"))?;
+    if parsed.is_empty() {
+        return Err(format!("--axis `{spec}` needs at least one value"));
+    }
+    Ok(Axis::new(name, &parsed, apply))
 }
 
 /// Execute a CLI invocation, returning the text to print.
@@ -455,6 +507,29 @@ fn run_on_source(inv: &Invocation, src: &str, session_out: &mut Option<Session>)
             }
             Ok(out)
         }
+        "sweep" => {
+            if inv.axes.is_empty() {
+                return Err("`sweep` needs at least one --axis NAME=V1,V2,...".into());
+            }
+            let app = modeled(inv, src, session_out)?;
+            let space = DesignSpace::grid(inv.machine.clone(), inv.axes.clone());
+            let sweep = match &inv.recorder {
+                Some(rec) => space.sweep_opts_observed(&app, &crate::Roofline, inv.sweep_opts, rec.as_ref()),
+                None => space.sweep_opts(&app, inv.sweep_opts),
+            };
+            let mut out = format!("base machine: {}   points: {}\n\n", inv.machine.name, space.len());
+            let table = crate::format_sweep(&sweep, &app.units);
+            // header + at most --top point rows
+            for line in table.lines().take(inv.top + 1) {
+                out.push_str(line);
+                out.push('\n');
+            }
+            if let Some(best) = sweep.best() {
+                let _ =
+                    writeln!(out, "\nbest: #{} {}   total {:.4e} s", best.index, best.mp.machine.name, best.mp.total);
+            }
+            Ok(out)
+        }
         "compare" => {
             let app = modeled(inv, src, session_out)?;
             let mp = app.project_on(&inv.machine);
@@ -681,7 +756,14 @@ fn main() {
             assert!(out.contains("context:"), "{out}");
             let text = std::fs::read_to_string(&trace).unwrap();
             assert!(text.starts_with("{\"displayTimeUnit\":\"ms\""), "{text}");
-            for stage in ["session.parse", "session.profile", "session.translate", "session.bet", "session.plan"] {
+            for stage in [
+                "session.parse",
+                "session.profile",
+                "session.translate",
+                "session.bet",
+                "session.plan",
+                "session.kernel",
+            ] {
                 assert!(text.contains(stage), "trace must span stage {stage}");
             }
             assert!(text.contains("plan.evaluate"), "trace must cover the explain evaluation");
@@ -716,5 +798,70 @@ fn main() {
         assert!(run(&args(&["hotspots", "f.ml", "--machine", "cray"])).is_err());
         assert!(run(&args(&["hotspots", "f.ml", "--input", "noequals"])).is_err());
         assert!(run(&args(&["hotspots", "f.ml", "--definitely-not-an-option"])).is_err());
+    }
+
+    #[test]
+    fn sweep_grid_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&[
+                "sweep",
+                path,
+                "--machine",
+                "generic",
+                "--axis",
+                "dram_bw_gbs=1,2,4",
+                "--axis",
+                "mlp=2,8",
+                "--threads",
+                "2",
+                "--chunk",
+                "1",
+            ]))
+            .unwrap();
+            assert!(out.contains("points: 6"), "{out}");
+            assert!(out.contains("dram_bw_gbs=1"), "{out}");
+            assert!(out.contains("best:"), "{out}");
+            assert!(out.contains("speedup"), "{out}");
+            // scheduling must not change the report
+            let serial = run(&args(&[
+                "sweep",
+                path,
+                "--machine",
+                "generic",
+                "--axis",
+                "dram_bw_gbs=1,2,4",
+                "--axis",
+                "mlp=2,8",
+                "--threads",
+                "1",
+            ]))
+            .unwrap();
+            assert_eq!(out, serial, "sweep output must be scheduling-independent");
+        });
+    }
+
+    #[test]
+    fn sweep_rejects_bad_axes() {
+        with_demo_file(|path| {
+            let err = run(&args(&["sweep", path])).unwrap_err();
+            assert!(err.contains("--axis"), "{err}");
+            let err = run(&args(&["sweep", path, "--axis", "warp_drive=1,2"])).unwrap_err();
+            assert!(err.contains("unknown --axis parameter"), "{err}");
+            let err = run(&args(&["sweep", path, "--axis", "mlp=fast"])).unwrap_err();
+            assert!(err.contains("bad value"), "{err}");
+            let err = run(&args(&["sweep", path, "--axis", "noequals"])).unwrap_err();
+            assert!(err.contains("expected NAME=V1"), "{err}");
+        });
+    }
+
+    #[test]
+    fn sweep_top_limits_rows() {
+        with_demo_file(|path| {
+            let out =
+                run(&args(&["sweep", path, "--axis", "cores=1,2,4,8", "--top", "2", "--machine", "xeon"])).unwrap();
+            assert!(out.contains("points: 4"), "{out}");
+            // header + 2 rows: point #2 and #3 are cut
+            assert!(!out.lines().any(|l| l.trim_start().starts_with("3 ")), "{out}");
+        });
     }
 }

@@ -63,7 +63,7 @@ pub use pipeline::{
     PipelineError,
 };
 pub use session::{default_session, CacheStats, Session, SessionConfig, StageKeys, StageStats};
-pub use sweep::{format_sweep, Axis, DesignSpace, Sweep, SweepDelta, SweepPoint};
+pub use sweep::{format_sweep, Axis, DesignSpace, Sweep, SweepDelta, SweepOptions, SweepPoint};
 pub use units::{Units, LIB_UNIT_BASE};
 
 // Re-export the sub-crates under their full names…
@@ -78,8 +78,8 @@ pub use xflow_validate;
 pub use xflow_workloads;
 
 // …and the most common types at the top level.
-pub use xflow_hotspot::{Criteria, Greedy, Selection};
-pub use xflow_hw::{bgq, generic, knl, xeon, MachineBuilder, MachineModel, PerfModel, Roofline};
+pub use xflow_hotspot::{Criteria, Greedy, PlanKernel, Scratch, Selection};
+pub use xflow_hw::{bgq, generic, knl, xeon, MachineBuilder, MachineModel, MachineSpec, PerfModel, Roofline};
 pub use xflow_minilang::InputSpec;
 pub use xflow_obs::{CollectingRecorder, MetricsRegistry, NoopRecorder, ProgressTicker, Recorder, TraceSnapshot};
 pub use xflow_workloads::{Scale, Workload};

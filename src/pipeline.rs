@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
 use xflow_bet::Bet;
-use xflow_hotspot::{Criteria, Greedy, MeasuredTimes, Projection, ProjectionPlan, Selection};
+use xflow_hotspot::{Criteria, Greedy, MeasuredTimes, PlanKernel, Projection, ProjectionPlan, Selection};
 use xflow_hw::{LibraryRegistry, MachineModel, PerfModel, Roofline};
 use xflow_minilang::{self as ml, InputSpec, Translation};
 use xflow_skeleton::{Env, StmtId, Value};
@@ -93,6 +93,9 @@ pub struct ModeledApp {
     /// Lazily-built machine-independent projection plan (phase 1 of the
     /// two-phase engine), shared by every [`ModeledApp::project_on`] call.
     plan: OnceLock<ProjectionPlan>,
+    /// Lazily-built SoA evaluation kernel compiled from the plan, shared by
+    /// every design-space sweep over this app.
+    kernel: OnceLock<PlanKernel>,
 }
 
 impl ModeledApp {
@@ -117,12 +120,13 @@ impl ModeledApp {
         let translation = ml::translate(&program, &profile).map_err(PipelineError::Translate)?;
         let env = initial_env(&translation, inputs);
         let bet = xflow_bet::build(&translation.skeleton, &env)?;
-        Ok(Self::assemble(program, profile, translation, bet, inputs.clone(), None))
+        Ok(Self::assemble(program, profile, translation, bet, inputs.clone(), None, None))
     }
 
     /// Assemble a modeled app from already-built stage artifacts (the
-    /// session layer's entry point). When `plan` is provided it seeds the
-    /// lazy plan slot, so the first `project_on` skips the plan build too.
+    /// session layer's entry point). When `plan` (and `kernel`) are
+    /// provided they seed the lazy slots, so the first `project_on` /
+    /// sweep skips those builds too.
     pub(crate) fn assemble(
         program: ml::Program,
         profile: ml::Profile,
@@ -130,13 +134,18 @@ impl ModeledApp {
         bet: Bet,
         inputs: InputSpec,
         plan: Option<ProjectionPlan>,
+        kernel: Option<PlanKernel>,
     ) -> ModeledApp {
         let units = build_units(&program, &translation);
         let slot = OnceLock::new();
         if let Some(p) = plan {
             let _ = slot.set(p);
         }
-        ModeledApp { program, profile, translation, bet, units, inputs, plan: slot }
+        let kernel_slot = OnceLock::new();
+        if let Some(k) = kernel {
+            let _ = kernel_slot.set(k);
+        }
+        ModeledApp { program, profile, translation, bet, units, inputs, plan: slot, kernel: kernel_slot }
     }
 
     /// The machine-independent projection plan (phase 1), built on first
@@ -144,6 +153,12 @@ impl ModeledApp {
     /// subsequent [`ModeledApp::project_on`] and design-space sweep.
     pub fn plan(&self) -> &ProjectionPlan {
         self.plan.get_or_init(|| ProjectionPlan::new(&self.bet, default_library()))
+    }
+
+    /// The SoA evaluation kernel compiled from [`ModeledApp::plan`], built
+    /// on first use and reused by every design-space sweep over this app.
+    pub fn kernel(&self) -> &PlanKernel {
+        self.kernel.get_or_init(|| self.plan().kernel())
     }
 
     /// Project the application on a target machine (extended roofline,

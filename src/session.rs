@@ -1,15 +1,16 @@
 //! Incremental modeling sessions: a content-addressed artifact store over
 //! the pipeline's stage graph.
 //!
-//! [`ModeledApp::from_source`] runs five stages — parse, profiled
+//! [`ModeledApp::from_source`] runs six stages — parse, profiled
 //! interpretation, translation, BET construction, projection-plan
-//! compilation — and a co-design service replays that chain for every
-//! query even when the source and inputs are byte-identical to the last
-//! one. A [`Session`] turns each stage output into a cache-keyed artifact:
+//! compilation, SoA-kernel compilation — and a co-design service replays
+//! that chain for every query even when the source and inputs are
+//! byte-identical to the last one. A [`Session`] turns each stage output
+//! into a cache-keyed artifact:
 //!
 //! ```text
-//! source ──▶ Program ──▶ Profile ──▶ Translation ──▶ Bet ──▶ ProjectionPlan
-//!            parse_key   profile_key  translate_key  bet_key  plan_key
+//! source ──▶ Program ──▶ Profile ──▶ Translation ──▶ Bet ──▶ ProjectionPlan ──▶ PlanKernel
+//!            parse_key   profile_key  translate_key  bet_key  plan_key           kernel_key
 //! ```
 //!
 //! ## Key derivation
@@ -27,7 +28,9 @@
 //! * `bet_key`       = `fnv(translate_key, "bet")`;
 //! * `plan_key`      = `fnv(bet_key, "plan", library fingerprint)`
 //!   ([`LibraryRegistry::fingerprint`] — re-calibration invalidates plans
-//!   but nothing upstream).
+//!   but nothing upstream);
+//! * `kernel_key`    = `fnv(plan_key, "kernel")` (the SoA kernel is a pure
+//!   re-layout of the plan, so it invalidates exactly when the plan does).
 //!
 //! Editing the source therefore misses every stage; changing only the
 //! inputs reuses the parsed program and rebuilds downstream; swapping the
@@ -54,7 +57,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use xflow_bet::Bet;
-use xflow_hotspot::ProjectionPlan;
+use xflow_hotspot::{PlanKernel, ProjectionPlan};
 use xflow_hw::LibraryRegistry;
 use xflow_minilang::{self as ml, InputSpec, Translation};
 use xflow_obs::{AttrValue, Counter, MetricsRegistry, NoopRecorder, Recorder, SpanId};
@@ -138,6 +141,7 @@ pub struct StageKeys {
     pub translate: u64,
     pub bet: u64,
     pub plan: u64,
+    pub kernel: u64,
 }
 
 fn derive_keys(src: &str, inputs: &InputSpec, libs: &LibraryRegistry) -> StageKeys {
@@ -170,7 +174,12 @@ fn derive_keys(src: &str, inputs: &InputSpec, libs: &LibraryRegistry) -> StageKe
         h.write_u64(libs.fingerprint());
         h.finish()
     };
-    StageKeys { parse, profile, translate, bet, plan }
+    let kernel = {
+        let mut h = Fnv::seeded(plan);
+        h.write_str("kernel");
+        h.finish()
+    };
+    StageKeys { parse, profile, translate, bet, plan, kernel }
 }
 
 // ---------------------------------------------------------------------------
@@ -205,11 +214,12 @@ pub struct CacheStats {
     pub translate: StageStats,
     pub bet: StageStats,
     pub plan: StageStats,
+    pub kernel: StageStats,
 }
 
 impl CacheStats {
-    fn stages(&self) -> [&StageStats; 5] {
-        [&self.parse, &self.profile, &self.translate, &self.bet, &self.plan]
+    fn stages(&self) -> [&StageStats; 6] {
+        [&self.parse, &self.profile, &self.translate, &self.bet, &self.plan, &self.kernel]
     }
 
     /// Total in-memory hits across stages.
@@ -334,6 +344,7 @@ struct Store {
     translate: StageCache<Translation>,
     bet: StageCache<Bet>,
     plan: StageCache<ProjectionPlan>,
+    kernel: StageCache<PlanKernel>,
 }
 
 impl Store {
@@ -345,6 +356,7 @@ impl Store {
             translate: StageCache::new("translate", capacity, StageCounters::for_stage(registry, "translate")),
             bet: StageCache::new("bet", capacity, StageCounters::for_stage(registry, "bet")),
             plan: StageCache::new("plan", capacity, StageCounters::for_stage(registry, "plan")),
+            kernel: StageCache::new("kernel", capacity, StageCounters::for_stage(registry, "kernel")),
         }
     }
 }
@@ -420,6 +432,7 @@ impl Session {
             translate: store.translate.counters.snapshot(),
             bet: store.bet.counters.snapshot(),
             plan: store.plan.counters.snapshot(),
+            kernel: store.kernel.counters.snapshot(),
         }
     }
 
@@ -468,6 +481,7 @@ impl Session {
         let plan = stage(&self.config, self.salt, rec, &mut store.plan, keys.plan, tick, || {
             Ok(ProjectionPlan::new(&bet, libs))
         })?;
+        let kernel = stage(&self.config, self.salt, rec, &mut store.kernel, keys.kernel, tick, || Ok(plan.kernel()))?;
         drop(store);
 
         Ok(ModeledApp::assemble(
@@ -477,6 +491,7 @@ impl Session {
             (*bet).clone(),
             inputs.clone(),
             Some((*plan).clone()),
+            Some((*kernel).clone()),
         ))
     }
 
@@ -599,7 +614,7 @@ fn is_artifact_file(name: &str) -> bool {
     let mut parts = rest.splitn(2, '-');
     let stage = parts.next().unwrap_or("");
     let Some(hashes) = parts.next() else { return false };
-    matches!(stage, "parse" | "profile" | "translate" | "bet" | "plan")
+    matches!(stage, "parse" | "profile" | "translate" | "bet" | "plan" | "kernel")
         && hashes.len() == 33
         && hashes.as_bytes()[16] == b'-'
         && hashes.chars().enumerate().all(|(i, c)| i == 16 || c.is_ascii_hexdigit())
@@ -609,7 +624,7 @@ fn is_artifact_file(name: &str) -> bool {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskCacheReport {
     /// Artifact files per stage, in pipeline order.
-    pub per_stage: [usize; 5],
+    pub per_stage: [usize; 6],
     /// Total artifact files.
     pub entries: usize,
     /// Total artifact bytes.
@@ -618,7 +633,7 @@ pub struct DiskCacheReport {
 
 impl DiskCacheReport {
     /// Stage names matching `per_stage` order.
-    pub const STAGES: [&'static str; 5] = ["parse", "profile", "translate", "bet", "plan"];
+    pub const STAGES: [&'static str; 6] = ["parse", "profile", "translate", "bet", "plan", "kernel"];
 }
 
 /// Scan a cache directory (missing directory → empty report).
@@ -698,8 +713,8 @@ fn main() {
         assert_eq!(a.parse, b.parse);
         assert_ne!(a.profile, b.profile);
         assert_ne!(a.bet, b.bet);
-        // all five keys of one query are distinct
-        let ks = [a.parse, a.profile, a.translate, a.bet, a.plan];
+        // all six keys of one query are distinct
+        let ks = [a.parse, a.profile, a.translate, a.bet, a.plan, a.kernel];
         for i in 0..ks.len() {
             for j in i + 1..ks.len() {
                 assert_ne!(ks[i], ks[j]);
@@ -736,12 +751,12 @@ fn main() {
         s.model(SRC, &i).unwrap();
         s.model(SRC, &i).unwrap();
         let stats = s.stats();
-        assert_eq!(stats.misses(), 5, "cold run builds all five stages");
-        assert_eq!(stats.hits(), 5, "warm run hits all five stages");
+        assert_eq!(stats.misses(), 6, "cold run builds all six stages");
+        assert_eq!(stats.hits(), 6, "warm run hits all six stages");
         // the Display line the CLI prints is backed by the same counters
         assert_eq!(s.registry().get("session.parse.hits"), stats.parse.hits);
         assert_eq!(s.registry().get("session.plan.misses"), stats.plan.misses);
-        assert_eq!(format!("{stats}"), "memory hits: 5, disk hits: 0, misses: 5");
+        assert_eq!(format!("{stats}"), "memory hits: 6, disk hits: 0, misses: 6");
     }
 
     #[test]
@@ -753,7 +768,7 @@ fn main() {
         s.model(SRC, &i).unwrap();
         s.model(SRC, &i).unwrap();
         let snap = rec.snapshot();
-        for stage in ["parse", "profile", "translate", "bet", "plan"] {
+        for stage in ["parse", "profile", "translate", "bet", "plan", "kernel"] {
             let name = format!("session.{stage}");
             let spans: Vec<_> = snap.spans.iter().filter(|sp| sp.name == name).collect();
             assert_eq!(spans.len(), 2, "one span per lookup of {name}");
@@ -775,6 +790,7 @@ fn main() {
     fn artifact_file_name_filter() {
         assert!(is_artifact_file("parse-0123456789abcdef-fedcba9876543210.json"));
         assert!(is_artifact_file("plan-0000000000000000-0000000000000000.json"));
+        assert!(is_artifact_file("kernel-0000000000000000-0000000000000000.json"));
         assert!(!is_artifact_file("parse-0123-fedc.json"));
         assert!(!is_artifact_file("notes.txt"));
         assert!(!is_artifact_file("other-0123456789abcdef-fedcba9876543210.json"));

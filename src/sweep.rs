@@ -14,10 +14,17 @@
 //! per-point [`MachineProjection`]s, ranking/bottleneck summaries, and
 //! deltas against the baseline point.
 //!
-//! Results are deterministic and independent of the worker-thread count:
-//! workers pull point indices from a shared atomic counter and the results
-//! are merged back into index order, so the output never depends on
-//! scheduling.
+//! Scheduling is a chunked work-stealing queue: workers claim contiguous
+//! chunks of grid points from a shared atomic cursor, each with a
+//! per-thread [`xflow_hotspot::Scratch`] feeding the batched SoA kernel
+//! ([`xflow_hotspot::PlanKernel`]) when the model specializes — zero
+//! allocations per point on the warm path. Grid traversal is row-major
+//! (last axis fastest), so adjacent points within a chunk differ in one
+//! axis. Results are deterministic and independent of the worker-thread
+//! count and the chunk size: results are merged back into index order, and
+//! the kernel path is bit-identical to the scalar evaluator, so the output
+//! never depends on scheduling. Tune both knobs with [`SweepOptions`] via
+//! [`DesignSpace::sweep_opts`].
 //!
 //! ```
 //! use xflow::{bgq, Axis, DesignSpace, ModeledApp, Scale};
@@ -40,9 +47,31 @@
 use crate::pipeline::{fold_projection, MachineProjection, ModeledApp};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use xflow_hotspot::Scratch;
 use xflow_hw::{MachineModel, PerfModel, Roofline};
 use xflow_obs::{AttrValue, NoopRecorder, Recorder, SpanId};
 use xflow_skeleton::StmtId;
+
+/// Scheduling knobs for a design-space sweep.
+///
+/// Both default to `0` = automatic: the thread count follows the host's
+/// available parallelism (clamped to the point count) and the chunk size
+/// targets ~4 chunks per worker (clamped to 1..=64) so stealing stays
+/// cheap without starving the queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `0` = available parallelism, `1` = serial.
+    pub threads: usize,
+    /// Points per work-stealing chunk; `0` = automatic.
+    pub chunk: usize,
+}
+
+impl SweepOptions {
+    /// Options with an explicit thread count and automatic chunking.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads, chunk: 0 }
+    }
+}
 
 /// One swept machine parameter: a name, the values to try, and how to
 /// apply a value to a machine description.
@@ -173,17 +202,14 @@ impl DesignSpace {
         self.sweep_observed(app, model, threads, &NoopRecorder)
     }
 
-    /// [`DesignSpace::sweep_with`] under a telemetry recorder.
-    ///
-    /// Identical arithmetic — the plain entry points delegate here with the
-    /// [`NoopRecorder`]. With an enabled recorder the whole sweep runs
-    /// inside a `sweep` span, each point gets a `sweep.point` span carrying
-    /// its index and machine name (for grid spaces the name embeds the
-    /// point's full `axis=value` coordinates), and the `sweep.points`
-    /// counter advances once per completed point — hook an
-    /// [`xflow_obs::ProgressTicker`] on that counter for a live ticker. A
-    /// point that panics is re-raised with its index and coordinates
-    /// prepended, so a failed point names its `(axis=value, …)` binding.
+    /// Sweep with explicit scheduling knobs (thread count and
+    /// work-stealing chunk size) and the extended roofline model.
+    pub fn sweep_opts(&self, app: &ModeledApp, opts: SweepOptions) -> Sweep {
+        self.sweep_opts_observed(app, &Roofline, opts, &NoopRecorder)
+    }
+
+    /// [`DesignSpace::sweep_with`] under a telemetry recorder, with
+    /// automatic chunking.
     pub fn sweep_observed<R: Recorder + Sync + ?Sized>(
         &self,
         app: &ModeledApp,
@@ -191,24 +217,66 @@ impl DesignSpace {
         threads: usize,
         rec: &R,
     ) -> Sweep {
+        self.sweep_opts_observed(app, model, SweepOptions::with_threads(threads), rec)
+    }
+
+    /// The sweep engine: chunked work-stealing over the points, per-thread
+    /// scratch buffers, batched SoA kernel when the model specializes.
+    ///
+    /// Identical arithmetic for every knob setting — the plain entry
+    /// points delegate here. Workers claim contiguous chunks of points
+    /// from a shared atomic cursor; each worker evaluates its chunk with a
+    /// private [`Scratch`] through [`xflow_hotspot::PlanKernel`] when
+    /// [`PerfModel::specialize`] yields a machine spec, and through the
+    /// scalar `evaluate_observed` path otherwise. Results merge back into
+    /// point order, so the output is independent of the thread count and
+    /// chunk size (enforced by `to_bits` tests).
+    ///
+    /// With an enabled recorder the whole sweep runs inside a `sweep` span,
+    /// each point gets a `sweep.point` span carrying its index and machine
+    /// name (for grid spaces the name embeds the point's full `axis=value`
+    /// coordinates), and three counters advance: `sweep.points` once per
+    /// completed point (hook an [`xflow_obs::ProgressTicker`] on it for a
+    /// live ticker), `sweep.steals` once per chunk a worker claims beyond
+    /// its first, and `sweep.scratch_reuse` once per point evaluated into
+    /// an already-warm scratch (no allocations). A point that panics is
+    /// re-raised with its index and coordinates prepended, so a failed
+    /// point names its `(axis=value, …)` binding.
+    pub fn sweep_opts_observed<R: Recorder + Sync + ?Sized>(
+        &self,
+        app: &ModeledApp,
+        model: &(dyn PerfModel + Sync),
+        opts: SweepOptions,
+        rec: &R,
+    ) -> Sweep {
         let plan = app.plan();
+        let kernel = app.kernel();
         let units = &app.units;
-        let threads = match threads {
+        let n = self.machines.len();
+        let threads = match opts.threads {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             t => t,
         }
-        .min(self.machines.len().max(1));
+        .min(n.max(1));
+        let chunk = match opts.chunk {
+            0 => (n / (threads * 4)).clamp(1, 64),
+            c => c,
+        };
 
         let sweep_span = if rec.enabled() {
             rec.span_start(
                 "sweep",
-                &[("points", AttrValue::U64(self.machines.len() as u64)), ("threads", AttrValue::U64(threads as u64))],
+                &[
+                    ("points", AttrValue::U64(n as u64)),
+                    ("threads", AttrValue::U64(threads as u64)),
+                    ("chunk", AttrValue::U64(chunk as u64)),
+                ],
             )
         } else {
             SpanId::NONE
         };
 
-        let eval = |i: usize| -> SweepPoint {
+        let eval = |i: usize, scratch: &mut Scratch| -> SweepPoint {
             let machine = &self.machines[i];
             let span = if rec.enabled() {
                 rec.span_start(
@@ -219,8 +287,17 @@ impl DesignSpace {
                 SpanId::NONE
             };
             let result = catch_unwind(AssertUnwindSafe(|| {
-                let mp = fold_projection(units, machine, plan.evaluate_observed(machine, model, rec));
-                summarize(i, mp)
+                let projection = match model.specialize(machine) {
+                    Some(spec) => {
+                        let warm = kernel.evaluate_spec_observed_into(&spec, scratch, rec);
+                        if warm {
+                            rec.add("sweep.scratch_reuse", 1);
+                        }
+                        scratch.projection(kernel)
+                    }
+                    None => plan.evaluate_observed(machine, model, rec),
+                };
+                summarize(i, fold_projection(units, machine, projection))
             }));
             match result {
                 Ok(point) => {
@@ -240,21 +317,30 @@ impl DesignSpace {
         };
 
         let points = if threads <= 1 {
-            (0..self.machines.len()).map(eval).collect()
+            let mut scratch = kernel.make_scratch();
+            (0..n).map(|i| eval(i, &mut scratch)).collect()
         } else {
-            let next = AtomicUsize::new(0);
-            let n = self.machines.len();
+            let n_chunks = n.div_ceil(chunk);
+            let cursor = AtomicUsize::new(0);
             let scope_result = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         s.spawn(|_| {
+                            let mut scratch = kernel.make_scratch();
                             let mut out = Vec::new();
+                            let mut claimed = 0usize;
                             loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= n {
+                                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                                if c >= n_chunks {
                                     break;
                                 }
-                                out.push((i, eval(i)));
+                                claimed += 1;
+                                if claimed > 1 {
+                                    rec.add("sweep.steals", 1);
+                                }
+                                for i in c * chunk..((c + 1) * chunk).min(n) {
+                                    out.push((i, eval(i, &mut scratch)));
+                                }
                             }
                             out
                         })
@@ -437,6 +523,56 @@ mod tests {
                 assert_eq!(a.top_unit, b.top_unit);
                 assert_eq!(a.memory_bound, b.memory_bound);
             }
+        }
+    }
+
+    #[test]
+    fn sweep_results_independent_of_chunk_size() {
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0, 40.0]), Axis::mlp(&[2.0, 4.0])]);
+        let serial = space.sweep(&app, 1);
+        for (threads, chunk) in [(2, 1), (2, 3), (4, 2), (3, 64), (1, 2), (2, 7)] {
+            let par = space.sweep_opts(&app, SweepOptions { threads, chunk });
+            assert_eq!(par.points.len(), serial.points.len());
+            for (a, b) in par.points.iter().zip(&serial.points) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.mp.total.to_bits(), b.mp.total.to_bits(), "threads={threads} chunk={chunk}");
+                assert_eq!(a.top_unit, b.top_unit);
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_counters_recorded() {
+        use xflow_obs::CollectingRecorder;
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0]), Axis::mlp(&[2.0, 4.0])]);
+
+        // serial: one scratch, first point cold, the rest warm, no stealing
+        let rec = CollectingRecorder::new();
+        space.sweep_opts_observed(&app, &Roofline, SweepOptions { threads: 1, chunk: 1 }, &rec);
+        assert_eq!(rec.counter_value("sweep.points"), 4);
+        assert_eq!(rec.counter_value("sweep.scratch_reuse"), 3);
+        assert_eq!(rec.counter_value("sweep.steals"), 0);
+
+        // two workers over four 1-point chunks: every chunk beyond a
+        // worker's first is a steal, and at most one cold point per worker
+        let rec = CollectingRecorder::new();
+        space.sweep_opts_observed(&app, &Roofline, SweepOptions { threads: 2, chunk: 1 }, &rec);
+        assert_eq!(rec.counter_value("sweep.points"), 4);
+        assert!(rec.counter_value("sweep.scratch_reuse") >= 2);
+        assert!(rec.counter_value("sweep.steals") >= 2);
+    }
+
+    #[test]
+    fn non_specializing_model_sweeps_through_the_fallback_path() {
+        use xflow_hw::ClassicRoofline;
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0]), Axis::mlp(&[2.0, 4.0])]);
+        let sweep = space.sweep_with(&app, &ClassicRoofline, 3);
+        for (p, machine) in sweep.points.iter().zip(space.machines()) {
+            let direct = fold_projection(&app.units, machine, app.plan().evaluate(machine, &ClassicRoofline));
+            assert_eq!(p.mp.total.to_bits(), direct.total.to_bits());
         }
     }
 

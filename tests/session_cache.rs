@@ -43,9 +43,14 @@ fn identical_query_hits_every_stage() {
     let second = s.model(SRC, &inputs).unwrap();
 
     let st = s.stats();
-    for (name, stage) in
-        [("parse", st.parse), ("profile", st.profile), ("translate", st.translate), ("bet", st.bet), ("plan", st.plan)]
-    {
+    for (name, stage) in [
+        ("parse", st.parse),
+        ("profile", st.profile),
+        ("translate", st.translate),
+        ("bet", st.bet),
+        ("plan", st.plan),
+        ("kernel", st.kernel),
+    ] {
         assert_eq!(stage.misses, 1, "{name}: first query should build");
         assert_eq!(stage.hits, 1, "{name}: second query should hit memory");
         assert_eq!(stage.disk_hits, 0, "{name}: memory-only session");
@@ -62,9 +67,14 @@ fn one_byte_source_edit_misses_every_stage() {
     s.model(&edited, &inputs).unwrap();
 
     let st = s.stats();
-    for (name, stage) in
-        [("parse", st.parse), ("profile", st.profile), ("translate", st.translate), ("bet", st.bet), ("plan", st.plan)]
-    {
+    for (name, stage) in [
+        ("parse", st.parse),
+        ("profile", st.profile),
+        ("translate", st.translate),
+        ("bet", st.bet),
+        ("plan", st.plan),
+        ("kernel", st.kernel),
+    ] {
         assert_eq!(stage.misses, 2, "{name}: a one-byte edit must rebuild this stage");
         assert_eq!(stage.hits, 0, "{name}: nothing shared across the edit");
     }
@@ -79,7 +89,13 @@ fn input_change_reuses_parse_and_rebuilds_downstream() {
     let st = s.stats();
     assert_eq!(st.parse.hits, 1, "parse is input-independent and must be reused");
     assert_eq!(st.parse.misses, 1);
-    for (name, stage) in [("profile", st.profile), ("translate", st.translate), ("bet", st.bet), ("plan", st.plan)] {
+    for (name, stage) in [
+        ("profile", st.profile),
+        ("translate", st.translate),
+        ("bet", st.bet),
+        ("plan", st.plan),
+        ("kernel", st.kernel),
+    ] {
         assert_eq!(stage.misses, 2, "{name}: depends on inputs, must rebuild");
         assert_eq!(stage.hits, 0, "{name}");
     }
@@ -109,6 +125,8 @@ fn library_fingerprint_change_invalidates_only_the_plan() {
     }
     assert_eq!(st.plan.misses, 2, "plan is keyed by the library fingerprint");
     assert_eq!(st.plan.hits, 0);
+    assert_eq!(st.kernel.misses, 2, "kernel is keyed by the plan, so it follows the rebuild");
+    assert_eq!(st.kernel.hits, 0);
 }
 
 #[test]
@@ -118,23 +136,23 @@ fn disk_cache_warm_starts_a_fresh_session() {
 
     let cold = Session::with_cache_dir(&dir);
     let app_cold = cold.model(SRC, &inputs).unwrap();
-    assert_eq!(cold.stats().misses(), 5);
+    assert_eq!(cold.stats().misses(), 6);
     let report = xflow::session::disk_cache_report(&dir);
-    assert_eq!(report.entries, 5, "one artifact per stage");
-    assert_eq!(report.per_stage, [1, 1, 1, 1, 1]);
+    assert_eq!(report.entries, 6, "one artifact per stage");
+    assert_eq!(report.per_stage, [1, 1, 1, 1, 1, 1]);
     assert!(report.bytes > 0);
 
     let warm = Session::with_cache_dir(&dir);
     let app_warm = warm.model(SRC, &inputs).unwrap();
     let st = warm.stats();
-    assert_eq!(st.disk_hits(), 5, "every stage must warm-start from disk");
+    assert_eq!(st.disk_hits(), 6, "every stage must warm-start from disk");
     assert_eq!(st.misses(), 0);
 
     for m in [bgq(), xeon()] {
         assert_bits_equal(&app_cold.project_on(&m), &app_warm.project_on(&m));
     }
 
-    assert_eq!(warm.clear_disk().unwrap(), 5);
+    assert_eq!(warm.clear_disk().unwrap(), 6);
     assert_eq!(xflow::session::disk_cache_report(&dir).entries, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -161,19 +179,19 @@ fn corrupted_and_truncated_artifacts_fall_back_to_cold_builds() {
         }
         mangled += 1;
     }
-    assert_eq!(mangled, 5);
+    assert_eq!(mangled, 6);
 
     let recover = Session::with_cache_dir(&dir);
     let rebuilt = recover.model(SRC, &inputs).unwrap();
     let st = recover.stats();
     assert_eq!(st.disk_hits(), 0, "corrupted artifacts must not be served");
-    assert_eq!(st.misses(), 5, "every stage silently rebuilds cold");
+    assert_eq!(st.misses(), 6, "every stage silently rebuilds cold");
     assert_bits_equal(&reference.project_on(&bgq()), &rebuilt.project_on(&bgq()));
 
     // the rebuild re-persisted good artifacts: a third session warm-starts
     let warm = Session::with_cache_dir(&dir);
     warm.model(SRC, &inputs).unwrap();
-    assert_eq!(warm.stats().disk_hits(), 5);
+    assert_eq!(warm.stats().disk_hits(), 6);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -197,10 +215,10 @@ fn cli_cache_dir_round_trip_and_subcommands() {
     assert_eq!(first, cold);
 
     let stats = xflow::cli::run(&args(&["cache", "stats", "--cache-dir", cache.to_str().unwrap()])).unwrap();
-    assert!(stats.contains("entries: 5"), "{stats}");
+    assert!(stats.contains("entries: 6"), "{stats}");
 
     let cleared = xflow::cli::run(&args(&["cache", "clear", "--cache-dir", cache.to_str().unwrap()])).unwrap();
-    assert!(cleared.contains("removed 5"), "{cleared}");
+    assert!(cleared.contains("removed 6"), "{cleared}");
     let stats = xflow::cli::run(&args(&["cache", "stats", "--cache-dir", cache.to_str().unwrap()])).unwrap();
     assert!(stats.contains("entries: 0"), "{stats}");
 

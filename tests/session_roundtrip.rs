@@ -70,7 +70,7 @@ fn session_model_matches_cold_build_bit_for_bit() {
         }
     }
     let st = session.stats();
-    assert_eq!(st.hits(), 25, "second load of each workload hits all five stages");
+    assert_eq!(st.hits(), 30, "second load of each workload hits all six stages");
 }
 
 #[test]
@@ -90,6 +90,6 @@ fn disk_round_trip_matches_cold_build_bit_for_bit() {
             assert_projection_bits(&format!("{}/{} disk", w.name, m.name), &cold.project_on(&m), &disk.project_on(&m));
         }
     }
-    assert_eq!(warm.stats().disk_hits(), 25, "five workloads × five stages from disk");
+    assert_eq!(warm.stats().disk_hits(), 30, "five workloads × six stages from disk");
     let _ = std::fs::remove_dir_all(&dir);
 }
