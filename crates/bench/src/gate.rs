@@ -180,13 +180,24 @@ mod tests {
     fn kernel_bench_keys_classify_correctly() {
         // pins the direction of every gated BENCH_kernel.json metric so a
         // key rename can't silently demote a gate to informational
-        for key in ["eval_point_seconds", "kernel_point_seconds", "batch_point_seconds"] {
+        for key in [
+            "eval_point_seconds",
+            "kernel_point_seconds",
+            "batch_point_seconds",
+            "batch_soa_point_seconds",
+            "batch_materialize_overhead_seconds",
+        ] {
             assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
         }
-        for key in ["speedup_kernel_vs_evaluate", "speedup_batch_vs_evaluate", "sweep_points_per_sec"] {
+        for key in [
+            "speedup_kernel_vs_evaluate",
+            "speedup_batch_vs_evaluate",
+            "speedup_batch_soa_vs_evaluate",
+            "sweep_points_per_sec",
+        ] {
             assert_eq!(direction_of(key), Direction::HigherIsBetter, "{key}");
         }
-        for key in ["grid_points", "available_cores", "sweep_threads", "threads_requested[0]"] {
+        for key in ["grid_points", "available_cores", "sweep_threads", "threads_requested[0]", "lane_width"] {
             assert_eq!(direction_of(key), Direction::Informational, "{key}");
         }
     }

@@ -29,15 +29,27 @@ use xflow_obs::{AttrValue, BlockProvenance, NoopRecorder, Recorder, SpanId};
 use xflow_skeleton::StmtId;
 
 use crate::analysis::{NodeCost, Projection, StmtCosts};
+use crate::columns::{ColumnsChunk, ProjectionColumns};
 use crate::plan::ProjectionPlan;
 
 /// Column sentinel for "block aggregates into no statement".
 const NO_STMT: u32 = u32::MAX;
 
+/// Number of machines evaluated per pass by the columnar batch loop: 4
+/// with the `simd` feature (f64x4 lanes), 1 when the feature is off (the
+/// scalar per-point loop). Output bits are identical either way.
+pub fn lane_width() -> usize {
+    if cfg!(feature = "simd") {
+        4
+    } else {
+        1
+    }
+}
+
 /// Structure-of-arrays compilation of a [`ProjectionPlan`], built once and
 /// evaluated per machine via [`PlanKernel::evaluate_spec_into`] or
 /// [`PlanKernel::evaluate_batch`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlanKernel {
     /// BET arena index of each block (`PlanBlock::node`).
     node: Vec<u32>,
@@ -97,6 +109,10 @@ pub struct PlanKernel {
     /// Content fingerprint of the columns; a [`Scratch`] primed for one
     /// kernel is recognized as warm only for the same fingerprint.
     fingerprint: u64,
+    /// Statement-slot maps for columnar arenas, derived from `stmt` on
+    /// first use and shared into every [`ProjectionColumns`] by reference
+    /// count (not serialized — rebuilt lazily after deserialization).
+    slot_layout: std::sync::OnceLock<std::sync::Arc<crate::columns::SlotLayout>>,
 }
 
 impl PlanKernel {
@@ -126,6 +142,7 @@ impl PlanKernel {
             stmt_bound: plan.stmt_bound(),
             unknown_libs: plan.unknown_libs().to_vec(),
             fingerprint: 0,
+            slot_layout: std::sync::OnceLock::new(),
         };
         for block in blocks {
             let m = &block.summary.metrics;
@@ -177,6 +194,14 @@ impl PlanKernel {
     /// Content fingerprint of the columns (ties a [`Scratch`] to a kernel).
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The statement-slot maps for columnar arenas, built once per kernel
+    /// and shared by reference count.
+    pub(crate) fn slot_layout(&self) -> &std::sync::Arc<crate::columns::SlotLayout> {
+        self.slot_layout.get_or_init(|| {
+            std::sync::Arc::new(crate::columns::SlotLayout::build(&self.stmt, self.stmt_bound, &self.pre_touched))
+        })
     }
 
     /// FNV-1a over every column, so two kernels compare equal iff every
@@ -456,6 +481,300 @@ impl PlanKernel {
             })
             .collect()
     }
+
+    /// Columnar batch evaluation: evaluate every spec and return the dense
+    /// [`ProjectionColumns`] arena — no per-point `Projection`
+    /// materialization. With the `simd` feature the machines are processed
+    /// in lanes of [`lane_width`] with a scalar remainder loop; every
+    /// stored value is bit-identical to the scalar evaluator either way.
+    pub fn evaluate_columns(&self, specs: &[MachineSpec]) -> ProjectionColumns {
+        let mut cols = ProjectionColumns::new(self, specs.to_vec());
+        let mut scratch = self.make_scratch();
+        let n = cols.points();
+        // fill the arena in place — no intermediate chunk buffer to
+        // allocate, zero, and copy back
+        let (layout, mut target) = cols.layout_and_target(0..n);
+        self.fill_columns(0, &layout, &mut target, &mut scratch);
+        cols
+    }
+
+    /// Evaluate the contiguous point range `range` of a columns arena into
+    /// a mergeable [`ColumnsChunk`] (install it with
+    /// [`ProjectionColumns::install`]). This is the sweep scheduler's unit
+    /// of work: workers share the read-only arena layout and each fills
+    /// disjoint ranges with a private scratch.
+    ///
+    /// With the `simd` feature, full groups of [`lane_width`] machines run
+    /// through the lane-packed [`xflow_hw::SpecLanes`] loop; the group
+    /// remainder — and any lane whose machine turns out degenerate
+    /// (observed block participation diverging from the prediction, e.g.
+    /// underflowed or infinite times) — replays through the scalar
+    /// [`PlanKernel::evaluate_spec_into`] path, which is the bit-exact
+    /// oracle by construction.
+    pub fn evaluate_columns_chunk(
+        &self,
+        cols: &ProjectionColumns,
+        range: std::ops::Range<usize>,
+        scratch: &mut Scratch,
+    ) -> ColumnsChunk {
+        let mut chunk = ColumnsChunk::zeroed(range.start, range.len(), cols.slot_count());
+        let layout = cols.layout();
+        let mut target = chunk.target();
+        self.fill_columns(range.start, &layout, &mut target, scratch);
+        chunk
+    }
+
+    /// The columnar fill engine behind [`PlanKernel::evaluate_columns`]
+    /// (arena-direct) and [`PlanKernel::evaluate_columns_chunk`]
+    /// (chunk-buffered): evaluates `layout.specs[start + r]` into target
+    /// row `r` for the whole target.
+    // lane loops are written `for w in 0..W` even where an iterator would
+    // do: the fixed-width indexed form matches `lanes.rs` and is what the
+    // autovectorizer reliably lowers to packed ops
+    #[allow(clippy::needless_range_loop)]
+    fn fill_columns(
+        &self,
+        start: usize,
+        layout: &crate::columns::ColumnsLayout<'_>,
+        target: &mut crate::columns::ColumnsTarget<'_>,
+        scratch: &mut Scratch,
+    ) {
+        assert_eq!(layout.fingerprint, self.fingerprint, "columns arena built from a foreign kernel");
+        let len = target.len;
+        let mut rel = 0usize;
+
+        #[cfg(feature = "simd")]
+        {
+            const W: usize = 4;
+            let k = layout.slots;
+            /// Per-slot lane accumulator, fused so one slot touch hits one
+            /// contiguous struct instead of four scattered vectors.
+            #[derive(Clone, Copy)]
+            struct LaneAcc {
+                total: [f64; W],
+                tc: [f64; W],
+                tm: [f64; W],
+                ov: [f64; W],
+            }
+            // Lane accumulators. Never rezeroed between groups: the
+            // first-touch column assigns (not adds) each slot's first
+            // contribution, exactly like the scalar fast path, so stale
+            // lanes from the previous group are overwritten before they are
+            // read. Slots outside `pre_touched` are never written nor read.
+            let mut st = vec![LaneAcc { total: [0.0; W], tc: [0.0; W], tm: [0.0; W], ov: [0.0; W] }; k];
+            // slot index of every predicted-participating statement —
+            // writeback touches only these rows (the rest of the arena row
+            // is pre-zeroed)
+            let touched = &layout.maps.touched;
+
+            let n = self.node.len();
+            let stmt_col = &self.stmt[..n];
+            let (flops, iops) = (&self.flops[..n], &self.iops[..n]);
+            let (accesses, bytes) = (&self.accesses[..n], &self.bytes[..n]);
+            let (enr, thread_cap, delta) = (&self.enr[..n], &self.thread_cap[..n], &self.delta[..n]);
+            let participates = &self.stmt_participates[..n];
+            let first_touch = &self.first_touch[..n];
+            let block_slot = &layout.maps.block_slot[..n];
+
+            while rel < len {
+                // the tail group pads its trailing lanes with copies of the
+                // window's first spec: full lane arithmetic, writeback only
+                // of the `valid` real lanes — no scalar remainder loop, so
+                // the scratch stays cold unless a lane is degenerate
+                let valid = (len - rel).min(W);
+                let window = &layout.specs[start + rel..start + rel + valid];
+                let lanes = if valid == W {
+                    xflow_hw::SpecLanes::<W>::pack(window)
+                } else {
+                    let mut padded = [window[0]; W];
+                    padded[..valid].copy_from_slice(window);
+                    xflow_hw::SpecLanes::<W>::pack(&padded)
+                };
+                let mut acc_total = [0.0f64; W];
+                let mut acc_tc = [0.0f64; W];
+                let mut acc_tm = [0.0f64; W];
+                let mut acc_ov = [0.0f64; W];
+                let mut pred = [true; W];
+
+                for i in 0..n {
+                    let t = lanes.block_time(flops[i], iops[i], accesses[i], bytes[i], thread_cap[i], delta[i]);
+                    let e = enr[i];
+                    for w in 0..W {
+                        acc_total[w] += t.total[w] * e;
+                    }
+                    for w in 0..W {
+                        acc_tc[w] += t.tc[w] * e;
+                    }
+                    for w in 0..W {
+                        acc_tm[w] += t.tm[w] * e;
+                    }
+                    for w in 0..W {
+                        acc_ov[w] += t.overlap[w] * e;
+                    }
+                    if stmt_col[i] != NO_STMT {
+                        let p = participates[i];
+                        let mut uniform = true;
+                        let mut active = [false; W];
+                        for w in 0..W {
+                            active[w] = t.total[w] > 0.0;
+                            uniform &= active[w] == p;
+                        }
+                        if uniform {
+                            // every lane matches the prediction: one branch
+                            // for the whole group, branch-free lane writes
+                            if p {
+                                let a = &mut st[block_slot[i] as usize];
+                                if first_touch[i] {
+                                    for w in 0..W {
+                                        a.total[w] = t.total[w] * e;
+                                    }
+                                    for w in 0..W {
+                                        a.tc[w] = t.tc[w] * e;
+                                    }
+                                    for w in 0..W {
+                                        a.tm[w] = t.tm[w] * e;
+                                    }
+                                    for w in 0..W {
+                                        a.ov[w] = t.overlap[w] * e;
+                                    }
+                                } else {
+                                    for w in 0..W {
+                                        a.total[w] += t.total[w] * e;
+                                    }
+                                    for w in 0..W {
+                                        a.tc[w] += t.tc[w] * e;
+                                    }
+                                    for w in 0..W {
+                                        a.tm[w] += t.tm[w] * e;
+                                    }
+                                    for w in 0..W {
+                                        a.ov[w] += t.overlap[w] * e;
+                                    }
+                                }
+                            }
+                        } else {
+                            // some lane diverged from the prediction
+                            // (degenerate machine): fold the mismatch into
+                            // `pred` and keep the surviving lanes exact
+                            let a = &mut st[block_slot[i] as usize];
+                            for w in 0..W {
+                                pred[w] &= active[w] == p;
+                                if active[w] {
+                                    if first_touch[i] {
+                                        a.total[w] = t.total[w] * e;
+                                        a.tc[w] = t.tc[w] * e;
+                                        a.tm[w] = t.tm[w] * e;
+                                        a.ov[w] = t.overlap[w] * e;
+                                    } else {
+                                        a.total[w] += t.total[w] * e;
+                                        a.tc[w] += t.tc[w] * e;
+                                        a.tm[w] += t.tm[w] * e;
+                                        a.ov[w] += t.overlap[w] * e;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                for w in 0..valid {
+                    let r = rel + w;
+                    if pred[w] {
+                        target.total[r] = acc_total[w];
+                        target.tc[r] = acc_tc[w];
+                        target.tm[r] = acc_tm[w];
+                        target.overlap[r] = acc_ov[w];
+                        target.delta[r] = crate::columns::achieved_delta(acc_tc[w], acc_tm[w], acc_ov[w]);
+                        target.memory_bound[r] = acc_tm[w] > acc_tc[w];
+                        // predicted participation held: presence is the
+                        // precomputed set, same as the scalar fast path
+                        let base = r * k;
+                        for &slot in touched {
+                            let s = slot as usize;
+                            let a = &st[s];
+                            target.stmt_total[base + s] = a.total[w];
+                            target.stmt_tc[base + s] = a.tc[w];
+                            target.stmt_tm[base + s] = a.tm[w];
+                            target.stmt_overlap[base + s] = a.ov[w];
+                            target.stmt_present[base + s] = true;
+                        }
+                    } else {
+                        // degenerate lane: replay through the scalar oracle
+                        self.evaluate_spec_into(&layout.specs[start + r], scratch);
+                        target.fill_from_scratch(r, &layout.maps.slot_of, scratch);
+                    }
+                }
+                rel += valid;
+            }
+        }
+
+        // scalar remainder (the whole target when `simd` is off)
+        while rel < len {
+            self.evaluate_spec_into(&layout.specs[start + rel], scratch);
+            target.fill_from_scratch(rel, &layout.maps.slot_of, scratch);
+            rel += 1;
+        }
+    }
+}
+
+/// Hand-written serde impls (the vendored derive has no `#[serde(skip)]`):
+/// the wire shape is exactly what the derive produced before the lazily
+/// built `slot_layout` cache existed — every persisted field, by name —
+/// and deserialization leaves the cache empty to be rebuilt on first use.
+macro_rules! kernel_persisted_fields {
+    ($m:ident) => {
+        $m!(
+            node,
+            stmt,
+            flops,
+            iops,
+            accesses,
+            bytes,
+            enr,
+            thread_cap,
+            delta,
+            summaries,
+            stmt_metrics,
+            stmt_participates,
+            pre_stmt_metrics,
+            first_touch,
+            pre_touched,
+            node_enr,
+            stmt_bound,
+            unknown_libs,
+            fingerprint
+        )
+    };
+}
+
+impl Serialize for PlanKernel {
+    fn serialize(&self) -> serde::Content {
+        macro_rules! entries {
+            ($($f:ident),*) => {
+                vec![$((serde::Content::Str(stringify!($f).to_string()), Serialize::serialize(&self.$f))),*]
+            };
+        }
+        serde::Content::Map(kernel_persisted_fields!(entries))
+    }
+}
+
+impl Deserialize for PlanKernel {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        match content {
+            serde::Content::Map(entries) => {
+                macro_rules! build {
+                    ($($f:ident),*) => {
+                        Ok(Self {
+                            $($f: serde::field(entries, stringify!($f))?,)*
+                            slot_layout: std::sync::OnceLock::new(),
+                        })
+                    };
+                }
+                kernel_persisted_fields!(build)
+            }
+            _ => Err(serde::Error("expected map for struct PlanKernel".to_string())),
+        }
+    }
 }
 
 /// Reusable output buffers for [`PlanKernel`] evaluations.
@@ -656,6 +975,119 @@ func main() {
         ka.evaluate_spec_into(&spec, &mut scratch);
         assert!(!kb.evaluate_spec_into(&spec, &mut scratch), "foreign scratch must re-prime");
         assert_projection_bits(&scratch.projection(&kb), &plan_b.evaluate(&generic(), &Roofline));
+    }
+
+    #[test]
+    fn columns_match_scalar_evaluate_row_for_row() {
+        let bet = bet_for(SRC);
+        let plan = ProjectionPlan::new(&bet, &LibraryRegistry::with_defaults());
+        let kernel = plan.kernel();
+        let machines = [bgq(), xeon(), knl(), generic(), bgq(), xeon(), knl()]; // 7: lane remainder of 3
+        let specs: Vec<MachineSpec> = machines.iter().map(MachineSpec::resolve).collect();
+        let cols = kernel.evaluate_columns(&specs);
+        assert_eq!(cols.points(), machines.len());
+        for (i, machine) in machines.iter().enumerate() {
+            let scalar = plan.evaluate(machine, &Roofline);
+            assert_eq!(cols.total(i).to_bits(), scalar.total_time.to_bits(), "total point {i}");
+            // block-level aggregates match the node-cost sums
+            let (tc, tm, ov) = cols.block_totals(i);
+            let (mut stc, mut stm, mut sov) = (0.0, 0.0, 0.0);
+            for nc in &scalar.node_costs {
+                stc += nc.per_invocation.tc * nc.enr;
+                stm += nc.per_invocation.tm * nc.enr;
+                sov += nc.per_invocation.overlap * nc.enr;
+            }
+            assert_eq!(tc.to_bits(), stc.to_bits(), "tc point {i}");
+            assert_eq!(tm.to_bits(), stm.to_bits(), "tm point {i}");
+            assert_eq!(ov.to_bits(), sov.to_bits(), "overlap point {i}");
+            // per-statement rows mirror the scalar per-statement table
+            let row: Vec<_> = cols.stmt_row(i).collect();
+            assert_eq!(row.len(), scalar.per_stmt.len(), "row arity point {i}");
+            for sc in row {
+                let reference = scalar.per_stmt[&sc.stmt];
+                assert_eq!(sc.total.to_bits(), reference.total.to_bits(), "{:?} total point {i}", sc.stmt);
+                assert_eq!(sc.tc.to_bits(), reference.tc.to_bits(), "{:?} tc point {i}", sc.stmt);
+                assert_eq!(sc.tm.to_bits(), reference.tm.to_bits(), "{:?} tm point {i}", sc.stmt);
+                assert_eq!(sc.overlap.to_bits(), reference.overlap.to_bits(), "{:?} overlap point {i}", sc.stmt);
+            }
+            // hydration reproduces the full projection bit-for-bit
+            assert_projection_bits(&cols.hydrate(&kernel, i), &scalar);
+        }
+    }
+
+    #[test]
+    fn columns_chunked_fill_matches_one_shot_fill() {
+        let bet = bet_for(SRC);
+        let plan = ProjectionPlan::new(&bet, &LibraryRegistry::with_defaults());
+        let kernel = plan.kernel();
+        let machines = [bgq(), xeon(), knl(), generic(), bgq(), xeon(), knl(), generic(), bgq()];
+        let specs: Vec<MachineSpec> = machines.iter().map(MachineSpec::resolve).collect();
+        let whole = kernel.evaluate_columns(&specs);
+        for split in [1, 2, 3, 4, 5, 8] {
+            let mut cols = ProjectionColumns::new(&kernel, specs.clone());
+            let mut scratch = kernel.make_scratch();
+            let mut start = 0;
+            while start < specs.len() {
+                let end = (start + split).min(specs.len());
+                let chunk = kernel.evaluate_columns_chunk(&cols, start..end, &mut scratch);
+                cols.install(chunk);
+                start = end;
+            }
+            for i in 0..specs.len() {
+                assert_eq!(cols.total(i).to_bits(), whole.total(i).to_bits(), "split {split} point {i}");
+                assert_eq!(cols.memory_bound(i), whole.memory_bound(i), "split {split} point {i}");
+                assert_eq!(cols.delta(i).to_bits(), whole.delta(i).to_bits(), "split {split} point {i}");
+                let a: Vec<_> = cols.stmt_row(i).map(|s| (s.slot, s.total.to_bits())).collect();
+                let b: Vec<_> = whole.stmt_row(i).map(|s| (s.slot, s.total.to_bits())).collect();
+                assert_eq!(a, b, "split {split} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_machine_takes_the_replay_path_and_stays_exact() {
+        let bet = bet_for(SRC);
+        let plan = ProjectionPlan::new(&bet, &LibraryRegistry::with_defaults());
+        let kernel = plan.kernel();
+        // an infinite-frequency machine underflows every cycle time: the
+        // participation prediction fails and the lane falls back to the
+        // scalar replay — inside a full lane group on purpose
+        let mut inf = generic();
+        inf.freq_ghz = f64::INFINITY;
+        let machines = [bgq(), inf.clone(), xeon(), knl(), inf];
+        let specs: Vec<MachineSpec> = machines.iter().map(MachineSpec::resolve).collect();
+        let cols = kernel.evaluate_columns(&specs);
+        for (i, machine) in machines.iter().enumerate() {
+            let scalar = plan.evaluate(machine, &Roofline);
+            assert_eq!(cols.total(i).to_bits(), scalar.total_time.to_bits(), "total point {i}");
+            let row: Vec<_> = cols.stmt_row(i).collect();
+            assert_eq!(row.len(), scalar.per_stmt.len(), "row arity point {i}");
+            for sc in row {
+                assert_eq!(sc.total.to_bits(), scalar.per_stmt[&sc.stmt].total.to_bits(), "point {i}");
+            }
+            assert_projection_bits(&cols.hydrate(&kernel, i), &scalar);
+        }
+    }
+
+    #[test]
+    fn columns_top_k_ranks_by_total_with_stable_ties() {
+        let bet = bet_for(SRC);
+        let plan = ProjectionPlan::new(&bet, &LibraryRegistry::with_defaults());
+        let kernel = plan.kernel();
+        // duplicates guarantee ties; ties must keep point order
+        let machines = [xeon(), bgq(), xeon(), generic()];
+        let specs: Vec<MachineSpec> = machines.iter().map(MachineSpec::resolve).collect();
+        let cols = kernel.evaluate_columns(&specs);
+        let ranked = cols.top_k(machines.len());
+        for w in ranked.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(
+                cols.total(a) < cols.total(b) || (cols.total(a) == cols.total(b) && a < b),
+                "ranking violated: {a} before {b}"
+            );
+        }
+        assert_eq!(cols.top_k(2).len(), 2);
+        assert_eq!(lane_width(), if cfg!(feature = "simd") { 4 } else { 1 });
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! Figures 4–13.
 
 pub mod analysis;
+pub mod columns;
 pub mod hotpath;
 pub mod kernel;
 pub mod miniapp;
@@ -20,8 +21,9 @@ pub mod quality;
 pub mod select;
 
 pub use analysis::{project, project_single_pass, NodeCost, Projection, StmtCost, StmtCosts};
+pub use columns::{ColumnsChunk, ProjectionColumns, SlotCost};
 pub use hotpath::{extract, render, HotPath};
-pub use kernel::{PlanKernel, Scratch};
+pub use kernel::{lane_width, PlanKernel, Scratch};
 pub use miniapp::build_miniapp;
 pub use plan::{PlanBlock, ProjectionPlan};
 pub use quality::{coverage_curve, quality_at, quality_curve, top_k_overlap, MeasuredTimes};

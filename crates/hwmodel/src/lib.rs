@@ -20,6 +20,7 @@
 //! assert!(t.total <= t.tc + t.tm);
 //! ```
 
+pub mod lanes;
 pub mod library;
 pub mod machine;
 pub mod network;
@@ -27,6 +28,7 @@ pub mod refined;
 pub mod roofline;
 pub mod spec;
 
+pub use lanes::{DivLanes, LaneTimes, SpecLanes};
 pub use library::{InstrMix, LibraryRegistry, UnknownLibrary};
 pub use machine::{bgq, generic, knl, xeon, CacheLevel, MachineBuilder, MachineModel};
 pub use network::{bgq_torus, ideal, infiniband, NetworkModel};

@@ -38,7 +38,7 @@ const EXP_MASK: u64 = 0x7ff;
 /// division are both correctly rounded — so `x * recip` and `x / d` return
 /// the same bits in every case (normal, subnormal, ±0, ±∞, NaN).
 #[inline]
-fn exact_recip(d: f64) -> Option<f64> {
+pub(crate) fn exact_recip(d: f64) -> Option<f64> {
     let bits = d.to_bits();
     if bits & MANTISSA_MASK != 0 {
         return None; // not a power of two
@@ -83,6 +83,13 @@ impl ExactDiv {
         } else {
             x / self.factor
         }
+    }
+
+    /// The raw (factor, is-multiply) pair, for packing into
+    /// [`crate::lanes::DivLanes`] columns.
+    #[inline]
+    pub(crate) fn parts(&self) -> (f64, bool) {
+        (self.factor, self.mul)
     }
 
     /// The original divisor.

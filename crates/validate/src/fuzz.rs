@@ -230,6 +230,28 @@ fn check_program_inner(src: &str, escapes: bool, machines: &[MachineModel]) -> O
         }
     }
 
+    // 4b. columnar batch over the same machines (group remainder included:
+    // the machine list is rarely a lane multiple) — structural invariants
+    // on the arena, and its totals must be bit-identical to the scalar
+    // evaluator the projections above came from
+    let specs: Vec<xflow_hw::MachineSpec> = machines.iter().map(xflow_hw::MachineSpec::resolve).collect();
+    let kernel = plan.kernel();
+    let cols = kernel.evaluate_columns(&specs);
+    if let Some(v) = invariants::check_columns(&cols).first() {
+        return Outcome::Failed(format!("columns invariant: {}: {}", v.invariant, v.detail));
+    }
+    for (i, m) in machines.iter().enumerate() {
+        let scalar = plan.evaluate(m, &xflow_hw::Roofline);
+        if cols.total(i).to_bits() != scalar.total_time.to_bits() {
+            return Outcome::Failed(format!(
+                "columns total diverges from scalar evaluate on {}: {} vs {}",
+                m.name,
+                cols.total(i),
+                scalar.total_time
+            ));
+        }
+    }
+
     // 5. full differential validation for the exact dialect
     if !escapes {
         let cfg = ValidationConfig { check_times: false, ..ValidationConfig::default() };

@@ -23,7 +23,7 @@
 
 use serde::Serialize;
 use xflow_bet::{Bet, BetKind, BetNodeId};
-use xflow_hotspot::Projection;
+use xflow_hotspot::{Projection, ProjectionColumns};
 
 /// Tolerance for probability-range checks (pure products of clamped
 /// values; only accumulation round-off can push them past the bound).
@@ -219,6 +219,79 @@ pub fn check_projection(projection: &Projection) -> Vec<Violation> {
             if !val.is_finite() || val < 0.0 {
                 v.push(Violation::new("stmt-cost-nonneg", format!("{stmt:?}: {what} = {val}")));
             }
+        }
+    }
+    v
+}
+
+/// Check the cost-sanity invariants of a columnar sweep arena
+/// ([`ProjectionColumns`]): every point's block aggregates are finite,
+/// non-negative, and decompose as `total = Tc + Tm − To`; the achieved
+/// overlap fraction δ lies in `[0, 1]` and is consistent with the stored
+/// To; the memory-bound verdict matches `Tm > Tc`; and the per-statement
+/// row mass never exceeds the point total (statement costs are a
+/// partition of a subset of the block costs).
+///
+/// Oracle-free, like [`check_projection`] — these hold for *every* arena
+/// regardless of plan or machine, so both the fuzzer and the equivalence
+/// tests can enforce them without hydrating a single projection.
+pub fn check_columns(cols: &ProjectionColumns) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for i in 0..cols.points() {
+        let total = cols.total(i);
+        let (tc, tm, ov) = cols.block_totals(i);
+        for (what, val) in [("tc", tc), ("tm", tm), ("overlap", ov), ("total", total)] {
+            if !val.is_finite() || val < 0.0 {
+                v.push(Violation::new("cols-cost-nonneg", format!("point {i}: {what} = {val}")));
+            }
+        }
+        if ov > tc.min(tm) * (1.0 + PROB_EPS) + f64::MIN_POSITIVE {
+            v.push(Violation::new(
+                "cols-overlap-bound",
+                format!("point {i}: overlap {ov} exceeds min(tc {tc}, tm {tm})"),
+            ));
+        }
+        let recomposed = tc + tm - ov;
+        if (total - recomposed).abs() > recomposed.abs().max(1e-300) * 1e-9 {
+            v.push(Violation::new(
+                "cols-total-decomposition",
+                format!("point {i}: total {total} != tc + tm - overlap = {recomposed}"),
+            ));
+        }
+        let delta = cols.delta(i);
+        if !delta.is_finite() || !(0.0..=1.0 + PROB_EPS).contains(&delta) {
+            v.push(Violation::new("cols-delta-range", format!("point {i}: delta = {delta}")));
+        }
+        let bound = tc.min(tm) * delta;
+        if (ov - bound).abs() > bound.abs().max(1e-300) * 1e-9 {
+            v.push(Violation::new(
+                "cols-delta-consistency",
+                format!("point {i}: overlap {ov} != delta {delta} * min(tc, tm)"),
+            ));
+        }
+        if cols.memory_bound(i) != (tm > tc) {
+            v.push(Violation::new(
+                "cols-verdict",
+                format!("point {i}: memory_bound {} but tc = {tc}, tm = {tm}", cols.memory_bound(i)),
+            ));
+        }
+        let mut stmt_mass = 0.0f64;
+        for c in cols.stmt_row(i) {
+            for (what, val) in [("total", c.total), ("tc", c.tc), ("tm", c.tm), ("overlap", c.overlap)] {
+                if !val.is_finite() || val < 0.0 {
+                    v.push(Violation::new(
+                        "cols-stmt-cost-nonneg",
+                        format!("point {i} slot {} ({:?}): {what} = {val}", c.slot, c.stmt),
+                    ));
+                }
+            }
+            stmt_mass += c.total;
+        }
+        if stmt_mass > total * (1.0 + CONS_EPS) + CONS_EPS {
+            v.push(Violation::new(
+                "cols-stmt-mass",
+                format!("point {i}: statement mass {stmt_mass} exceeds point total {total}"),
+            ));
         }
     }
     v

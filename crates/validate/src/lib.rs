@@ -33,7 +33,7 @@ pub mod report;
 
 pub use fuzz::{run_fuzz, FuzzConfig, FuzzFailure, FuzzSummary};
 pub use gen::{generate, render, GenConfig, GenProgram};
-pub use invariants::{check_bet, check_projection, Violation};
+pub use invariants::{check_bet, check_columns, check_projection, Violation};
 pub use jsonfmt::to_json;
 pub use report::{
     profiles_agree, validate_program, validate_source, validate_workload, ValidateError, ValidationConfig,

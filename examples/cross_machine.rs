@@ -25,9 +25,11 @@ fn main() {
     let sweep = DesignSpace::from_machines(machines.clone()).sweep(&app, 2);
     let mut rankings = Vec::new();
     for (m, point) in machines.iter().zip(&sweep.points) {
-        let mp = &point.mp;
+        // drill into this point: hydrate its full projection from the
+        // sweep's columnar arena
+        let mp = sweep.hydrate(&app, point.index);
         let measured = app.measure_on(Some(&w), m).expect("simulate");
-        let cmp = compare(mp, &measured, 10);
+        let cmp = compare(&mp, &measured, 10);
 
         println!("\n=== {} ===", m.name);
         println!("{}", cmp.format_table(&app.units, 8));

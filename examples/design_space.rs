@@ -44,7 +44,7 @@ fn main() {
         print!("{:>8} ", format!("{bw}GB/s"));
         for fi in 0..mlp_points.len() {
             let p = &sweep.points[bi * mlp_points.len() + fi];
-            print!("{:>12.3e} ", p.mp.total);
+            print!("{:>12.3e} ", p.total);
         }
         println!();
     }
@@ -70,7 +70,7 @@ fn main() {
     let deltas = sweep.deltas();
     println!(
         "\nfastest point: {} ({:.3e} s, {:.2}x the baseline corner)",
-        best.mp.machine.name, best.mp.total, deltas[best.index].speedup
+        best.machine, best.total, deltas[best.index].speedup
     );
     let flips = deltas.iter().filter(|d| d.bottleneck_flipped).count();
     println!("bottleneck flips vs baseline across the grid: {flips} / {}", deltas.len());

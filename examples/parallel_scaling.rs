@@ -55,7 +55,7 @@ fn main() {
     let sweep = DesignSpace::grid(bgq(), vec![Axis::cores(&cores)]).sweep(&app, 0);
     let deltas = sweep.deltas();
     for (point, delta) in sweep.points.iter().zip(&deltas) {
-        let mp = &point.mp;
+        let mp = sweep.hydrate(&app, point.index);
         let unit_named = |prefix: &str| {
             mp.unit_times.iter().find(|(u, _)| app.units.name(**u).starts_with(prefix)).map(|(_, &t)| t).unwrap_or(0.0)
         };

@@ -518,15 +518,16 @@ fn run_on_source(inv: &Invocation, src: &str, session_out: &mut Option<Session>)
                 None => space.sweep_opts(&app, inv.sweep_opts),
             };
             let mut out = format!("base machine: {}   points: {}\n\n", inv.machine.name, space.len());
-            let table = crate::format_sweep(&sweep, &app.units);
-            // header + at most --top point rows
-            for line in table.lines().take(inv.top + 1) {
-                out.push_str(line);
-                out.push('\n');
-            }
+            // a --top below the point count ranks straight off the totals
+            // column (best first, no hydration); otherwise point order
+            let table = if inv.top < space.len() {
+                crate::format_sweep_ranked(&sweep, &app.units, inv.top)
+            } else {
+                crate::format_sweep(&sweep, &app.units)
+            };
+            out.push_str(&table);
             if let Some(best) = sweep.best() {
-                let _ =
-                    writeln!(out, "\nbest: #{} {}   total {:.4e} s", best.index, best.mp.machine.name, best.mp.total);
+                let _ = writeln!(out, "\nbest: #{} {}   total {:.4e} s", best.index, best.machine, best.total);
             }
             Ok(out)
         }
@@ -855,13 +856,23 @@ fn main() {
     }
 
     #[test]
-    fn sweep_top_limits_rows() {
+    fn sweep_top_limits_rows_and_ranks_best_first() {
         with_demo_file(|path| {
             let out =
                 run(&args(&["sweep", path, "--axis", "cores=1,2,4,8", "--top", "2", "--machine", "xeon"])).unwrap();
             assert!(out.contains("points: 4"), "{out}");
-            // header + 2 rows: point #2 and #3 are cut
-            assert!(!out.lines().any(|l| l.trim_start().starts_with("3 ")), "{out}");
+            // ranked view: header + 2 rows, the slowest points are cut
+            let rows: Vec<&str> =
+                out.lines().filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit())).collect();
+            assert_eq!(rows.len(), 2, "{out}");
+            // the first ranked row is the best point
+            let best_line = out.lines().find(|l| l.starts_with("best:")).unwrap();
+            let best_idx = best_line.split('#').nth(1).unwrap().split_whitespace().next().unwrap();
+            assert!(rows[0].starts_with(best_idx), "{out}");
+            // ranked output is byte-stable across runs
+            let again =
+                run(&args(&["sweep", path, "--axis", "cores=1,2,4,8", "--top", "2", "--machine", "xeon"])).unwrap();
+            assert_eq!(out, again, "ranked sweep output must be deterministic");
         });
     }
 }

@@ -63,7 +63,7 @@ pub use pipeline::{
     PipelineError,
 };
 pub use session::{default_session, CacheStats, Session, SessionConfig, StageKeys, StageStats};
-pub use sweep::{format_sweep, Axis, DesignSpace, Sweep, SweepDelta, SweepOptions, SweepPoint};
+pub use sweep::{format_sweep, format_sweep_ranked, Axis, DesignSpace, Sweep, SweepDelta, SweepOptions, SweepPoint};
 pub use units::{Units, LIB_UNIT_BASE};
 
 // Re-export the sub-crates under their full names…

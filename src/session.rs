@@ -31,6 +31,10 @@
 //!   but nothing upstream);
 //! * `kernel_key`    = `fnv(plan_key, "kernel")` (the SoA kernel is a pure
 //!   re-layout of the plan, so it invalidates exactly when the plan does).
+//!   The kernel's columnar slot maps (`SlotLayout`, shared into every
+//!   [`xflow_hotspot::ProjectionColumns`] sweep arena) are a derived cache,
+//!   not part of the wire format: a kernel loaded from disk rebuilds them
+//!   lazily on its first columnar sweep.
 //!
 //! Editing the source therefore misses every stage; changing only the
 //! inputs reuses the parsed program and rebuilds downstream; swapping the

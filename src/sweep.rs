@@ -10,21 +10,31 @@
 //! [`DesignSpace`] enumerates the candidate machines (an explicit list via
 //! [`DesignSpace::from_machines`], or the cartesian product of parameter
 //! [`Axis`] values via [`DesignSpace::grid`]); [`DesignSpace::sweep`] fans
-//! the points across a scoped worker pool and returns a [`Sweep`] with
-//! per-point [`MachineProjection`]s, ranking/bottleneck summaries, and
-//! deltas against the baseline point.
+//! the points across a scoped worker pool and returns a [`Sweep`] holding
+//! one lightweight [`SweepPoint`] summary per point plus the columnar
+//! [`ProjectionColumns`] arena behind them.
+//!
+//! Sweep output is **columnar**: when the model specializes (the default
+//! roofline always does) the engine never materializes a per-point
+//! [`Projection`](xflow_hotspot::Projection). Workers fill disjoint ranges
+//! of one structure-of-arrays arena through the lane-vectorized
+//! [`xflow_hotspot::PlanKernel::evaluate_columns_chunk`] — total time,
+//! block Tc/Tm/To, achieved δ, and the dense per-statement cost matrix as
+//! columns. A full projection is *hydrated* on demand with
+//! [`Sweep::hydrate`] only when a caller drills into one point. Models
+//! that do not specialize (ablations, custom [`PerfModel`]s) and sweeps
+//! under an enabled telemetry recorder take the legacy per-point path,
+//! with identical arithmetic.
 //!
 //! Scheduling is a chunked work-stealing queue: workers claim contiguous
 //! chunks of grid points from a shared atomic cursor, each with a
-//! per-thread [`xflow_hotspot::Scratch`] feeding the batched SoA kernel
-//! ([`xflow_hotspot::PlanKernel`]) when the model specializes — zero
-//! allocations per point on the warm path. Grid traversal is row-major
+//! per-thread [`xflow_hotspot::Scratch`]. Grid traversal is row-major
 //! (last axis fastest), so adjacent points within a chunk differ in one
 //! axis. Results are deterministic and independent of the worker-thread
-//! count and the chunk size: results are merged back into index order, and
-//! the kernel path is bit-identical to the scalar evaluator, so the output
-//! never depends on scheduling. Tune both knobs with [`SweepOptions`] via
-//! [`DesignSpace::sweep_opts`].
+//! count and the chunk size: chunks install into the arena at their point
+//! range, and the lane kernel is bit-identical to the scalar evaluator, so
+//! the output never depends on scheduling. Tune both knobs with
+//! [`SweepOptions`] via [`DesignSpace::sweep_opts`].
 //!
 //! ```
 //! use xflow::{bgq, Axis, DesignSpace, ModeledApp, Scale};
@@ -41,14 +51,18 @@
 //! let sweep = space.sweep(&app, 2);
 //! assert_eq!(sweep.points.len(), 4);
 //! let best = sweep.best().unwrap();
-//! assert!(best.mp.total <= sweep.points[0].mp.total);
+//! assert!(best.total <= sweep.points[0].total);
+//! // drill into the winning point: hydrate its full projection
+//! let mp = sweep.hydrate(&app, best.index);
+//! assert_eq!(mp.total.to_bits(), best.total.to_bits());
 //! ```
 
 use crate::pipeline::{fold_projection, MachineProjection, ModeledApp};
+use crate::units::Units;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use xflow_hotspot::Scratch;
-use xflow_hw::{MachineModel, PerfModel, Roofline};
+use xflow_hotspot::{ProjectionColumns, Scratch, SlotCost};
+use xflow_hw::{MachineModel, MachineSpec, PerfModel, Roofline};
 use xflow_obs::{AttrValue, NoopRecorder, Recorder, SpanId};
 use xflow_skeleton::StmtId;
 
@@ -221,27 +235,34 @@ impl DesignSpace {
     }
 
     /// The sweep engine: chunked work-stealing over the points, per-thread
-    /// scratch buffers, batched SoA kernel when the model specializes.
+    /// scratch buffers, columnar SoA output when the model specializes.
     ///
     /// Identical arithmetic for every knob setting — the plain entry
-    /// points delegate here. Workers claim contiguous chunks of points
-    /// from a shared atomic cursor; each worker evaluates its chunk with a
-    /// private [`Scratch`] through [`xflow_hotspot::PlanKernel`] when
-    /// [`PerfModel::specialize`] yields a machine spec, and through the
-    /// scalar `evaluate_observed` path otherwise. Results merge back into
-    /// point order, so the output is independent of the thread count and
-    /// chunk size (enforced by `to_bits` tests).
+    /// points delegate here. Two paths share the chunked scheduler:
     ///
-    /// With an enabled recorder the whole sweep runs inside a `sweep` span,
-    /// each point gets a `sweep.point` span carrying its index and machine
-    /// name (for grid spaces the name embeds the point's full `axis=value`
-    /// coordinates), and three counters advance: `sweep.points` once per
-    /// completed point (hook an [`xflow_obs::ProgressTicker`] on it for a
-    /// live ticker), `sweep.steals` once per chunk a worker claims beyond
-    /// its first, and `sweep.scratch_reuse` once per point evaluated into
-    /// an already-warm scratch (no allocations). A point that panics is
-    /// re-raised with its index and coordinates prepended, so a failed
-    /// point names its `(axis=value, …)` binding.
+    /// * **Columnar** (no telemetry requested and every machine yields a
+    ///   [`MachineSpec`] via [`PerfModel::specialize`]): workers fill
+    ///   disjoint ranges of one [`ProjectionColumns`] arena through the
+    ///   lane-vectorized
+    ///   [`evaluate_columns_chunk`](xflow_hotspot::PlanKernel::evaluate_columns_chunk)
+    ///   — 4 machines per pass with the `simd` feature — and no per-point
+    ///   [`Projection`](xflow_hotspot::Projection) is ever materialized.
+    ///   Point summaries fold the arena's dense statement rows into units.
+    /// * **Legacy** (non-specializing models, or an enabled [`Recorder`]):
+    ///   the per-point scalar path, with a `sweep` span, per-point
+    ///   `sweep.point` spans carrying index and machine name (for grid
+    ///   spaces the name embeds the point's full `axis=value`
+    ///   coordinates), and three counters: `sweep.points` once per
+    ///   completed point (hook an [`xflow_obs::ProgressTicker`] on it for
+    ///   a live ticker), `sweep.steals` once per chunk a worker claims
+    ///   beyond its first, and `sweep.scratch_reuse` once per point
+    ///   evaluated into an already-warm scratch. A point that panics is
+    ///   re-raised with its index and coordinates prepended, so a failed
+    ///   point names its `(axis=value, …)` binding.
+    ///
+    /// Results merge back into point order (chunks install at their point
+    /// range), so the output is independent of the thread count and chunk
+    /// size — and of which path ran (enforced by `to_bits` tests).
     pub fn sweep_opts_observed<R: Recorder + Sync + ?Sized>(
         &self,
         app: &ModeledApp,
@@ -263,6 +284,70 @@ impl DesignSpace {
             c => c,
         };
 
+        // Columnar fast path: fill one SoA arena, no per-point Projection.
+        if !rec.enabled() {
+            let specs: Option<Vec<MachineSpec>> = self.machines.iter().map(|m| model.specialize(m)).collect();
+            if let Some(specs) = specs {
+                let mut cols = ProjectionColumns::new(kernel, specs);
+                if threads <= 1 {
+                    let mut scratch = kernel.make_scratch();
+                    let filled = kernel.evaluate_columns_chunk(&cols, 0..n, &mut scratch);
+                    cols.install(filled);
+                } else {
+                    let n_chunks = n.div_ceil(chunk);
+                    let cursor = AtomicUsize::new(0);
+                    let scope_result = crossbeam::thread::scope(|s| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|_| {
+                                s.spawn(|_| {
+                                    let mut scratch = kernel.make_scratch();
+                                    let mut out = Vec::new();
+                                    loop {
+                                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                                        if c >= n_chunks {
+                                            break;
+                                        }
+                                        let lo = c * chunk;
+                                        let hi = ((c + 1) * chunk).min(n);
+                                        out.push(kernel.evaluate_columns_chunk(&cols, lo..hi, &mut scratch));
+                                    }
+                                    out
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+                            .collect::<Vec<Vec<_>>>()
+                    });
+                    let per_worker = match scope_result {
+                        Ok(v) => v,
+                        Err(payload) => resume_unwind(payload),
+                    };
+                    // install in any order: chunks cover disjoint ranges
+                    for filled in per_worker.into_iter().flatten() {
+                        cols.install(filled);
+                    }
+                }
+                rec.add("sweep.points", n as u64);
+                let fold = UnitFold::new(units, &cols);
+                let points = (0..n)
+                    .map(|i| {
+                        let (top_unit, memory_bound) = fold.summarize(cols.stmt_row(i));
+                        SweepPoint {
+                            index: i,
+                            machine: self.machines[i].name.clone(),
+                            total: cols.total(i),
+                            top_unit,
+                            memory_bound,
+                        }
+                    })
+                    .collect();
+                return Sweep { points, machines: self.machines.clone(), columns: Some(cols), fallback: None, fold };
+            }
+        }
+
+        // Legacy per-point path: full telemetry, eager projections.
         let sweep_span = if rec.enabled() {
             rec.span_start(
                 "sweep",
@@ -276,7 +361,7 @@ impl DesignSpace {
             SpanId::NONE
         };
 
-        let eval = |i: usize, scratch: &mut Scratch| -> SweepPoint {
+        let eval = |i: usize, scratch: &mut Scratch| -> (SweepPoint, MachineProjection) {
             let machine = &self.machines[i];
             let span = if rec.enabled() {
                 rec.span_start(
@@ -316,7 +401,7 @@ impl DesignSpace {
             }
         };
 
-        let points = if threads <= 1 {
+        let pairs: Vec<(SweepPoint, MachineProjection)> = if threads <= 1 {
             let mut scratch = kernel.make_scratch();
             (0..n).map(|i| eval(i, &mut scratch)).collect()
         } else {
@@ -351,7 +436,7 @@ impl DesignSpace {
                 handles
                     .into_iter()
                     .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
-                    .collect::<Vec<Vec<(usize, SweepPoint)>>>()
+                    .collect::<Vec<Vec<(usize, (SweepPoint, MachineProjection))>>>()
             });
             let per_worker = match scope_result {
                 Ok(v) => v,
@@ -359,7 +444,7 @@ impl DesignSpace {
             };
 
             // merge into point order so results are scheduling-independent
-            let mut slots: Vec<Option<SweepPoint>> = (0..n).map(|_| None).collect();
+            let mut slots: Vec<Option<(SweepPoint, MachineProjection)>> = (0..n).map(|_| None).collect();
             for (i, p) in per_worker.into_iter().flatten() {
                 slots[i] = Some(p);
             }
@@ -369,7 +454,8 @@ impl DesignSpace {
         if rec.enabled() {
             rec.span_end(sweep_span, &[("outcome", AttrValue::Str("ok"))]);
         }
-        Sweep { points }
+        let (points, mps): (Vec<SweepPoint>, Vec<MachineProjection>) = pairs.into_iter().unzip();
+        Sweep { points, machines: self.machines.clone(), columns: None, fallback: Some(mps), fold: UnitFold::empty() }
     }
 }
 
@@ -385,18 +471,113 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-fn summarize(index: usize, mp: MachineProjection) -> SweepPoint {
+fn summarize(index: usize, mp: MachineProjection) -> (SweepPoint, MachineProjection) {
     let top_unit = mp.ranking().first().copied();
     let memory_bound = top_unit.and_then(|u| mp.unit_breakdown.get(&u)).map(|b| b.tm > b.tc).unwrap_or(false);
-    SweepPoint { index, top_unit, memory_bound, mp }
+    let point = SweepPoint { index, machine: mp.machine.name.clone(), total: mp.total, top_unit, memory_bound };
+    (point, mp)
 }
 
-/// Projection of one design-space point.
+/// Compact statement-slot → unit fold layout for columnar sweeps.
+///
+/// Unit ids can live in the library pseudo-id space near `u32::MAX`
+/// ([`crate::units::LIB_UNIT_BASE`]), so units are indexed by first
+/// appearance over the ascending statement slots rather than densely by
+/// id. Folding a dense row accumulates slot costs in ascending-statement
+/// order — the same order [`fold_projection`] visits the per-statement
+/// table, so the per-unit sums are bit-identical to the eager path's.
+struct UnitFold {
+    unit_ids: Vec<StmtId>,
+    slot_unit: Vec<u32>,
+}
+
+impl UnitFold {
+    fn new(units: &Units, cols: &ProjectionColumns) -> Self {
+        let mut unit_ids: Vec<StmtId> = Vec::new();
+        let mut slot_unit = Vec::with_capacity(cols.slot_count());
+        for stmt in cols.stmt_ids() {
+            let unit = units.unit_of(stmt);
+            let idx = unit_ids.iter().position(|&u| u == unit).unwrap_or_else(|| {
+                unit_ids.push(unit);
+                unit_ids.len() - 1
+            });
+            slot_unit.push(idx as u32);
+        }
+        Self { unit_ids, slot_unit }
+    }
+
+    fn empty() -> Self {
+        Self { unit_ids: Vec::new(), slot_unit: Vec::new() }
+    }
+
+    /// Fold one dense statement row into `(top unit, top unit is
+    /// memory-bound)` — the two summary facts a [`SweepPoint`] carries.
+    fn summarize(&self, row: impl Iterator<Item = SlotCost>) -> (Option<StmtId>, bool) {
+        let k = self.unit_ids.len();
+        let mut total = vec![0.0f64; k];
+        let mut tc = vec![0.0f64; k];
+        let mut tm = vec![0.0f64; k];
+        let mut present = vec![false; k];
+        for sc in row {
+            let u = self.slot_unit[sc.slot] as usize;
+            total[u] += sc.total;
+            tc[u] += sc.tc;
+            tm[u] += sc.tm;
+            present[u] = true;
+        }
+        // max by (time desc, unit id asc) — the head of the full ranking
+        let mut top: Option<usize> = None;
+        for u in 0..k {
+            if !present[u] {
+                continue;
+            }
+            top = Some(match top {
+                None => u,
+                Some(b) => {
+                    if total[u] > total[b] || (total[u] == total[b] && self.unit_ids[u] < self.unit_ids[b]) {
+                        u
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        match top {
+            Some(u) => (Some(self.unit_ids[u]), tm[u] > tc[u]),
+            None => (None, false),
+        }
+    }
+
+    /// Full unit ranking of one dense statement row (time desc, id asc) —
+    /// matches [`MachineProjection::ranking`] of the hydrated point.
+    fn ranking(&self, row: impl Iterator<Item = SlotCost>) -> Vec<StmtId> {
+        let k = self.unit_ids.len();
+        let mut total = vec![0.0f64; k];
+        let mut present = vec![false; k];
+        for sc in row {
+            let u = self.slot_unit[sc.slot] as usize;
+            total[u] += sc.total;
+            present[u] = true;
+        }
+        let mut v: Vec<(StmtId, f64)> = (0..k).filter(|&u| present[u]).map(|u| (self.unit_ids[u], total[u])).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.into_iter().map(|(s, _)| s).collect()
+    }
+}
+
+/// Summary of one design-space point — a few scalars, no projection.
+///
+/// The full [`MachineProjection`] of a point is hydrated on demand with
+/// [`Sweep::hydrate`].
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Index into [`DesignSpace::machines`].
     pub index: usize,
-    /// The full per-machine projection.
-    pub mp: MachineProjection,
+    /// Machine name of the point (grid points embed their `axis=value`
+    /// coordinates).
+    pub machine: String,
+    /// Total projected seconds.
+    pub total: f64,
     /// Highest-cost unit on this machine, if any time was projected.
     pub top_unit: Option<StmtId>,
     /// Whether the top unit is memory-bound (`Tm > Tc`) on this machine.
@@ -418,26 +599,75 @@ pub struct SweepDelta {
     pub bottleneck_flipped: bool,
 }
 
-/// Result of sweeping a design space: per-point projections in point
-/// order, plus ranking and comparison helpers.
+/// Result of sweeping a design space: lightweight per-point summaries in
+/// point order, backed by either the columnar arena (specializing models)
+/// or eagerly folded projections (legacy path).
 pub struct Sweep {
     /// One entry per design-space point, in point order.
     pub points: Vec<SweepPoint>,
+    machines: Vec<MachineModel>,
+    columns: Option<ProjectionColumns>,
+    fallback: Option<Vec<MachineProjection>>,
+    fold: UnitFold,
 }
 
 impl Sweep {
     /// The fastest point (lowest projected total; ties keep point order).
     pub fn best(&self) -> Option<&SweepPoint> {
-        self.points.iter().min_by(|a, b| a.mp.total.partial_cmp(&b.mp.total).unwrap_or(std::cmp::Ordering::Equal))
+        self.points.iter().min_by(|a, b| a.total.partial_cmp(&b.total).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// Points sorted by ascending projected total (ties keep point order).
     pub fn ranked(&self) -> Vec<&SweepPoint> {
         let mut v: Vec<&SweepPoint> = self.points.iter().collect();
         v.sort_by(|a, b| {
-            a.mp.total.partial_cmp(&b.mp.total).unwrap_or(std::cmp::Ordering::Equal).then(a.index.cmp(&b.index))
+            a.total.partial_cmp(&b.total).unwrap_or(std::cmp::Ordering::Equal).then(a.index.cmp(&b.index))
         });
         v
+    }
+
+    /// The `k` fastest points, ranked — straight off the totals column, no
+    /// hydration.
+    pub fn top(&self, k: usize) -> Vec<&SweepPoint> {
+        let mut v = self.ranked();
+        v.truncate(k);
+        v
+    }
+
+    /// The swept machines, in point order.
+    pub fn machines(&self) -> &[MachineModel] {
+        &self.machines
+    }
+
+    /// The columnar result arena, when the sweep ran the columnar path
+    /// (specializing model, no telemetry).
+    pub fn columns(&self) -> Option<&ProjectionColumns> {
+        self.columns.as_ref()
+    }
+
+    /// Materialize the full per-machine projection of one point.
+    ///
+    /// Columnar sweeps re-evaluate the point's stored spec through the
+    /// app's kernel (bit-identical to what the eager path would have
+    /// stored); legacy sweeps re-fold their retained projection. `app`
+    /// must be the application the sweep was run on.
+    pub fn hydrate(&self, app: &ModeledApp, i: usize) -> MachineProjection {
+        match &self.columns {
+            Some(cols) => fold_projection(&app.units, &self.machines[i], cols.hydrate(app.kernel(), i)),
+            None => {
+                let mp = &self.fallback.as_ref().expect("sweep holds no results")[i];
+                fold_projection(&app.units, &self.machines[i], mp.projection.clone())
+            }
+        }
+    }
+
+    /// Unit ranking of one point (time desc, id asc) without hydrating its
+    /// projection.
+    pub fn unit_ranking(&self, i: usize) -> Vec<StmtId> {
+        match &self.columns {
+            Some(cols) => self.fold.ranking(cols.stmt_row(i)),
+            None => self.fallback.as_ref().expect("sweep holds no results")[i].ranking(),
+        }
     }
 
     /// Per-point deltas against the baseline (point 0): speedup, hot-spot
@@ -445,43 +675,65 @@ impl Sweep {
     /// sweep exists to answer.
     pub fn deltas(&self) -> Vec<SweepDelta> {
         let Some(base) = self.points.first() else { return Vec::new() };
-        let base_ranking = base.mp.ranking();
+        let base_ranking = self.unit_ranking(0);
         self.points
             .iter()
             .map(|p| SweepDelta {
                 index: p.index,
-                machine: p.mp.machine.name.clone(),
-                speedup: if p.mp.total > 0.0 { base.mp.total / p.mp.total } else { f64::INFINITY },
-                ranking_changed: p.mp.ranking() != base_ranking,
+                machine: p.machine.clone(),
+                speedup: if p.total > 0.0 { base.total / p.total } else { f64::INFINITY },
+                ranking_changed: self.unit_ranking(p.index) != base_ranking,
                 bottleneck_flipped: p.memory_bound != base.memory_bound,
             })
             .collect()
     }
 }
 
-/// Render a sweep as an aligned table (point, machine, total, top unit,
-/// bound, speedup vs baseline).
-pub fn format_sweep(sweep: &Sweep, units: &crate::units::Units) -> String {
+fn write_sweep_header(out: &mut String) {
     use std::fmt::Write;
-    let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<4} {:<40} {:>12} {:<24} {:>7} {:>9}",
         "#", "machine", "total (s)", "top unit", "bound", "speedup"
     );
+}
+
+fn write_sweep_row(out: &mut String, p: &SweepPoint, d: &SweepDelta, units: &crate::units::Units) {
+    use std::fmt::Write;
+    let top = p.top_unit.map(|u| units.name(u)).unwrap_or_else(|| "-".into());
+    let _ = writeln!(
+        out,
+        "{:<4} {:<40} {:>12.4e} {:<24} {:>7} {:>8.2}x",
+        p.index,
+        p.machine,
+        p.total,
+        top,
+        if p.memory_bound { "mem" } else { "comp" },
+        d.speedup,
+    );
+}
+
+/// Render a sweep as an aligned table (point, machine, total, top unit,
+/// bound, speedup vs baseline), in point order.
+pub fn format_sweep(sweep: &Sweep, units: &crate::units::Units) -> String {
+    let mut out = String::new();
+    write_sweep_header(&mut out);
     let deltas = sweep.deltas();
     for (p, d) in sweep.points.iter().zip(&deltas) {
-        let top = p.top_unit.map(|u| units.name(u)).unwrap_or_else(|| "-".into());
-        let _ = writeln!(
-            out,
-            "{:<4} {:<40} {:>12.4e} {:<24} {:>7} {:>8.2}x",
-            p.index,
-            p.mp.machine.name,
-            p.mp.total,
-            top,
-            if p.memory_bound { "mem" } else { "comp" },
-            d.speedup,
-        );
+        write_sweep_row(&mut out, p, d, units);
+    }
+    out
+}
+
+/// Render the `k` fastest points of a sweep as an aligned table, best
+/// first — the `xflow sweep --top` view, ranked straight off the totals
+/// column without hydrating any point.
+pub fn format_sweep_ranked(sweep: &Sweep, units: &crate::units::Units, k: usize) -> String {
+    let mut out = String::new();
+    write_sweep_header(&mut out);
+    let deltas = sweep.deltas();
+    for p in sweep.top(k) {
+        write_sweep_row(&mut out, p, &deltas[p.index], units);
     }
     out
 }
@@ -519,7 +771,7 @@ mod tests {
             assert_eq!(par.points.len(), serial.points.len());
             for (a, b) in par.points.iter().zip(&serial.points) {
                 assert_eq!(a.index, b.index);
-                assert_eq!(a.mp.total.to_bits(), b.mp.total.to_bits());
+                assert_eq!(a.total.to_bits(), b.total.to_bits());
                 assert_eq!(a.top_unit, b.top_unit);
                 assert_eq!(a.memory_bound, b.memory_bound);
             }
@@ -536,10 +788,47 @@ mod tests {
             assert_eq!(par.points.len(), serial.points.len());
             for (a, b) in par.points.iter().zip(&serial.points) {
                 assert_eq!(a.index, b.index);
-                assert_eq!(a.mp.total.to_bits(), b.mp.total.to_bits(), "threads={threads} chunk={chunk}");
+                assert_eq!(a.total.to_bits(), b.total.to_bits(), "threads={threads} chunk={chunk}");
                 assert_eq!(a.top_unit, b.top_unit);
             }
         }
+    }
+
+    #[test]
+    fn plain_sweep_is_columnar_and_matches_project_on() {
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0, 40.0]), Axis::mlp(&[2.0, 4.0])]);
+        let sweep = space.sweep(&app, 2);
+        let cols = sweep.columns().expect("roofline sweep should take the columnar path");
+        assert_eq!(cols.points(), 6);
+        for (i, machine) in space.machines().iter().enumerate() {
+            let direct = app.project_on(machine);
+            assert_eq!(sweep.points[i].total.to_bits(), direct.total.to_bits());
+            assert_eq!(sweep.unit_ranking(i), direct.ranking());
+            // lazy hydration reproduces the eager projection bit-for-bit
+            let hydrated = sweep.hydrate(&app, i);
+            assert_eq!(hydrated.total.to_bits(), direct.total.to_bits());
+            assert_eq!(hydrated.ranking(), direct.ranking());
+            assert_eq!(hydrated.projection.per_stmt.len(), direct.projection.per_stmt.len());
+            for (stmt, cost) in &hydrated.projection.per_stmt {
+                assert_eq!(cost.total.to_bits(), direct.projection.per_stmt[&stmt].total.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_top_comes_from_the_totals_column() {
+        let app = cfd_app();
+        let space = DesignSpace::grid(bgq(), vec![Axis::cores(&[1.0, 2.0, 4.0, 8.0])]);
+        let sweep = space.sweep(&app, 1);
+        let top = sweep.top(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].total <= top[1].total);
+        assert_eq!(top[0].index, sweep.best().unwrap().index);
+        let text = format_sweep_ranked(&sweep, &app.units, 2);
+        assert_eq!(text.lines().count(), 3, "header + 2 ranked rows:\n{text}");
+        let first_row = text.lines().nth(1).unwrap();
+        assert!(first_row.starts_with(&format!("{:<4}", top[0].index)), "{first_row}");
     }
 
     #[test]
@@ -570,9 +859,15 @@ mod tests {
         let app = cfd_app();
         let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0]), Axis::mlp(&[2.0, 4.0])]);
         let sweep = space.sweep_with(&app, &ClassicRoofline, 3);
-        for (p, machine) in sweep.points.iter().zip(space.machines()) {
+        assert!(sweep.columns().is_none(), "non-specializing model cannot fill columns");
+        for (i, (p, machine)) in sweep.points.iter().zip(space.machines()).enumerate() {
             let direct = fold_projection(&app.units, machine, app.plan().evaluate(machine, &ClassicRoofline));
-            assert_eq!(p.mp.total.to_bits(), direct.total.to_bits());
+            assert_eq!(p.total.to_bits(), direct.total.to_bits());
+            // fallback hydration re-folds the retained projection
+            let hydrated = sweep.hydrate(&app, i);
+            assert_eq!(hydrated.total.to_bits(), direct.total.to_bits());
+            assert_eq!(hydrated.ranking(), direct.ranking());
+            assert_eq!(sweep.unit_ranking(i), direct.ranking());
         }
     }
 
@@ -583,8 +878,8 @@ mod tests {
         let sweep = DesignSpace::from_machines(machines.clone()).sweep(&app, 2);
         for (p, m) in sweep.points.iter().zip(&machines) {
             let direct = app.project_on(m);
-            assert_eq!(p.mp.total.to_bits(), direct.total.to_bits());
-            assert_eq!(p.mp.ranking(), direct.ranking());
+            assert_eq!(p.total.to_bits(), direct.total.to_bits());
+            assert_eq!(sweep.unit_ranking(p.index), direct.ranking());
         }
     }
 
@@ -594,7 +889,7 @@ mod tests {
         let space = DesignSpace::grid(bgq(), vec![Axis::freq_ghz(&[0.8, 1.6, 3.2])]);
         let sweep = space.sweep(&app, 0);
         for w in sweep.points.windows(2) {
-            assert!(w[1].mp.total < w[0].mp.total, "{} vs {}", w[1].mp.total, w[0].mp.total);
+            assert!(w[1].total < w[0].total, "{} vs {}", w[1].total, w[0].total);
         }
         let best = sweep.best().unwrap();
         assert_eq!(best.index, 2);
@@ -618,9 +913,13 @@ mod tests {
         let space = DesignSpace::grid(bgq(), vec![Axis::dram_bw(&[10.0, 20.0]), Axis::mlp(&[2.0, 4.0])]);
         let plain = space.sweep(&app, 2);
         let rec = CollectingRecorder::new();
+        // the observed sweep runs the legacy per-point path; its output
+        // must match the columnar path bit-for-bit
         let observed = space.sweep_observed(&app, &Roofline, 2, &rec);
         for (a, b) in observed.points.iter().zip(&plain.points) {
-            assert_eq!(a.mp.total.to_bits(), b.mp.total.to_bits());
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+            assert_eq!(a.top_unit, b.top_unit);
+            assert_eq!(a.memory_bound, b.memory_bound);
         }
         assert_eq!(rec.counter_value("sweep.points"), 4);
         let snap = rec.snapshot();

@@ -144,10 +144,10 @@ proptest! {
         prop_assert_eq!(serial.points.len(), scheduled.points.len());
         for (a, b) in serial.points.iter().zip(&scheduled.points) {
             prop_assert_eq!(a.index, b.index);
-            prop_assert_eq!(a.mp.total.to_bits(), b.mp.total.to_bits());
+            prop_assert_eq!(a.total.to_bits(), b.total.to_bits());
             prop_assert_eq!(a.top_unit, b.top_unit);
             prop_assert_eq!(a.memory_bound, b.memory_bound);
-            prop_assert_eq!(a.mp.ranking(), b.mp.ranking());
+            prop_assert_eq!(serial.unit_ranking(a.index), scheduled.unit_ranking(b.index));
         }
     }
 }

@@ -103,7 +103,7 @@ fn collected_totals_are_thread_count_invariant() {
         // recorded block costs must not
         let mut block_bits: Vec<u64> = rec.block_provenance().iter().map(|b| b.total.to_bits()).collect();
         block_bits.sort_unstable();
-        let mut point_bits: Vec<u64> = sweep.points.iter().map(|p| p.mp.total.to_bits()).collect();
+        let mut point_bits: Vec<u64> = sweep.points.iter().map(|p| p.total.to_bits()).collect();
         point_bits.sort_unstable();
 
         match &baseline {
