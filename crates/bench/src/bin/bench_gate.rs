@@ -12,7 +12,7 @@
 
 use xflow_bench::gate::{compare_files, render_deltas, GateConfig};
 
-const DEFAULT_FILES: &str = "BENCH_sweep.json,BENCH_session.json,BENCH_obs.json,BENCH_kernel.json";
+const DEFAULT_FILES: &str = "BENCH_sweep.json,BENCH_session.json,BENCH_obs.json,BENCH_kernel.json,BENCH_serve.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -203,6 +203,22 @@ mod tests {
     }
 
     #[test]
+    fn serve_bench_keys_classify_correctly() {
+        // pins the direction of every gated BENCH_serve.json metric so a
+        // key rename can't silently demote a gate to informational
+        for key in ["cold_single_seconds", "warm_p50_latency_seconds", "warm_p99_latency_seconds", "herd_wall_seconds"]
+        {
+            assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
+        }
+        for key in ["warm_requests_per_sec", "speedup_singleflight_vs_rebuild"] {
+            assert_eq!(direction_of(key), Direction::HigherIsBetter, "{key}");
+        }
+        for key in ["server_threads", "warm_requests", "herd_clients", "herd_stage_builds", "herd_singleflight_waits"] {
+            assert_eq!(direction_of(key), Direction::Informational, "{key}");
+        }
+    }
+
+    #[test]
     fn slower_time_and_lower_speedup_regress() {
         let base = content(r#"{"run_seconds": 1.0, "speedup": 10.0, "grid_points": 25}"#);
         let cfg = GateConfig::default();

@@ -25,6 +25,7 @@ pub mod library;
 pub mod machine;
 pub mod network;
 pub mod refined;
+pub mod registry;
 pub mod roofline;
 pub mod spec;
 
@@ -33,6 +34,7 @@ pub use library::{InstrMix, LibraryRegistry, UnknownLibrary};
 pub use machine::{bgq, generic, knl, xeon, CacheLevel, MachineBuilder, MachineModel};
 pub use network::{bgq_torus, ideal, infiniband, NetworkModel};
 pub use refined::RefinedModel;
+pub use registry::MachineRegistry;
 pub use roofline::{
     BlockMetrics, BlockSummary, BlockTime, ClassicRoofline, DivAwareRoofline, PerfModel, Roofline, VectorAwareRoofline,
 };

@@ -1,0 +1,220 @@
+//! A named machine registry: the built-in presets plus declarative
+//! machine files loaded from a directory.
+//!
+//! The paper evaluates two machines; a co-design service wants arbitrarily
+//! many, described declaratively rather than compiled in. A
+//! [`MachineRegistry`] resolves a case-insensitive name to a validated
+//! [`MachineModel`]: the four presets ([`bgq`]/[`xeon`]/[`knl`]/
+//! [`generic`]) are always present, and [`MachineRegistry::load_dir`]
+//! folds in every `*.json` machine description found in a directory
+//! (`machines/` in this repository), keyed by file stem. The CLI's
+//! `--machine` flag and the server's `machine` request field both resolve
+//! through one registry, so a new machine is one JSON file away from every
+//! query surface.
+//!
+//! A machine file is the serde JSON shape of [`MachineModel`] — exactly
+//! what `serde_json::to_string(&machine)` emits, and what `--machine-file`
+//! already accepts:
+//!
+//! ```json
+//! {"name":"epyc","freq_ghz":2.25,"cores":64,...,"l1":{"size_bytes":32768,...}}
+//! ```
+//!
+//! Files that fail to parse or validate are reported as errors, not
+//! skipped: a typo in a machine description should fail loudly, not
+//! silently fall back to a preset.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::machine::{bgq, generic, knl, xeon, MachineModel};
+
+/// A case-insensitive name → [`MachineModel`] map. Names iterate sorted,
+/// so listings are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MachineRegistry {
+    map: BTreeMap<String, MachineModel>,
+}
+
+impl MachineRegistry {
+    /// An empty registry (no presets).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The four built-in machines under their CLI names (`bgq`, `xeon`,
+    /// `knl`, `generic`), plus the `bg/q` spelling as an alias.
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        r.register("bgq", bgq());
+        r.register("bg/q", bgq());
+        r.register("xeon", xeon());
+        r.register("knl", knl());
+        r.register("generic", generic());
+        r
+    }
+
+    /// Register (or replace) a machine under a name. Lookup is
+    /// case-insensitive; the stored key is lowercased.
+    pub fn register(&mut self, name: &str, model: MachineModel) {
+        self.map.insert(name.to_lowercase(), model);
+    }
+
+    /// Resolve a name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&MachineModel> {
+        self.map.get(&name.to_lowercase())
+    }
+
+    /// Registered names, sorted, with the `bg/q` alias folded away when
+    /// `bgq` is also present.
+    pub fn names(&self) -> Vec<&str> {
+        self.map
+            .keys()
+            .filter(|n| !(n.as_str() == "bg/q" && self.map.contains_key("bgq")))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Iterate `(name, model)` pairs in sorted name order (aliases folded
+    /// like [`MachineRegistry::names`]).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MachineModel)> {
+        let skip_alias = self.map.contains_key("bgq");
+        self.map.iter().filter(move |(n, _)| !(n.as_str() == "bg/q" && skip_alias)).map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Number of distinct names (aliases count).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the registry holds no machines.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Load one machine description file, registering it under its file
+    /// stem (lowercased). Returns the registered name.
+    pub fn load_file(&mut self, path: &Path) -> Result<String, String> {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("machine file {} has no usable name", path.display()))?
+            .to_lowercase();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let model: MachineModel =
+            serde_json::from_str(&text).map_err(|e| format!("bad machine JSON in {}: {e}", path.display()))?;
+        let errs = model.validate();
+        if !errs.is_empty() {
+            return Err(format!("invalid machine model in {}: {errs:?}", path.display()));
+        }
+        self.register(&stem, model);
+        Ok(stem)
+    }
+
+    /// Load every `*.json` machine description in a directory, sorted by
+    /// file name for deterministic replace order. Returns how many were
+    /// loaded; a missing directory loads zero. Any unparseable or invalid
+    /// file fails the whole load.
+    pub fn load_dir(&mut self, dir: &Path) -> Result<usize, String> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(format!("cannot read machines dir {}: {e}", dir.display())),
+        };
+        let mut files: Vec<_> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+            .collect();
+        files.sort();
+        for f in &files {
+            self.load_file(f)?;
+        }
+        Ok(files.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xflow-machines-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn builtin_names_resolve_case_insensitively() {
+        let r = MachineRegistry::builtin();
+        assert_eq!(r.get("bgq").unwrap().name, "BG/Q");
+        assert_eq!(r.get("BG/Q").unwrap().name, "BG/Q");
+        assert_eq!(r.get("Xeon").unwrap().name, "Xeon");
+        assert!(r.get("cray").is_none());
+        assert_eq!(r.names(), vec!["bgq", "generic", "knl", "xeon"]);
+    }
+
+    #[test]
+    fn names_fold_the_bgq_alias() {
+        let r = MachineRegistry::builtin();
+        let names = r.names();
+        assert!(names.contains(&"bgq"));
+        assert!(!names.contains(&"bg/q"), "{names:?}");
+        assert_eq!(names.len(), 4);
+        assert_eq!(r.iter().count(), 4);
+    }
+
+    #[test]
+    fn load_dir_registers_by_file_stem() {
+        let dir = temp_dir("load");
+        let mut m = generic();
+        m.name = "my custom box".into();
+        std::fs::write(dir.join("MyBox.json"), serde_json::to_string(&m).unwrap()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a machine").unwrap();
+
+        let mut r = MachineRegistry::builtin();
+        assert_eq!(r.load_dir(&dir).unwrap(), 1);
+        let got = r.get("mybox").unwrap();
+        assert_eq!(got.name, "my custom box");
+        assert!(r.names().contains(&"mybox"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_machine_file_fails_the_load() {
+        let dir = temp_dir("invalid");
+        let mut m = generic();
+        m.freq_ghz = -2.0;
+        std::fs::write(dir.join("broken.json"), serde_json::to_string(&m).unwrap()).unwrap();
+        let mut r = MachineRegistry::empty();
+        let err = r.load_dir(&dir).unwrap_err();
+        assert!(err.contains("invalid machine model"), "{err}");
+        std::fs::write(dir.join("broken.json"), "{oops").unwrap();
+        let err = r.load_dir(&dir).unwrap_err();
+        assert!(err.contains("bad machine JSON"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_loads_nothing() {
+        let mut r = MachineRegistry::builtin();
+        assert_eq!(r.load_dir(Path::new("/definitely/not/a/dir")).unwrap(), 0);
+        assert_eq!(r.names().len(), 4);
+    }
+
+    #[test]
+    fn later_files_replace_earlier_names() {
+        let dir = temp_dir("replace");
+        let mut m = generic();
+        m.name = "box a".into();
+        std::fs::write(dir.join("box.json"), serde_json::to_string(&m).unwrap()).unwrap();
+        let mut r = MachineRegistry::empty();
+        r.load_dir(&dir).unwrap();
+        m.name = "box b".into();
+        std::fs::write(dir.join("box.json"), serde_json::to_string(&m).unwrap()).unwrap();
+        r.load_dir(&dir).unwrap();
+        assert_eq!(r.get("box").unwrap().name, "box b");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -7,10 +7,11 @@
 //! The entry point [`run`] is pure with respect to stdout — it returns the
 //! output text — so every command is unit-testable.
 
-use crate::{bgq, compare, generic, knl, xeon, Criteria, InputSpec, MachineModel, ModeledApp, Scale, Session};
+use crate::{bgq, compare, Criteria, InputSpec, MachineModel, ModeledApp, Scale, Session};
 use crate::{Axis, CollectingRecorder, DesignSpace, SessionConfig, SweepOptions};
 use std::fmt::Write as _;
 use std::sync::Arc;
+use xflow_hw::MachineRegistry;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -30,13 +31,19 @@ COMMANDS:
     compare  <FILE>   side-by-side projected vs measured hot spots
     validate <FILE>   differential check: analytic model vs executed oracle
     sweep    <FILE>   project across a machine grid (--axis, work-stealing)
-    machines          list the built-in machine models
+    serve             run the HTTP projection service (see SERVE OPTIONS)
+    machines          list the known machine models
     cache <stats|clear>  inspect or empty a --cache-dir artifact store
 
 FILE may also name a built-in workload (sord, chargei, srad, cfd, stassuij).
 
 OPTIONS:
-    --machine <bgq|xeon|knl|generic>  target machine     [default: bgq]
+    --machine <NAME>               target machine          [default: bgq]
+                                   built-ins bgq, xeon, knl, generic plus
+                                   any machine file in the machines dir
+    --machines-dir <DIR>           directory of declarative machine JSON
+                                   files, registered by file stem
+                                   [default: ./machines when present]
     --machine-file <FILE.json>     load a custom machine model from JSON
     --input NAME=VALUE             set a program input (repeatable)
     --coverage <0..1>              time-coverage criterion [default: 0.9]
@@ -48,6 +55,10 @@ OPTIONS:
     --trace-out <FILE>             write a Chrome trace of the run to FILE
     --cache-dir <DIR>              persist/reuse stage artifacts in DIR
     --no-cache                     model cold, bypassing every cache
+
+SERVE OPTIONS (plus --cache-dir and --machines-dir above):
+    --addr <HOST:PORT>             bind address [default: 127.0.0.1:7070]
+    --threads <N>                  worker threads [default: 4]
 
 SWEEP OPTIONS (the grid is the cartesian product of the axes, applied to
 the --machine base; the last axis varies fastest):
@@ -75,13 +86,32 @@ struct Invocation {
     seed: Option<u64>,
     axes: Vec<Axis>,
     sweep_opts: SweepOptions,
+    /// `serve`: bind address.
+    addr: Option<String>,
+    /// Machines directory as given (the registry pre-scan also reads it).
+    machines_dir: Option<String>,
     trace_out: Option<String>,
     /// Created when `--trace-out` is given; threaded through the session
     /// and every observed evaluation so one trace covers the whole run.
     recorder: Option<Arc<CollectingRecorder>>,
 }
 
-fn parse_args(args: &[String]) -> Result<Invocation, String> {
+/// Build the machine registry an invocation resolves `--machine` against:
+/// the built-in presets, plus every machine file in `--machines-dir` (the
+/// flag is pre-scanned here because it can appear after `--machine`). With
+/// no explicit flag, a `machines/` directory in the working directory is
+/// loaded when present; load errors are hard either way — a typo in a
+/// machine description should fail the invocation, not silently fall back
+/// to a preset.
+pub fn machine_registry(args: &[String]) -> Result<MachineRegistry, String> {
+    let mut reg = MachineRegistry::builtin();
+    let explicit = args.windows(2).find(|w| w[0] == "--machines-dir").map(|w| w[1].clone());
+    let dir = explicit.unwrap_or_else(|| "machines".to_string());
+    reg.load_dir(std::path::Path::new(&dir))?;
+    Ok(reg)
+}
+
+fn parse_args(args: &[String], registry: &MachineRegistry) -> Result<Invocation, String> {
     let mut it = args.iter();
     let command = it.next().cloned().ok_or_else(|| USAGE.to_string())?;
     let mut inv = Invocation {
@@ -98,6 +128,8 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         seed: None,
         axes: Vec::new(),
         sweep_opts: SweepOptions::default(),
+        addr: None,
+        machines_dir: None,
         trace_out: None,
         recorder: None,
     };
@@ -105,13 +137,20 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         match a.as_str() {
             "--machine" => {
                 let v = it.next().ok_or("--machine needs a value")?;
-                inv.machine = match v.to_lowercase().as_str() {
-                    "bgq" | "bg/q" => bgq(),
-                    "xeon" => xeon(),
-                    "knl" => knl(),
-                    "generic" => generic(),
-                    other => return Err(format!("unknown machine `{other}` (bgq, xeon, knl, generic)")),
-                };
+                inv.machine = registry
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| format!("unknown machine `{v}` (known: {})", registry.names().join(", ")))?;
+            }
+            "--machines-dir" => {
+                // the registry pre-scan already loaded it; keep the value
+                // for commands that build their own registry (serve)
+                let v = it.next().ok_or("--machines-dir needs a directory")?;
+                inv.machines_dir = Some(v.clone());
+            }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs HOST:PORT")?;
+                inv.addr = Some(v.clone());
             }
             "--machine-file" => {
                 let v = it.next().ok_or("--machine-file needs a path")?;
@@ -192,38 +231,26 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
 /// machine parameter.
 fn parse_axis(spec: &str) -> Result<Axis, String> {
     let (name, values) = spec.split_once('=').ok_or_else(|| format!("bad --axis `{spec}`, expected NAME=V1,V2,..."))?;
-    let apply: fn(&mut MachineModel, f64) = match name {
-        "dram_bw_gbs" => |m, v| m.dram_bw_gbs = v,
-        "cores" => |m, v| m.cores = v as u32,
-        "mlp" => |m, v| m.mlp = v,
-        "freq_ghz" => |m, v| m.freq_ghz = v,
-        "vector_lanes" => |m, v| m.vector_lanes = v,
-        "issue_width" => |m, v| m.issue_width = v,
-        "l1_hit_rate" => |m, v| m.l1_hit_rate = v,
-        "llc_hit_rate" => |m, v| m.llc_hit_rate = v,
-        "vector_efficiency" => |m, v| m.vector_efficiency = v,
-        "load_store_per_cycle" => |m, v| m.load_store_per_cycle = v,
-        other => return Err(format!("unknown --axis parameter `{other}` (see `xflow help`)")),
-    };
     let parsed: Result<Vec<f64>, _> = values.split(',').map(|v| v.trim().parse::<f64>()).collect();
     let parsed = parsed.map_err(|_| format!("bad value in --axis `{spec}`"))?;
-    if parsed.is_empty() {
-        return Err(format!("--axis `{spec}` needs at least one value"));
-    }
-    Ok(Axis::new(name, &parsed, apply))
+    Axis::by_name(name, &parsed).map_err(|e| format!("{e} (see `xflow help`)"))
 }
 
 /// Execute a CLI invocation, returning the text to print.
 pub fn run(args: &[String]) -> Result<String, String> {
-    let mut inv = parse_args(args)?;
+    let registry = machine_registry(args)?;
+    let mut inv = parse_args(args, &registry)?;
     if inv.command == "machines" {
-        return Ok(machines_text());
+        return Ok(machines_text(&registry));
     }
     if inv.command == "help" || inv.command == "--help" {
         return Ok(USAGE.to_string());
     }
     if inv.command == "cache" {
         return run_cache(&inv);
+    }
+    if inv.command == "serve" {
+        return run_serve(&inv);
     }
     if inv.command == "validate" {
         return run_validate(&inv);
@@ -314,6 +341,24 @@ fn run_validate(inv: &Invocation) -> Result<String, String> {
     }
 }
 
+/// The `serve` subcommand: run the HTTP projection service until the
+/// process is killed. The listening line goes to stderr so stdout stays
+/// reserved for command output.
+fn run_serve(inv: &Invocation) -> Result<String, String> {
+    let threads = if inv.sweep_opts.threads == 0 { 4 } else { inv.sweep_opts.threads };
+    let config = crate::serve::ServeConfig {
+        addr: inv.addr.clone().unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        threads,
+        store: crate::StoreConfig { cache_dir: inv.cache_dir.clone().map(Into::into), ..Default::default() },
+        machines_dir: inv.machines_dir.clone(),
+        recorder: inv.recorder.clone().map(|r| r as Arc<dyn xflow_obs::Recorder>),
+    };
+    let server = crate::serve::Server::bind(config)?;
+    eprintln!("[xflow serve] listening on http://{} ({threads} threads)", server.addr());
+    server.run()?;
+    Ok(String::new())
+}
+
 /// The `cache stats` / `cache clear` subcommand (operates on a
 /// `--cache-dir` artifact store without modeling anything).
 fn run_cache(inv: &Invocation) -> Result<String, String> {
@@ -328,6 +373,13 @@ fn run_cache(inv: &Invocation) -> Result<String, String> {
             let _ = writeln!(out, "entries: {}   bytes: {}", r.entries, r.bytes);
             for (name, n) in crate::session::DiskCacheReport::STAGES.iter().zip(r.per_stage) {
                 let _ = writeln!(out, "  {name:<10} {n}");
+            }
+            // when a shared store is live in this process (e.g. an
+            // embedded `serve` instance), report its counters too — on
+            // stderr, like all cache traffic, so stdout stays stable
+            if let Some(store) = crate::store::process_store() {
+                let stats = store.stats();
+                eprintln!("[xflow cache] live store: {stats}, single-flight waits: {}", stats.singleflight_waits());
             }
             Ok(out)
         }
@@ -552,17 +604,18 @@ fn run_on_source(inv: &Invocation, src: &str, session_out: &mut Option<Session>)
     }
 }
 
-fn machines_text() -> String {
+fn machines_text(registry: &MachineRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<9} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7}",
-        "name", "GHz", "cores", "issue", "lanes", "L1 KB", "LLC MB", "GB/s", "veff"
+        "{:<12} {:<12} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7}",
+        "key", "name", "GHz", "cores", "issue", "lanes", "L1 KB", "LLC MB", "GB/s", "veff"
     );
-    for m in [bgq(), xeon(), knl(), generic()] {
+    for (key, m) in registry.iter() {
         let _ = writeln!(
             out,
-            "{:<9} {:>6.1} {:>6} {:>7} {:>7} {:>9} {:>9.1} {:>9.2} {:>7.2}",
+            "{:<12} {:<12} {:>6.1} {:>6} {:>7} {:>7} {:>9} {:>9.1} {:>9.2} {:>7.2}",
+            key,
             m.name,
             m.freq_ghz,
             m.cores,
@@ -726,6 +779,25 @@ fn main() {
     }
 
     #[test]
+    fn machine_registry_resolves_declarative_machines() {
+        with_demo_file(|path| {
+            // the repo's machines/ dir is picked up from the working dir
+            let out = run(&args(&["hotspots", path, "--machine", "skylake"])).unwrap();
+            assert!(out.contains("Skylake-SP"), "{out}");
+            // an explicit --machines-dir is loaded even when it follows --machine
+            let dir = std::path::Path::new(path).parent().unwrap();
+            let mut m = crate::generic();
+            m.name = "from-dir".into();
+            std::fs::write(dir.join("boxy.json"), serde_json::to_string(&m).unwrap()).unwrap();
+            let out =
+                run(&args(&["hotspots", path, "--machine", "boxy", "--machines-dir", dir.to_str().unwrap()])).unwrap();
+            assert!(out.contains("from-dir"), "{out}");
+            let err = run(&args(&["hotspots", path, "--machine", "boxy"])).unwrap_err();
+            assert!(err.contains("unknown machine `boxy`"), "{err}");
+        });
+    }
+
+    #[test]
     fn explain_on_demo() {
         with_demo_file(|path| {
             let out = run(&args(&["explain", path, "--machine", "xeon", "--top", "2"])).unwrap();
@@ -847,7 +919,7 @@ fn main() {
             let err = run(&args(&["sweep", path])).unwrap_err();
             assert!(err.contains("--axis"), "{err}");
             let err = run(&args(&["sweep", path, "--axis", "warp_drive=1,2"])).unwrap_err();
-            assert!(err.contains("unknown --axis parameter"), "{err}");
+            assert!(err.contains("unknown axis parameter"), "{err}");
             let err = run(&args(&["sweep", path, "--axis", "mlp=fast"])).unwrap_err();
             assert!(err.contains("bad value"), "{err}");
             let err = run(&args(&["sweep", path, "--axis", "noequals"])).unwrap_err();

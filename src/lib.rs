@@ -51,7 +51,9 @@ pub mod compare;
 pub mod explain;
 pub mod multirank;
 pub mod pipeline;
+pub mod serve;
 pub mod session;
+pub mod store;
 pub mod sweep;
 pub mod units;
 
@@ -62,7 +64,9 @@ pub use pipeline::{
     default_library, fold_projection, initial_env, lib_time_by_function, MachineProjection, Measured, ModeledApp,
     PipelineError,
 };
+pub use serve::{ServeConfig, Server};
 pub use session::{default_session, CacheStats, Session, SessionConfig, StageKeys, StageStats};
+pub use store::{ArtifactStore, DiskCacheReport, StoreConfig};
 pub use sweep::{format_sweep, format_sweep_ranked, Axis, DesignSpace, Sweep, SweepDelta, SweepOptions, SweepPoint};
 pub use units::{Units, LIB_UNIT_BASE};
 

@@ -17,7 +17,9 @@ use xflow_workloads::{Scale, Workload};
 
 /// Pipeline failure. Each variant wraps the stage's structured error;
 /// [`std::error::Error::source`] exposes it so callers can walk causes.
-#[derive(Debug)]
+/// `Clone` so the artifact store's single-flight latch can hand one build
+/// failure to every waiter.
+#[derive(Debug, Clone)]
 pub enum PipelineError {
     Parse(xflow_skeleton::ParseError),
     Runtime(ml::RuntimeError),
@@ -290,7 +292,7 @@ impl MachineProjection {
 
     /// Hot spot selection under the given criteria.
     pub fn select(&self, units: &Units, criteria: Criteria) -> Selection {
-        let cands: Vec<xflow_hotspot::Candidate> = self
+        let mut cands: Vec<xflow_hotspot::Candidate> = self
             .unit_times
             .iter()
             .map(|(&unit, &time)| xflow_hotspot::Candidate {
@@ -299,6 +301,11 @@ impl MachineProjection {
                 instr: units.instr.get(&unit).copied().unwrap_or(1.0),
             })
             .collect();
+        // `select` sums candidate times in slice order for the coverage
+        // denominator; HashMap iteration order varies per instance, so
+        // sort first or two evaluations of the same projection can differ
+        // in the last float bit
+        cands.sort_by_key(|c| c.stmt);
         xflow_hotspot::select(&cands, units.total_instr, criteria, Greedy::ByTime)
     }
 }

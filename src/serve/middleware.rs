@@ -1,0 +1,150 @@
+//! Request middleware: request-id assignment and per-request telemetry.
+//!
+//! Every request that enters the server passes through [`RequestObs`]:
+//! it assigns (or propagates) an `x-request-id`, opens a `serve.request`
+//! span on the server's recorder, bumps the request/status counters on
+//! the shared [`xflow_obs::MetricsRegistry`], and stamps the id onto the response so
+//! a client can correlate its call with the server trace. Telemetry is
+//! optional and free when absent — with no recorder the span calls are
+//! the [`NoopRecorder`] inlined empties, and only the registry counters
+//! (which `/metrics` serves) are touched.
+
+use crate::store::ArtifactStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use xflow_obs::{AttrValue, NoopRecorder, Recorder, SpanId};
+
+use super::protocol::{HttpRequest, HttpResponse};
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+/// Assign a request id: an incoming `x-request-id` header wins (so a
+/// client can thread its own id through), otherwise a process-unique
+/// `req-<pid>-<seq>` is minted.
+pub fn request_id(req: &HttpRequest) -> String {
+    match req.header("x-request-id") {
+        Some(id) if !id.is_empty() => id.to_string(),
+        _ => format!("req-{}-{}", std::process::id(), NEXT_REQUEST.fetch_add(1, Ordering::Relaxed)),
+    }
+}
+
+/// Per-request observability hooks shared by every worker thread. The
+/// serve counters live on the artifact store's registry — the same one
+/// the session stage counters use — so `/metrics` renders cache traffic
+/// and request traffic off a single source.
+pub struct RequestObs {
+    store: Arc<ArtifactStore>,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+/// An open request span; closed (and counted) by [`RequestObs::finish`].
+pub struct RequestSpan {
+    span: SpanId,
+    started: Instant,
+}
+
+impl RequestObs {
+    pub fn new(store: Arc<ArtifactStore>, recorder: Option<Arc<dyn Recorder>>) -> Self {
+        Self { store, recorder }
+    }
+
+    /// The recorder handlers should thread through the modeling session,
+    /// so pipeline stage spans nest under the request span.
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        self.recorder.clone()
+    }
+
+    /// Open the `serve.request` span and count the request in.
+    pub fn start(&self, method: &str, path: &str, id: &str) -> RequestSpan {
+        self.store.registry().add("serve.requests", 1);
+        let rec: &dyn Recorder = self.recorder.as_deref().unwrap_or(&NoopRecorder);
+        let span = if rec.enabled() {
+            rec.span_start(
+                "serve.request",
+                &[
+                    ("method", AttrValue::Str(method)),
+                    ("path", AttrValue::Str(path)),
+                    ("request_id", AttrValue::Str(id)),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
+        RequestSpan { span, started: Instant::now() }
+    }
+
+    /// Close the span, count the status class, record latency, and stamp
+    /// the request id onto the outgoing response.
+    pub fn finish(&self, span: RequestSpan, id: &str, resp: &mut HttpResponse) {
+        let class = match resp.status {
+            200..=299 => "serve.status.2xx",
+            400..=499 => "serve.status.4xx",
+            _ => "serve.status.5xx",
+        };
+        self.store.registry().add(class, 1);
+        self.store.registry().observe("serve.request_seconds", span.started.elapsed().as_secs_f64());
+        let rec: &dyn Recorder = self.recorder.as_deref().unwrap_or(&NoopRecorder);
+        if rec.enabled() {
+            rec.span_end(span.span, &[("status", AttrValue::U64(resp.status as u64))]);
+        }
+        resp.headers.push(("x-request-id".to_string(), id.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use xflow_obs::{CollectingRecorder, OwnedAttr};
+
+    fn test_store() -> Arc<ArtifactStore> {
+        ArtifactStore::shared(StoreConfig::default())
+    }
+
+    fn get_req(id_header: Option<&str>) -> HttpRequest {
+        let mut headers = Vec::new();
+        if let Some(v) = id_header {
+            headers.push(("x-request-id".to_string(), v.to_string()));
+        }
+        HttpRequest { method: "GET".into(), path: "/healthz".into(), headers, body: Vec::new() }
+    }
+
+    #[test]
+    fn client_supplied_ids_win_and_minted_ids_are_unique() {
+        assert_eq!(request_id(&get_req(Some("mine"))), "mine");
+        let a = request_id(&get_req(None));
+        let b = request_id(&get_req(None));
+        assert_ne!(a, b);
+        assert!(a.starts_with("req-"), "{a}");
+    }
+
+    #[test]
+    fn request_span_carries_id_and_status_and_counters_tick() {
+        let store = test_store();
+        let rec = Arc::new(CollectingRecorder::new());
+        let obs = RequestObs::new(store.clone(), Some(rec.clone()));
+        let span = obs.start("POST", "/v1/project", "req-x-1");
+        let mut resp = HttpResponse::json(200, "{}".into());
+        obs.finish(span, "req-x-1", &mut resp);
+
+        assert_eq!(store.registry().get("serve.requests"), 1);
+        assert_eq!(store.registry().get("serve.status.2xx"), 1);
+        assert!(resp.headers.iter().any(|(k, v)| k == "x-request-id" && v == "req-x-1"));
+        let snap = rec.snapshot();
+        let span = snap.spans.iter().find(|s| s.name == "serve.request").expect("request span recorded");
+        assert!(span.attrs.iter().any(|(k, v)| k == "request_id" && *v == OwnedAttr::Str("req-x-1".into())));
+        assert!(span.attrs.iter().any(|(k, v)| k == "status" && *v == OwnedAttr::U64(200)));
+    }
+
+    #[test]
+    fn error_statuses_count_in_their_own_class() {
+        let store = test_store();
+        let obs = RequestObs::new(store.clone(), None);
+        let span = obs.start("POST", "/v1/project", "r");
+        let mut resp = HttpResponse::error(400, "nope");
+        obs.finish(span, "r", &mut resp);
+        assert_eq!(store.registry().get("serve.status.4xx"), 1);
+        assert_eq!(store.registry().get("serve.status.2xx"), 0);
+    }
+}

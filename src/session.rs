@@ -1,5 +1,5 @@
-//! Incremental modeling sessions: a content-addressed artifact store over
-//! the pipeline's stage graph.
+//! Incremental modeling sessions: key derivation and stage coordination
+//! over the concurrent [`ArtifactStore`].
 //!
 //! [`ModeledApp::from_source`] runs six stages — parse, profiled
 //! interpretation, translation, BET construction, projection-plan
@@ -42,39 +42,39 @@
 //! stage is deterministic: profiling uses a fixed-seed generator, and
 //! `InputSpec` iterates in sorted order.
 //!
-//! ## Storage
+//! ## Storage and concurrency
 //!
-//! Artifacts live in per-stage in-memory LRU maps (capacity
-//! [`SessionConfig::capacity`] per stage) behind one mutex, holding
-//! `Arc`s so hits are cheap. With [`SessionConfig::cache_dir`] set, every
-//! build is also persisted as `<stage>-<salt>-<key>.json` (atomic
-//! tmp+rename) and later sessions warm-start from disk; a corrupted,
-//! truncated, or stale-schema file is treated as a miss and silently
-//! rebuilt. [`Session::stats`] exposes per-stage hit/miss/disk-hit
-//! counters so callers (and the invalidation tests) can observe exactly
-//! which stages rebuilt.
+//! Cache *policy* lives in [`crate::store`]: artifacts sit in a sharded
+//! concurrent map with per-shard LRU, an optional disk tier
+//! (`<stage>-<salt>-<key>.json`, atomic writes, corrupted files = silent
+//! cold rebuild), and single-flight dedup so a thundering herd on one cold
+//! workload builds each stage exactly once. `Session` itself is a thin
+//! `Send + Sync` coordinator: it derives keys, orders the six
+//! lookup-or-build calls, and assembles the resulting artifacts into a
+//! [`ModeledApp`]. Several sessions (CLI invocations, sweep workers,
+//! server request threads) can share one store via
+//! [`Session::with_store`]; [`Session::stats`] then reports counters
+//! accumulated across all of them.
 
-use std::collections::HashMap;
-use std::fs;
-use std::io::Write as _;
-use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
-use xflow_bet::Bet;
-use xflow_hotspot::{PlanKernel, ProjectionPlan};
+use xflow_hotspot::ProjectionPlan;
 use xflow_hw::LibraryRegistry;
-use xflow_minilang::{self as ml, InputSpec, Translation};
-use xflow_obs::{AttrValue, Counter, MetricsRegistry, NoopRecorder, Recorder, SpanId};
+use xflow_minilang::{self as ml, InputSpec};
+use xflow_obs::{MetricsRegistry, NoopRecorder, Recorder};
 use xflow_workloads::{Scale, Workload};
 
 use crate::pipeline::{default_library, initial_env, ModeledApp, PipelineError};
+use crate::store::{ArtifactStore, StoreConfig};
+
+pub use crate::store::{
+    clear_cache_dir, disk_cache_report, CacheStats, DiskCacheReport, StageStats, StoreConfig as ArtifactStoreConfig,
+};
 
 /// Version of the key-derivation scheme itself. Bump when the chaining or
 /// canonicalization rules change, independent of any crate's wire format.
 const KEY_SCHEMA_VERSION: u32 = 1;
-
-/// Default per-stage LRU capacity.
-const DEFAULT_CAPACITY: usize = 64;
 
 // ---------------------------------------------------------------------------
 // Stable content hashing (FNV-1a, 64-bit)
@@ -187,132 +187,6 @@ fn derive_keys(src: &str, inputs: &InputSpec, libs: &LibraryRegistry) -> StageKe
 }
 
 // ---------------------------------------------------------------------------
-// Stats
-// ---------------------------------------------------------------------------
-
-/// Hit/miss counters of one stage cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageStats {
-    /// Served from the in-memory LRU.
-    pub hits: u64,
-    /// Served by deserializing a persisted artifact.
-    pub disk_hits: u64,
-    /// Rebuilt from scratch.
-    pub misses: u64,
-    /// Entries evicted from the in-memory LRU.
-    pub evictions: u64,
-}
-
-impl StageStats {
-    /// Total lookups against this stage.
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.disk_hits + self.misses
-    }
-}
-
-/// Per-stage cache counters of a [`Session`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    pub parse: StageStats,
-    pub profile: StageStats,
-    pub translate: StageStats,
-    pub bet: StageStats,
-    pub plan: StageStats,
-    pub kernel: StageStats,
-}
-
-impl CacheStats {
-    fn stages(&self) -> [&StageStats; 6] {
-        [&self.parse, &self.profile, &self.translate, &self.bet, &self.plan, &self.kernel]
-    }
-
-    /// Total in-memory hits across stages.
-    pub fn hits(&self) -> u64 {
-        self.stages().iter().map(|s| s.hits).sum()
-    }
-
-    /// Total disk hits across stages.
-    pub fn disk_hits(&self) -> u64 {
-        self.stages().iter().map(|s| s.disk_hits).sum()
-    }
-
-    /// Total misses (cold builds) across stages.
-    pub fn misses(&self) -> u64 {
-        self.stages().iter().map(|s| s.misses).sum()
-    }
-}
-
-impl std::fmt::Display for CacheStats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "memory hits: {}, disk hits: {}, misses: {}", self.hits(), self.disk_hits(), self.misses())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Per-stage LRU cache
-// ---------------------------------------------------------------------------
-
-/// Handles to one stage's cache counters in the session's
-/// [`MetricsRegistry`] (names `session.<stage>.{hits,disk_hits,misses,
-/// evictions}`). The registry is the *only* counter implementation — the
-/// [`StageStats`] the session reports are snapshots of these counters.
-struct StageCounters {
-    hits: Arc<Counter>,
-    disk_hits: Arc<Counter>,
-    misses: Arc<Counter>,
-    evictions: Arc<Counter>,
-}
-
-impl StageCounters {
-    fn for_stage(registry: &MetricsRegistry, stage: &str) -> Self {
-        StageCounters {
-            hits: registry.counter(&format!("session.{stage}.hits")),
-            disk_hits: registry.counter(&format!("session.{stage}.disk_hits")),
-            misses: registry.counter(&format!("session.{stage}.misses")),
-            evictions: registry.counter(&format!("session.{stage}.evictions")),
-        }
-    }
-
-    fn snapshot(&self) -> StageStats {
-        StageStats {
-            hits: self.hits.get(),
-            disk_hits: self.disk_hits.get(),
-            misses: self.misses.get(),
-            evictions: self.evictions.get(),
-        }
-    }
-}
-
-struct StageCache<T> {
-    name: &'static str,
-    map: HashMap<u64, (u64, Arc<T>)>,
-    capacity: usize,
-    counters: StageCounters,
-}
-
-impl<T> StageCache<T> {
-    fn new(name: &'static str, capacity: usize, counters: StageCounters) -> Self {
-        StageCache { name, map: HashMap::new(), capacity: capacity.max(1), counters }
-    }
-
-    fn lookup(&mut self, key: u64, tick: u64) -> Option<Arc<T>> {
-        let (stamp, v) = self.map.get_mut(&key)?;
-        *stamp = tick;
-        Some(Arc::clone(v))
-    }
-
-    fn insert(&mut self, key: u64, value: Arc<T>, tick: u64) {
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(oldest) = self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(&k, _)| k) {
-                self.map.remove(&oldest);
-                self.counters.evictions.add(1);
-            }
-        }
-        self.map.insert(key, (tick, value));
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Session
 // ---------------------------------------------------------------------------
 
@@ -322,12 +196,12 @@ pub struct SessionConfig {
     /// Directory for persisted artifacts; `None` keeps the session
     /// memory-only.
     pub cache_dir: Option<PathBuf>,
-    /// Per-stage in-memory LRU capacity (`None` → a small default).
+    /// Per-stage in-memory capacity (`None` → a small default).
     pub capacity: Option<usize>,
     /// Telemetry recorder observing the session's stages; `None` is the
     /// zero-overhead noop. Each stage lookup runs inside a
     /// `session.<stage>` span whose exit attributes carry the artifact key
-    /// and the cache outcome (`hit` / `disk` / `miss` / `error`).
+    /// and the cache outcome (`hit` / `disk` / `miss` / `wait` / `error`).
     pub recorder: Option<Arc<dyn Recorder>>,
 }
 
@@ -341,44 +215,20 @@ impl std::fmt::Debug for SessionConfig {
     }
 }
 
-struct Store {
-    tick: u64,
-    parse: StageCache<ml::Program>,
-    profile: StageCache<ml::Profile>,
-    translate: StageCache<Translation>,
-    bet: StageCache<Bet>,
-    plan: StageCache<ProjectionPlan>,
-    kernel: StageCache<PlanKernel>,
-}
-
-impl Store {
-    fn new(capacity: usize, registry: &MetricsRegistry) -> Self {
-        Store {
-            tick: 0,
-            parse: StageCache::new("parse", capacity, StageCounters::for_stage(registry, "parse")),
-            profile: StageCache::new("profile", capacity, StageCounters::for_stage(registry, "profile")),
-            translate: StageCache::new("translate", capacity, StageCounters::for_stage(registry, "translate")),
-            bet: StageCache::new("bet", capacity, StageCounters::for_stage(registry, "bet")),
-            plan: StageCache::new("plan", capacity, StageCounters::for_stage(registry, "plan")),
-            kernel: StageCache::new("kernel", capacity, StageCounters::for_stage(registry, "kernel")),
-        }
-    }
-}
-
 /// An incremental modeling session: the stage graph of
 /// [`ModeledApp::from_source`] with every stage output cached by content
-/// key, in memory and (optionally) on disk. See the module docs for the
-/// key-derivation and invalidation rules.
+/// key in an [`ArtifactStore`] (in memory and, optionally, on disk). See
+/// the module docs for the key-derivation and invalidation rules.
 ///
-/// Sessions are `Sync`; one session can serve queries from many sweep
-/// threads (the store lock is held only while looking up or inserting —
-/// stage *builds* happen outside any artifact `Arc` but inside the lock,
-/// serializing identical concurrent queries instead of duplicating work).
+/// Sessions are `Send + Sync` and internally lock-free on the hot path
+/// beyond the store's per-shard mutexes: one session (or many sessions
+/// sharing one store) can serve queries from any number of sweep or
+/// server threads, with single-flight dedup collapsing concurrent
+/// identical cold queries into one build.
 pub struct Session {
-    config: SessionConfig,
+    recorder: Option<Arc<dyn Recorder>>,
     salt: u64,
-    registry: MetricsRegistry,
-    store: Mutex<Store>,
+    store: Arc<ArtifactStore>,
 }
 
 impl Default for Session {
@@ -403,41 +253,50 @@ impl Session {
         Self::with_config(SessionConfig { recorder: Some(recorder), ..SessionConfig::default() })
     }
 
-    /// Session with explicit configuration.
+    /// Session with explicit configuration, backed by a private store.
     pub fn with_config(config: SessionConfig) -> Self {
-        let capacity = config.capacity.unwrap_or(DEFAULT_CAPACITY);
-        let registry = MetricsRegistry::new();
-        let store = Mutex::new(Store::new(capacity, &registry));
-        Session { config, salt: key_salt(), registry, store }
+        let store =
+            ArtifactStore::shared(StoreConfig { cache_dir: config.cache_dir, capacity: config.capacity, shards: None });
+        Self::with_store_and_recorder(store, config.recorder)
     }
 
-    /// The session's metrics registry: the single home of its cache
+    /// Session over an existing (possibly shared) artifact store.
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        Self::with_store_and_recorder(store, None)
+    }
+
+    /// Session over a shared store, observed by a telemetry recorder. The
+    /// store's counters are shared across every session on it; spans go to
+    /// this session's recorder only.
+    pub fn with_store_and_recorder(store: Arc<ArtifactStore>, recorder: Option<Arc<dyn Recorder>>) -> Self {
+        Session { recorder, salt: key_salt(), store }
+    }
+
+    /// The artifact store backing this session.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// The store's metrics registry: the single home of its cache
     /// counters (`session.<stage>.{hits,disk_hits,misses,evictions}`).
     /// Merge it into an exported trace with
     /// [`xflow_obs::TraceSnapshot::merge_registry`].
     pub fn registry(&self) -> &MetricsRegistry {
-        &self.registry
+        self.store.registry()
     }
 
     fn recorder(&self) -> &dyn Recorder {
-        match &self.config.recorder {
+        match &self.recorder {
             Some(r) => r.as_ref(),
             None => &NoopRecorder,
         }
     }
 
-    /// Per-stage cache counters accumulated over this session's lifetime
-    /// (snapshots of the [`Session::registry`] counters).
+    /// Per-stage cache counters accumulated over the backing store's
+    /// lifetime (snapshots of the [`Session::registry`] counters, summed
+    /// over every session sharing the store).
     pub fn stats(&self) -> CacheStats {
-        let store = self.store.lock().unwrap();
-        CacheStats {
-            parse: store.parse.counters.snapshot(),
-            profile: store.profile.counters.snapshot(),
-            translate: store.translate.counters.snapshot(),
-            bet: store.bet.counters.snapshot(),
-            plan: store.plan.counters.snapshot(),
-            kernel: store.kernel.counters.snapshot(),
-        }
+        self.store.stats()
     }
 
     /// The cache keys a query derives, without running anything. Key
@@ -447,7 +306,7 @@ impl Session {
     }
 
     /// Model an application, reusing every stage artifact whose content key
-    /// matches a previous query (this session's memory, or the cache
+    /// matches a previous query (the store's memory, or the cache
     /// directory). Equivalent to a cold [`ModeledApp::from_program`] — the
     /// round-trip tests assert bit-identical projections.
     pub fn model(&self, src: &str, inputs: &InputSpec) -> Result<ModeledApp, PipelineError> {
@@ -464,29 +323,25 @@ impl Session {
     ) -> Result<ModeledApp, PipelineError> {
         let keys = derive_keys(src, inputs, libs);
         let rec = self.recorder();
-        let mut store = self.store.lock().unwrap();
-        store.tick += 1;
-        let tick = store.tick;
+        let salt = self.salt;
+        let store = &*self.store;
+        let dir = store.cache_dir();
 
-        let program = stage(&self.config, self.salt, rec, &mut store.parse, keys.parse, tick, || {
-            ml::parse(src).map_err(PipelineError::from)
-        })?;
-        let profile = stage(&self.config, self.salt, rec, &mut store.profile, keys.profile, tick, || {
+        let program =
+            store.parse.get_or_build(salt, dir, rec, keys.parse, || ml::parse(src).map_err(PipelineError::from))?;
+        let profile = store.profile.get_or_build(salt, dir, rec, keys.profile, || {
             ml::profile(&program, inputs).map_err(PipelineError::from)
         })?;
-        let translation = stage(&self.config, self.salt, rec, &mut store.translate, keys.translate, tick, || {
+        let translation = store.translate.get_or_build(salt, dir, rec, keys.translate, || {
             ml::translate(&program, &profile).map_err(PipelineError::Translate)
         })?;
-        let bet = stage(&self.config, self.salt, rec, &mut store.bet, keys.bet, tick, || {
+        let bet = store.bet.get_or_build(salt, dir, rec, keys.bet, || {
             let env = initial_env(&translation, inputs);
             xflow_bet::build_observed(&translation.skeleton, &env, xflow_bet::BuildConfig::default(), rec)
                 .map_err(PipelineError::from)
         })?;
-        let plan = stage(&self.config, self.salt, rec, &mut store.plan, keys.plan, tick, || {
-            Ok(ProjectionPlan::new(&bet, libs))
-        })?;
-        let kernel = stage(&self.config, self.salt, rec, &mut store.kernel, keys.kernel, tick, || Ok(plan.kernel()))?;
-        drop(store);
+        let plan = store.plan.get_or_build(salt, dir, rec, keys.plan, || Ok(ProjectionPlan::new(&bet, libs)))?;
+        let kernel = store.kernel.get_or_build(salt, dir, rec, keys.kernel, || Ok(plan.kernel()))?;
 
         Ok(ModeledApp::assemble(
             (*program).clone(),
@@ -508,175 +363,8 @@ impl Session {
     /// were removed. Only files matching the artifact naming scheme are
     /// touched; a memory-only session removes nothing.
     pub fn clear_disk(&self) -> std::io::Result<usize> {
-        let Some(dir) = &self.config.cache_dir else { return Ok(0) };
-        clear_cache_dir(dir)
+        self.store.clear_disk()
     }
-}
-
-/// One stage lookup-or-build: in-memory LRU, then disk, then the `build`
-/// closure (persisting the result when a cache directory is configured).
-///
-/// With an enabled recorder the whole lookup runs inside a
-/// `session.<stage>` span whose exit attributes name the artifact key and
-/// the cache outcome (`hit` / `disk` / `miss` / `error`); attribute
-/// construction is skipped entirely on the noop path.
-fn stage<T, F>(
-    config: &SessionConfig,
-    salt: u64,
-    rec: &dyn Recorder,
-    cache: &mut StageCache<T>,
-    key: u64,
-    tick: u64,
-    build: F,
-) -> Result<Arc<T>, PipelineError>
-where
-    T: serde::Serialize + serde::Deserialize,
-    F: FnOnce() -> Result<T, PipelineError>,
-{
-    let enabled = rec.enabled();
-    let name = cache.name;
-    let span = if enabled {
-        rec.span_start(&format!("session.{name}"), &[("key", AttrValue::Str(&format!("{key:016x}")))])
-    } else {
-        SpanId::NONE
-    };
-    let end = |outcome: &str, span: SpanId| {
-        if enabled {
-            rec.add(&format!("session.{name}.lookup.{outcome}"), 1);
-            rec.span_end(span, &[("outcome", AttrValue::Str(outcome))]);
-        }
-    };
-
-    if let Some(hit) = cache.lookup(key, tick) {
-        cache.counters.hits.add(1);
-        end("hit", span);
-        return Ok(hit);
-    }
-    if let Some(dir) = &config.cache_dir {
-        if let Some(v) = load_artifact::<T>(dir, cache.name, salt, key) {
-            cache.counters.disk_hits.add(1);
-            let arc = Arc::new(v);
-            cache.insert(key, Arc::clone(&arc), tick);
-            end("disk", span);
-            return Ok(arc);
-        }
-    }
-    cache.counters.misses.add(1);
-    let value = match build() {
-        Ok(v) => v,
-        Err(e) => {
-            end("error", span);
-            return Err(e);
-        }
-    };
-    if let Some(dir) = &config.cache_dir {
-        store_artifact(dir, cache.name, salt, key, &value);
-    }
-    let arc = Arc::new(value);
-    cache.insert(key, Arc::clone(&arc), tick);
-    end("miss", span);
-    Ok(arc)
-}
-
-// ---------------------------------------------------------------------------
-// Disk persistence
-// ---------------------------------------------------------------------------
-
-/// Artifact file name: the salt (schema fingerprint) and content key are
-/// both in the name, so a schema bump simply stops matching old files.
-fn artifact_path(dir: &Path, stage: &str, salt: u64, key: u64) -> PathBuf {
-    dir.join(format!("{stage}-{salt:016x}-{key:016x}.json"))
-}
-
-/// Load a persisted artifact; any failure (missing, unreadable, truncated,
-/// corrupted) is a cache miss, never an error.
-fn load_artifact<T: serde::Deserialize>(dir: &Path, stage: &str, salt: u64, key: u64) -> Option<T> {
-    let text = fs::read_to_string(artifact_path(dir, stage, salt, key)).ok()?;
-    serde_json::from_str(&text).ok()
-}
-
-/// Persist an artifact atomically (tmp + rename). Failures are silent: the
-/// cache is an accelerator, not a durability contract.
-fn store_artifact<T: serde::Serialize>(dir: &Path, stage: &str, salt: u64, key: u64, value: &T) {
-    if fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let path = artifact_path(dir, stage, salt, key);
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    let Ok(text) = serde_json::to_string(value) else { return };
-    let write = fs::File::create(&tmp).and_then(|mut f| f.write_all(text.as_bytes()));
-    if write.is_ok() {
-        let _ = fs::rename(&tmp, &path);
-    } else {
-        let _ = fs::remove_file(&tmp);
-    }
-}
-
-/// Whether a file name matches the artifact naming scheme of any stage.
-fn is_artifact_file(name: &str) -> bool {
-    let Some(rest) = name.strip_suffix(".json") else { return false };
-    let mut parts = rest.splitn(2, '-');
-    let stage = parts.next().unwrap_or("");
-    let Some(hashes) = parts.next() else { return false };
-    matches!(stage, "parse" | "profile" | "translate" | "bet" | "plan" | "kernel")
-        && hashes.len() == 33
-        && hashes.as_bytes()[16] == b'-'
-        && hashes.chars().enumerate().all(|(i, c)| i == 16 || c.is_ascii_hexdigit())
-}
-
-/// Summary of a cache directory's contents (the `cache stats` subcommand).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DiskCacheReport {
-    /// Artifact files per stage, in pipeline order.
-    pub per_stage: [usize; 6],
-    /// Total artifact files.
-    pub entries: usize,
-    /// Total artifact bytes.
-    pub bytes: u64,
-}
-
-impl DiskCacheReport {
-    /// Stage names matching `per_stage` order.
-    pub const STAGES: [&'static str; 6] = ["parse", "profile", "translate", "bet", "plan", "kernel"];
-}
-
-/// Scan a cache directory (missing directory → empty report).
-pub fn disk_cache_report(dir: &Path) -> DiskCacheReport {
-    let mut report = DiskCacheReport::default();
-    let Ok(entries) = fs::read_dir(dir) else { return report };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if !is_artifact_file(name) {
-            continue;
-        }
-        if let Some(i) = DiskCacheReport::STAGES.iter().position(|s| name.starts_with(&format!("{s}-"))) {
-            report.per_stage[i] += 1;
-        }
-        report.entries += 1;
-        report.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
-    }
-    report
-}
-
-/// Delete all artifact files in a cache directory, returning the count.
-/// Non-artifact files are left alone; a missing directory removes nothing.
-pub fn clear_cache_dir(dir: &Path) -> std::io::Result<usize> {
-    let mut removed = 0;
-    let entries = match fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
-        Err(e) => return Err(e),
-    };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if is_artifact_file(name) {
-            fs::remove_file(entry.path())?;
-            removed += 1;
-        }
-    }
-    Ok(removed)
 }
 
 /// The process-wide default session backing [`ModeledApp::from_source`]:
@@ -735,20 +423,6 @@ fn main() {
     }
 
     #[test]
-    fn lru_evicts_least_recently_used() {
-        let reg = MetricsRegistry::new();
-        let mut c: StageCache<u32> = StageCache::new("parse", 2, StageCounters::for_stage(&reg, "parse"));
-        c.insert(1, Arc::new(10), 1);
-        c.insert(2, Arc::new(20), 2);
-        assert!(c.lookup(1, 3).is_some()); // refresh key 1
-        c.insert(3, Arc::new(30), 4); // evicts key 2
-        assert_eq!(reg.get("session.parse.evictions"), 1);
-        assert!(c.lookup(2, 5).is_none());
-        assert!(c.lookup(1, 6).is_some());
-        assert!(c.lookup(3, 7).is_some());
-    }
-
-    #[test]
     fn stats_snapshot_registry_counters() {
         let s = Session::new();
         let i = InputSpec::from_pairs([("N", 16.0)]);
@@ -761,6 +435,20 @@ fn main() {
         assert_eq!(s.registry().get("session.parse.hits"), stats.parse.hits);
         assert_eq!(s.registry().get("session.plan.misses"), stats.plan.misses);
         assert_eq!(format!("{stats}"), "memory hits: 6, disk hits: 0, misses: 6");
+    }
+
+    #[test]
+    fn sessions_share_a_store_and_its_counters() {
+        let store = ArtifactStore::shared(StoreConfig::default());
+        let a = Session::with_store(Arc::clone(&store));
+        let b = Session::with_store(Arc::clone(&store));
+        let i = InputSpec::from_pairs([("N", 16.0)]);
+        a.model(SRC, &i).unwrap();
+        b.model(SRC, &i).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.misses(), 6, "session b reuses session a's artifacts");
+        assert_eq!(stats.hits(), 6);
+        assert_eq!(a.stats(), b.stats(), "stats are store-wide, not per-session");
     }
 
     #[test]
@@ -788,15 +476,5 @@ fn main() {
         let bet_build = snap.spans.iter().find(|sp| sp.name == "bet.build").unwrap();
         let bet_stage = snap.spans.iter().find(|sp| sp.name == "session.bet").unwrap();
         assert_eq!(bet_build.parent, Some(bet_stage.id));
-    }
-
-    #[test]
-    fn artifact_file_name_filter() {
-        assert!(is_artifact_file("parse-0123456789abcdef-fedcba9876543210.json"));
-        assert!(is_artifact_file("plan-0000000000000000-0000000000000000.json"));
-        assert!(is_artifact_file("kernel-0000000000000000-0000000000000000.json"));
-        assert!(!is_artifact_file("parse-0123-fedc.json"));
-        assert!(!is_artifact_file("notes.txt"));
-        assert!(!is_artifact_file("other-0123456789abcdef-fedcba9876543210.json"));
     }
 }

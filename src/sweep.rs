@@ -129,6 +129,29 @@ impl Axis {
     pub fn vector_lanes(values: &[f64]) -> Self {
         Self::new("vector_lanes", values, |m, v| m.vector_lanes = v)
     }
+
+    /// Resolve a sweepable machine parameter by name — the single list
+    /// both the CLI's `--axis` flag and the server's sweep requests
+    /// accept, so the two surfaces can never drift apart.
+    pub fn by_name(name: &str, values: &[f64]) -> Result<Self, String> {
+        let apply: fn(&mut MachineModel, f64) = match name {
+            "dram_bw_gbs" => |m, v| m.dram_bw_gbs = v,
+            "cores" => |m, v| m.cores = v as u32,
+            "mlp" => |m, v| m.mlp = v,
+            "freq_ghz" => |m, v| m.freq_ghz = v,
+            "vector_lanes" => |m, v| m.vector_lanes = v,
+            "issue_width" => |m, v| m.issue_width = v,
+            "l1_hit_rate" => |m, v| m.l1_hit_rate = v,
+            "llc_hit_rate" => |m, v| m.llc_hit_rate = v,
+            "vector_efficiency" => |m, v| m.vector_efficiency = v,
+            "load_store_per_cycle" => |m, v| m.load_store_per_cycle = v,
+            other => return Err(format!("unknown axis parameter `{other}`")),
+        };
+        if values.is_empty() {
+            return Err(format!("axis `{name}` needs at least one value"));
+        }
+        Ok(Self::new(name, values, apply))
+    }
 }
 
 /// A set of candidate machines to project an application on.
