@@ -12,7 +12,8 @@
 
 use xflow_bench::gate::{compare_files, render_deltas, GateConfig};
 
-const DEFAULT_FILES: &str = "BENCH_sweep.json,BENCH_session.json,BENCH_obs.json,BENCH_kernel.json,BENCH_serve.json";
+const DEFAULT_FILES: &str =
+    "BENCH_sweep.json,BENCH_session.json,BENCH_obs.json,BENCH_kernel.json,BENCH_serve.json,BENCH_profile.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

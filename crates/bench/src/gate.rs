@@ -219,6 +219,18 @@ mod tests {
     }
 
     #[test]
+    fn profile_bench_keys_classify_correctly() {
+        // pins the direction of every gated BENCH_profile.json metric so a
+        // key rename can't silently demote a gate to informational
+        for key in ["vm_baseline_seconds", "vm_noop_seconds", "noop_overhead", "profiled_seconds", "profiled_overhead"]
+        {
+            assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
+        }
+        assert_eq!(direction_of("profiled_minstr_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("instructions"), Direction::Informational);
+    }
+
+    #[test]
     fn slower_time_and_lower_speedup_regress() {
         let base = content(r#"{"run_seconds": 1.0, "speedup": 10.0, "grid_points": 25}"#);
         let cfg = GateConfig::default();

@@ -47,7 +47,10 @@ pub use interp::{
 pub use parser::parse;
 pub use printer::print;
 pub use translate::{translate, TranslateError, Translation};
-pub use vm::{compile, run_vm, run_vm_with_limits, run_vm_with_limits_seeded, VmProgram};
+pub use vm::{
+    compile, run_vm, run_vm_observed, run_vm_profiled, run_vm_with_limits, run_vm_with_limits_seeded, InstrProfile,
+    VmProgram, NUM_OP_KINDS, OP_KIND_NAMES,
+};
 
 /// Wire-format version of this crate's serializable artifacts
 /// ([`Program`], [`Profile`], [`Translation`], [`InputSpec`]).

@@ -16,6 +16,7 @@ use crate::interp::{ArrRef, InputSpec, Lcg, Limits, Profile, RuntimeError, Trace
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use xflow_obs::Recorder;
 
 /// A compiled program.
 #[derive(Debug, Clone)]
@@ -136,6 +137,221 @@ enum Op {
     Print,
     /// Pop and discard.
     Pop,
+}
+
+// ---------------------------------------------------------------------------
+// Instruction profiling
+// ---------------------------------------------------------------------------
+
+/// Number of distinct opcode kinds (one per `Op` variant).
+pub const NUM_OP_KINDS: usize = 39;
+
+/// Opcode kind names, indexed by the dense kind index `op_kind` yields
+/// (declaration order of `Op`). These are the names `xflow profile`
+/// reports and the `vm.op.*` / `vm.pair.*` counters use.
+pub const OP_KIND_NAMES: [&str; NUM_OP_KINDS] = [
+    "Num",
+    "PushSlot",
+    "LoadScalar",
+    "StoreSlot",
+    "NewArray",
+    "Len",
+    "Input",
+    "NormBoolRaw",
+    "LoadElem",
+    "StoreElem",
+    "Bin",
+    "Neg",
+    "Not",
+    "Cmp",
+    "CountIop",
+    "Abs",
+    "Floor",
+    "Min",
+    "Max",
+    "Lib",
+    "JumpIfZero",
+    "Jump",
+    "StmtEnter",
+    "SetCur",
+    "LoopEntry",
+    "IterTick",
+    "IterTickWhile",
+    "JumpIfGeRaw",
+    "AdvanceRaw",
+    "ClampStepRaw",
+    "BranchEnter",
+    "ArmHit",
+    "ElseHit",
+    "BreakProfile",
+    "ContinueProfile",
+    "Call",
+    "Ret",
+    "Print",
+    "Pop",
+];
+
+/// Dense kind index of an instruction (its [`Op`] variant).
+fn op_kind(op: &Op) -> usize {
+    match op {
+        Op::Num(_) => 0,
+        Op::PushSlot(_) => 1,
+        Op::LoadScalar(_) => 2,
+        Op::StoreSlot(_) => 3,
+        Op::NewArray(_) => 4,
+        Op::Len(_) => 5,
+        Op::Input(_) => 6,
+        Op::NormBoolRaw => 7,
+        Op::LoadElem(_) => 8,
+        Op::StoreElem(_) => 9,
+        Op::Bin { .. } => 10,
+        Op::Neg { .. } => 11,
+        Op::Not => 12,
+        Op::Cmp(_) => 13,
+        Op::CountIop => 14,
+        Op::Abs => 15,
+        Op::Floor => 16,
+        Op::Min => 17,
+        Op::Max => 18,
+        Op::Lib(_) => 19,
+        Op::JumpIfZero(_) => 20,
+        Op::Jump(_) => 21,
+        Op::StmtEnter(_) => 22,
+        Op::SetCur(_) => 23,
+        Op::LoopEntry(_) => 24,
+        Op::IterTick(_) => 25,
+        Op::IterTickWhile(_) => 26,
+        Op::JumpIfGeRaw { .. } => 27,
+        Op::AdvanceRaw { .. } => 28,
+        Op::ClampStepRaw(_) => 29,
+        Op::BranchEnter { .. } => 30,
+        Op::ArmHit { .. } => 31,
+        Op::ElseHit(_) => 32,
+        Op::BreakProfile(_) => 33,
+        Op::ContinueProfile(_) => 34,
+        Op::Call { .. } => 35,
+        Op::Ret => 36,
+        Op::Print => 37,
+        Op::Pop => 38,
+    }
+}
+
+/// Dynamic instruction-frequency profile of one VM run: per-opcode
+/// execution counts and instruction-pair (digram) counts over the
+/// executed stream — the measurement half of profile-guided dispatch
+/// reordering and superinstruction fusion.
+///
+/// Recording is branch-free and allocation-free: one dense counter bump
+/// per opcode plus one per digram (the "no previous instruction" state is
+/// an extra phantom row, not a branch). Produced by [`run_vm_profiled`];
+/// [`run_vm_observed`] additionally flushes it through a [`Recorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrProfile {
+    /// Execution count per opcode kind, indexed like [`OP_KIND_NAMES`].
+    ops: Vec<u64>,
+    /// Digram counts, `(NUM_OP_KINDS + 1) × NUM_OP_KINDS`: row `prev`,
+    /// column `next`. The phantom row `NUM_OP_KINDS` absorbs the first
+    /// instruction (no predecessor) and is excluded from reports.
+    pairs: Vec<u64>,
+    prev: usize,
+}
+
+impl Default for InstrProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstrProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        InstrProfile {
+            ops: vec![0; NUM_OP_KINDS],
+            pairs: vec![0; (NUM_OP_KINDS + 1) * NUM_OP_KINDS],
+            prev: NUM_OP_KINDS,
+        }
+    }
+
+    #[inline(always)]
+    fn note(&mut self, kind: usize) {
+        self.ops[kind] += 1;
+        self.pairs[self.prev * NUM_OP_KINDS + kind] += 1;
+        self.prev = kind;
+    }
+
+    /// Total dynamic instructions executed.
+    pub fn total(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Execution count of one opcode kind by name (0 for unknown names).
+    pub fn count_of(&self, name: &str) -> u64 {
+        OP_KIND_NAMES.iter().position(|n| *n == name).map_or(0, |i| self.ops[i])
+    }
+
+    /// Executed opcode kinds ranked by count (descending, ties broken by
+    /// name so the report is deterministic). Zero-count kinds are omitted.
+    pub fn ranked_ops(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> =
+            OP_KIND_NAMES.iter().zip(self.ops.iter()).filter(|(_, n)| **n > 0).map(|(k, n)| (*k, *n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Executed instruction pairs ranked by count (descending, ties by
+    /// names) — the candidate list for superinstruction fusion. The
+    /// phantom "start of stream" row is excluded.
+    pub fn ranked_pairs(&self) -> Vec<((&'static str, &'static str), u64)> {
+        let mut v: Vec<((&'static str, &'static str), u64)> = Vec::new();
+        for (a, &name_a) in OP_KIND_NAMES.iter().enumerate() {
+            for (b, &name_b) in OP_KIND_NAMES.iter().enumerate() {
+                let n = self.pairs[a * NUM_OP_KINDS + b];
+                if n > 0 {
+                    v.push(((name_a, name_b), n));
+                }
+            }
+        }
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Flush the profile into a recorder as monotonic counters:
+    /// `vm.instructions`, `vm.op.<Kind>`, and `vm.pair.<A>.<B>` (nonzero
+    /// entries only). Called once at end of run, so the per-name
+    /// formatting here never touches the dispatch loop.
+    pub fn flush_to<R: Recorder + ?Sized>(&self, rec: &R) {
+        rec.add("vm.instructions", self.total());
+        for (name, n) in self.ranked_ops() {
+            rec.add(&format!("vm.op.{name}"), n);
+        }
+        for ((a, b), n) in self.ranked_pairs() {
+            rec.add(&format!("vm.pair.{a}.{b}"), n);
+        }
+    }
+}
+
+/// Compile-time switch threading instruction profiling through the
+/// dispatch loop. The `()` sink is the production default: `ENABLED` is
+/// false, so the `op_kind` computation and counter bumps are statically
+/// absent from the monomorphized loop — the same machine code the VM had
+/// before profiling existed.
+trait InstrSink {
+    const ENABLED: bool;
+    fn note_op(&mut self, kind: usize);
+}
+
+impl InstrSink for () {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn note_op(&mut self, _kind: usize) {}
+}
+
+impl InstrSink for InstrProfile {
+    const ENABLED: bool = true;
+    #[inline(always)]
+    fn note_op(&mut self, kind: usize) {
+        self.note(kind);
+    }
 }
 
 /// Compile a program to bytecode.
@@ -548,9 +764,58 @@ pub fn run_vm_with_limits<T: Tracer>(
 pub fn run_vm_with_limits_seeded<T: Tracer>(
     vm: &VmProgram,
     inputs: &InputSpec,
+    tracer: T,
+    limits: Limits,
+    seed: u64,
+) -> Result<(Profile, T, f64), RuntimeError> {
+    run_vm_inner(vm, inputs, tracer, limits, seed, &mut ())
+}
+
+/// [`run_vm_with_limits_seeded`] with instruction profiling compiled in:
+/// returns the per-opcode / per-digram [`InstrProfile`] alongside the
+/// ordinary results. The run itself is bit-identical to the unprofiled
+/// one (profiling only counts, it never changes semantics).
+pub fn run_vm_profiled<T: Tracer>(
+    vm: &VmProgram,
+    inputs: &InputSpec,
+    tracer: T,
+    limits: Limits,
+    seed: u64,
+) -> Result<(Profile, T, f64, InstrProfile), RuntimeError> {
+    let mut iprof = InstrProfile::new();
+    let (profile, tracer, ret) = run_vm_inner(vm, inputs, tracer, limits, seed, &mut iprof)?;
+    Ok((profile, tracer, ret, iprof))
+}
+
+/// [`run_vm_with_limits_seeded`] routed through a [`Recorder`]: when the
+/// recorder is enabled the run is instruction-profiled and the profile is
+/// flushed into it as `vm.op.*` / `vm.pair.*` counters; when it is
+/// disabled (the [`xflow_obs::NoopRecorder`] default) this monomorphizes
+/// to the statically unprofiled loop — same machine code, zero overhead.
+pub fn run_vm_observed<T: Tracer, R: Recorder + ?Sized>(
+    vm: &VmProgram,
+    inputs: &InputSpec,
+    tracer: T,
+    limits: Limits,
+    seed: u64,
+    rec: &R,
+) -> Result<(Profile, T, f64), RuntimeError> {
+    if rec.enabled() {
+        let (profile, tracer, ret, iprof) = run_vm_profiled(vm, inputs, tracer, limits, seed)?;
+        iprof.flush_to(rec);
+        Ok((profile, tracer, ret))
+    } else {
+        run_vm_with_limits_seeded(vm, inputs, tracer, limits, seed)
+    }
+}
+
+fn run_vm_inner<T: Tracer, S: InstrSink>(
+    vm: &VmProgram,
+    inputs: &InputSpec,
     mut tracer: T,
     limits: Limits,
     seed: u64,
+    sink: &mut S,
 ) -> Result<(Profile, T, f64), RuntimeError> {
     let mut profile = Profile::default();
     let mut rng = Lcg(seed);
@@ -577,6 +842,9 @@ pub fn run_vm_with_limits_seeded<T: Tracer>(
         debug_assert!(frame.pc < func.code.len());
         let op = &func.code[frame.pc];
         frame.pc += 1;
+        if S::ENABLED {
+            sink.note_op(op_kind(op));
+        }
         match op {
             Op::Num(n) => stack.push(Val::Num(*n)),
             Op::PushSlot(s) => {
@@ -1009,6 +1277,103 @@ mod tests {
         let vm = compile(&p).unwrap();
         let (_, _, r) = run_vm(&vm, &InputSpec::new(), NullTracer).unwrap();
         assert_eq!(r, 42.0);
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_counts_consistently() {
+        let p = parse(
+            r#"
+fn main() {
+    let n = input("N", 32);
+    let a = zeros(n);
+    for i in 0 .. n { a[i] = rnd() * 2.0; }
+    let s = 0;
+    for i in 0 .. n {
+        if a[i] > 1.0 { s = s + a[i]; } else { s = s - 1; }
+    }
+    print(s);
+}
+"#,
+        )
+        .unwrap();
+        let vm = compile(&p).unwrap();
+        let spec = InputSpec::new();
+        let (prof_a, _, ret_a) = run_vm(&vm, &spec, NullTracer).unwrap();
+        let (prof_b, _, ret_b, iprof) =
+            run_vm_profiled(&vm, &spec, NullTracer, Limits::default(), crate::DEFAULT_SEED).unwrap();
+        assert_eq!(ret_a.to_bits(), ret_b.to_bits());
+        assert_eq!(prof_a.printed, prof_b.printed);
+        assert_eq!(prof_a.stmt_ops, prof_b.stmt_ops);
+        // opcode totals tie out against the semantic profile
+        let total = iprof.total();
+        assert!(total > 0);
+        assert_eq!(iprof.ranked_ops().iter().map(|(_, n)| n).sum::<u64>(), total);
+        // every instruction except the first has a predecessor
+        assert_eq!(iprof.ranked_pairs().iter().map(|(_, n)| n).sum::<u64>(), total - 1);
+        let stmt_execs: u64 = prof_b.stmt_exec.values().sum();
+        assert_eq!(iprof.count_of("StmtEnter"), stmt_execs);
+        let loads: u64 = prof_b.stmt_ops.values().map(|c| c.loads).sum();
+        let stores: u64 = prof_b.stmt_ops.values().map(|c| c.stores).sum();
+        assert_eq!(iprof.count_of("LoadElem"), loads);
+        assert_eq!(iprof.count_of("StoreElem"), stores);
+        let lib_calls: u64 = prof_b.lib_calls.values().sum();
+        assert_eq!(iprof.count_of("Lib"), lib_calls);
+    }
+
+    #[test]
+    fn ranked_reports_are_sorted_and_deterministic() {
+        let p = parse("fn main() { let s = 0; for i in 0 .. 100 { s = s + i; } print(s); }").unwrap();
+        let vm = compile(&p).unwrap();
+        let run = || {
+            let (_, _, _, i) = run_vm_profiled(&vm, &InputSpec::new(), NullTracer, Limits::default(), 42).unwrap();
+            i
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "profiles must be run-to-run identical");
+        let ops = a.ranked_ops();
+        assert!(ops.windows(2).all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)), "{ops:?}");
+        let pairs = a.ranked_pairs();
+        assert!(pairs.windows(2).all(|w| w[0].1 >= w[1].1), "{pairs:?}");
+        // the hot loop body dominates: IterTick appears 100 times
+        assert_eq!(a.count_of("IterTick"), 100);
+    }
+
+    #[test]
+    fn observed_run_routes_counters_through_the_recorder() {
+        let p = parse("fn main() { let s = 0; for i in 0 .. 10 { s = s + i; } print(s); }").unwrap();
+        let vm = compile(&p).unwrap();
+        let rec = xflow_obs::CollectingRecorder::new();
+        let (_, _, r1) =
+            run_vm_observed(&vm, &InputSpec::new(), NullTracer, Limits::default(), crate::DEFAULT_SEED, &rec).unwrap();
+        assert!(rec.counter_value("vm.instructions") > 0);
+        assert_eq!(rec.counter_value("vm.op.IterTick"), 10);
+        assert!(rec.counter_value("vm.pair.StmtEnter.LoadScalar") > 0 || rec.counter_value("vm.instructions") > 0);
+        // noop recorder path still runs correctly (and skips profiling)
+        let (_, _, r2) = run_vm_observed(
+            &vm,
+            &InputSpec::new(),
+            NullTracer,
+            Limits::default(),
+            crate::DEFAULT_SEED,
+            &xflow_obs::NoopRecorder,
+        )
+        .unwrap();
+        assert_eq!(r1.to_bits(), r2.to_bits());
+    }
+
+    #[test]
+    fn op_kind_names_cover_every_variant() {
+        // spot-check the dense index table stays aligned with the enum
+        assert_eq!(OP_KIND_NAMES.len(), NUM_OP_KINDS);
+        assert_eq!(op_kind(&Op::Num(0.0)), 0);
+        assert_eq!(OP_KIND_NAMES[op_kind(&Op::Ret)], "Ret");
+        assert_eq!(OP_KIND_NAMES[op_kind(&Op::Pop)], "Pop");
+        assert_eq!(OP_KIND_NAMES[op_kind(&Op::JumpIfGeRaw { cur: 0, hi: 0, target: 0 })], "JumpIfGeRaw");
+        let mut seen = std::collections::HashSet::new();
+        for n in OP_KIND_NAMES {
+            assert!(seen.insert(n), "duplicate kind name {n}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::collect::TraceSnapshot;
 use crate::recorder::OwnedAttr;
 
 /// Escape a string into a JSON string literal (with quotes).
-fn json_string(s: &str, out: &mut String) {
+pub(crate) fn json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -30,7 +30,7 @@ fn json_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
-fn json_f64(v: f64, out: &mut String) {
+pub(crate) fn json_f64(v: f64, out: &mut String) {
     if v.is_finite() {
         // {:?} prints the shortest decimal that parses back exactly
         let _ = write!(out, "{v:?}");
@@ -139,7 +139,33 @@ impl TraceSnapshot {
             json_f64(h.min, &mut out);
             out.push_str(",\"max\":");
             json_f64(h.max, &mut out);
-            out.push_str("}}");
+            out.push_str(",\"p50\":");
+            json_f64(h.quantile(0.50), &mut out);
+            out.push_str(",\"p99\":");
+            json_f64(h.quantile(0.99), &mut out);
+            // Non-empty buckets as cumulative `le` samples, so the trace
+            // carries the same distribution `/metrics` exposes.
+            out.push_str(",\"buckets\":{");
+            let mut first_bucket = true;
+            for (le, cum) in h.cumulative_buckets() {
+                if cum == 0 {
+                    continue;
+                }
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                out.push('"');
+                let _ = write!(out, "{le:?}");
+                let _ = write!(out, "\":{cum}");
+            }
+            if h.count > 0 {
+                if !first_bucket {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"+Inf\":{}", h.count);
+            }
+            out.push_str("}}}");
         }
 
         out.push_str("]}");
@@ -177,6 +203,20 @@ mod tests {
         assert!(json.contains("bgq\\\"[a=2]"));
         // every event object carries the mandatory fields
         assert!(json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn histogram_samples_carry_buckets_and_quantiles() {
+        let rec = CollectingRecorder::new();
+        rec.observe("lat", 0.004);
+        rec.observe("lat", 0.004);
+        rec.observe("lat", 0.04);
+        let json = rec.snapshot().to_chrome_json();
+        // cumulative le samples: 2 at 5e-3, 3 at 5e-2, +Inf = count
+        assert!(json.contains("\"buckets\":{\"0.005\":2,\"0.01\":2,\"0.025\":2,\"0.05\":3"), "{json}");
+        assert!(json.contains("\"+Inf\":3"), "{json}");
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
     }
 
     #[test]

@@ -17,13 +17,16 @@
 //! building) behind [`Recorder::enabled`] so the noop path allocates
 //! nothing.
 //!
-//! Three concrete recorders cover the workspace's needs:
+//! Four concrete recorders cover the workspace's needs:
 //!
 //! * [`NoopRecorder`] — the zero-overhead default;
 //! * [`CollectingRecorder`] — thread-safe accumulation of spans, events,
 //!   counters, histograms, and block provenance; snapshot it with
 //!   [`CollectingRecorder::snapshot`] and export with
 //!   [`TraceSnapshot::to_chrome_json`];
+//! * [`FlightRecorder`] — an always-on, lock-free fixed-capacity ring
+//!   retaining the last N events for after-the-fact dumps (optionally
+//!   wrapping another recorder);
 //! * [`ProgressTicker`] — a decorator that forwards everything to an inner
 //!   recorder while driving a live stderr ticker off one counter (the
 //!   design-space sweep uses it for per-point progress).
@@ -42,13 +45,15 @@
 
 pub mod chrome;
 pub mod collect;
+pub mod flight;
 pub mod progress;
 pub mod provenance;
 pub mod recorder;
 pub mod registry;
 
 pub use collect::{CollectingRecorder, EventRecord, SpanRecord, TraceSnapshot};
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, FlightSnapshot, DEFAULT_FLIGHT_CAPACITY};
 pub use progress::ProgressTicker;
 pub use provenance::BlockProvenance;
 pub use recorder::{span, Attr, AttrValue, NoopRecorder, OwnedAttr, Recorder, SpanGuard, SpanId};
-pub use registry::{Counter, HistogramSummary, MetricsRegistry};
+pub use registry::{Counter, HistogramSummary, MetricsRegistry, BUCKET_BOUNDS};

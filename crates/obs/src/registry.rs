@@ -28,22 +28,52 @@ impl Counter {
     }
 }
 
-/// Summary statistics of one histogram (count/sum/min/max — enough for
-/// the latency and size distributions the pipeline records).
+/// Fixed log-scale histogram bucket upper bounds: `{1, 2.5, 5} × 10^k`
+/// for twelve decades, `1e-9 ..= 5e2`. The ladder is shared by every
+/// histogram in the registry so exposition stays comparable across
+/// metrics, and the bounds are round numbers so Prometheus `le` labels
+/// read cleanly. Observations above the last bound land only in the
+/// implicit `+Inf` bucket (`count`).
+pub const BUCKET_BOUNDS: [f64; 36] = [
+    1e-9, 2.5e-9, 5e-9, 1e-8, 2.5e-8, 5e-8, 1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+    5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 1e1, 2.5e1, 5e1, 1e2, 2.5e2, 5e2,
+];
+
+/// Summary statistics of one histogram: count/sum/min/max plus fixed
+/// log-scale bucket counts over [`BUCKET_BOUNDS`]. Per-bucket counts are
+/// stored non-cumulative; [`HistogramSummary::cumulative_buckets`]
+/// produces the cumulative `le` view Prometheus exposition wants.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    /// Observations per bucket of [`BUCKET_BOUNDS`] (non-cumulative).
+    pub buckets: [u64; BUCKET_BOUNDS.len()],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl HistogramSummary {
+    /// An empty summary (`min`/`max` start at ±∞ so the first observation
+    /// sets them).
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, buckets: [0; BUCKET_BOUNDS.len()] }
+    }
+
     fn observe(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        if let Some(i) = BUCKET_BOUNDS.iter().position(|b| v <= *b) {
+            self.buckets[i] += 1;
+        }
     }
 
     /// Mean observation (0 when empty).
@@ -53,6 +83,41 @@ impl HistogramSummary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Cumulative `(upper_bound, count_le)` pairs over [`BUCKET_BOUNDS`].
+    /// The implicit `+Inf` bucket is `count` itself (observations above
+    /// the last bound, NaNs included, appear only there).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        BUCKET_BOUNDS
+            .iter()
+            .zip(self.buckets.iter())
+            .map(|(b, n)| {
+                acc += n;
+                (*b, acc)
+            })
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts:
+    /// the upper bound of the first bucket holding the target rank,
+    /// clamped to the observed `[min, max]` so single-observation
+    /// histograms report the exact value. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (b, n) in BUCKET_BOUNDS.iter().zip(self.buckets.iter()) {
+            acc += n;
+            if acc >= rank {
+                return b.clamp(self.min, self.max);
+            }
+        }
+        // rank falls in the +Inf bucket: all we know is the maximum.
+        self.max
     }
 }
 
@@ -95,9 +160,7 @@ impl MetricsRegistry {
     /// Record one observation of a named histogram.
     pub fn observe(&self, name: &str, value: f64) {
         let mut map = self.histograms.lock().unwrap();
-        map.entry(name.to_string())
-            .or_insert(HistogramSummary { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY })
-            .observe(value);
+        map.entry(name.to_string()).or_default().observe(value);
     }
 
     /// All counters, sorted by name.
@@ -146,6 +209,49 @@ mod tests {
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 3.0);
         assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for w in BUCKET_BOUNDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn observations_land_in_log_buckets() {
+        let mut h = HistogramSummary::new();
+        for v in [1e-4, 2e-4, 3e-4, 1e3] {
+            h.observe(v);
+        }
+        let cum = h.cumulative_buckets();
+        // 1e-4 <= 1e-4; 2e-4 and 3e-4 land in (1e-4, 2.5e-4] and (2.5e-4, 5e-4].
+        let at = |bound: f64| cum.iter().find(|(b, _)| *b == bound).unwrap().1;
+        assert_eq!(at(1e-4), 1);
+        assert_eq!(at(2.5e-4), 2);
+        assert_eq!(at(5e-4), 3);
+        // 1e3 overflows every bound: visible only via count (the +Inf bucket).
+        assert_eq!(at(5e2), 3);
+        assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut h = HistogramSummary::new();
+        for i in 1..=100 {
+            h.observe(i as f64 * 1e-3); // 1ms .. 100ms
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((0.025..=0.1).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50 && p99 <= 0.1, "p99 {p99}");
+        // single observation: quantiles clamp to the exact value
+        let mut one = HistogramSummary::new();
+        one.observe(0.007);
+        assert_eq!(one.quantile(0.5), 0.007);
+        assert_eq!(one.quantile(0.99), 0.007);
+        // empty histogram
+        assert_eq!(HistogramSummary::new().quantile(0.5), 0.0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ COMMANDS:
     skeleton <FILE>   print the generated code skeleton (SKOPE-style)
     bet      <FILE>   print BET statistics (nodes, size ratio, warnings)
     simulate <FILE>   run the ground-truth simulator (measured profile)
+    profile  <FILE>   rank VM opcodes and opcode pairs by execution count
     compare  <FILE>   side-by-side projected vs measured hot spots
     validate <FILE>   differential check: analytic model vs executed oracle
     sweep    <FILE>   project across a machine grid (--axis, work-stealing)
@@ -51,8 +52,11 @@ OPTIONS:
     --top <N>                      rows to print           [default: 10]
     --scale <test|eval>            workload input preset   [default: test]
     --seed <N>                     RNG seed for validate's oracle runs
-    --json                         machine-readable output (explain, validate)
+    --json                         machine-readable output (explain, validate,
+                                   profile)
     --trace-out <FILE>             write a Chrome trace of the run to FILE
+    --flight-out <FILE>            write the always-on flight-ring snapshot
+                                   (last ~1k telemetry events) to FILE
     --cache-dir <DIR>              persist/reuse stage artifacts in DIR
     --no-cache                     model cold, bypassing every cache
 
@@ -94,6 +98,23 @@ struct Invocation {
     /// Created when `--trace-out` is given; threaded through the session
     /// and every observed evaluation so one trace covers the whole run.
     recorder: Option<Arc<CollectingRecorder>>,
+    flight_out: Option<String>,
+    /// Created when `--flight-out` is given; wraps the collecting
+    /// recorder (if any) so the ring sees exactly the traced events.
+    flight: Option<Arc<xflow_obs::FlightRecorder>>,
+}
+
+impl Invocation {
+    /// The recorder to thread through sessions and observed evaluations:
+    /// the flight ring when `--flight-out` is given (it forwards to the
+    /// `--trace-out` collector when both are present), else the collector.
+    fn session_recorder(&self) -> Option<Arc<dyn xflow_obs::Recorder>> {
+        match (&self.flight, &self.recorder) {
+            (Some(f), _) => Some(f.clone() as Arc<dyn xflow_obs::Recorder>),
+            (None, Some(r)) => Some(r.clone() as Arc<dyn xflow_obs::Recorder>),
+            (None, None) => None,
+        }
+    }
 }
 
 /// Build the machine registry an invocation resolves `--machine` against:
@@ -132,6 +153,8 @@ fn parse_args(args: &[String], registry: &MachineRegistry) -> Result<Invocation,
         machines_dir: None,
         trace_out: None,
         recorder: None,
+        flight_out: None,
+        flight: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -220,9 +243,21 @@ fn parse_args(args: &[String], registry: &MachineRegistry) -> Result<Invocation,
                 inv.trace_out = Some(v.clone());
                 inv.recorder = Some(Arc::new(CollectingRecorder::new()));
             }
+            "--flight-out" => {
+                let v = it.next().ok_or("--flight-out needs a path")?;
+                inv.flight_out = Some(v.clone());
+            }
             other if inv.file.is_none() && !other.starts_with("--") => inv.file = Some(other.to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
+    }
+    // built after the loop so the ring wraps the collector regardless of
+    // the order --flight-out and --trace-out appeared in
+    if inv.flight_out.is_some() {
+        inv.flight = Some(Arc::new(match &inv.recorder {
+            Some(rec) => xflow_obs::FlightRecorder::wrapping(rec.clone() as Arc<dyn xflow_obs::Recorder>),
+            None => xflow_obs::FlightRecorder::new(),
+        }));
     }
     Ok(inv)
 }
@@ -266,6 +301,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
             snap.merge_registry(s.registry());
         }
         std::fs::write(path, snap.to_chrome_json()).map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    }
+    if let Some(path) = &inv.flight_out {
+        let flight = inv.flight.as_ref().expect("--flight-out allocates a flight recorder");
+        std::fs::write(path, flight.snapshot().to_chrome_json())
+            .map_err(|e| format!("cannot write flight dump to {path}: {e}"))?;
     }
     Ok(out)
 }
@@ -378,8 +418,7 @@ fn run_cache(inv: &Invocation) -> Result<String, String> {
             // embedded `serve` instance), report its counters too — on
             // stderr, like all cache traffic, so stdout stays stable
             if let Some(store) = crate::store::process_store() {
-                let stats = store.stats();
-                eprintln!("[xflow cache] live store: {stats}, single-flight waits: {}", stats.singleflight_waits());
+                eprint!("{}", live_store_report(&store.stats()));
             }
             Ok(out)
         }
@@ -389,6 +428,82 @@ fn run_cache(inv: &Invocation) -> Result<String, String> {
         }
         other => Err(format!("unknown cache action `{other}` (stats | clear)")),
     }
+}
+
+/// The live-store section of `cache stats`: totals with overall hit
+/// ratio, then one line per stage with its single-flight wait count.
+/// Printed to stderr so scripted stdout greps stay stable.
+fn live_store_report(stats: &crate::store::CacheStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[xflow cache] live store: {stats}, hit ratio: {:.1}%, single-flight waits: {}",
+        stats.hit_ratio() * 100.0,
+        stats.singleflight_waits()
+    );
+    for (name, s) in stats.per_stage() {
+        let _ = writeln!(
+            out,
+            "[xflow cache]   {name:<10} hits {:>4}  disk {:>4}  misses {:>4}  waits {:>4}",
+            s.hits, s.disk_hits, s.misses, s.singleflight_waits
+        );
+    }
+    out
+}
+
+/// Render the `profile` command report: opcodes and opcode digrams
+/// ranked by execution count (ties broken by name), deterministic for a
+/// given program + inputs + seed. Shares are fractions of the executed
+/// instruction stream (digram shares use the `total - 1` pair count).
+fn profile_report(iprof: &crate::xflow_minilang::InstrProfile, inv: &Invocation) -> String {
+    let total = iprof.total();
+    let ops: Vec<(&str, u64)> = iprof.ranked_ops().into_iter().filter(|(_, c)| *c > 0).collect();
+    let pairs: Vec<((&str, &str), u64)> = iprof.ranked_pairs().into_iter().filter(|(_, c)| *c > 0).collect();
+    let op_share = |c: u64| c as f64 / total.max(1) as f64;
+    let pair_share = |c: u64| c as f64 / total.saturating_sub(1).max(1) as f64;
+    if inv.json {
+        #[derive(serde::Serialize)]
+        struct Row {
+            name: String,
+            count: u64,
+            share: f64,
+        }
+        #[derive(serde::Serialize)]
+        struct Report {
+            instructions: u64,
+            distinct_opcodes: u64,
+            ops: Vec<Row>,
+            pairs: Vec<Row>,
+        }
+        let report = Report {
+            instructions: total,
+            distinct_opcodes: ops.len() as u64,
+            ops: ops
+                .iter()
+                .take(inv.top)
+                .map(|(n, c)| Row { name: (*n).to_string(), count: *c, share: op_share(*c) })
+                .collect(),
+            pairs: pairs
+                .iter()
+                .take(inv.top)
+                .map(|((a, b), c)| Row { name: format!("{a}->{b}"), count: *c, share: pair_share(*c) })
+                .collect(),
+        };
+        let mut out = xflow_validate::jsonfmt::to_json(&report);
+        out.push('\n');
+        return out;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "VM instruction profile: {total} instructions, {} distinct opcodes", ops.len());
+    let _ = writeln!(out, "\n{:<4} {:<28} {:>12} {:>8}", "#", "opcode", "count", "share");
+    for (i, (n, c)) in ops.iter().take(inv.top).enumerate() {
+        let _ = writeln!(out, "{:<4} {:<28} {:>12} {:>7.2}%", i + 1, n, c, op_share(*c) * 100.0);
+    }
+    let _ = writeln!(out, "\n{:<4} {:<28} {:>12} {:>8}", "#", "opcode pair", "count", "share");
+    for (i, ((a, b), c)) in pairs.iter().take(inv.top).enumerate() {
+        let _ = writeln!(out, "{:<4} {:<28} {:>12} {:>7.2}%", i + 1, format!("{a} -> {b}"), c, pair_share(*c) * 100.0);
+    }
+    out
 }
 
 /// Model the source honoring the cache flags: `--no-cache` forces a cold
@@ -401,13 +516,13 @@ fn modeled(inv: &Invocation, src: &str, session_out: &mut Option<Session>) -> Re
         let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
         return ModeledApp::from_program(prog, &inv.inputs).map_err(|e| e.to_string());
     }
-    if let Some(rec) = &inv.recorder {
+    if let Some(rec) = inv.session_recorder() {
         // a traced run gets its own session so the stage spans land in the
         // recorder; the session outlives the command so `run` can fold its
         // cache counters into the exported trace
         let config = SessionConfig {
             cache_dir: inv.cache_dir.clone().map(Into::into),
-            recorder: Some(rec.clone()),
+            recorder: Some(rec),
             ..SessionConfig::default()
         };
         let session = Session::with_config(config);
@@ -558,6 +673,22 @@ fn run_on_source(inv: &Invocation, src: &str, session_out: &mut Option<Session>)
                 );
             }
             Ok(out)
+        }
+        "profile" => {
+            let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
+            let vm = crate::xflow_minilang::compile(&prog).map_err(|e| e.to_string())?;
+            let (_, _, _, iprof) = crate::xflow_minilang::run_vm_profiled(
+                &vm,
+                &inv.inputs,
+                crate::xflow_minilang::NullTracer,
+                crate::xflow_minilang::Limits::default(),
+                inv.seed.unwrap_or(crate::xflow_minilang::DEFAULT_SEED),
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(rec) = inv.session_recorder() {
+                iprof.flush_to(rec.as_ref());
+            }
+            Ok(profile_report(&iprof, inv))
         }
         "sweep" => {
             if inv.axes.is_empty() {
@@ -842,6 +973,78 @@ fn main() {
             assert!(text.contains("plan.evaluate"), "trace must cover the explain evaluation");
             assert!(text.contains("session.parse.misses"), "trace must carry the session cache counters");
         });
+    }
+
+    #[test]
+    fn profile_ranks_opcodes_on_demo() {
+        with_demo_file(|path| {
+            let out = run(&args(&["profile", path, "--top", "5"])).unwrap();
+            assert!(out.contains("VM instruction profile:"), "{out}");
+            assert!(out.contains("opcode pair"), "{out}");
+            // the demo's fill/sum loops make iteration ticks unavoidable
+            assert!(out.contains("IterTick"), "{out}");
+            let again = run(&args(&["profile", path, "--top", "5"])).unwrap();
+            assert_eq!(out, again, "profile report must be deterministic");
+        });
+    }
+
+    #[test]
+    fn profile_json_is_byte_identical_across_runs() {
+        let a = run(&args(&["profile", "cfd", "--json"])).unwrap();
+        let b = run(&args(&["profile", "cfd", "--json"])).unwrap();
+        assert_eq!(a, b, "profile --json must be byte-identical across runs");
+        assert!(a.starts_with('{') && a.ends_with('\n'), "{a}");
+        assert!(a.contains("\"instructions\":"), "{a}");
+        assert!(a.contains("\"ops\":["), "{a}");
+        assert!(a.contains("\"pairs\":["), "{a}");
+        assert!(!a.contains("\"instructions\":0,"), "cfd executes instructions: {a}");
+        assert!(a.contains("\"name\":\"IterTick\"") || a.contains("\"name\":\"Bin\""), "{a}");
+    }
+
+    #[test]
+    fn flight_out_writes_a_chrome_dump() {
+        with_demo_file(|path| {
+            let dir = std::path::Path::new(path).parent().unwrap();
+            let flight = dir.join("flight.json");
+            let out = run(&args(&["explain", path, "--flight-out", flight.to_str().unwrap()])).unwrap();
+            assert!(out.contains("context:"), "{out}");
+            let text = std::fs::read_to_string(&flight).unwrap();
+            assert!(text.starts_with("{\"displayTimeUnit\":\"ms\""), "{text}");
+            assert!(text.contains("session.parse"), "flight ring must hold the stage spans: {text}");
+            assert!(text.contains("\"flightDropped\""), "{text}");
+
+            // both flags together: the ring wraps the collector, so the
+            // full trace and the flight dump cover the same run
+            let trace = dir.join("trace2.json");
+            let out = run(&args(&[
+                "profile",
+                path,
+                "--flight-out",
+                flight.to_str().unwrap(),
+                "--trace-out",
+                trace.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("VM instruction profile"), "{out}");
+            let trace_text = std::fs::read_to_string(&trace).unwrap();
+            assert!(trace_text.contains("vm.instructions"), "flushed opcode counters reach the trace: {trace_text}");
+            let flight_text = std::fs::read_to_string(&flight).unwrap();
+            assert!(flight_text.contains("vm.instructions"), "and the flight ring: {flight_text}");
+        });
+    }
+
+    #[test]
+    fn live_store_report_has_per_stage_waits_and_hit_ratio() {
+        let mut stats = crate::store::CacheStats::default();
+        stats.parse.hits = 3;
+        stats.parse.misses = 1;
+        stats.parse.singleflight_waits = 2;
+        let text = live_store_report(&stats);
+        assert!(text.contains("hit ratio: 75.0%"), "{text}");
+        assert!(text.contains("single-flight waits: 2"), "{text}");
+        for stage in ["parse", "profile", "translate", "bet", "plan", "kernel"] {
+            assert!(text.lines().any(|l| l.contains(&format!("  {stage}")) && l.contains("waits")), "{stage}: {text}");
+        }
     }
 
     #[test]

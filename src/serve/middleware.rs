@@ -4,16 +4,22 @@
 //! it assigns (or propagates) an `x-request-id`, opens a `serve.request`
 //! span on the server's recorder, bumps the request/status counters on
 //! the shared [`xflow_obs::MetricsRegistry`], and stamps the id onto the response so
-//! a client can correlate its call with the server trace. Telemetry is
-//! optional and free when absent — with no recorder the span calls are
-//! the [`NoopRecorder`] inlined empties, and only the registry counters
-//! (which `/metrics` serves) are touched.
+//! a client can correlate its call with the server trace.
+//!
+//! Recording is always on: the server wraps whatever recorder it was
+//! configured with (or none) in an [`FlightRecorder`] — a fixed-capacity
+//! lock-free ring holding the last ~thousand span/counter events. The
+//! ring write is a few relaxed atomic stores per event, cheap enough to
+//! leave enabled in production; when a request fails (status >= 400) the
+//! ring is snapshotted into a Chrome-trace JSON dump that
+//! `GET /debug/flight/last` serves, so the events *leading up to* the
+//! failure survive without anyone having pre-enabled tracing.
 
 use crate::store::ArtifactStore;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use xflow_obs::{AttrValue, NoopRecorder, Recorder, SpanId};
+use xflow_obs::{AttrValue, FlightRecorder, Recorder, SpanId};
 
 use super::protocol::{HttpRequest, HttpResponse};
 
@@ -35,7 +41,11 @@ pub fn request_id(req: &HttpRequest) -> String {
 /// and request traffic off a single source.
 pub struct RequestObs {
     store: Arc<ArtifactStore>,
-    recorder: Option<Arc<dyn Recorder>>,
+    /// Always-on ring recorder; wraps the configured recorder (if any) so
+    /// explicit traces still collect everything.
+    flight: Arc<FlightRecorder>,
+    /// Chrome-trace JSON captured by the most recent failed request.
+    last_failure: Mutex<Option<String>>,
 }
 
 /// An open request span; closed (and counted) by [`RequestObs::finish`].
@@ -46,36 +56,44 @@ pub struct RequestSpan {
 
 impl RequestObs {
     pub fn new(store: Arc<ArtifactStore>, recorder: Option<Arc<dyn Recorder>>) -> Self {
-        Self { store, recorder }
+        let flight = Arc::new(match recorder {
+            Some(inner) => FlightRecorder::wrapping(inner),
+            None => FlightRecorder::new(),
+        });
+        Self { store, flight, last_failure: Mutex::new(None) }
     }
 
     /// The recorder handlers should thread through the modeling session,
-    /// so pipeline stage spans nest under the request span.
+    /// so pipeline stage spans nest under the request span (and land in
+    /// the flight ring).
     pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
-        self.recorder.clone()
+        Some(self.flight.clone() as Arc<dyn Recorder>)
+    }
+
+    /// The always-on flight ring (`GET /debug/flight` snapshots it).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The Chrome-trace dump captured by the most recent failed request,
+    /// if any request has failed yet.
+    pub fn last_failure(&self) -> Option<String> {
+        self.last_failure.lock().unwrap().clone()
     }
 
     /// Open the `serve.request` span and count the request in.
     pub fn start(&self, method: &str, path: &str, id: &str) -> RequestSpan {
         self.store.registry().add("serve.requests", 1);
-        let rec: &dyn Recorder = self.recorder.as_deref().unwrap_or(&NoopRecorder);
-        let span = if rec.enabled() {
-            rec.span_start(
-                "serve.request",
-                &[
-                    ("method", AttrValue::Str(method)),
-                    ("path", AttrValue::Str(path)),
-                    ("request_id", AttrValue::Str(id)),
-                ],
-            )
-        } else {
-            SpanId::NONE
-        };
+        let span = self.flight.span_start(
+            "serve.request",
+            &[("method", AttrValue::Str(method)), ("path", AttrValue::Str(path)), ("request_id", AttrValue::Str(id))],
+        );
         RequestSpan { span, started: Instant::now() }
     }
 
-    /// Close the span, count the status class, record latency, and stamp
-    /// the request id onto the outgoing response.
+    /// Close the span, count the status class, record latency, stamp the
+    /// request id onto the outgoing response, and — when the response is
+    /// an error — freeze the flight ring into the last-failure dump.
     pub fn finish(&self, span: RequestSpan, id: &str, resp: &mut HttpResponse) {
         let class = match resp.status {
             200..=299 => "serve.status.2xx",
@@ -84,9 +102,11 @@ impl RequestObs {
         };
         self.store.registry().add(class, 1);
         self.store.registry().observe("serve.request_seconds", span.started.elapsed().as_secs_f64());
-        let rec: &dyn Recorder = self.recorder.as_deref().unwrap_or(&NoopRecorder);
-        if rec.enabled() {
-            rec.span_end(span.span, &[("status", AttrValue::U64(resp.status as u64))]);
+        self.flight.span_end(span.span, &[("status", AttrValue::U64(resp.status as u64))]);
+        if resp.status >= 400 {
+            let dump = self.flight.snapshot().to_chrome_json();
+            *self.last_failure.lock().unwrap() = Some(dump);
+            self.store.registry().add("serve.flight.dumps", 1);
         }
         resp.headers.push(("x-request-id".to_string(), id.to_string()));
     }
@@ -96,7 +116,7 @@ impl RequestObs {
 mod tests {
     use super::*;
     use crate::store::StoreConfig;
-    use xflow_obs::{CollectingRecorder, OwnedAttr};
+    use xflow_obs::{CollectingRecorder, FlightEventKind, OwnedAttr};
 
     fn test_store() -> Arc<ArtifactStore> {
         ArtifactStore::shared(StoreConfig::default())
@@ -138,7 +158,22 @@ mod tests {
     }
 
     #[test]
-    fn error_statuses_count_in_their_own_class() {
+    fn flight_ring_records_requests_even_without_a_recorder() {
+        let store = test_store();
+        let obs = RequestObs::new(store, None);
+        let span = obs.start("GET", "/healthz", "r1");
+        let mut resp = HttpResponse::json(200, "{}".into());
+        obs.finish(span, "r1", &mut resp);
+        let snap = obs.flight().snapshot();
+        assert!(
+            snap.events.iter().any(|e| e.kind == FlightEventKind::SpanBegin && e.name == "serve.request"),
+            "flight ring holds the request span"
+        );
+        assert!(obs.last_failure().is_none(), "successes do not freeze a dump");
+    }
+
+    #[test]
+    fn error_statuses_count_in_their_own_class_and_freeze_a_flight_dump() {
         let store = test_store();
         let obs = RequestObs::new(store.clone(), None);
         let span = obs.start("POST", "/v1/project", "r");
@@ -146,5 +181,9 @@ mod tests {
         obs.finish(span, "r", &mut resp);
         assert_eq!(store.registry().get("serve.status.4xx"), 1);
         assert_eq!(store.registry().get("serve.status.2xx"), 0);
+        assert_eq!(store.registry().get("serve.flight.dumps"), 1);
+        let dump = obs.last_failure().expect("failure freezes the ring");
+        assert!(dump.contains("\"traceEvents\""), "{dump}");
+        assert!(dump.contains("serve.request"), "{dump}");
     }
 }

@@ -106,6 +106,17 @@ impl HttpResponse {
         Self { status, content_type: "text/plain; charset=utf-8", headers: Vec::new(), body: body.into_bytes() }
     }
 
+    /// A Prometheus text exposition response (`/metrics`): format version
+    /// 0.0.4 as scrapers expect in the `Content-Type`.
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
     /// A JSON error envelope: `{"error":"..."}`.
     pub fn error(status: u16, message: &str) -> Self {
         Self::json(status, xflow_validate::jsonfmt::to_json(&ErrorBody { error: message.to_string() }))

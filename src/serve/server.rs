@@ -18,7 +18,9 @@
 //! | `POST /v1/explain` | [`WorkloadRequest`]               | [`crate::Explain`] — byte-identical to `xflow explain --json` |
 //! | `POST /v1/sweep`   | request with `axes`               | [`SweepResponse`] |
 //! | `GET /healthz`     | —                                 | [`HealthBody`] |
-//! | `GET /metrics`     | —                                 | plain-text counters/histograms |
+//! | `GET /metrics`     | —                                 | Prometheus text exposition 0.0.4 (counters + bucketed histograms) |
+//! | `GET /debug/flight` | —                                | Chrome-trace JSON snapshot of the always-on flight ring |
+//! | `GET /debug/flight/last` | —                           | the flight dump frozen by the most recent failed request (404 if none) |
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -231,11 +233,16 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
 fn route(inner: &Inner, req: &HttpRequest) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => handle_health(inner),
-        ("GET", "/metrics") => HttpResponse::text(200, render_metrics(inner.store.registry())),
+        ("GET", "/metrics") => HttpResponse::prometheus(render_prometheus(inner.store.registry())),
+        ("GET", "/debug/flight") => HttpResponse::json(200, inner.obs.flight().snapshot().to_chrome_json()),
+        ("GET", "/debug/flight/last") => match inner.obs.last_failure() {
+            Some(dump) => HttpResponse::json(200, dump),
+            None => HttpResponse::error(404, "no failed request captured yet"),
+        },
         ("POST", "/v1/project") => handle_project(inner, &req.body),
         ("POST", "/v1/explain") => handle_explain(inner, &req.body),
         ("POST", "/v1/sweep") => handle_sweep(inner, &req.body),
-        (_, "/healthz" | "/metrics") => HttpResponse::error(405, "use GET"),
+        (_, "/healthz" | "/metrics" | "/debug/flight" | "/debug/flight/last") => HttpResponse::error(405, "use GET"),
         (_, "/v1/project" | "/v1/explain" | "/v1/sweep") => HttpResponse::error(405, "use POST"),
         _ => HttpResponse::error(404, &format!("no route for {}", req.path)),
     }
@@ -250,22 +257,57 @@ fn handle_health(inner: &Inner) -> HttpResponse {
     HttpResponse::json(200, xflow_validate::jsonfmt::to_json(&body))
 }
 
-/// Render the registry as plain text, one `name value` line per counter
-/// and `name_count` / `name_sum` / `name_min` / `name_max` lines per
-/// histogram, sorted by name. Covers both the session stage counters
+/// Sanitize a dotted registry name into the Prometheus metric-name
+/// charset `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other byte becomes `_`, and
+/// a leading digit gets an underscore prefix.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render the registry in the Prometheus text exposition format 0.0.4,
+/// sorted by name. Counters become `counter` families; histograms become
+/// `histogram` families with the fixed log-scale bucket ladder
+/// ([`xflow_obs::BUCKET_BOUNDS`]) as cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count`, and their exact observed extrema ride along as
+/// `_min`/`_max` gauges. Covers both the session stage counters
 /// (`session.<stage>.*`) and the serve middleware counters (`serve.*`).
-fn render_metrics(registry: &MetricsRegistry) -> String {
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for (name, value) in registry.counters() {
-        let _ = writeln!(out, "{name} {value}");
+        let n = sanitize_metric_name(&name);
+        let _ = writeln!(out, "# HELP {n} xflow counter {name}");
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
     }
     for (name, h) in registry.histograms() {
-        let _ = writeln!(out, "{name}_count {}", h.count);
-        let _ = writeln!(out, "{name}_sum {:?}", h.sum);
+        let n = sanitize_metric_name(&name);
+        let _ = writeln!(out, "# HELP {n} xflow histogram {name}");
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (le, cum) in h.cumulative_buckets() {
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le:?}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {:?}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
         if h.count > 0 {
-            let _ = writeln!(out, "{name}_min {:?}", h.min);
-            let _ = writeln!(out, "{name}_max {:?}", h.max);
+            let _ = writeln!(out, "# HELP {n}_min xflow histogram {name} observed minimum");
+            let _ = writeln!(out, "# TYPE {n}_min gauge");
+            let _ = writeln!(out, "{n}_min {:?}", h.min);
+            let _ = writeln!(out, "# HELP {n}_max xflow histogram {name} observed maximum");
+            let _ = writeln!(out, "# TYPE {n}_max gauge");
+            let _ = writeln!(out, "{n}_max {:?}", h.max);
         }
     }
     out
@@ -487,12 +529,65 @@ mod tests {
         assert!(parsed.total > 0.0);
         assert!(parsed.units.len() <= 3 && !parsed.units.is_empty());
 
-        let (status, _, metrics) = http(server.addr(), "GET", "/metrics", "");
+        let (status, head, metrics) = http(server.addr(), "GET", "/metrics", "");
         assert_eq!(status, 200);
-        assert!(metrics.contains("serve.requests "), "{metrics}");
-        assert!(metrics.contains("session.parse.misses 1"), "{metrics}");
-        assert!(metrics.contains("serve.request_seconds_count "), "{metrics}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(metrics.contains("serve_requests "), "{metrics}");
+        assert!(metrics.contains("session_parse_misses 1"), "{metrics}");
+        assert!(metrics.contains("# TYPE serve_request_seconds histogram"), "{metrics}");
+        assert!(metrics.contains("serve_request_seconds_bucket{le=\"+Inf\"} "), "{metrics}");
+        assert!(metrics.contains("serve_request_seconds_count "), "{metrics}");
         server.stop();
+    }
+
+    #[test]
+    fn flight_endpoints_snapshot_the_ring_and_serve_the_last_failure() {
+        let server = start_test_server();
+        let (status, _, resp) = http(server.addr(), "GET", "/debug/flight/last", "");
+        assert_eq!(status, 404, "no failure yet: {resp}");
+
+        let (status, _, flight) = http(server.addr(), "GET", "/debug/flight", "");
+        assert_eq!(status, 200);
+        assert!(flight.contains("\"traceEvents\""), "{flight}");
+        assert!(flight.contains("serve.request"), "the 404 above is in the ring: {flight}");
+
+        // the 404 above was a failed request, so a dump is now frozen
+        let (status, _, dump) = http(server.addr(), "GET", "/debug/flight/last", "");
+        assert_eq!(status, 200, "{dump}");
+        assert!(dump.contains("\"traceEvents\""), "{dump}");
+        assert!(dump.contains("serve.request"), "{dump}");
+        server.stop();
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sanitized_and_bucketed() {
+        let registry = MetricsRegistry::new();
+        registry.add("serve.status.2xx", 3);
+        registry.observe("serve.request_seconds", 0.004);
+        registry.observe("serve.request_seconds", 0.04);
+        let text = render_prometheus(&registry);
+        assert!(text.contains("# TYPE serve_status_2xx counter\nserve_status_2xx 3\n"), "{text}");
+        assert!(text.contains("serve_request_seconds_bucket{le=\"0.005\"} 1\n"), "{text}");
+        assert!(text.contains("serve_request_seconds_bucket{le=\"0.05\"} 2\n"), "{text}");
+        assert!(text.contains("serve_request_seconds_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("serve_request_seconds_count 2\n"), "{text}");
+        // every series name stays inside the Prometheus charset
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name:?}"
+            );
+            assert!(!name.starts_with(|c: char| c.is_ascii_digit()), "{name}");
+        }
+    }
+
+    #[test]
+    fn sanitize_handles_edge_cases() {
+        assert_eq!(sanitize_metric_name("serve.request_seconds"), "serve_request_seconds");
+        assert_eq!(sanitize_metric_name("vm.pair.Bin.StoreElem"), "vm_pair_Bin_StoreElem");
+        assert_eq!(sanitize_metric_name("2xx-rate"), "_2xx_rate");
+        assert_eq!(sanitize_metric_name(""), "_");
     }
 
     #[test]

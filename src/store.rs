@@ -106,6 +106,30 @@ impl CacheStats {
         [&self.parse, &self.profile, &self.translate, &self.bet, &self.plan, &self.kernel]
     }
 
+    /// Named per-stage counters, in pipeline order (`xflow cache stats`
+    /// renders these as a table).
+    pub fn per_stage(&self) -> [(&'static str, &StageStats); 6] {
+        [
+            ("parse", &self.parse),
+            ("profile", &self.profile),
+            ("translate", &self.translate),
+            ("bet", &self.bet),
+            ("plan", &self.plan),
+            ("kernel", &self.kernel),
+        ]
+    }
+
+    /// Fraction of lookups served without a cold build (memory + disk
+    /// hits over all lookups); 0 when nothing has been looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let lookups: u64 = self.stages().iter().map(|s| s.lookups()).sum();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.hits() + self.disk_hits()) as f64 / lookups as f64
+        }
+    }
+
     /// Total in-memory hits across stages.
     pub fn hits(&self) -> u64 {
         self.stages().iter().map(|s| s.hits).sum()
@@ -623,6 +647,19 @@ mod tests {
 
     fn store_with(capacity: usize, shards: usize) -> ArtifactStore {
         ArtifactStore::new(StoreConfig { capacity: Some(capacity), shards: Some(shards), ..StoreConfig::default() })
+    }
+
+    #[test]
+    fn per_stage_names_and_hit_ratio() {
+        let mut stats = CacheStats::default();
+        assert_eq!(stats.hit_ratio(), 0.0, "no lookups yet");
+        stats.parse = StageStats { hits: 3, disk_hits: 1, misses: 1, evictions: 0, singleflight_waits: 2 };
+        stats.kernel = StageStats { hits: 0, disk_hits: 0, misses: 5, evictions: 0, singleflight_waits: 0 };
+        let names: Vec<&str> = stats.per_stage().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["parse", "profile", "translate", "bet", "plan", "kernel"]);
+        assert_eq!(stats.per_stage()[0].1.singleflight_waits, 2);
+        // 4 hits of 10 lookups
+        assert!((stats.hit_ratio() - 0.4).abs() < 1e-12, "{}", stats.hit_ratio());
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Golden-file test of the Prometheus text exposition: a fixed registry
+//! must render byte-identically to the committed golden file, so any
+//! change to the exposition format (name sanitization, bucket ladder,
+//! HELP/TYPE lines, float formatting) is a reviewed diff, not a drift.
+//!
+//! Regenerate after an intentional format change with:
+//! `UPDATE_GOLDEN=1 cargo test --test prometheus_exposition`
+
+use xflow::serve::render_prometheus;
+use xflow_obs::MetricsRegistry;
+
+const GOLDEN_PATH: &str = "tests/golden/metrics.prom";
+
+/// A registry with fixed contents covering every rendering path:
+/// counters (with dots to sanitize), an empty histogram is impossible to
+/// register without observing, so two histograms — one single-shot, one
+/// spread across buckets including the +Inf overflow.
+fn fixed_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.add("serve.requests", 7);
+    reg.add("serve.status.2xx", 6);
+    reg.add("serve.status.4xx", 1);
+    reg.add("session.parse.misses", 2);
+    reg.observe("serve.request_seconds", 0.004);
+    reg.observe("serve.request_seconds", 0.0071);
+    reg.observe("serve.request_seconds", 0.032);
+    reg.observe("serve.request_seconds", 0.00025);
+    reg.observe("sweep.point_seconds", 1e-6);
+    reg.observe("sweep.point_seconds", 750.0); // above the last bound: +Inf only
+    reg
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let rendered = render_prometheus(&fixed_registry());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("mkdir golden");
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (run with UPDATE_GOLDEN=1 after an intentional format change)");
+    assert_eq!(rendered, golden, "Prometheus exposition drifted from {GOLDEN_PATH}");
+}
+
+#[test]
+fn exposition_parses_as_prometheus_0_0_4() {
+    let text = render_prometheus(&fixed_registry());
+    let mut current_family: Option<String> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kw = parts.next().unwrap();
+            assert!(kw == "HELP" || kw == "TYPE", "bad comment keyword in {line:?}");
+            let name = parts.next().expect("family name");
+            if kw == "TYPE" {
+                let ty = parts.next().expect("type");
+                assert!(["counter", "gauge", "histogram"].contains(&ty), "{line}");
+                current_family = Some(name.to_string());
+            }
+            continue;
+        }
+        // sample line: name{labels} value  |  name value
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => (n, Some(l)),
+            None => (series, None),
+        };
+        assert!(
+            name.chars()
+                .enumerate()
+                .all(|(i, c)| { (c.is_ascii_alphabetic() || c == '_' || c == ':') || (i > 0 && c.is_ascii_digit()) }),
+            "metric name {name:?} outside [a-zA-Z_:][a-zA-Z0-9_:]*"
+        );
+        let family = current_family.as_deref().expect("sample preceded by a TYPE line");
+        assert!(name.starts_with(family), "{name} not in family {family}");
+        if let Some(labels) = labels {
+            let labels = labels.strip_suffix('}').expect("closed label set");
+            let le = labels.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')).expect("only le labels");
+            assert!(le == "+Inf" || le.parse::<f64>().is_ok(), "unparsable le {le:?}");
+        }
+        assert!(value.parse::<f64>().is_ok(), "unparsable sample value in {line:?}");
+    }
+    // histogram invariants on the known family
+    let bucket_counts: Vec<u64> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("serve_request_seconds_bucket{"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(!bucket_counts.is_empty());
+    assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]), "cumulative buckets must be monotone");
+    assert_eq!(*bucket_counts.last().unwrap(), 4, "+Inf bucket equals the observation count");
+}

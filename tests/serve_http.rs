@@ -139,12 +139,15 @@ fn metrics_and_trace_cover_requests_and_pipeline_stages() {
 
     let (status, _, body) = request(server.addr(), "POST", "/v1/project", r#"{"workload":"cfd"}"#);
     assert_eq!(status, 200, "{body}");
-    let (status, _, metrics) = request(server.addr(), "GET", "/metrics", "");
+    let (status, head, metrics) = request(server.addr(), "GET", "/metrics", "");
     assert_eq!(status, 200);
-    assert!(metrics.contains("serve.requests 2"), "{metrics}");
-    assert!(metrics.contains("serve.status.2xx 1"), "{metrics}");
-    assert!(metrics.contains("session.parse.misses 1"), "{metrics}");
-    assert!(metrics.contains("serve.request_seconds_count 1"), "{metrics}");
+    assert!(head.contains("text/plain; version=0.0.4"), "Prometheus content type: {head}");
+    assert!(metrics.contains("serve_requests 2"), "{metrics}");
+    assert!(metrics.contains("serve_status_2xx 1"), "{metrics}");
+    assert!(metrics.contains("session_parse_misses 1"), "{metrics}");
+    assert!(metrics.contains("# TYPE serve_request_seconds histogram"), "{metrics}");
+    assert!(metrics.contains("serve_request_seconds_bucket{le=\"+Inf\"} 1"), "{metrics}");
+    assert!(metrics.contains("serve_request_seconds_count 1"), "{metrics}");
 
     // the captured trace has the request span and, nested in the same
     // capture, the pipeline stage spans the request triggered
