@@ -222,12 +222,26 @@ mod tests {
     fn profile_bench_keys_classify_correctly() {
         // pins the direction of every gated BENCH_profile.json metric so a
         // key rename can't silently demote a gate to informational
-        for key in ["vm_baseline_seconds", "vm_noop_seconds", "noop_overhead", "profiled_seconds", "profiled_overhead"]
-        {
+        for key in [
+            "vm_baseline_seconds",
+            "vm_noop_seconds",
+            "noop_overhead",
+            "profiled_seconds",
+            "profiled_overhead",
+            "fused_seconds",
+            "cold_seconds",
+            "cold_seconds_unfused",
+        ] {
             assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
         }
-        assert_eq!(direction_of("profiled_minstr_per_sec"), Direction::HigherIsBetter);
-        assert_eq!(direction_of("instructions"), Direction::Informational);
+        for key in ["profiled_minstr_per_sec", "fused_minstr_per_sec", "speedup_fused_vs_vm"] {
+            assert_eq!(direction_of(key), Direction::HigherIsBetter, "{key}");
+        }
+        // per-workload gains are keyed by workload name so a noisy small
+        // workload can't flap the gate; only the summed cold path gates
+        for key in ["instructions", "extra.fused_gain.CFD", "extra.fused_gain.SORD"] {
+            assert_eq!(direction_of(key), Direction::Informational, "{key}");
+        }
     }
 
     #[test]

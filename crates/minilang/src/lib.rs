@@ -32,6 +32,7 @@
 //! ```
 
 pub mod ast;
+pub mod fuse;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
@@ -40,6 +41,10 @@ pub mod translate;
 pub mod vm;
 
 pub use ast::{Block, Builtin, Function, MStmtId, Program, Stmt, StmtKind};
+pub use fuse::{
+    compile_fused, fuse as fuse_program, fuse_with_report as fuse_program_with_report, FuseReport, FUSED_KIND_NAMES,
+    NUM_FUSED_KINDS,
+};
 pub use interp::{
     profile, profile_seeded, run, run_with_limits, run_with_limits_seeded, BranchStats, InputSpec, Limits, LoopStats,
     NullTracer, OpCounts, Profile, RuntimeError, Tracer, DEFAULT_SEED,

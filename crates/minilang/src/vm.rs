@@ -21,26 +21,31 @@ use xflow_obs::Recorder;
 /// A compiled program.
 #[derive(Debug, Clone)]
 pub struct VmProgram {
-    funcs: Vec<VmFunc>,
-    entry: usize,
+    pub(crate) funcs: Vec<VmFunc>,
+    pub(crate) entry: usize,
 }
 
 #[derive(Debug, Clone)]
-struct VmFunc {
+pub(crate) struct VmFunc {
     #[allow(dead_code)]
-    name: String,
-    n_params: usize,
-    n_slots: usize,
-    slot_names: Vec<String>,
+    pub(crate) name: String,
+    pub(crate) n_params: usize,
+    pub(crate) n_slots: usize,
+    pub(crate) slot_names: Vec<String>,
     /// `input("NAME", default)` sites referenced by `Op::Input`.
-    input_table: Vec<(String, f64)>,
-    code: Vec<Op>,
+    pub(crate) input_table: Vec<(String, f64)>,
+    pub(crate) code: Vec<Op>,
 }
 
 /// VM instructions. The stack holds [`Val`]s; arithmetic ops pop their
 /// operands right-then-left.
+///
+/// The variants after [`Op::Pop`] are *superinstructions*: fused digrams
+/// the peephole pass in [`crate::fuse`] rewrites from the base stream.
+/// The compiler never emits them directly; each executes its constituents'
+/// exact semantics in one dispatch.
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     /// Push a constant number.
     Num(f64),
     /// Push the slot's value (scalar or array) — used for call arguments.
@@ -137,6 +142,113 @@ enum Op {
     Print,
     /// Pop and discard.
     Pop,
+
+    // --- superinstructions (see `crate::fuse`) ---
+    /// `LoadScalar(idx); LoadElem(arr)` — indexed read through a scalar.
+    LoadScalarElem {
+        idx: u16,
+        arr: u16,
+    },
+    /// `StmtEnter(id); LoadScalar(slot)` — statement prologue + first read.
+    StmtEnterLoad {
+        id: MStmtId,
+        slot: u16,
+    },
+    /// `LoadScalar(a); LoadScalar(b)` — two scalar reads.
+    LoadScalar2 {
+        a: u16,
+        b: u16,
+    },
+    /// `LoadScalar(slot); Bin{op}` — load the right operand, apply.
+    LoadScalarBin {
+        slot: u16,
+        op: BinOp,
+        idx_ctx: bool,
+    },
+    /// `LoadElem(arr); Bin{op}` — element read feeding an operator.
+    LoadElemBin {
+        arr: u16,
+        op: BinOp,
+        idx_ctx: bool,
+    },
+    /// `Bin{op}; LoadScalar(slot)` — apply, then load the next operand.
+    BinLoadScalar {
+        op: BinOp,
+        idx_ctx: bool,
+        slot: u16,
+    },
+    /// `Bin{op1}; Bin{op2}` — two chained operators.
+    Bin2 {
+        op1: BinOp,
+        ctx1: bool,
+        op2: BinOp,
+        ctx2: bool,
+    },
+    /// `StoreSlot(slot); StmtEnter(id)` — store + next statement prologue.
+    StoreSlotEnter {
+        slot: u16,
+        id: MStmtId,
+    },
+    /// `Bin{op}; StoreSlot(slot)` — apply and store the result.
+    BinStoreSlot {
+        op: BinOp,
+        idx_ctx: bool,
+        slot: u16,
+    },
+    /// `Bin{op}; StoreElem(arr)` — apply and store into an element.
+    BinStoreElem {
+        op: BinOp,
+        idx_ctx: bool,
+        arr: u16,
+    },
+    /// `Bin{op}; LoadElem(arr)` — computed index feeding an element read.
+    BinLoadElem {
+        op: BinOp,
+        idx_ctx: bool,
+        arr: u16,
+    },
+    /// `Num(n); Bin{op}` — constant right operand, apply.
+    NumBin {
+        n: f64,
+        op: BinOp,
+        idx_ctx: bool,
+    },
+    /// `LoadScalar(slot); Num(n)` — scalar read + constant push.
+    LoadScalarNum {
+        slot: u16,
+        n: f64,
+    },
+    /// `StoreElem(arr); StmtEnter(id)` — element store + next prologue.
+    StoreElemEnter {
+        arr: u16,
+        id: MStmtId,
+    },
+    /// `AdvanceRaw{cur,step}; Jump(target)` — the counted-loop back edge.
+    AdvanceJump {
+        cur: u16,
+        step: u16,
+        target: usize,
+    },
+    /// `IterTick(id); LoadScalar(slot)` — iteration tick + cursor read.
+    IterTickLoad {
+        id: MStmtId,
+        slot: u16,
+    },
+}
+
+/// Dense kind indices of the base opcodes the fusion layer composes —
+/// tied to [`op_kind`] by `kind_constants_match_op_kind`.
+pub(crate) mod kind {
+    pub const NUM: usize = 0;
+    pub const LOAD_SCALAR: usize = 2;
+    pub const STORE_SLOT: usize = 3;
+    pub const LOAD_ELEM: usize = 8;
+    pub const STORE_ELEM: usize = 9;
+    pub const BIN: usize = 10;
+    pub const JUMP: usize = 21;
+    pub const STMT_ENTER: usize = 22;
+    pub const ITER_TICK: usize = 25;
+    pub const ADVANCE_RAW: usize = 28;
 }
 
 // ---------------------------------------------------------------------------
@@ -191,7 +303,9 @@ pub const OP_KIND_NAMES: [&str; NUM_OP_KINDS] = [
     "Pop",
 ];
 
-/// Dense kind index of an instruction (its [`Op`] variant).
+/// Dense kind index of a *base* instruction (its [`Op`] variant).
+/// Superinstructions have no kind of their own — they account to their
+/// constituents' kinds via [`crate::fuse::fused_parts`].
 fn op_kind(op: &Op) -> usize {
     match op {
         Op::Num(_) => 0,
@@ -233,6 +347,7 @@ fn op_kind(op: &Op) -> usize {
         Op::Ret => 36,
         Op::Print => 37,
         Op::Pop => 38,
+        fused => unreachable!("op_kind on superinstruction {fused:?} — use fuse::fused_parts"),
     }
 }
 
@@ -253,6 +368,11 @@ pub struct InstrProfile {
     /// column `next`. The phantom row `NUM_OP_KINDS` absorbs the first
     /// instruction (no predecessor) and is excluded from reports.
     pairs: Vec<u64>,
+    /// Superinstruction dispatches, indexed like
+    /// [`crate::fuse::FUSED_KIND_NAMES`]. A fused dispatch *also* bumps
+    /// both constituent `ops`/`pairs` entries, so this is side-band data:
+    /// the opcode stream above is always the unfused one.
+    fused: Vec<u64>,
     prev: usize,
 }
 
@@ -268,6 +388,7 @@ impl InstrProfile {
         InstrProfile {
             ops: vec![0; NUM_OP_KINDS],
             pairs: vec![0; (NUM_OP_KINDS + 1) * NUM_OP_KINDS],
+            fused: vec![0; crate::fuse::NUM_FUSED_KINDS],
             prev: NUM_OP_KINDS,
         }
     }
@@ -279,9 +400,38 @@ impl InstrProfile {
         self.prev = kind;
     }
 
-    /// Total dynamic instructions executed.
+    /// Total dynamic instructions executed, in *base-opcode* terms: a
+    /// fused dispatch contributes both constituents, so this is invariant
+    /// under fusion.
     pub fn total(&self) -> u64 {
         self.ops.iter().sum()
+    }
+
+    /// Total superinstruction dispatches (0 on an unfused program).
+    pub fn fused_dispatches(&self) -> u64 {
+        self.fused.iter().sum()
+    }
+
+    /// Superinstruction kinds ranked by dispatch count (descending, ties
+    /// by name). Zero-count kinds are omitted; always empty unfused.
+    pub fn ranked_fused(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> = crate::fuse::FUSED_KIND_NAMES
+            .iter()
+            .zip(self.fused.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(k, n)| (*k, *n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// True when the two profiles observed the same *base opcode stream*
+    /// (identical per-opcode and digram counts), regardless of how many
+    /// dispatches were fused. This is the fusion bit-identity contract:
+    /// a fused and an unfused run of the same program must satisfy it
+    /// even though their `fused` side-band (and thus `==`) differs.
+    pub fn stream_eq(&self, other: &InstrProfile) -> bool {
+        self.ops == other.ops && self.pairs == other.pairs
     }
 
     /// Execution count of one opcode kind by name (0 for unknown names).
@@ -317,8 +467,11 @@ impl InstrProfile {
 
     /// Flush the profile into a recorder as monotonic counters:
     /// `vm.instructions`, `vm.op.<Kind>`, and `vm.pair.<A>.<B>` (nonzero
-    /// entries only). Called once at end of run, so the per-name
-    /// formatting here never touches the dispatch loop.
+    /// entries only) — these are fusion-invariant. Superinstruction
+    /// dispatches additionally flush as `vm.fused.<A>.<B>` side-band
+    /// counters (absent entirely on unfused runs). Called once at end of
+    /// run, so the per-name formatting here never touches the dispatch
+    /// loop.
     pub fn flush_to<R: Recorder + ?Sized>(&self, rec: &R) {
         rec.add("vm.instructions", self.total());
         for (name, n) in self.ranked_ops() {
@@ -326,6 +479,9 @@ impl InstrProfile {
         }
         for ((a, b), n) in self.ranked_pairs() {
             rec.add(&format!("vm.pair.{a}.{b}"), n);
+        }
+        for (name, n) in self.ranked_fused() {
+            rec.add(&format!("vm.fused.{name}"), n);
         }
     }
 }
@@ -338,12 +494,15 @@ impl InstrProfile {
 trait InstrSink {
     const ENABLED: bool;
     fn note_op(&mut self, kind: usize);
+    fn note_fused(&mut self, fused_kind: usize);
 }
 
 impl InstrSink for () {
     const ENABLED: bool = false;
     #[inline(always)]
     fn note_op(&mut self, _kind: usize) {}
+    #[inline(always)]
+    fn note_fused(&mut self, _fused_kind: usize) {}
 }
 
 impl InstrSink for InstrProfile {
@@ -351,6 +510,10 @@ impl InstrSink for InstrProfile {
     #[inline(always)]
     fn note_op(&mut self, kind: usize) {
         self.note(kind);
+    }
+    #[inline(always)]
+    fn note_fused(&mut self, fused_kind: usize) {
+        self.fused[fused_kind] += 1;
     }
 }
 
@@ -836,6 +999,144 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
         };
     }
 
+    // Shared opcode bodies. Base arms and the superinstruction arms that
+    // fuse them (`crate::fuse`) expand the same macros, so a fused
+    // dispatch produces bit-identical profile entries, tracer events,
+    // errors, and RNG draws to its unfused constituent sequence.
+    // `frame`/`func` rebind every iteration and so are passed explicitly;
+    // the other captured locals (`stack`, `profile`, `tracer`,
+    // `cur_stmt`, `steps`, `limits`) are stable bindings from above.
+
+    /// `LoadScalar` body: the slot's scalar value, with the exact
+    /// unbound/not-a-scalar error precedence.
+    macro_rules! scalar_of {
+        ($frame:expr, $func:expr, $s:expr) => {{
+            let s = $s as usize;
+            match &$frame.slots[s] {
+                Val::Num(v) if !is_unset_num(*v) => *v,
+                Val::Num(_) => return Err(RuntimeError::UnboundVariable($func.slot_names[s].clone())),
+                Val::Arr(_) => return Err(RuntimeError::NotAScalar($func.slot_names[s].clone())),
+            }
+        }};
+    }
+
+    /// `LoadElem` body after the index is popped: bounds-checked element
+    /// read, one load event to the profile and tracer.
+    macro_rules! elem_load {
+        ($frame:expr, $func:expr, $s:expr, $idx:expr) => {{
+            let s = $s as usize;
+            let idx: f64 = $idx;
+            let (v, addr) = {
+                let a = match &$frame.slots[s] {
+                    Val::Arr(a) => a,
+                    Val::Num(x) if is_unset_num(*x) => {
+                        return Err(RuntimeError::UnboundVariable($func.slot_names[s].clone()))
+                    }
+                    Val::Num(_) => return Err(RuntimeError::NotAnArray($func.slot_names[s].clone())),
+                };
+                let data = a.data.borrow();
+                let i = idx as usize;
+                if idx < 0.0 || i >= data.len() {
+                    return Err(RuntimeError::IndexOutOfBounds {
+                        array: $func.slot_names[s].clone(),
+                        index: idx,
+                        len: data.len(),
+                    });
+                }
+                (data[i], a.base + (i as u64) * 8)
+            };
+            let c = profile.stmt_ops.entry(cur_stmt).or_default();
+            c.loads += 1;
+            tracer.load(cur_stmt, addr);
+            v
+        }};
+    }
+
+    /// `StoreElem` body after value and index are popped: bounds-checked
+    /// element write, one store event to the profile and tracer.
+    macro_rules! elem_store {
+        ($frame:expr, $func:expr, $s:expr, $idx:expr, $value:expr) => {{
+            let s = $s as usize;
+            let idx: f64 = $idx;
+            let value: f64 = $value;
+            let addr = {
+                let a = match &$frame.slots[s] {
+                    Val::Arr(a) => a,
+                    Val::Num(x) if is_unset_num(*x) => {
+                        return Err(RuntimeError::UnboundVariable($func.slot_names[s].clone()))
+                    }
+                    Val::Num(_) => return Err(RuntimeError::NotAnArray($func.slot_names[s].clone())),
+                };
+                let mut data = a.data.borrow_mut();
+                let i = idx as usize;
+                if idx < 0.0 || i >= data.len() {
+                    return Err(RuntimeError::IndexOutOfBounds {
+                        array: $func.slot_names[s].clone(),
+                        index: idx,
+                        len: data.len(),
+                    });
+                }
+                data[i] = value;
+                a.base + (i as u64) * 8
+            };
+            let c = profile.stmt_ops.entry(cur_stmt).or_default();
+            c.stores += 1;
+            tracer.store(cur_stmt, addr);
+        }};
+    }
+
+    /// `Bin` body after both operands are popped: count per context,
+    /// apply, yield the result.
+    macro_rules! bin_apply {
+        ($op:expr, $idx_ctx:expr, $l:expr, $r:expr) => {{
+            let l: f64 = $l;
+            let r: f64 = $r;
+            let op: BinOp = $op;
+            let (flops, iops, divs) = if $idx_ctx {
+                (0, 1, 0)
+            } else if op == BinOp::Div {
+                (1, 0, 1)
+            } else {
+                (1, 0, 0)
+            };
+            count(&mut profile, &mut tracer, cur_stmt, flops, iops, divs);
+            match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => l / r,
+                BinOp::Mod => l % r,
+            }
+        }};
+    }
+
+    /// `StmtEnter` body: step-limit tick, attribution, execution count.
+    macro_rules! stmt_enter {
+        ($id:expr) => {{
+            let id: MStmtId = $id;
+            steps += 1;
+            if steps > limits.max_steps {
+                return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
+            }
+            cur_stmt = id;
+            *profile.stmt_exec.entry(id).or_insert(0) += 1;
+        }};
+    }
+
+    /// `IterTick` body (counted loops): step-limit tick, iteration count,
+    /// two bookkeeping iops charged to the loop statement.
+    macro_rules! iter_tick {
+        ($id:expr) => {{
+            let id: MStmtId = $id;
+            steps += 1;
+            if steps > limits.max_steps {
+                return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
+            }
+            profile.loops.entry(id).or_default().iterations += 1;
+            count(&mut profile, &mut tracer, id, 0, 2, 0);
+        }};
+    }
+
     loop {
         let frame = frames.last_mut().expect("frame");
         let func = &vm.funcs[frame.func];
@@ -843,9 +1144,122 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
         let op = &func.code[frame.pc];
         frame.pc += 1;
         if S::ENABLED {
-            sink.note_op(op_kind(op));
+            // Superinstructions account to their constituent opcodes (in
+            // order), so the observed opcode/digram stream — and every
+            // `vm.op.*` / `vm.pair.*` counter — is identical to the
+            // unfused VM's. Fused dispatches are counted side-band.
+            match crate::fuse::fused_parts(op) {
+                Some((f, a, b)) => {
+                    sink.note_fused(f);
+                    sink.note_op(a);
+                    sink.note_op(b);
+                }
+                None => sink.note_op(op_kind(op)),
+            }
         }
         match op {
+            // Superinstruction arms lead the dispatch: after fusion they
+            // are the hottest opcodes (arms are listed in the committed
+            // table's frequency order, `fuse::FUSED_KIND_NAMES`). Each
+            // expands its constituents' shared-body macros in sequence.
+            Op::LoadScalarElem { idx, arr } => {
+                let i = scalar_of!(frame, func, *idx);
+                let v = elem_load!(frame, func, *arr, i);
+                stack.push(Val::Num(v));
+            }
+            Op::StmtEnterLoad { id, slot } => {
+                stmt_enter!(*id);
+                let v = scalar_of!(frame, func, *slot);
+                stack.push(Val::Num(v));
+            }
+            Op::LoadScalar2 { a, b } => {
+                let va = scalar_of!(frame, func, *a);
+                stack.push(Val::Num(va));
+                let vb = scalar_of!(frame, func, *b);
+                stack.push(Val::Num(vb));
+            }
+            Op::LoadScalarBin { slot, op, idx_ctx } => {
+                let r = scalar_of!(frame, func, *slot);
+                let l = pop_num!();
+                let v = bin_apply!(*op, *idx_ctx, l, r);
+                stack.push(Val::Num(v));
+            }
+            Op::LoadElemBin { arr, op, idx_ctx } => {
+                let idx = pop_num!();
+                let r = elem_load!(frame, func, *arr, idx);
+                let l = pop_num!();
+                let v = bin_apply!(*op, *idx_ctx, l, r);
+                stack.push(Val::Num(v));
+            }
+            Op::BinLoadScalar { op, idx_ctx, slot } => {
+                let r = pop_num!();
+                let l = pop_num!();
+                let v = bin_apply!(*op, *idx_ctx, l, r);
+                stack.push(Val::Num(v));
+                let s2 = scalar_of!(frame, func, *slot);
+                stack.push(Val::Num(s2));
+            }
+            Op::Bin2 { op1, ctx1, op2, ctx2 } => {
+                let r = pop_num!();
+                let l = pop_num!();
+                let v1 = bin_apply!(*op1, *ctx1, l, r);
+                let l2 = pop_num!();
+                let v2 = bin_apply!(*op2, *ctx2, l2, v1);
+                stack.push(Val::Num(v2));
+            }
+            Op::StoreSlotEnter { slot, id } => {
+                let v = stack.pop().expect("stack underflow");
+                frame.slots[*slot as usize] = v;
+                stmt_enter!(*id);
+            }
+            Op::BinStoreSlot { op, idx_ctx, slot } => {
+                let r = pop_num!();
+                let l = pop_num!();
+                let v = bin_apply!(*op, *idx_ctx, l, r);
+                frame.slots[*slot as usize] = Val::Num(v);
+            }
+            Op::BinStoreElem { op, idx_ctx, arr } => {
+                let r = pop_num!();
+                let l = pop_num!();
+                let v = bin_apply!(*op, *idx_ctx, l, r);
+                let idx = pop_num!();
+                elem_store!(frame, func, *arr, idx, v);
+            }
+            Op::BinLoadElem { op, idx_ctx, arr } => {
+                let r = pop_num!();
+                let l = pop_num!();
+                let idx = bin_apply!(*op, *idx_ctx, l, r);
+                let v = elem_load!(frame, func, *arr, idx);
+                stack.push(Val::Num(v));
+            }
+            Op::NumBin { n, op, idx_ctx } => {
+                let l = pop_num!();
+                let v = bin_apply!(*op, *idx_ctx, l, *n);
+                stack.push(Val::Num(v));
+            }
+            Op::LoadScalarNum { slot, n } => {
+                let v = scalar_of!(frame, func, *slot);
+                stack.push(Val::Num(v));
+                stack.push(Val::Num(*n));
+            }
+            Op::StoreElemEnter { arr, id } => {
+                let value = pop_num!();
+                let idx = pop_num!();
+                elem_store!(frame, func, *arr, idx, value);
+                stmt_enter!(*id);
+            }
+            Op::AdvanceJump { cur, step, target } => {
+                let c = raw_num(&frame.slots[*cur as usize]);
+                let st = raw_num(&frame.slots[*step as usize]);
+                frame.slots[*cur as usize] = Val::Num(c + st);
+                frame.pc = *target;
+            }
+            Op::IterTickLoad { id, slot } => {
+                iter_tick!(*id);
+                let v = scalar_of!(frame, func, *slot);
+                stack.push(Val::Num(v));
+            }
+
             Op::Num(n) => stack.push(Val::Num(*n)),
             Op::PushSlot(s) => {
                 if is_unset(&frame.slots[*s as usize]) {
@@ -853,11 +1267,10 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 }
                 stack.push(frame.slots[*s as usize].clone());
             }
-            Op::LoadScalar(s) => match &frame.slots[*s as usize] {
-                Val::Num(v) if !is_unset_num(*v) => stack.push(Val::Num(*v)),
-                Val::Num(_) => return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone())),
-                Val::Arr(_) => return Err(RuntimeError::NotAScalar(func.slot_names[*s as usize].clone())),
-            },
+            Op::LoadScalar(s) => {
+                let v = scalar_of!(frame, func, *s);
+                stack.push(Val::Num(v));
+            }
             Op::StoreSlot(s) => {
                 let v = stack.pop().expect("stack underflow");
                 frame.slots[*s as usize] = v;
@@ -891,75 +1304,18 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
             }
             Op::LoadElem(s) => {
                 let idx = pop_num!();
-                let (v, addr) = {
-                    let a = match &frame.slots[*s as usize] {
-                        Val::Arr(a) => a,
-                        Val::Num(x) if is_unset_num(*x) => {
-                            return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
-                        }
-                        Val::Num(_) => return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone())),
-                    };
-                    let data = a.data.borrow();
-                    let i = idx as usize;
-                    if idx < 0.0 || i >= data.len() {
-                        return Err(RuntimeError::IndexOutOfBounds {
-                            array: func.slot_names[*s as usize].clone(),
-                            index: idx,
-                            len: data.len(),
-                        });
-                    }
-                    (data[i], a.base + (i as u64) * 8)
-                };
-                let c = profile.stmt_ops.entry(cur_stmt).or_default();
-                c.loads += 1;
-                tracer.load(cur_stmt, addr);
+                let v = elem_load!(frame, func, *s, idx);
                 stack.push(Val::Num(v));
             }
             Op::StoreElem(s) => {
                 let value = pop_num!();
                 let idx = pop_num!();
-                let addr = {
-                    let a = match &frame.slots[*s as usize] {
-                        Val::Arr(a) => a,
-                        Val::Num(x) if is_unset_num(*x) => {
-                            return Err(RuntimeError::UnboundVariable(func.slot_names[*s as usize].clone()))
-                        }
-                        Val::Num(_) => return Err(RuntimeError::NotAnArray(func.slot_names[*s as usize].clone())),
-                    };
-                    let mut data = a.data.borrow_mut();
-                    let i = idx as usize;
-                    if idx < 0.0 || i >= data.len() {
-                        return Err(RuntimeError::IndexOutOfBounds {
-                            array: func.slot_names[*s as usize].clone(),
-                            index: idx,
-                            len: data.len(),
-                        });
-                    }
-                    data[i] = value;
-                    a.base + (i as u64) * 8
-                };
-                let c = profile.stmt_ops.entry(cur_stmt).or_default();
-                c.stores += 1;
-                tracer.store(cur_stmt, addr);
+                elem_store!(frame, func, *s, idx, value);
             }
             Op::Bin { op, idx_ctx } => {
                 let r = pop_num!();
                 let l = pop_num!();
-                let (flops, iops, divs) = if *idx_ctx {
-                    (0, 1, 0)
-                } else if *op == BinOp::Div {
-                    (1, 0, 1)
-                } else {
-                    (1, 0, 0)
-                };
-                count(&mut profile, &mut tracer, cur_stmt, flops, iops, divs);
-                let v = match op {
-                    BinOp::Add => l + r,
-                    BinOp::Sub => l - r,
-                    BinOp::Mul => l * r,
-                    BinOp::Div => l / r,
-                    BinOp::Mod => l % r,
-                };
+                let v = bin_apply!(*op, *idx_ctx, l, r);
                 stack.push(Val::Num(v));
             }
             Op::Neg { idx_ctx } => {
@@ -1052,26 +1408,12 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 }
             }
             Op::Jump(t) => frame.pc = *t,
-            Op::StmtEnter(id) => {
-                steps += 1;
-                if steps > limits.max_steps {
-                    return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
-                }
-                cur_stmt = *id;
-                *profile.stmt_exec.entry(*id).or_insert(0) += 1;
-            }
+            Op::StmtEnter(id) => stmt_enter!(*id),
             Op::SetCur(id) => cur_stmt = *id,
             Op::LoopEntry(id) => {
                 profile.loops.entry(*id).or_default().entries += 1;
             }
-            Op::IterTick(id) => {
-                steps += 1;
-                if steps > limits.max_steps {
-                    return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
-                }
-                profile.loops.entry(*id).or_default().iterations += 1;
-                count(&mut profile, &mut tracer, *id, 0, 2, 0);
-            }
+            Op::IterTick(id) => iter_tick!(*id),
             Op::IterTickWhile(id) => {
                 steps += 1;
                 if steps > limits.max_steps {
@@ -1374,6 +1716,56 @@ fn main() {
         for n in OP_KIND_NAMES {
             assert!(seen.insert(n), "duplicate kind name {n}");
         }
+    }
+
+    #[test]
+    fn kind_constants_match_op_kind() {
+        assert_eq!(kind::NUM, op_kind(&Op::Num(0.0)));
+        assert_eq!(kind::LOAD_SCALAR, op_kind(&Op::LoadScalar(0)));
+        assert_eq!(kind::STORE_SLOT, op_kind(&Op::StoreSlot(0)));
+        assert_eq!(kind::LOAD_ELEM, op_kind(&Op::LoadElem(0)));
+        assert_eq!(kind::STORE_ELEM, op_kind(&Op::StoreElem(0)));
+        assert_eq!(kind::BIN, op_kind(&Op::Bin { op: BinOp::Add, idx_ctx: false }));
+        assert_eq!(kind::JUMP, op_kind(&Op::Jump(0)));
+        assert_eq!(kind::STMT_ENTER, op_kind(&Op::StmtEnter(MStmtId(0))));
+        assert_eq!(kind::ITER_TICK, op_kind(&Op::IterTick(MStmtId(0))));
+        assert_eq!(kind::ADVANCE_RAW, op_kind(&Op::AdvanceRaw { cur: 0, step: 0 }));
+    }
+
+    #[test]
+    fn fused_dispatch_accounts_constituents_identically() {
+        let p = parse("fn main() { let s = 0; for i in 0 .. 50 { s = s + i * 2.0; } print(s); }").unwrap();
+        let vm = compile(&p).unwrap();
+        let fused = crate::fuse::fuse(&vm);
+        assert!(fused.code_len() < vm.code_len());
+        let (prof_a, _, ret_a, ia) =
+            run_vm_profiled(&vm, &InputSpec::new(), NullTracer, Limits::default(), crate::DEFAULT_SEED).unwrap();
+        let (prof_b, _, ret_b, ib) =
+            run_vm_profiled(&fused, &InputSpec::new(), NullTracer, Limits::default(), crate::DEFAULT_SEED).unwrap();
+        assert_eq!(ret_a.to_bits(), ret_b.to_bits());
+        assert_eq!(prof_a.printed, prof_b.printed);
+        assert_eq!(prof_a.stmt_ops, prof_b.stmt_ops);
+        assert_eq!(prof_a.stmt_exec, prof_b.stmt_exec);
+        assert_eq!(prof_a.loops, prof_b.loops);
+        // the observed base-opcode stream is fusion-invariant...
+        assert!(ia.stream_eq(&ib));
+        assert_eq!(ia.ranked_ops(), ib.ranked_ops());
+        assert_eq!(ia.ranked_pairs(), ib.ranked_pairs());
+        assert_eq!(ia.total(), ib.total());
+        // ...while the side-band fused counters differ: none unfused,
+        // one per dispatched superinstruction on the fused program
+        assert_eq!(ia.fused_dispatches(), 0);
+        assert!(ib.fused_dispatches() > 0);
+        assert!(!ia.stream_eq(&InstrProfile::new()));
+        // side-band counters flush under their own prefix
+        let rec = xflow_obs::CollectingRecorder::new();
+        ib.flush_to(&rec);
+        let fused_total: u64 = ib.ranked_fused().iter().map(|(_, n)| n).sum();
+        assert_eq!(fused_total, ib.fused_dispatches());
+        assert_eq!(rec.counter_value("vm.instructions"), ib.total());
+        let side_band = rec.counters_with_prefix("vm.fused.");
+        assert_eq!(side_band.iter().map(|(_, n)| n).sum::<u64>(), ib.fused_dispatches());
+        assert!(side_band.iter().all(|(k, _)| k.strip_prefix("vm.fused.").is_some()));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Property tests for the VM instruction profiler: on a generated family
-//! of runnable programs, the tree-walking interpreter and the profiled VM
-//! must produce identical semantic op totals, and the VM's per-opcode
-//! counters must tie out exactly against that shared profile (each load
-//! event is one `LoadElem`, each statement execution one `StmtEnter`, …).
+//! of runnable programs, the tree-walking interpreter, the profiled VM,
+//! and the superinstruction-fused VM must produce identical semantic op
+//! totals, and the VM's per-opcode counters must tie out exactly against
+//! that shared profile (each load event is one `LoadElem`, each statement
+//! execution one `StmtEnter`, …). Fusion must be invisible to all of it:
+//! same results, same `Profile`, same observed opcode/digram stream.
 
 use proptest::prelude::*;
-use xflow_minilang::{compile, parse, run, run_vm_profiled, InputSpec, Limits, NullTracer};
+use xflow_minilang::{compile, fuse_program, parse, run, run_vm_profiled, InputSpec, Limits, NullTracer};
 
 /// A runnable program family with random constants and structure knobs:
 /// an array fill (rnd + arithmetic), a filter loop with a branch, an
@@ -37,8 +39,8 @@ fn boost(v) {{
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Interp and VM agree on every semantic op total, and the VM's
-    /// opcode counters are consistent with that profile.
+    /// Interp, VM, and fused VM agree on every semantic op total, and the
+    /// VM's opcode counters are consistent with that shared profile.
     #[test]
     fn interp_and_vm_produce_identical_opcode_totals(
         n in 1u32..48,
@@ -54,15 +56,35 @@ proptest! {
         let vm = compile(&prog).unwrap();
         let (p_vm, _, r_vm, iprof) =
             run_vm_profiled(&vm, &spec, NullTracer, Limits::default(), xflow_minilang::DEFAULT_SEED).unwrap();
+        let fused = fuse_program(&vm);
+        let (p_fz, _, r_fz, i_fz) =
+            run_vm_profiled(&fused, &spec, NullTracer, Limits::default(), xflow_minilang::DEFAULT_SEED).unwrap();
 
-        // both engines agree bit-for-bit on results and profiles
+        // all three engines agree bit-for-bit on results and profiles
         prop_assert_eq!(r_ref.to_bits(), r_vm.to_bits());
+        prop_assert_eq!(r_vm.to_bits(), r_fz.to_bits());
         prop_assert_eq!(&p_ref.printed, &p_vm.printed);
         prop_assert_eq!(&p_ref.stmt_ops, &p_vm.stmt_ops);
         prop_assert_eq!(&p_ref.stmt_exec, &p_vm.stmt_exec);
         prop_assert_eq!(&p_ref.loops, &p_vm.loops);
         prop_assert_eq!(&p_ref.branches, &p_vm.branches);
         prop_assert_eq!(&p_ref.lib_calls, &p_vm.lib_calls);
+        prop_assert_eq!(&p_vm.printed, &p_fz.printed);
+        prop_assert_eq!(&p_vm.stmt_ops, &p_fz.stmt_ops);
+        prop_assert_eq!(&p_vm.stmt_exec, &p_fz.stmt_exec);
+        prop_assert_eq!(&p_vm.loops, &p_fz.loops);
+        prop_assert_eq!(&p_vm.branches, &p_fz.branches);
+        prop_assert_eq!(&p_vm.lib_calls, &p_fz.lib_calls);
+
+        // the fused VM observes the same base opcode stream (fused
+        // dispatches account to their constituents), while actually
+        // dispatching superinstructions whenever any pair fused
+        prop_assert!(iprof.stream_eq(&i_fz));
+        prop_assert_eq!(iprof.ranked_ops(), i_fz.ranked_ops());
+        prop_assert_eq!(iprof.ranked_pairs(), i_fz.ranked_pairs());
+        prop_assert_eq!(iprof.fused_dispatches(), 0);
+        prop_assert!(fused.code_len() < vm.code_len());
+        prop_assert!(i_fz.fused_dispatches() > 0);
 
         // the instruction profile ties out against the (shared) profile:
         // every memory event, statement tick, loop iteration, and library
@@ -85,7 +107,8 @@ proptest! {
     }
 
     /// Profiling never perturbs execution: profiled and unprofiled VM
-    /// runs are bit-identical, and two profiled runs yield equal profiles.
+    /// runs are bit-identical (fused or not), and two profiled runs of
+    /// either VM yield equal profiles.
     #[test]
     fn profiling_is_invisible_and_deterministic(
         n in 1u32..48,
@@ -96,6 +119,7 @@ proptest! {
         let src = runnable_src(n, thresh, with_while, with_call);
         let prog = parse(&src).unwrap();
         let vm = compile(&prog).unwrap();
+        let fused = fuse_program(&vm);
         let spec = InputSpec::new();
         let (p_plain, _, r_plain) = xflow_minilang::run_vm(&vm, &spec, NullTracer).unwrap();
         let (p1, _, r1, i1) =
@@ -105,5 +129,18 @@ proptest! {
         prop_assert_eq!(r_plain.to_bits(), r1.to_bits());
         prop_assert_eq!(&p_plain.stmt_ops, &p1.stmt_ops);
         prop_assert_eq!(&i1, &i2);
+
+        // the fused VM is equally invisible and deterministic
+        let (p_fplain, _, r_fplain) = xflow_minilang::run_vm(&fused, &spec, NullTracer).unwrap();
+        let (pf, _, rf, if1) =
+            run_vm_profiled(&fused, &spec, NullTracer, Limits::default(), xflow_minilang::DEFAULT_SEED).unwrap();
+        let (_, _, _, if2) =
+            run_vm_profiled(&fused, &spec, NullTracer, Limits::default(), xflow_minilang::DEFAULT_SEED).unwrap();
+        prop_assert_eq!(r_fplain.to_bits(), rf.to_bits());
+        prop_assert_eq!(r_plain.to_bits(), r_fplain.to_bits());
+        prop_assert_eq!(&p_fplain.stmt_ops, &pf.stmt_ops);
+        prop_assert_eq!(&p_plain.printed, &p_fplain.printed);
+        prop_assert_eq!(&if1, &if2);
+        prop_assert!(i1.stream_eq(&if1));
     }
 }

@@ -116,6 +116,12 @@ impl CollectingRecorder {
         self.metrics.get(name)
     }
 
+    /// Counters under one dotted namespace (e.g. `vm.fused.`), sorted by
+    /// name — see [`MetricsRegistry::counters_with_prefix`].
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.metrics.counters_with_prefix(prefix)
+    }
+
     /// The block provenance stream collected so far, in arrival order.
     /// Within one `evaluate_observed` call this is plan (BET node) order.
     pub fn block_provenance(&self) -> Vec<BlockProvenance> {

@@ -168,6 +168,20 @@ impl MetricsRegistry {
         self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect()
     }
 
+    /// Counters whose names start with `prefix`, sorted by name. The
+    /// dotted metric namespaces (`vm.op.*`, `vm.fused.*`, `cache.*`)
+    /// make this the natural way to pull one subsystem's counters out of
+    /// a shared registry without enumerating every name up front.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
     /// All histograms, sorted by name.
     pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
         self.histograms.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect()
@@ -196,6 +210,20 @@ mod tests {
         reg.add("a", 1);
         let names: Vec<String> = reg.counters().into_iter().map(|(k, _)| k).collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn prefix_query_selects_one_namespace() {
+        let reg = MetricsRegistry::new();
+        reg.add("vm.fused.Bin.Bin", 4);
+        reg.add("vm.fused.Num.Bin", 2);
+        reg.add("vm.fusedX", 9); // prefix match is textual, dot included
+        reg.add("vm.op.Bin", 7);
+        reg.add("cache.hits", 1);
+        let fused = reg.counters_with_prefix("vm.fused.");
+        assert_eq!(fused, [("vm.fused.Bin.Bin".to_string(), 4), ("vm.fused.Num.Bin".to_string(), 2)]);
+        assert!(reg.counters_with_prefix("vm.").len() >= 4);
+        assert!(reg.counters_with_prefix("zzz.").is_empty());
     }
 
     #[test]

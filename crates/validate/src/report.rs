@@ -205,7 +205,8 @@ pub struct ValidationReport {
     pub workload: String,
     pub machine: String,
     pub seed: u64,
-    /// Interpreter and VM observed bit-identical dynamic behavior.
+    /// Interpreter, VM, and superinstruction-fused VM observed
+    /// bit-identical dynamic behavior (three-way check).
     pub engines_agree: bool,
     /// The simulator's replay observed the same dynamic behavior as the
     /// profiled run (same seed ⇒ must be identical).
@@ -369,11 +370,18 @@ pub fn validate_program(
 ) -> Result<ValidationReport, ValidateError> {
     let limits = ml::Limits::default();
 
-    // 1. oracle runs on both engines, same seed.
+    // 1. oracle runs on all three engines, same seed: the reference
+    // interpreter, the bytecode VM, and the superinstruction-fused VM
+    // (whose peephole rewrite must be observationally invisible).
     let (prof, _, ret) = ml::run_with_limits_seeded(prog, inputs, ml::NullTracer, limits, cfg.seed)?;
     let vm = ml::compile(prog)?;
     let (vm_prof, _, vm_ret) = ml::run_vm_with_limits_seeded(&vm, inputs, ml::NullTracer, limits, cfg.seed)?;
-    let engines_agree = profiles_agree(&prof, &vm_prof) && ret.to_bits() == vm_ret.to_bits();
+    let fused = ml::fuse_program(&vm);
+    let (fz_prof, _, fz_ret) = ml::run_vm_with_limits_seeded(&fused, inputs, ml::NullTracer, limits, cfg.seed)?;
+    let engines_agree = profiles_agree(&prof, &vm_prof)
+        && ret.to_bits() == vm_ret.to_bits()
+        && profiles_agree(&vm_prof, &fz_prof)
+        && vm_ret.to_bits() == fz_ret.to_bits();
 
     // 2. model pipeline: translate → BET → plan → projection.
     let tr = ml::translate(prog, &prof)?;
@@ -585,7 +593,7 @@ pub fn validate_program(
     // verdict
     let mut failures = Vec::new();
     if !engines_agree {
-        failures.push("interpreter and VM disagree on dynamic behavior".to_string());
+        failures.push("interpreter, VM, and fused VM disagree on dynamic behavior".to_string());
     }
     if !sim_profile_agrees {
         failures.push("simulator replay observed a different dynamic profile than the oracle run".to_string());

@@ -1,7 +1,7 @@
-//! Property test: the tree-walking interpreter and the bytecode VM
-//! observe identical dynamic behavior — per-statement visit counts,
-//! branch outcomes, and printed output — on generated programs run
-//! with the same seed.
+//! Property test: the tree-walking interpreter, the bytecode VM, and the
+//! superinstruction-fused VM observe identical dynamic behavior —
+//! per-statement visit counts, branch outcomes, and printed output — on
+//! generated programs run with the same seed (three-way equivalence).
 
 use proptest::prelude::*;
 use xflow_minilang as ml;
@@ -19,12 +19,22 @@ fn check_engines(seed: u64, escapes: bool) {
     let vm = ml::compile(&prog).expect("compiles");
     let (pv, _, rv) =
         ml::run_vm_with_limits_seeded(&vm, &inputs, ml::NullTracer, limits, ml::DEFAULT_SEED).expect("VM runs");
+    let fused = ml::fuse_program(&vm);
+    let (pf, _, rf) =
+        ml::run_vm_with_limits_seeded(&fused, &inputs, ml::NullTracer, limits, ml::DEFAULT_SEED).expect("fused runs");
 
     // profiles_agree covers branches, loops, lib calls, and printed
     // values; assert the visit-count map separately for a sharp message
     assert_eq!(pi.stmt_exec, pv.stmt_exec, "visit counts diverge for seed {seed:#x}");
     assert!(profiles_agree(&pi, &pv), "profiles diverge for seed {seed:#x}");
     assert_eq!(ri.to_bits(), rv.to_bits(), "return value diverges for seed {seed:#x}");
+
+    // the fused VM is the third engine: the peephole rewrite (and its
+    // jump-target fusion barriers) must be observationally invisible on
+    // arbitrary generated control flow
+    assert_eq!(pv.stmt_exec, pf.stmt_exec, "fused visit counts diverge for seed {seed:#x}");
+    assert!(profiles_agree(&pv, &pf), "fused profiles diverge for seed {seed:#x}");
+    assert_eq!(rv.to_bits(), rf.to_bits(), "fused return value diverges for seed {seed:#x}");
 }
 
 proptest! {

@@ -54,6 +54,10 @@ OPTIONS:
     --seed <N>                     RNG seed for validate's oracle runs
     --json                         machine-readable output (explain, validate,
                                    profile)
+    --fused | --no-fuse            run `profile`'s VM with superinstruction
+                                   fusion on (default) or off; the report is
+                                   byte-identical either way — fused ops
+                                   account to their constituent opcodes
     --trace-out <FILE>             write a Chrome trace of the run to FILE
     --flight-out <FILE>            write the always-on flight-ring snapshot
                                    (last ~1k telemetry events) to FILE
@@ -94,6 +98,9 @@ struct Invocation {
     addr: Option<String>,
     /// Machines directory as given (the registry pre-scan also reads it).
     machines_dir: Option<String>,
+    /// `profile`: run the superinstruction-fused VM (`--no-fuse` clears
+    /// it). Reports are fusion-invariant, so this only changes speed.
+    fuse: bool,
     trace_out: Option<String>,
     /// Created when `--trace-out` is given; threaded through the session
     /// and every observed evaluation so one trace covers the whole run.
@@ -151,6 +158,7 @@ fn parse_args(args: &[String], registry: &MachineRegistry) -> Result<Invocation,
         sweep_opts: SweepOptions::default(),
         addr: None,
         machines_dir: None,
+        fuse: true,
         trace_out: None,
         recorder: None,
         flight_out: None,
@@ -210,6 +218,8 @@ fn parse_args(args: &[String], registry: &MachineRegistry) -> Result<Invocation,
             }
             "--no-cache" => inv.no_cache = true,
             "--json" => inv.json = true,
+            "--fused" => inv.fuse = true,
+            "--no-fuse" => inv.fuse = false,
             "--scale" => {
                 let v = it.next().ok_or("--scale needs test | eval")?;
                 inv.scale = match v.to_lowercase().as_str() {
@@ -676,7 +686,13 @@ fn run_on_source(inv: &Invocation, src: &str, session_out: &mut Option<Session>)
         }
         "profile" => {
             let prog = crate::xflow_minilang::parse(src).map_err(|e| e.to_string())?;
-            let vm = crate::xflow_minilang::compile(&prog).map_err(|e| e.to_string())?;
+            let mut vm = crate::xflow_minilang::compile(&prog).map_err(|e| e.to_string())?;
+            if inv.fuse {
+                // fused superinstructions account to their constituent
+                // opcodes, so the report below is byte-identical to an
+                // unfused run — fusion only buys dispatch speed
+                vm = crate::xflow_minilang::fuse_program(&vm);
+            }
             let (_, _, _, iprof) = crate::xflow_minilang::run_vm_profiled(
                 &vm,
                 &inv.inputs,
@@ -999,6 +1015,32 @@ fn main() {
         assert!(a.contains("\"pairs\":["), "{a}");
         assert!(!a.contains("\"instructions\":0,"), "cfd executes instructions: {a}");
         assert!(a.contains("\"name\":\"IterTick\"") || a.contains("\"name\":\"Bin\""), "{a}");
+    }
+
+    #[test]
+    fn profile_report_is_fusion_invariant() {
+        // fused superinstructions account to their constituents, so the
+        // default (fused) report equals --no-fuse byte-for-byte — the
+        // same contract CI's fusion-determinism step enforces with cmp
+        let fused = run(&args(&["profile", "cfd", "--json"])).unwrap();
+        let explicit = run(&args(&["profile", "cfd", "--json", "--fused"])).unwrap();
+        let unfused = run(&args(&["profile", "cfd", "--json", "--no-fuse"])).unwrap();
+        assert_eq!(fused, explicit);
+        assert_eq!(fused, unfused, "fused profile --json must match --no-fuse byte-for-byte");
+        let fused_txt = run(&args(&["profile", "cfd", "--top", "8"])).unwrap();
+        let unfused_txt = run(&args(&["profile", "cfd", "--top", "8", "--no-fuse"])).unwrap();
+        assert_eq!(fused_txt, unfused_txt, "human-readable report must be fusion-invariant too");
+    }
+
+    #[test]
+    fn profile_accepts_every_builtin_workload_name() {
+        // `profile` resolves FILE through the same workload-name fallback
+        // as `explain` — pin it for all five paper workloads
+        for name in ["sord", "chargei", "srad", "cfd", "stassuij"] {
+            let out = run(&args(&["profile", name, "--top", "3"])).unwrap();
+            assert!(out.contains("VM instruction profile:"), "workload {name}: {out}");
+            assert!(!out.contains(" 0 instructions"), "workload {name} must execute: {out}");
+        }
     }
 
     #[test]
