@@ -245,6 +245,34 @@ mod tests {
     }
 
     #[test]
+    fn sim_bench_keys_classify_correctly() {
+        // pins the direction of every gated BENCH_sim.json metric so a
+        // key rename can't silently demote a gate to informational
+        for key in [
+            "dense_seconds",
+            "reference_seconds",
+            "oracle_sequential_seconds",
+            "oracle_parallel_seconds",
+            "validate_all_sequential_seconds",
+            "validate_all_parallel_seconds",
+        ] {
+            assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
+        }
+        for key in [
+            "sim_minstr_per_sec",
+            "speedup_dense_vs_ref",
+            "oracle_points_per_sec",
+            "oracle_parallel_speedup",
+            "validate_all_parallel_speedup",
+        ] {
+            assert_eq!(direction_of(key), Direction::HigherIsBetter, "{key}");
+        }
+        for key in ["threads", "sim_instructions", "oracle_records"] {
+            assert_eq!(direction_of(key), Direction::Informational, "{key}");
+        }
+    }
+
+    #[test]
     fn slower_time_and_lower_speedup_regress() {
         let base = content(r#"{"run_seconds": 1.0, "speedup": 10.0, "grid_points": 25}"#);
         let cfg = GateConfig::default();

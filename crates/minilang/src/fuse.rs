@@ -104,7 +104,7 @@ pub fn fuse(vm: &VmProgram) -> VmProgram {
 pub fn fuse_with_report(vm: &VmProgram) -> (VmProgram, FuseReport) {
     let mut report = FuseReport::default();
     let funcs = vm.funcs.iter().map(|f| fuse_fn(f, &mut report)).collect();
-    (VmProgram { funcs, entry: vm.entry }, report)
+    (VmProgram { funcs, entry: vm.entry, n_stmts: vm.n_stmts }, report)
 }
 
 /// Compile a program and fuse it in one step.

@@ -12,7 +12,9 @@
 //! tree-walker's per-node dispatch and name lookups dominate.
 
 use crate::ast::*;
-use crate::interp::{ArrRef, InputSpec, Lcg, Limits, Profile, RuntimeError, Tracer, Val};
+use crate::interp::{
+    ArrRef, BranchStats, InputSpec, Lcg, Limits, LoopStats, OpCounts, Profile, RuntimeError, Tracer, Val,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -23,6 +25,9 @@ use xflow_obs::Recorder;
 pub struct VmProgram {
     pub(crate) funcs: Vec<VmFunc>,
     pub(crate) entry: usize,
+    /// Statement-id bound of the compiled program — sizes the dense
+    /// profile accumulators once per run instead of growing them.
+    pub(crate) n_stmts: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -528,7 +533,7 @@ pub fn compile(prog: &Program) -> Result<VmProgram, RuntimeError> {
     for f in &prog.functions {
         funcs.push(compile_fn(prog, f, &fn_ids)?);
     }
-    Ok(VmProgram { funcs, entry })
+    Ok(VmProgram { funcs, entry, n_stmts: prog.stmt_count() as usize })
 }
 
 struct FnCompiler<'p> {
@@ -900,6 +905,90 @@ impl<'p> FnCompiler<'p> {
 // Execution
 // ---------------------------------------------------------------------------
 
+/// Library-counter names, indexed by the dense slot [`Op::Lib`] charges.
+const LIB_COUNTER_NAMES: [&str; 7] = ["rand", "exp", "log", "sqrt", "sin", "cos", "pow"];
+
+/// Dense profile accumulators — the same [`Profile`] the tree-walker
+/// builds, accumulated as statement-id-indexed vectors on the dispatch
+/// hot path and converted to the public `HashMap` shape once at end of
+/// run. At evaluation scale the interpreter fires tens of millions of
+/// profile events; one hash upsert per event used to dominate the
+/// dispatch loop. Entry presence is preserved exactly: every upsert in
+/// the old code incremented at least one counter, so "accumulator is
+/// non-default" is precisely "the old code created this entry".
+struct DenseProfile {
+    exec: Vec<u64>,
+    ops: Vec<OpCounts>,
+    loops: Vec<LoopStats>,
+    branches: Vec<BranchStats>,
+    lib_calls: [u64; LIB_COUNTER_NAMES.len()],
+    printed: Vec<f64>,
+}
+
+impl DenseProfile {
+    fn new(n_stmts: usize) -> Self {
+        let mut dp = DenseProfile {
+            exec: Vec::new(),
+            ops: Vec::new(),
+            loops: Vec::new(),
+            branches: Vec::new(),
+            lib_calls: [0; LIB_COUNTER_NAMES.len()],
+            printed: Vec::new(),
+        };
+        dp.grow(n_stmts);
+        dp
+    }
+
+    fn grow(&mut self, n: usize) {
+        self.exec.resize(n, 0);
+        self.ops.resize(n, OpCounts::default());
+        self.loops.resize(n, LoopStats::default());
+        self.branches.resize(n, BranchStats::default());
+    }
+
+    /// Index of `stmt`, growing the accumulators if a statement id beyond
+    /// the compiled program's sized range shows up.
+    #[inline]
+    fn at(&mut self, stmt: MStmtId) -> usize {
+        let i = stmt.0 as usize;
+        if i >= self.exec.len() {
+            self.grow(i + 1);
+        }
+        i
+    }
+
+    /// One pass into the public `HashMap` shape, off the hot path.
+    fn into_profile(self) -> Profile {
+        let mut p = Profile { printed: self.printed, ..Profile::default() };
+        for (i, &n) in self.exec.iter().enumerate() {
+            if n > 0 {
+                p.stmt_exec.insert(MStmtId(i as u32), n);
+            }
+        }
+        for (i, &c) in self.ops.iter().enumerate() {
+            if c != OpCounts::default() {
+                p.stmt_ops.insert(MStmtId(i as u32), c);
+            }
+        }
+        for (i, &l) in self.loops.iter().enumerate() {
+            if l != LoopStats::default() {
+                p.loops.insert(MStmtId(i as u32), l);
+            }
+        }
+        for (i, b) in self.branches.into_iter().enumerate() {
+            if b != BranchStats::default() {
+                p.branches.insert(MStmtId(i as u32), b);
+            }
+        }
+        for (i, &n) in self.lib_calls.iter().enumerate() {
+            if n > 0 {
+                p.lib_calls.insert(LIB_COUNTER_NAMES[i].to_string(), n);
+            }
+        }
+        p
+    }
+}
+
 struct Frame {
     func: usize,
     pc: usize,
@@ -980,7 +1069,7 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
     seed: u64,
     sink: &mut S,
 ) -> Result<(Profile, T, f64), RuntimeError> {
-    let mut profile = Profile::default();
+    let mut profile = DenseProfile::new(vm.n_stmts);
     let mut rng = Lcg(seed);
     let mut next_base: u64 = 0x1000;
     let mut steps: u64 = 0;
@@ -1045,8 +1134,8 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 }
                 (data[i], a.base + (i as u64) * 8)
             };
-            let c = profile.stmt_ops.entry(cur_stmt).or_default();
-            c.loads += 1;
+            let i = profile.at(cur_stmt);
+            profile.ops[i].loads += 1;
             tracer.load(cur_stmt, addr);
             v
         }};
@@ -1079,8 +1168,8 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 data[i] = value;
                 a.base + (i as u64) * 8
             };
-            let c = profile.stmt_ops.entry(cur_stmt).or_default();
-            c.stores += 1;
+            let i = profile.at(cur_stmt);
+            profile.ops[i].stores += 1;
             tracer.store(cur_stmt, addr);
         }};
     }
@@ -1119,7 +1208,8 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
             }
             cur_stmt = id;
-            *profile.stmt_exec.entry(id).or_insert(0) += 1;
+            let i = profile.at(id);
+            profile.exec[i] += 1;
         }};
     }
 
@@ -1132,7 +1222,8 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
             if steps > limits.max_steps {
                 return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
             }
-            profile.loops.entry(id).or_default().iterations += 1;
+            let i = profile.at(id);
+            profile.loops[i].iterations += 1;
             count(&mut profile, &mut tracer, id, 0, 2, 0);
         }};
     }
@@ -1368,37 +1459,39 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 stack.push(Val::Num(a.max(b)));
             }
             Op::Lib(b) => {
-                let (v, name, arg) = match b {
-                    Builtin::Rnd => (rng.next_f64(), "rand", 0.0),
+                // slot indices match LIB_COUNTER_NAMES — one dense counter
+                // bump instead of a String-keyed upsert per call
+                let (v, slot, arg) = match b {
+                    Builtin::Rnd => (rng.next_f64(), 0, 0.0),
                     Builtin::Exp => {
                         let a = pop_num!();
-                        (a.exp(), "exp", a)
+                        (a.exp(), 1, a)
                     }
                     Builtin::Log => {
                         let a = pop_num!();
-                        (a.max(f64::MIN_POSITIVE).ln(), "log", a)
+                        (a.max(f64::MIN_POSITIVE).ln(), 2, a)
                     }
                     Builtin::Sqrt => {
                         let a = pop_num!();
-                        (a.abs().sqrt(), "sqrt", a)
+                        (a.abs().sqrt(), 3, a)
                     }
                     Builtin::Sin => {
                         let a = pop_num!();
-                        (a.sin(), "sin", a)
+                        (a.sin(), 4, a)
                     }
                     Builtin::Cos => {
                         let a = pop_num!();
-                        (a.cos(), "cos", a)
+                        (a.cos(), 5, a)
                     }
                     Builtin::Pow => {
                         let b2 = pop_num!();
                         let a = pop_num!();
-                        (a.powf(b2), "pow", a)
+                        (a.powf(b2), 6, a)
                     }
                     other => unreachable!("{other:?} is not a lib builtin"),
                 };
-                *profile.lib_calls.entry(name.to_string()).or_insert(0) += 1;
-                tracer.lib_call(cur_stmt, name_static(name), arg);
+                profile.lib_calls[slot] += 1;
+                tracer.lib_call(cur_stmt, LIB_COUNTER_NAMES[slot], arg);
                 stack.push(Val::Num(v));
             }
             Op::JumpIfZero(t) => {
@@ -1411,7 +1504,8 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
             Op::StmtEnter(id) => stmt_enter!(*id),
             Op::SetCur(id) => cur_stmt = *id,
             Op::LoopEntry(id) => {
-                profile.loops.entry(*id).or_default().entries += 1;
+                let i = profile.at(*id);
+                profile.loops[i].entries += 1;
             }
             Op::IterTick(id) => iter_tick!(*id),
             Op::IterTickWhile(id) => {
@@ -1419,7 +1513,8 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 if steps > limits.max_steps {
                     return Err(RuntimeError::StepLimitExceeded(limits.max_steps));
                 }
-                profile.loops.entry(*id).or_default().iterations += 1;
+                let i = profile.at(*id);
+                profile.loops[i].iterations += 1;
             }
             Op::JumpIfGeRaw { cur, hi, target } => {
                 let c = raw_num(&frame.slots[*cur as usize]);
@@ -1439,22 +1534,27 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 frame.slots[*s as usize] = Val::Num(v.max(f64::MIN_POSITIVE));
             }
             Op::BranchEnter { stmt, arms } => {
-                let b = profile.branches.entry(*stmt).or_default();
+                let i = profile.at(*stmt);
+                let b = &mut profile.branches[i];
                 if b.arm_hits.len() < *arms {
                     b.arm_hits.resize(*arms, 0);
                 }
             }
             Op::ArmHit { stmt, arm } => {
-                profile.branches.get_mut(stmt).expect("branch entered").arm_hits[*arm] += 1;
+                let i = profile.at(*stmt);
+                profile.branches[i].arm_hits[*arm] += 1;
             }
             Op::ElseHit(stmt) => {
-                profile.branches.get_mut(stmt).expect("branch entered").else_hits += 1;
+                let i = profile.at(*stmt);
+                profile.branches[i].else_hits += 1;
             }
             Op::BreakProfile(id) => {
-                profile.loops.entry(*id).or_default().breaks += 1;
+                let i = profile.at(*id);
+                profile.loops[i].breaks += 1;
             }
             Op::ContinueProfile(id) => {
-                profile.loops.entry(*id).or_default().continues += 1;
+                let i = profile.at(*id);
+                profile.loops[i].continues += 1;
             }
             Op::Call { func: callee, argc } => {
                 if frames.len() as u32 >= limits.max_depth {
@@ -1473,7 +1573,7 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
                 cur_stmt = f.saved_cur;
                 if frames.is_empty() {
                     let ret = pop_num!();
-                    return Ok((profile, tracer, ret));
+                    return Ok((profile.into_profile(), tracer, ret));
                 }
                 // return value stays on the stack for the caller
             }
@@ -1491,8 +1591,9 @@ fn run_vm_inner<T: Tracer, S: InstrSink>(
 /// Saved/restored attribution: the reference restores `cur_stmt` after a
 /// user call *in expression position*; statement calls re-enter on the next
 /// statement anyway, so restoring unconditionally matches both.
-fn count<T: Tracer>(profile: &mut Profile, tracer: &mut T, stmt: MStmtId, flops: u32, iops: u32, divs: u32) {
-    let c = profile.stmt_ops.entry(stmt).or_default();
+fn count<T: Tracer>(profile: &mut DenseProfile, tracer: &mut T, stmt: MStmtId, flops: u32, iops: u32, divs: u32) {
+    let i = profile.at(stmt);
+    let c = &mut profile.ops[i];
     c.flops += flops as u64;
     c.iops += iops as u64;
     c.divs += divs as u64;
@@ -1521,19 +1622,6 @@ fn is_unset_num(v: f64) -> bool {
 
 fn is_unset(v: &Val) -> bool {
     matches!(v, Val::Num(n) if is_unset_num(*n))
-}
-
-fn name_static(n: &str) -> &'static str {
-    match n {
-        "rand" => "rand",
-        "exp" => "exp",
-        "log" => "log",
-        "sqrt" => "sqrt",
-        "sin" => "sin",
-        "cos" => "cos",
-        "pow" => "pow",
-        _ => "lib",
-    }
 }
 
 impl VmProgram {

@@ -8,6 +8,7 @@
 //! Section VII-C).
 
 use xflow_hw::CacheLevel;
+use xflow_minilang::MStmtId;
 
 /// Where an access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,14 +18,52 @@ pub enum AccessLevel {
     Dram,
 }
 
+/// Sentinel in the per-way toucher store: no statement on record.
+const NO_TOUCHER: u32 = u32::MAX;
+
+/// Sentinel in the tag store: way holds no line.
+const INVALID_TAG: u32 = u32::MAX;
+
+/// Low half of a packed way word: the compressed tag.
+const TAG_MASK: u64 = u32::MAX as u64;
+
 /// One set-associative cache level with LRU replacement.
+///
+/// With reuse tracking enabled (the simulator's L1), every way also
+/// remembers the statement that last touched its line, so one set probe
+/// answers hit/miss *and* self/cross reuse attribution — no side table
+/// keyed by line address on the hot path. Touchers of evicted lines are
+/// archived so a line that leaves the cache and is later prefetched back
+/// still knows who touched it last, exactly like the old per-line map.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    /// Tag store: `sets × assoc` entries, `u64::MAX` = invalid.
-    tags: Vec<u64>,
-    /// LRU stamps parallel to `tags`.
-    stamps: Vec<u64>,
+    /// Way store: `sets × assoc` packed `(stamp << 32) | tag` words.
+    ///
+    /// Tags are the *quotient* `line / sets` (the set index is the
+    /// remainder), so `(set, tag)` identifies a line exactly — no
+    /// aliasing — and packing the LRU stamp beside the tag means a probe,
+    /// its stamp update, and the victim scan all touch the same one
+    /// (8-way L1) or two (16-way LLC) host cache lines. Simulated
+    /// addresses are bump-allocated from near zero, so the quotient never
+    /// approaches [`INVALID_TAG`]. The 32-bit stamps are rank-remapped by
+    /// [`Self::renormalize`] before the clock could wrap, preserving
+    /// exact LRU order.
+    ways: Vec<u64>,
+    /// Last-toucher statements parallel to `ways`; empty = tracking off.
+    touchers: Vec<u32>,
+    /// Last touchers of lines no longer resident, indexed by line number
+    /// ([`NO_TOUCHER`] = vacant). Simulated addresses are bump-allocated
+    /// from near zero, so the line space is dense and a flat vector
+    /// replaces the per-eviction hash traffic with one indexed write.
+    evicted_touchers: Vec<u32>,
     sets: u64,
+    /// `sets - 1` when `sets` is a power of two, else `u64::MAX` — lets the
+    /// per-access set/tag split be a mask+shift instead of a 64-bit
+    /// division (both machines' L1s are power-of-two; Xeon's 12288-set
+    /// LLC is not).
+    set_mask: u64,
+    /// `log2(sets)` when `sets` is a power of two (unused otherwise).
+    set_shift: u32,
     assoc: usize,
     line_shift: u32,
     clock: u64,
@@ -35,12 +74,25 @@ pub struct CacheArray {
 impl CacheArray {
     /// Build from a machine cache-level description.
     pub fn new(level: &CacheLevel) -> Self {
+        Self::build(level, false)
+    }
+
+    /// Build with per-way last-toucher reuse tracking enabled.
+    pub fn with_reuse_tracking(level: &CacheLevel) -> Self {
+        Self::build(level, true)
+    }
+
+    fn build(level: &CacheLevel, track: bool) -> Self {
         let sets = level.sets();
         let assoc = level.assoc.max(1) as usize;
+        let slots = (sets as usize) * assoc;
         CacheArray {
-            tags: vec![u64::MAX; (sets as usize) * assoc],
-            stamps: vec![0; (sets as usize) * assoc],
+            ways: vec![INVALID_TAG as u64; slots],
+            touchers: if track { vec![NO_TOUCHER; slots] } else { Vec::new() },
+            evicted_touchers: Vec::new(),
             sets,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { u64::MAX },
+            set_shift: sets.trailing_zeros(),
             assoc,
             line_shift: level.line_bytes.trailing_zeros(),
             clock: 0,
@@ -49,61 +101,217 @@ impl CacheArray {
         }
     }
 
-    /// Insert a line without touching hit/miss statistics (prefetch fill).
-    pub fn fill(&mut self, addr: u64) {
-        self.clock += 1;
-        let line = addr >> self.line_shift;
-        let set = (line % self.sets) as usize;
-        let base = set * self.assoc;
-        if self.tags[base..base + self.assoc].contains(&line) {
-            return;
+    /// Split `line` into its set index and compressed tag (the quotient).
+    #[inline]
+    fn set_and_tag(&self, line: u64) -> (usize, u32) {
+        debug_assert!(line / self.sets < INVALID_TAG as u64, "line {line:#x} overflows the tag store");
+        if self.set_mask != u64::MAX {
+            ((line & self.set_mask) as usize, (line >> self.set_shift) as u32)
+        } else {
+            ((line % self.sets) as usize, (line / self.sets) as u32)
         }
+    }
+
+    /// Reassemble a line address from its set index and compressed tag.
+    #[inline]
+    fn line_of(&self, set: usize, tag: u32) -> u64 {
+        (tag as u64) * self.sets + set as u64
+    }
+
+    /// Archive `toucher` as the last toucher of the (evicted) `line`.
+    #[inline]
+    fn archive_put(&mut self, line: u64, toucher: u32) {
+        let i = line as usize;
+        if i >= self.evicted_touchers.len() {
+            self.evicted_touchers.resize((i + 1).next_power_of_two().max(1024), NO_TOUCHER);
+        }
+        self.evicted_touchers[i] = toucher;
+    }
+
+    /// Remove and return the archived toucher of `line`, if any.
+    #[inline]
+    fn archive_take(&mut self, line: u64) -> Option<u32> {
+        match self.evicted_touchers.get_mut(line as usize) {
+            Some(t) if *t != NO_TOUCHER => {
+                let v = *t;
+                *t = NO_TOUCHER;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Way holding `tag` within `ways`, scanned without data-dependent
+    /// early exits: the conditional select compiles branch-free, so a hit
+    /// in a varying way costs no mispredicts (the dominant probe cost for
+    /// an early-exit scan on gather-heavy address streams).
+    #[inline]
+    fn find_way(ways: &[u64], tag: u32) -> Option<usize> {
+        // Fixed-width scans for the associativities the evaluated machines
+        // use give LLVM a known trip count to unroll and vectorize; the
+        // generic loop only serves exotic geometries (and the tests').
+        match ways.len() {
+            8 => Self::find_fixed::<8>(ways.try_into().expect("len checked"), tag),
+            16 => Self::find_fixed::<16>(ways.try_into().expect("len checked"), tag),
+            _ => Self::find_generic(ways, tag),
+        }
+    }
+
+    #[inline]
+    fn find_fixed<const N: usize>(ways: &[u64; N], tag: u32) -> Option<usize> {
+        let tag = tag as u64;
+        let mut found = usize::MAX;
+        for (w, &e) in ways.iter().enumerate() {
+            if e & TAG_MASK == tag {
+                found = w;
+            }
+        }
+        if found == usize::MAX {
+            None
+        } else {
+            Some(found)
+        }
+    }
+
+    #[inline]
+    fn find_generic(ways: &[u64], tag: u32) -> Option<usize> {
+        let tag = tag as u64;
+        let mut found = usize::MAX;
+        for (w, &e) in ways.iter().enumerate() {
+            if e & TAG_MASK == tag {
+                found = w;
+            }
+        }
+        if found == usize::MAX {
+            None
+        } else {
+            Some(found)
+        }
+    }
+
+    /// Bump the LRU clock, rank-remapping the stamps on the (in practice
+    /// unreachable) 4-billion-access wrap so LRU order stays exact.
+    #[inline]
+    fn tick(&mut self) {
+        self.clock += 1;
+        if self.clock >= u32::MAX as u64 {
+            self.renormalize();
+        }
+    }
+
+    /// Remap every stamp to its rank among the stamps present. Ranks
+    /// preserve the exact relative order (ties stay ties), so victim
+    /// selection after a remap is identical to an unbounded clock.
+    #[cold]
+    fn renormalize(&mut self) {
+        let mut stamps: Vec<u64> = self.ways.iter().map(|e| e >> 32).collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        for e in &mut self.ways {
+            let rank = stamps.binary_search(&(*e >> 32)).expect("stamp present") as u64 + 1;
+            *e = (rank << 32) | (*e & TAG_MASK);
+        }
+        self.clock = stamps.len() as u64 + 1;
+    }
+
+    /// LRU victim way within the set at `base` (invalid ways win first).
+    #[inline]
+    fn victim_way(&self, base: usize) -> usize {
         let mut victim = 0;
         let mut oldest = u64::MAX;
         for w in 0..self.assoc {
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
-                break;
+            let e = self.ways[base + w];
+            if e & TAG_MASK == INVALID_TAG as u64 {
+                return w;
             }
-            if self.stamps[base + w] < oldest {
-                oldest = self.stamps[base + w];
+            if e >> 32 < oldest {
+                oldest = e >> 32;
                 victim = w;
             }
         }
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.clock;
+        victim
+    }
+
+    /// Install the line `(set, tag)` in the LRU way of its set. `toucher`
+    /// is the new way's last-toucher record: `Some` for a demand access by
+    /// a traced statement, `None` for an anonymous insert (prefetch fill,
+    /// untraced access) — which inherits whatever the archive knows about
+    /// the line.
+    #[inline]
+    fn insert_line(&mut self, set: usize, tag: u32, toucher: Option<u32>) {
+        let base = set * self.assoc;
+        let victim = base + self.victim_way(base);
+        if !self.touchers.is_empty() {
+            let old_tag = (self.ways[victim] & TAG_MASK) as u32;
+            if old_tag != INVALID_TAG {
+                let t = self.touchers[victim];
+                if t != NO_TOUCHER {
+                    let old_line = self.line_of(set, old_tag);
+                    self.archive_put(old_line, t);
+                }
+            }
+            let line = self.line_of(set, tag);
+            let archived = self.archive_take(line);
+            self.touchers[victim] = match toucher {
+                Some(stmt) => stmt,
+                None => archived.unwrap_or(NO_TOUCHER),
+            };
+        }
+        self.ways[victim] = (self.clock << 32) | tag as u64;
+    }
+
+    /// Insert a line without touching hit/miss statistics (prefetch fill).
+    pub fn fill(&mut self, addr: u64) {
+        self.tick();
+        let line = addr >> self.line_shift;
+        let (set, tag) = self.set_and_tag(line);
+        let base = set * self.assoc;
+        if Self::find_way(&self.ways[base..base + self.assoc], tag).is_some() {
+            return;
+        }
+        self.insert_line(set, tag, None);
     }
 
     /// Look up an address; inserts the line on miss. Returns hit/miss.
     pub fn access(&mut self, addr: u64) -> bool {
-        self.clock += 1;
+        self.tick();
         let line = addr >> self.line_shift;
-        let set = (line % self.sets) as usize;
+        let (set, tag) = self.set_and_tag(line);
         let base = set * self.assoc;
-        let ways = &mut self.tags[base..base + self.assoc];
 
-        if let Some(w) = ways.iter().position(|&t| t == line) {
-            self.stamps[base + w] = self.clock;
+        if let Some(w) = Self::find_way(&self.ways[base..base + self.assoc], tag) {
+            self.ways[base + w] = (self.clock << 32) | tag as u64;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        // evict LRU way
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..self.assoc {
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
-                break;
-            }
-            if self.stamps[base + w] < oldest {
-                oldest = self.stamps[base + w];
-                victim = w;
-            }
-        }
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.clock;
+        self.insert_line(set, tag, None);
         false
+    }
+
+    /// [`access`](Self::access) that also records `stmt` as the line's
+    /// last toucher and, on a hit, returns who touched it before — the
+    /// single-pass probe the simulator's reuse accounting rides on.
+    pub fn access_traced(&mut self, addr: u64, stmt: MStmtId) -> (bool, Option<MStmtId>) {
+        self.tick();
+        let line = addr >> self.line_shift;
+        let (set, tag) = self.set_and_tag(line);
+        let base = set * self.assoc;
+
+        if let Some(w) = Self::find_way(&self.ways[base..base + self.assoc], tag) {
+            self.ways[base + w] = (self.clock << 32) | tag as u64;
+            self.hits += 1;
+            if self.touchers.is_empty() {
+                return (true, None);
+            }
+            let prev = self.touchers[base + w];
+            self.touchers[base + w] = stmt.0;
+            let prev = if prev == NO_TOUCHER { None } else { Some(MStmtId(prev)) };
+            return (true, prev);
+        }
+        self.misses += 1;
+        self.insert_line(set, tag, if self.touchers.is_empty() { None } else { Some(stmt.0) });
+        (false, None)
     }
 
     /// Hits so far.
@@ -154,6 +362,18 @@ impl Hierarchy {
         }
     }
 
+    /// Build with last-toucher reuse tracking on the L1 (the level whose
+    /// hits the simulator attributes to self/cross-block reuse).
+    pub fn with_reuse_tracking(l1: &CacheLevel, llc: &CacheLevel) -> Self {
+        Hierarchy {
+            l1: CacheArray::with_reuse_tracking(l1),
+            llc: CacheArray::new(llc),
+            dram_accesses: 0,
+            dram_bytes: 0,
+            line_bytes: llc.line_bytes as u64,
+        }
+    }
+
     /// Perform an access, returning the level that satisfied it.
     ///
     /// A miss triggers a next-line prefetch into both levels — the
@@ -176,6 +396,28 @@ impl Hierarchy {
         self.l1.fill(next);
         self.llc.fill(next);
         level
+    }
+
+    /// [`access`](Self::access) that also threads reuse attribution: the
+    /// L1 probe records `stmt` as the touched line's last toucher and, on
+    /// an L1 hit, reports the previous toucher (reuse is only classified
+    /// on L1 hits; prefetch fills stay anonymous).
+    pub fn access_traced(&mut self, addr: u64, stmt: MStmtId) -> (AccessLevel, Option<MStmtId>) {
+        let (l1_hit, prev) = self.l1.access_traced(addr, stmt);
+        if l1_hit {
+            return (AccessLevel::L1, prev);
+        }
+        let level = if self.llc.access(addr) {
+            AccessLevel::Llc
+        } else {
+            self.dram_accesses += 1;
+            self.dram_bytes += self.line_bytes;
+            AccessLevel::Dram
+        };
+        let next = addr.wrapping_add(self.line_bytes);
+        self.l1.fill(next);
+        self.llc.fill(next);
+        (level, None)
     }
 
     /// Line fills that reached DRAM.
@@ -307,5 +549,75 @@ mod tests {
     fn hit_rate_defaults_to_one_when_idle() {
         let c = CacheArray::new(&tiny());
         assert_eq!(c.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn traced_hit_reports_previous_toucher() {
+        let mut c = CacheArray::with_reuse_tracking(&tiny());
+        let s1 = MStmtId(1);
+        let s2 = MStmtId(2);
+        assert_eq!(c.access_traced(0x1000, s1), (false, None)); // cold
+        assert_eq!(c.access_traced(0x1000, s1), (true, Some(s1))); // self reuse
+        assert_eq!(c.access_traced(0x1008, s2), (true, Some(s1))); // cross reuse
+        assert_eq!(c.access_traced(0x1010, s2), (true, Some(s2)));
+    }
+
+    #[test]
+    fn untracked_array_yields_no_touchers() {
+        let mut c = CacheArray::new(&tiny());
+        let s = MStmtId(7);
+        assert_eq!(c.access_traced(0x40, s), (false, None));
+        assert_eq!(c.access_traced(0x40, s), (true, None));
+    }
+
+    #[test]
+    fn evicted_toucher_survives_refill() {
+        // A line touched by s1, evicted, then brought back by an anonymous
+        // fill must still attribute its next hit to s1 — the archive keeps
+        // what the old per-line side table kept for free.
+        let mut c = CacheArray::with_reuse_tracking(&tiny());
+        let s1 = MStmtId(1);
+        let s2 = MStmtId(2);
+        c.access_traced(0, s1); // set 0
+        c.access_traced(1024, s2); // set 0, second way
+        c.access_traced(1024, s2); // make line 0 the LRU
+        c.access_traced(2048, s2); // evicts line 0 (touched by s1)
+        c.fill(0); // anonymous prefetch brings line 0 back
+        let (hit, prev) = c.access_traced(0, s2);
+        assert!(hit);
+        assert_eq!(prev, Some(s1));
+    }
+
+    #[test]
+    fn demand_insert_overrides_archived_toucher() {
+        let mut c = CacheArray::with_reuse_tracking(&tiny());
+        let s1 = MStmtId(1);
+        let s2 = MStmtId(2);
+        c.access_traced(0, s1);
+        c.access_traced(1024, s2);
+        c.access_traced(1024, s2);
+        c.access_traced(2048, s2); // evicts line 0
+        c.access_traced(0, s2); // demand miss re-inserts with toucher s2
+        let (hit, prev) = c.access_traced(0, s1);
+        assert!(hit);
+        assert_eq!(prev, Some(s2));
+    }
+
+    #[test]
+    fn hierarchy_traced_matches_untraced_levels() {
+        let l1 = tiny();
+        let llc = CacheLevel { size_bytes: 4096, line_bytes: 64, assoc: 4, latency_cycles: 10.0 };
+        let mut plain = Hierarchy::new(&l1, &llc);
+        let mut traced = Hierarchy::with_reuse_tracking(&l1, &llc);
+        let s = MStmtId(3);
+        let addrs: Vec<u64> = (0..512u64).map(|i| (i * 2654435761) % 0x8000).collect();
+        for &a in &addrs {
+            let lvl = plain.access(a);
+            let (tl, _) = traced.access_traced(a, s);
+            assert_eq!(lvl, tl, "addr {a:#x}");
+        }
+        assert_eq!(plain.l1.hits(), traced.l1.hits());
+        assert_eq!(plain.llc.misses(), traced.llc.misses());
+        assert_eq!(plain.dram_bytes(), traced.dram_bytes());
     }
 }

@@ -23,34 +23,62 @@ pub struct LibMix {
     pub stores: u32,
 }
 
-/// Ground-truth mix of one call of `name` with scalar argument `arg`.
+/// Interned-slot names: one slot per routine the simulator knows
+/// natively, plus the trailing generic slot every other name maps to
+/// (the VM's name interner reports unknown routines as `"lib"`).
+pub const LIB_SLOT_NAMES: [&str; 8] = ["exp", "log", "sqrt", "sin", "cos", "pow", "rand", "lib"];
+
+/// Intern a library name to its slot index in [`LIB_SLOT_NAMES`].
+#[inline]
+pub fn lib_slot(name: &str) -> usize {
+    match name {
+        "exp" => 0,
+        "log" => 1,
+        "sqrt" => 2,
+        "sin" => 3,
+        "cos" => 4,
+        "pow" => 5,
+        "rand" => 6,
+        _ => 7,
+    }
+}
+
+/// Ground-truth mix of one call of the routine in `slot` with scalar
+/// argument `arg` — the id-indexed dispatch the simulator's hot path uses
+/// once names are interned.
 ///
 /// The shapes mimic libm implementations: a fixed polynomial core plus
-/// argument-magnitude-dependent range reduction. Unknown names get a
-/// generic moderately expensive routine.
-pub fn hardware_lib_mix(name: &str, arg: f64) -> LibMix {
+/// argument-magnitude-dependent range reduction. The generic slot gets a
+/// moderately expensive routine.
+pub fn hardware_lib_mix_slot(slot: usize, arg: f64) -> LibMix {
     let a = arg.abs();
-    match name {
-        "exp" => {
+    match slot {
+        0 => {
             // range reduction: one step per ln(2) of magnitude; the core is
             // a polynomial — multiply/add only, no divides
             let steps = (a / std::f64::consts::LN_2).min(40.0) as u32;
             LibMix { flops: 18 + 2 * steps, iops: 6 + steps, divs: 0, loads: 4, stores: 0 }
         }
-        "log" => {
+        1 => {
             let steps = (a.max(1.0).log2()).min(32.0) as u32;
             LibMix { flops: 22 + steps, iops: 8, divs: 0, loads: 5, stores: 0 }
         }
         // rsqrt estimate + Newton refinement: multiplies only
-        "sqrt" => LibMix { flops: 14, iops: 2, divs: 0, loads: 0, stores: 0 },
-        "sin" | "cos" => {
+        2 => LibMix { flops: 14, iops: 2, divs: 0, loads: 0, stores: 0 },
+        3 | 4 => {
             let steps = (a / std::f64::consts::PI).min(24.0) as u32;
             LibMix { flops: 20 + 2 * steps, iops: 8 + steps, divs: 0, loads: 4, stores: 0 }
         }
-        "pow" => LibMix { flops: 44, iops: 14, divs: 1, loads: 8, stores: 0 },
-        "rand" => LibMix { flops: 2, iops: 16, divs: 0, loads: 3, stores: 1 },
+        5 => LibMix { flops: 44, iops: 14, divs: 1, loads: 8, stores: 0 },
+        6 => LibMix { flops: 2, iops: 16, divs: 0, loads: 3, stores: 1 },
         _ => LibMix { flops: 25, iops: 10, divs: 1, loads: 5, stores: 1 },
     }
+}
+
+/// Ground-truth mix of one call of `name` with scalar argument `arg`.
+/// Unknown names get the generic slot's routine.
+pub fn hardware_lib_mix(name: &str, arg: f64) -> LibMix {
+    hardware_lib_mix_slot(lib_slot(name), arg)
 }
 
 /// Names of the library routines the simulator knows natively.
@@ -125,6 +153,17 @@ mod tests {
     fn unknown_function_gets_generic_mix() {
         let m = hardware_lib_mix("dgemm", 1.0);
         assert!(m.flops > 0);
+    }
+
+    #[test]
+    fn slot_dispatch_matches_name_dispatch() {
+        for (slot, &name) in LIB_SLOT_NAMES.iter().enumerate() {
+            assert_eq!(lib_slot(name), slot, "{name}");
+            for arg in [0.0, 0.5, 3.7, 25.0, -8.0, 1e6] {
+                assert_eq!(hardware_lib_mix_slot(slot, arg), hardware_lib_mix(name, arg), "{name}({arg})");
+            }
+        }
+        assert_eq!(lib_slot("dgemm"), lib_slot("lib"));
     }
 
     #[test]

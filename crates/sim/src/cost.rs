@@ -17,7 +17,7 @@
 //!   mix (see [`crate::calibrate`]).
 
 use crate::cache::{AccessLevel, Hierarchy};
-use crate::calibrate::hardware_lib_mix;
+use crate::calibrate::{hardware_lib_mix_slot, lib_slot, LIB_SLOT_NAMES};
 use std::collections::HashMap;
 use xflow_hw::MachineModel;
 use xflow_minilang::{MStmtId, Tracer};
@@ -88,76 +88,183 @@ fn collect_subtree_ids(prog: &xflow_minilang::Program, root: MStmtId, out: &mut 
     }
 }
 
+/// Number of interned library slots ([`LIB_SLOT_NAMES`]).
+const N_LIB_SLOTS: usize = LIB_SLOT_NAMES.len();
+
+/// The per-statement accumulator maps a finished [`SimTracer`] converts
+/// into — the public `HashMap` shape [`crate::SimReport`] keeps. Entry
+/// presence matches the old per-event upsert semantics exactly: a
+/// statement appears in `stmt_cycles`/`stmt_instrs` once it was charged
+/// (even for zero cycles), in the miss/reuse maps only when the count is
+/// nonzero, and a library appears once it was called.
+#[derive(Debug, Default, Clone)]
+pub struct TracerMaps {
+    pub stmt_cycles: HashMap<MStmtId, f64>,
+    pub stmt_instrs: HashMap<MStmtId, u64>,
+    pub stmt_l1_misses: HashMap<MStmtId, u64>,
+    pub stmt_cross_hits: HashMap<MStmtId, u64>,
+    pub stmt_self_hits: HashMap<MStmtId, u64>,
+    pub lib_cycles: HashMap<String, f64>,
+    pub lib_instrs: HashMap<String, u64>,
+}
+
+/// One statement's account: counters and precomputed per-statement costs
+/// side by side, so one dynamic event touches one accumulator struct
+/// (one or two host cache lines) instead of eight parallel vectors.
+#[derive(Debug, Clone)]
+struct StmtAcc {
+    /// Cycles charged to the statement.
+    cycles: f64,
+    /// Dynamic instructions retired.
+    instrs: u64,
+    /// L1 misses.
+    l1_misses: u64,
+    /// Cross-block reuse: L1 hits on lines whose previous toucher was a
+    /// *different* statement. This is the paper's Section VII-C effect —
+    /// e.g. SORD's velocity kernel reusing the lines its stress kernels
+    /// brought in — which the constant-hit-rate model cannot see.
+    cross_hits: u64,
+    /// L1 hits on lines the same statement touched last (self reuse).
+    self_hits: u64,
+    /// Whether the statement was ever charged (entry presence in the
+    /// converted maps, even for a zero-cycle charge).
+    charged: bool,
+    /// Precomputed vector factor (overrides applied).
+    vecf: f64,
+    /// Precomputed L1-hit charge (`1 / (load_store_per_cycle * vecf)`).
+    l1_hit_cost: f64,
+    /// Precomputed single-flop charge
+    /// (`1 / (scalar_flops_per_cycle * vecf)`).
+    unit_flop_cost: f64,
+}
+
 /// The cost-accumulating tracer.
+///
+/// `MStmtId`s are small dense integers, so every per-statement account is
+/// a flat `Vec` indexed by statement id — sized once from the program via
+/// [`SimTracer::for_program`] — instead of a `HashMap` upsert per dynamic
+/// operation. Library names are interned to slot ids, the per-statement
+/// vector factor and the common per-event charges are precomputed, and
+/// reuse attribution comes out of the cache probe itself
+/// ([`Hierarchy::access_traced`]); the hot path does no hashing and no
+/// allocation.
 #[derive(Debug)]
 pub struct SimTracer {
     machine: MachineModel,
     caches: Hierarchy,
     cfg: SimConfig,
-    /// Cycles charged per statement.
-    pub stmt_cycles: HashMap<MStmtId, f64>,
-    /// Dynamic instructions retired per statement.
-    pub stmt_instrs: HashMap<MStmtId, u64>,
-    /// L1 misses per statement.
-    pub stmt_l1_misses: HashMap<MStmtId, u64>,
-    /// Cross-block reuse: L1 hits by `stmt` on lines whose previous toucher
-    /// was a *different* statement. This is the paper's Section VII-C
-    /// effect — e.g. SORD's velocity kernel reusing the lines its stress
-    /// kernels brought in — which the constant-hit-rate model cannot see.
-    pub stmt_cross_hits: HashMap<MStmtId, u64>,
-    /// L1 hits on lines the same statement touched last (self reuse).
-    pub stmt_self_hits: HashMap<MStmtId, u64>,
-    /// Per-line last toucher (line address → statement).
-    last_toucher: HashMap<u64, MStmtId>,
-    /// Cycles attributed to opaque library functions, by name — real
+    /// Per-statement accounts (dense, statement-id indexed).
+    acc: Vec<StmtAcc>,
+    /// Precomputed LLC-hit charge (`llc.latency_cycles / mlp`).
+    llc_cost: f64,
+    /// Precomputed DRAM charge (`dram_latency_cycles / mlp`).
+    dram_cost: f64,
+    /// Precomputed single-iop charge (`1 / issue_width`).
+    int1_cost: f64,
+    /// Precomputed two-iop charge (`2 / issue_width`).
+    int2_cost: f64,
+    /// Precomputed lone-divide charge (`fdiv_latency_cycles`).
+    fdiv_cost: f64,
+    /// Cycles attributed to opaque library functions, by slot — real
     /// profilers report library time under the library symbol, not the
     /// calling line (the paper's SRAD top spots are `exp` and `rand`).
-    pub lib_cycles: HashMap<String, f64>,
-    /// Dynamic instructions retired inside library functions, by name.
-    pub lib_instrs: HashMap<String, u64>,
+    lib_cycles: [f64; N_LIB_SLOTS],
+    /// Dynamic instructions retired inside library functions, by slot.
+    lib_instrs: [u64; N_LIB_SLOTS],
+    /// Library invocations, by slot (entry presence in the maps).
+    lib_calls: [u64; N_LIB_SLOTS],
     /// Total cycles.
     pub total_cycles: f64,
 }
 
 impl SimTracer {
-    /// Build a tracer for a machine.
+    /// Build a tracer for a machine. Accumulators grow on demand; prefer
+    /// [`SimTracer::for_program`], which sizes them once up front.
     pub fn new(machine: &MachineModel, cfg: SimConfig) -> Self {
-        SimTracer {
-            caches: Hierarchy::new(&machine.l1, &machine.llc),
+        Self::with_stmt_count(machine, cfg, 0)
+    }
+
+    /// Build a tracer sized for every statement id of `prog`.
+    pub fn for_program(prog: &xflow_minilang::Program, machine: &MachineModel, cfg: SimConfig) -> Self {
+        Self::with_stmt_count(machine, cfg, prog.stmt_count() as usize)
+    }
+
+    fn with_stmt_count(machine: &MachineModel, cfg: SimConfig, stmts: usize) -> Self {
+        let mut t = SimTracer {
+            caches: Hierarchy::with_reuse_tracking(&machine.l1, &machine.llc),
             machine: machine.clone(),
             cfg,
-            stmt_cycles: HashMap::new(),
-            stmt_instrs: HashMap::new(),
-            stmt_l1_misses: HashMap::new(),
-            stmt_cross_hits: HashMap::new(),
-            stmt_self_hits: HashMap::new(),
-            last_toucher: HashMap::new(),
-            lib_cycles: HashMap::new(),
-            lib_instrs: HashMap::new(),
+            acc: Vec::new(),
+            llc_cost: machine.llc.latency_cycles / machine.mlp,
+            dram_cost: machine.dram_latency_cycles / machine.mlp,
+            int1_cost: 1.0 / machine.issue_width,
+            int2_cost: 2.0 / machine.issue_width,
+            fdiv_cost: machine.fdiv_latency_cycles,
+            lib_cycles: [0.0; N_LIB_SLOTS],
+            lib_instrs: [0; N_LIB_SLOTS],
+            lib_calls: [0; N_LIB_SLOTS],
             total_cycles: 0.0,
+        };
+        t.grow(stmts);
+        t
+    }
+
+    /// Extend the dense accumulators to cover statement ids `< n`.
+    fn grow(&mut self, n: usize) {
+        let from = self.acc.len();
+        for id in from..n {
+            // bit-identical to the old per-call computation: same
+            // expression, evaluated once per statement instead of per event
+            let veff =
+                self.cfg.vector_overrides.get(&MStmtId(id as u32)).copied().unwrap_or(self.machine.vector_efficiency);
+            let vf = 1.0 + (self.machine.vector_lanes - 1.0) * veff.clamp(0.0, 1.0);
+            self.acc.push(StmtAcc {
+                cycles: 0.0,
+                instrs: 0,
+                l1_misses: 0,
+                cross_hits: 0,
+                self_hits: 0,
+                charged: false,
+                vecf: vf,
+                l1_hit_cost: 1.0 / (self.machine.load_store_per_cycle * vf),
+                unit_flop_cost: 1.0 / (self.machine.scalar_flops_per_cycle * vf),
+            });
         }
     }
 
-    fn charge(&mut self, stmt: MStmtId, cycles: f64, instrs: u64) {
-        *self.stmt_cycles.entry(stmt).or_insert(0.0) += cycles;
-        *self.stmt_instrs.entry(stmt).or_insert(0) += instrs;
+    /// Index of `stmt`, growing the accumulators if the program handed the
+    /// tracer a statement id beyond its sized range.
+    #[inline]
+    fn idx(&mut self, stmt: MStmtId) -> usize {
+        let i = stmt.0 as usize;
+        if i >= self.acc.len() {
+            self.grow(i + 1);
+        }
+        i
+    }
+
+    #[inline]
+    fn charge_at(&mut self, i: usize, cycles: f64, instrs: u64) {
+        let a = &mut self.acc[i];
+        a.cycles += cycles;
+        a.instrs += instrs;
+        a.charged = true;
         self.total_cycles += cycles;
     }
 
-    /// Effective flop throughput factor for a statement: 1 (scalar) up to
-    /// `vector_lanes` (fully vectorized).
-    fn vec_factor(&self, stmt: MStmtId) -> f64 {
-        let veff = self.cfg.vector_overrides.get(&stmt).copied().unwrap_or(self.machine.vector_efficiency);
-        1.0 + (self.machine.vector_lanes - 1.0) * veff.clamp(0.0, 1.0)
-    }
-
     /// Cost of an arithmetic bundle without cache interaction (library mixes).
-    fn flat_op_cycles(&self, stmt: MStmtId, flops: f64, iops: f64, divs: f64, loads: f64) -> f64 {
+    ///
+    /// Each zero term is skipped rather than divided: `0/x` is exactly
+    /// `+0.0` and every term is non-negative, so `t + 0.0 == t` to the
+    /// bit — same sum, minus one f64 division for the (common) pure-int
+    /// and pure-float bundles.
+    fn flat_op_cycles(&self, vf: f64, flops: f64, iops: f64, divs: f64, loads: f64) -> f64 {
         let plain = (flops - divs).max(0.0);
-        let fp = plain / (self.machine.scalar_flops_per_cycle * self.vec_factor(stmt));
+        let fp = if plain != 0.0 { plain / (self.machine.scalar_flops_per_cycle * vf) } else { 0.0 };
         let dv = divs * self.machine.fdiv_latency_cycles;
-        let int = iops / self.machine.issue_width;
-        let mem = loads / self.machine.load_store_per_cycle; // assume L1-resident
+        let int = if iops != 0.0 { iops / self.machine.issue_width } else { 0.0 };
+        // assume L1-resident
+        let mem = if loads != 0.0 { loads / self.machine.load_store_per_cycle } else { 0.0 };
         fp + dv + int + mem
     }
 
@@ -165,12 +272,53 @@ impl SimTracer {
     pub fn caches(&self) -> &Hierarchy {
         &self.caches
     }
+
+    /// Convert the dense accumulators into the public `HashMap` shape —
+    /// one pass at report time, off the hot path.
+    pub fn maps(&self) -> TracerMaps {
+        let mut out = TracerMaps::default();
+        for (i, a) in self.acc.iter().enumerate() {
+            let id = MStmtId(i as u32);
+            if a.charged {
+                out.stmt_cycles.insert(id, a.cycles);
+                out.stmt_instrs.insert(id, a.instrs);
+            }
+            if a.l1_misses > 0 {
+                out.stmt_l1_misses.insert(id, a.l1_misses);
+            }
+            if a.cross_hits > 0 {
+                out.stmt_cross_hits.insert(id, a.cross_hits);
+            }
+            if a.self_hits > 0 {
+                out.stmt_self_hits.insert(id, a.self_hits);
+            }
+        }
+        for (slot, name) in LIB_SLOT_NAMES.iter().enumerate() {
+            if self.lib_calls[slot] > 0 {
+                out.lib_cycles.insert(name.to_string(), self.lib_cycles[slot]);
+                out.lib_instrs.insert(name.to_string(), self.lib_instrs[slot]);
+            }
+        }
+        out
+    }
 }
 
 impl Tracer for SimTracer {
     fn ops(&mut self, stmt: MStmtId, flops: u32, iops: u32, divs: u32) {
-        let cycles = self.flat_op_cycles(stmt, flops as f64, iops as f64, divs as f64, 0.0);
-        self.charge(stmt, cycles, (flops + iops) as u64);
+        let i = self.idx(stmt);
+        // the interpreter's op bundles are a handful of fixed shapes; the
+        // dominant ones take a precomputed charge instead of an f64
+        // division. Each arm equals the general expression to the bit:
+        // its skipped terms are exactly `+0.0`, and `t + 0.0 == t` for
+        // the non-negative charges involved.
+        let cycles = match (flops, iops, divs) {
+            (1, 0, 0) => self.acc[i].unit_flop_cost,
+            (0, 1, 0) => self.int1_cost,
+            (0, 2, 0) => self.int2_cost,
+            (1, 0, 1) => self.fdiv_cost,
+            _ => self.flat_op_cycles(self.acc[i].vecf, flops as f64, iops as f64, divs as f64, 0.0),
+        };
+        self.charge_at(i, cycles, (flops + iops) as u64);
     }
 
     fn load(&mut self, stmt: MStmtId, addr: u64) {
@@ -182,46 +330,50 @@ impl Tracer for SimTracer {
     }
 
     fn lib_call(&mut self, stmt: MStmtId, name: &'static str, arg: f64) {
-        let mix = hardware_lib_mix(name, arg);
-        let cycles = self.flat_op_cycles(stmt, mix.flops as f64, mix.iops as f64, mix.divs as f64, mix.loads as f64);
-        *self.lib_cycles.entry(name.to_string()).or_insert(0.0) += cycles;
-        *self.lib_instrs.entry(name.to_string()).or_insert(0) += (mix.flops + mix.iops + mix.loads + mix.stores) as u64;
+        let i = self.idx(stmt);
+        let slot = lib_slot(name);
+        let mix = hardware_lib_mix_slot(slot, arg);
+        let cycles =
+            self.flat_op_cycles(self.acc[i].vecf, mix.flops as f64, mix.iops as f64, mix.divs as f64, mix.loads as f64);
+        self.lib_cycles[slot] += cycles;
+        self.lib_instrs[slot] += (mix.flops + mix.iops + mix.loads + mix.stores) as u64;
+        self.lib_calls[slot] += 1;
         self.total_cycles += cycles;
     }
 }
 
 impl SimTracer {
     fn mem_access(&mut self, stmt: MStmtId, addr: u64) {
-        let vf = self.vec_factor(stmt);
-        let m = &self.machine;
-        let level = self.caches.access(addr);
+        let i = self.idx(stmt);
+        // one probe: hit/miss plus previous-toucher reuse attribution
+        let (level, prev) = self.caches.access_traced(addr, stmt);
+        let a = &mut self.acc[i];
+        // all three charges are precomputed (bit-identical expressions,
+        // evaluated once at construction instead of per access)
         let cycles = match level {
             // vectorized code moves `lanes` elements per load/store
-            AccessLevel::L1 => 1.0 / (m.load_store_per_cycle * vf),
+            AccessLevel::L1 => a.l1_hit_cost,
             AccessLevel::Llc => {
-                *self.stmt_l1_misses.entry(stmt).or_insert(0) += 1;
-                m.llc.latency_cycles / m.mlp
+                a.l1_misses += 1;
+                self.llc_cost
             }
             AccessLevel::Dram => {
-                *self.stmt_l1_misses.entry(stmt).or_insert(0) += 1;
-                m.dram_latency_cycles / m.mlp
+                a.l1_misses += 1;
+                self.dram_cost
             }
         };
         // cross-block reuse accounting (cache-line granularity)
-        let line = addr >> 6;
         if level == AccessLevel::L1 {
-            match self.last_toucher.get(&line) {
-                Some(&prev) if prev != stmt => {
-                    *self.stmt_cross_hits.entry(stmt).or_insert(0) += 1;
-                }
-                Some(_) => {
-                    *self.stmt_self_hits.entry(stmt).or_insert(0) += 1;
-                }
+            match prev {
+                Some(p) if p != stmt => a.cross_hits += 1,
+                Some(_) => a.self_hits += 1,
                 None => {}
             }
         }
-        self.last_toucher.insert(line, stmt);
-        self.charge(stmt, cycles, 1);
+        a.cycles += cycles;
+        a.instrs += 1;
+        a.charged = true;
+        self.total_cycles += cycles;
     }
 }
 
@@ -241,7 +393,7 @@ mod tests {
         let mut t = SimTracer::new(&m, SimConfig::default());
         t.ops(stmt(0), 300, 0, 0);
         let expected = 300.0 / (2.0 * 1.5);
-        assert!((t.stmt_cycles[&stmt(0)] - expected).abs() < 1e-9);
+        assert!((t.maps().stmt_cycles[&stmt(0)] - expected).abs() < 1e-9);
     }
 
     #[test]
@@ -250,11 +402,11 @@ mod tests {
         let mut t = SimTracer::new(&m, SimConfig::default());
         t.ops(stmt(0), 10, 0, 10); // all divides
         let expected = 10.0 * m.fdiv_latency_cycles;
-        assert!((t.stmt_cycles[&stmt(0)] - expected).abs() < 1e-9);
+        assert!((t.maps().stmt_cycles[&stmt(0)] - expected).abs() < 1e-9);
         // versus plain flops
         let mut t2 = SimTracer::new(&m, SimConfig::default());
         t2.ops(stmt(0), 10, 0, 0);
-        assert!(t.stmt_cycles[&stmt(0)] > 50.0 * t2.stmt_cycles[&stmt(0)]);
+        assert!(t.maps().stmt_cycles[&stmt(0)] > 50.0 * t2.maps().stmt_cycles[&stmt(0)]);
     }
 
     #[test]
@@ -266,7 +418,7 @@ mod tests {
         cfg.vector_overrides.insert(stmt(5), 1.0);
         let mut vec = SimTracer::new(&m, cfg);
         vec.ops(stmt(5), 400, 0, 0);
-        let speedup = base.stmt_cycles[&stmt(5)] / vec.stmt_cycles[&stmt(5)];
+        let speedup = base.maps().stmt_cycles[&stmt(5)] / vec.maps().stmt_cycles[&stmt(5)];
         assert!((speedup - m.vector_lanes).abs() < 1e-9, "{speedup}");
     }
 
@@ -279,7 +431,7 @@ mod tests {
         t.load(stmt(0), 0x1000); // hot: L1
         let warm = t.total_cycles - cold;
         assert!(cold > 5.0 * warm, "cold {cold} warm {warm}");
-        assert_eq!(t.stmt_l1_misses[&stmt(0)], 1);
+        assert_eq!(t.maps().stmt_l1_misses[&stmt(0)], 1);
     }
 
     #[test]
@@ -293,8 +445,10 @@ mod tests {
         let large = t2.total_cycles;
         assert!(large > small, "exp(25) must cost more than exp(0.1): {large} vs {small}");
         // attributed to the library symbol, not the calling statement
-        assert!(t2.lib_cycles["exp"] > 0.0);
-        assert!(!t2.stmt_cycles.contains_key(&stmt(0)));
+        let maps = t2.maps();
+        assert!(maps.lib_cycles["exp"] > 0.0);
+        assert_eq!(maps.lib_instrs.len(), 1);
+        assert!(!maps.stmt_cycles.contains_key(&stmt(0)));
     }
 
     #[test]
@@ -303,9 +457,49 @@ mod tests {
         let mut t = SimTracer::new(&m, SimConfig::default());
         t.ops(stmt(1), 100, 0, 0);
         t.ops(stmt(2), 10, 0, 0);
-        assert!(t.stmt_cycles[&stmt(1)] > t.stmt_cycles[&stmt(2)]);
-        let sum: f64 = t.stmt_cycles.values().sum();
+        let maps = t.maps();
+        assert!(maps.stmt_cycles[&stmt(1)] > maps.stmt_cycles[&stmt(2)]);
+        let sum: f64 = maps.stmt_cycles.values().sum();
         assert!((sum - t.total_cycles).abs() < 1e-9);
+        // untouched statements (id 0 exists in the dense range) stay absent
+        assert!(!maps.stmt_cycles.contains_key(&stmt(0)));
+        assert!(maps.stmt_l1_misses.is_empty());
+    }
+
+    #[test]
+    fn zero_cost_charge_still_creates_entries() {
+        // the old HashMap path created entries on `charge` even for a
+        // zero-cycle bundle; the dense conversion must reproduce that
+        let m = generic();
+        let mut t = SimTracer::new(&m, SimConfig::default());
+        t.ops(stmt(3), 0, 0, 0);
+        let maps = t.maps();
+        assert_eq!(maps.stmt_cycles[&stmt(3)], 0.0);
+        assert_eq!(maps.stmt_instrs[&stmt(3)], 0);
+    }
+
+    #[test]
+    fn accumulators_grow_past_sized_range() {
+        let m = generic();
+        let mut t = SimTracer::new(&m, SimConfig::default()); // sized for 0 statements
+        t.ops(stmt(9), 10, 0, 0);
+        t.load(stmt(40), 0x2000);
+        let maps = t.maps();
+        assert!(maps.stmt_cycles[&stmt(9)] > 0.0);
+        assert!(maps.stmt_cycles[&stmt(40)] > 0.0);
+    }
+
+    #[test]
+    fn growth_applies_vector_overrides() {
+        let m = bgq();
+        let mut cfg = SimConfig::default();
+        cfg.vector_overrides.insert(stmt(17), 1.0);
+        let mut t = SimTracer::new(&m, cfg); // stmt 17 is beyond the sized range
+        t.ops(stmt(17), 400, 0, 0);
+        let mut base = SimTracer::new(&m, SimConfig::default());
+        base.ops(stmt(17), 400, 0, 0);
+        let speedup = base.maps().stmt_cycles[&stmt(17)] / t.maps().stmt_cycles[&stmt(17)];
+        assert!((speedup - m.vector_lanes).abs() < 1e-9, "{speedup}");
     }
 
     #[test]

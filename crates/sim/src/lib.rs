@@ -19,17 +19,22 @@
 pub mod cache;
 pub mod calibrate;
 pub mod cost;
+#[cfg(test)]
+mod reference;
 
 pub use cache::{AccessLevel, CacheArray, Hierarchy};
-pub use calibrate::{calibrate_library, hardware_lib_mix, LibMix, LIB_NAMES};
-pub use cost::{SimConfig, SimTracer};
+pub use calibrate::{
+    calibrate_library, hardware_lib_mix, hardware_lib_mix_slot, lib_slot, LibMix, LIB_NAMES, LIB_SLOT_NAMES,
+};
+pub use cost::{SimConfig, SimTracer, TracerMaps};
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use xflow_hw::MachineModel;
 use xflow_minilang::{InputSpec, MStmtId, Profile, Program, RuntimeError};
 
 /// Result of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
     /// Cycles attributed to each source statement.
     pub stmt_cycles: HashMap<MStmtId, f64>,
@@ -115,11 +120,12 @@ impl SimReport {
 
 /// Simulate a program on a machine, producing the measured profile.
 ///
-/// Uses the bytecode VM engine — observationally identical to the
-/// tree-walking reference (`xflow-minilang`'s `vm_equivalence` tests hold
-/// both engines to bit-equal profiles and event streams) but several times
-/// faster, which matters because the simulator replays every dynamic
-/// operation of the workload.
+/// Uses the bytecode VM engine with superinstruction fusion —
+/// observationally identical to the tree-walking reference
+/// (`xflow-minilang`'s `vm_equivalence` tests hold both engines to
+/// bit-equal profiles and event streams, and fusion is held to the same
+/// contract) but several times faster, which matters because the
+/// simulator replays every dynamic operation of the workload.
 pub fn simulate(
     prog: &Program,
     inputs: &InputSpec,
@@ -140,8 +146,8 @@ pub fn simulate_with_seed(
     cfg: SimConfig,
     seed: u64,
 ) -> Result<SimReport, RuntimeError> {
-    let tracer = SimTracer::new(machine, cfg);
-    let vm = xflow_minilang::compile(prog)?;
+    let tracer = SimTracer::for_program(prog, machine, cfg);
+    let vm = xflow_minilang::compile_fused(prog)?;
     let (profile, tracer, _ret) =
         xflow_minilang::run_vm_with_limits_seeded(&vm, inputs, tracer, xflow_minilang::Limits::default(), seed)?;
     finish_report(machine, profile, tracer)
@@ -154,7 +160,7 @@ pub fn simulate_reference(
     machine: &MachineModel,
     cfg: SimConfig,
 ) -> Result<SimReport, RuntimeError> {
-    let tracer = SimTracer::new(machine, cfg);
+    let tracer = SimTracer::for_program(prog, machine, cfg);
     let (profile, tracer, _ret) = xflow_minilang::run(prog, inputs, tracer)?;
     finish_report(machine, profile, tracer)
 }
@@ -163,14 +169,16 @@ fn finish_report(machine: &MachineModel, profile: Profile, tracer: SimTracer) ->
     let l1_hit = tracer.caches().l1.hit_rate();
     let llc_hit = tracer.caches().llc.hit_rate();
     let dram_bytes = tracer.caches().dram_bytes();
+    // one dense → HashMap conversion per run, off the hot path
+    let maps = tracer.maps();
     Ok(SimReport {
-        stmt_cycles: tracer.stmt_cycles,
-        stmt_instrs: tracer.stmt_instrs,
-        stmt_l1_misses: tracer.stmt_l1_misses,
-        stmt_cross_hits: tracer.stmt_cross_hits,
-        stmt_self_hits: tracer.stmt_self_hits,
-        lib_cycles: tracer.lib_cycles,
-        lib_instrs: tracer.lib_instrs,
+        stmt_cycles: maps.stmt_cycles,
+        stmt_instrs: maps.stmt_instrs,
+        stmt_l1_misses: maps.stmt_l1_misses,
+        stmt_cross_hits: maps.stmt_cross_hits,
+        stmt_self_hits: maps.stmt_self_hits,
+        lib_cycles: maps.lib_cycles,
+        lib_instrs: maps.lib_instrs,
         total_cycles: tracer.total_cycles,
         l1_hit_rate: l1_hit,
         llc_hit_rate: llc_hit,

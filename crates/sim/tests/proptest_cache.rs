@@ -90,8 +90,9 @@ proptest! {
                 _ => t.store(MStmtId(count % 7), addr * 8),
             }
         }
-        let sum: f64 = t.stmt_cycles.values().sum::<f64>()
-            + t.lib_cycles.values().sum::<f64>();
+        let maps = t.maps();
+        let sum: f64 = maps.stmt_cycles.values().sum::<f64>()
+            + maps.lib_cycles.values().sum::<f64>();
         prop_assert!((sum - t.total_cycles).abs() < 1e-6 * t.total_cycles.max(1.0));
         prop_assert!(t.total_cycles >= 0.0);
     }
@@ -104,8 +105,9 @@ proptest! {
         for &(i, arg) in &calls {
             t.lib_call(MStmtId(0), names[i], arg);
         }
-        let lib_sum: f64 = t.lib_cycles.values().sum();
+        let maps = t.maps();
+        let lib_sum: f64 = maps.lib_cycles.values().sum();
         prop_assert!((lib_sum - t.total_cycles).abs() < 1e-9);
-        prop_assert!(t.stmt_cycles.is_empty());
+        prop_assert!(maps.stmt_cycles.is_empty());
     }
 }

@@ -31,6 +31,11 @@ COMMANDS:
     profile  <FILE>   rank VM opcodes and opcode pairs by execution count
     compare  <FILE>   side-by-side projected vs measured hot spots
     validate <FILE>   differential check: analytic model vs executed oracle
+                      (or `validate --all [--jobs N]`: every built-in
+                      workload × machine in parallel)
+    oracle [DIR]      materialize an analytic-vs-simulated training corpus
+                      over program × machine × scale combos (see ORACLE
+                      OPTIONS)
     sweep    <FILE>   project across a machine grid (--axis, work-stealing)
     serve             run the HTTP projection service (see SERVE OPTIONS)
     machines          list the known machine models
@@ -68,6 +73,20 @@ SERVE OPTIONS (plus --cache-dir and --machines-dir above):
     --addr <HOST:PORT>             bind address [default: 127.0.0.1:7070]
     --threads <N>                  worker threads [default: 4]
 
+ORACLE OPTIONS (programs default to the built-in workloads; DIR runs every
+.ml/.xf file in DIR instead; combos fan out over a work-stealing pool and
+each simulation is cached as a content-addressed `sim` stage when
+--cache-dir is given):
+    --gen <N>                      drive N generated programs instead of
+                                   the built-in workloads
+    --machines <A,B,...>           machines to simulate [default: bgq,xeon]
+    --scales <test,eval>           scale presets for built-in workloads
+                                   [default: test]
+    --jobs <N>                     worker threads [default: 0 = auto]
+                                   (also honored by `validate --all`)
+    --out <FILE>                   write the corpus JSON to FILE instead of
+                                   stdout
+
 SWEEP OPTIONS (the grid is the cartesian product of the axes, applied to
 the --machine base; the last axis varies fastest):
     --axis NAME=V1,V2,...          swept machine parameter (repeatable);
@@ -101,6 +120,18 @@ struct Invocation {
     /// `profile`: run the superinstruction-fused VM (`--no-fuse` clears
     /// it). Reports are fusion-invariant, so this only changes speed.
     fuse: bool,
+    /// `validate`: check every built-in workload × machine combo.
+    all: bool,
+    /// `oracle` / `validate --all`: worker threads (0 = auto).
+    jobs: usize,
+    /// `oracle`: machine names to simulate (resolved via the registry).
+    oracle_machines: Vec<String>,
+    /// `oracle`: scale presets for built-in workloads.
+    oracle_scales: Vec<Scale>,
+    /// `oracle`: drive N generated programs instead of the workloads.
+    gen: Option<usize>,
+    /// `oracle`: corpus output path.
+    out: Option<String>,
     trace_out: Option<String>,
     /// Created when `--trace-out` is given; threaded through the session
     /// and every observed evaluation so one trace covers the whole run.
@@ -159,6 +190,12 @@ fn parse_args(args: &[String], registry: &MachineRegistry) -> Result<Invocation,
         addr: None,
         machines_dir: None,
         fuse: true,
+        all: false,
+        jobs: 0,
+        oracle_machines: Vec::new(),
+        oracle_scales: Vec::new(),
+        gen: None,
+        out: None,
         trace_out: None,
         recorder: None,
         flight_out: None,
@@ -218,6 +255,37 @@ fn parse_args(args: &[String], registry: &MachineRegistry) -> Result<Invocation,
             }
             "--no-cache" => inv.no_cache = true,
             "--json" => inv.json = true,
+            "--all" => inv.all = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                inv.jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
+            "--machines" => {
+                let v = it.next().ok_or("--machines needs A,B,...")?;
+                inv.oracle_machines = v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+                if inv.oracle_machines.is_empty() {
+                    return Err(format!("bad --machines `{v}`, expected A,B,..."));
+                }
+            }
+            "--scales" => {
+                let v = it.next().ok_or("--scales needs test | eval (comma-separated)")?;
+                inv.oracle_scales = v
+                    .split(',')
+                    .map(|s| match s.trim().to_lowercase().as_str() {
+                        "test" => Ok(Scale::Test),
+                        "eval" => Ok(Scale::Eval),
+                        other => Err(format!("unknown scale `{other}` (test, eval)")),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--gen" => {
+                let v = it.next().ok_or("--gen needs a count")?;
+                inv.gen = Some(v.parse().map_err(|_| format!("bad --gen `{v}`"))?);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                inv.out = Some(v.clone());
+            }
             "--fused" => inv.fuse = true,
             "--no-fuse" => inv.fuse = false,
             "--scale" => {
@@ -298,7 +366,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return run_serve(&inv);
     }
     if inv.command == "validate" {
-        return run_validate(&inv);
+        return if inv.all { run_validate_all(&inv, &registry) } else { run_validate(&inv) };
+    }
+    if inv.command == "oracle" {
+        return run_oracle(&inv, &registry);
     }
     let file = inv.file.clone().ok_or_else(|| format!("`{}` needs a FILE argument\n\n{USAGE}", inv.command))?;
     let src = resolve_source(&mut inv, &file)?;
@@ -388,6 +459,125 @@ fn run_validate(inv: &Invocation) -> Result<String, String> {
         Ok(out)
     } else {
         Err(out)
+    }
+}
+
+/// `validate --all`: every built-in workload × target machine, fanned over
+/// the oracle's work-stealing pool. One failed combo fails the whole run
+/// (→ exit code 1) with every report still rendered.
+fn run_validate_all(inv: &Invocation, registry: &MachineRegistry) -> Result<String, String> {
+    let libs = xflow_validate::default_library();
+    let mut cfg = xflow_validate::ValidationConfig::default();
+    if let Some(s) = inv.seed {
+        cfg.seed = s;
+    }
+    let machines = resolve_machines(inv, registry)?;
+    let workloads = xflow_workloads::all();
+    let mut combos: Vec<(&crate::Workload, &MachineModel)> = Vec::new();
+    for w in &workloads {
+        for m in &machines {
+            combos.push((w, m));
+        }
+    }
+    let results = crate::oracle::run_chunked(&combos, inv.jobs, |_, &(w, m)| {
+        xflow_validate::validate_workload(w, inv.scale, m, libs, &cfg).map_err(|e| e.to_string())
+    });
+    let mut out = String::new();
+    let mut passed = 0usize;
+    let mut failed = Vec::new();
+    let mut json_reports = Vec::new();
+    for ((w, m), r) in combos.iter().zip(results) {
+        let report = r.map_err(|e| format!("validate {} on {}: {e}", w.name, m.name))?;
+        if report.passed {
+            passed += 1;
+        } else {
+            failed.push(format!("{} on {}", w.name, m.name));
+        }
+        if inv.json {
+            json_reports.push(xflow_validate::to_json(&report));
+        } else {
+            out.push_str(&report.render());
+        }
+    }
+    if inv.json {
+        out = format!("[{}]\n", json_reports.join(","));
+    } else {
+        let _ = writeln!(
+            out,
+            "validated {} combos ({} workloads × {} machines): {passed} passed",
+            combos.len(),
+            workloads.len(),
+            machines.len()
+        );
+    }
+    if failed.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!("{out}\nFAILED: {}", failed.join(", ")))
+    }
+}
+
+/// Resolve `--machines A,B,...` through the registry; defaults to the
+/// paper's BG/Q + Xeon pair.
+fn resolve_machines(inv: &Invocation, registry: &MachineRegistry) -> Result<Vec<MachineModel>, String> {
+    if inv.oracle_machines.is_empty() {
+        return Ok(vec![crate::bgq(), crate::xeon()]);
+    }
+    inv.oracle_machines
+        .iter()
+        .map(|name| {
+            registry
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("unknown machine `{name}` (known: {})", registry.names().join(", ")))
+        })
+        .collect()
+}
+
+/// The `oracle` subcommand: materialize the analytic-vs-simulated training
+/// corpus (see [`crate::oracle`]). Programs come from `--gen N`, a DIR of
+/// `.ml`/`.xf` files, or default to the built-in workloads; simulations are
+/// cached per combo when `--cache-dir` is given.
+fn run_oracle(inv: &Invocation, registry: &MachineRegistry) -> Result<String, String> {
+    let scales = if inv.oracle_scales.is_empty() { vec![Scale::Test] } else { inv.oracle_scales.clone() };
+    let programs = match (&inv.gen, &inv.file) {
+        (Some(n), _) => crate::oracle::generated_programs(*n),
+        (None, Some(dir)) => crate::oracle::dir_programs(std::path::Path::new(dir))?,
+        (None, None) => crate::oracle::builtin_programs(&scales),
+    };
+    let machines = resolve_machines(inv, registry)?;
+    let session = match &inv.cache_dir {
+        Some(dir) => Session::with_cache_dir(dir),
+        None => Session::new(),
+    };
+    let opts =
+        crate::oracle::OracleOptions { jobs: inv.jobs, seed: inv.seed.unwrap_or(crate::xflow_minilang::DEFAULT_SEED) };
+    let corpus = crate::oracle::build_corpus(&session, &programs, &machines, &opts).map_err(|e| e.to_string())?;
+    // cache traffic goes to stderr so stdout (and --out files) stay
+    // byte-identical between cold and warm runs
+    if let Some(dir) = &inv.cache_dir {
+        eprintln!("[xflow cache] {} ({dir})", session.stats());
+    }
+    let json = corpus.to_json();
+    match &inv.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write corpus to {path}: {e}"))?;
+            Ok(format!(
+                "oracle corpus: {} records from {} combos ({} programs × {} machines) -> {path}\n",
+                corpus.records.len(),
+                corpus.combos,
+                corpus.programs,
+                corpus.machines
+            ))
+        }
+        None if inv.json => Ok(json),
+        None => Ok(format!(
+            "oracle corpus: {} records from {} combos ({} programs × {} machines); use --out FILE or --json for the data\n",
+            corpus.records.len(),
+            corpus.combos,
+            corpus.programs,
+            corpus.machines
+        )),
     }
 }
 
@@ -1084,7 +1274,7 @@ fn main() {
         let text = live_store_report(&stats);
         assert!(text.contains("hit ratio: 75.0%"), "{text}");
         assert!(text.contains("single-flight waits: 2"), "{text}");
-        for stage in ["parse", "profile", "translate", "bet", "plan", "kernel"] {
+        for stage in ["parse", "profile", "translate", "bet", "plan", "kernel", "sim"] {
             assert!(text.lines().any(|l| l.contains(&format!("  {stage}")) && l.contains("waits")), "{stage}: {text}");
         }
     }
@@ -1109,6 +1299,53 @@ fn main() {
             let b = run(&args(&["validate", path, "--seed", "0x7"])).unwrap();
             assert_eq!(a, b, "decimal and hex seeds must agree");
         });
+    }
+
+    #[test]
+    fn validate_all_runs_every_combo_in_parallel() {
+        let out = run(&args(&["validate", "--all", "--machines", "bgq", "--jobs", "2"])).unwrap();
+        assert!(out.contains("validated 5 combos (5 workloads × 1 machines): 5 passed"), "{out}");
+        for w in ["SORD", "CHARGEI", "SRAD", "CFD", "STASSUIJ"] {
+            assert!(out.contains(&format!("validate {w}")), "missing {w}: {out}");
+        }
+        // --jobs must not change the report
+        let serial = run(&args(&["validate", "--all", "--machines", "bgq", "--jobs", "1"])).unwrap();
+        assert_eq!(out, serial, "validate --all output must be scheduling-independent");
+        // --json emits one array of full reports
+        let json = run(&args(&["validate", "--all", "--machines", "bgq", "--jobs", "2", "--json"])).unwrap();
+        assert!(json.starts_with('['), "{json}");
+        assert_eq!(json.matches("\"passed\":true").count(), 5, "{json}");
+    }
+
+    #[test]
+    fn oracle_writes_a_deterministic_corpus() {
+        let dir = std::env::temp_dir().join(format!("xflow-cli-oracle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_a = dir.join("a.json");
+        let out_b = dir.join("b.json");
+        let summary =
+            run(&args(&["oracle", "--gen", "4", "--machines", "bgq", "--jobs", "2", "--out", out_a.to_str().unwrap()]))
+                .unwrap();
+        assert!(summary.contains("4 combos (4 programs × 1 machines)"), "{summary}");
+        // a second run at a different thread count is byte-identical
+        run(&args(&["oracle", "--gen", "4", "--machines", "bgq", "--jobs", "1", "--out", out_b.to_str().unwrap()]))
+            .unwrap();
+        let a = std::fs::read_to_string(&out_a).unwrap();
+        let b = std::fs::read_to_string(&out_b).unwrap();
+        assert_eq!(a, b, "oracle corpus must be byte-identical across runs and thread counts");
+        assert!(a.contains("\"records\""), "{a}");
+        // --json prints the same corpus to stdout
+        let json = run(&args(&["oracle", "--gen", "4", "--machines", "bgq", "--json"])).unwrap();
+        assert_eq!(json, a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oracle_rejects_bad_flags() {
+        assert!(run(&args(&["oracle", "--machines", "cray9000"])).is_err());
+        assert!(run(&args(&["oracle", "--scales", "huge"])).is_err());
+        assert!(run(&args(&["oracle", "--gen", "many"])).is_err());
+        assert!(run(&args(&["oracle", "/nonexistent-dir"])).is_err());
     }
 
     #[test]

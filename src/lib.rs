@@ -50,6 +50,7 @@ pub mod cli;
 pub mod compare;
 pub mod explain;
 pub mod multirank;
+pub mod oracle;
 pub mod pipeline;
 pub mod serve;
 pub mod session;
@@ -60,6 +61,10 @@ pub mod units;
 pub use compare::{compare, evaluate, Comparison};
 pub use explain::{explain, explain_observed, ChainStep, Explain, ExplainBlock, ExplainUnit};
 pub use multirank::{format_scaling, project_scaling, BspSpec, RankPoint, ScalingKind};
+pub use oracle::{
+    build_corpus, builtin_programs, dir_programs, generated_programs, run_chunked, Corpus, CorpusRecord, OracleOptions,
+    OracleProgram,
+};
 pub use pipeline::{
     default_library, fold_projection, initial_env, lib_time_by_function, MachineProjection, Measured, ModeledApp,
     PipelineError,

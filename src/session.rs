@@ -60,9 +60,10 @@ use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 
 use xflow_hotspot::ProjectionPlan;
-use xflow_hw::LibraryRegistry;
+use xflow_hw::{LibraryRegistry, MachineModel};
 use xflow_minilang::{self as ml, InputSpec};
 use xflow_obs::{MetricsRegistry, NoopRecorder, Recorder};
+use xflow_sim::{SimConfig, SimReport};
 use xflow_workloads::{Scale, Workload};
 
 use crate::pipeline::{default_library, initial_env, ModeledApp, PipelineError};
@@ -184,6 +185,28 @@ fn derive_keys(src: &str, inputs: &InputSpec, libs: &LibraryRegistry) -> StageKe
         h.finish()
     };
     StageKeys { parse, profile, translate, bet, plan, kernel }
+}
+
+/// Key of one simulator-oracle query. Chained off the salt directly rather
+/// than off the parse key: a simulation replays the whole program, so the
+/// key must cover source, inputs, machine, sim config and seed — any one
+/// changing is a different ground-truth point. The machine is hashed via
+/// its canonical JSON (the vendored serializer emits maps in sorted order),
+/// and vector overrides as sorted `(stmt, f64::to_bits)` pairs.
+fn derive_sim_key(salt: u64, src: &str, inputs: &InputSpec, machine: &MachineModel, cfg: &SimConfig, seed: u64) -> u64 {
+    let mut h = Fnv::seeded(salt);
+    h.write_str("sim");
+    h.write_str(src);
+    h.write_str(&inputs.canonical_string());
+    h.write_str(&serde_json::to_string(machine).unwrap_or_default());
+    h.write_u64(seed);
+    let mut overrides: Vec<(u32, u64)> = cfg.vector_overrides.iter().map(|(k, v)| (k.0, v.to_bits())).collect();
+    overrides.sort_unstable();
+    for (stmt, bits) in overrides {
+        h.write_u64(stmt as u64);
+        h.write_u64(bits);
+    }
+    h.finish()
 }
 
 // ---------------------------------------------------------------------------
@@ -359,6 +382,28 @@ impl Session {
         self.model(w.source, &w.inputs(scale))
     }
 
+    /// Ground-truth simulator report for one program × inputs × machine ×
+    /// seed × sim-config query, cached as its own content-addressed stage
+    /// (`sim-<salt>-<key>.json`). This stage is deliberately *not* part of
+    /// [`Session::model`]'s six-stage chain: only the oracle driver and
+    /// validation tooling pay simulation cost, and only once per distinct
+    /// query per cache directory.
+    pub fn sim_report(
+        &self,
+        src: &str,
+        inputs: &InputSpec,
+        machine: &MachineModel,
+        cfg: &SimConfig,
+        seed: u64,
+    ) -> Result<Arc<SimReport>, PipelineError> {
+        let key = derive_sim_key(self.salt, src, inputs, machine, cfg, seed);
+        let store = &*self.store;
+        store.sim.get_or_build(self.salt, store.cache_dir(), self.recorder(), key, || {
+            let program = ml::parse(src).map_err(PipelineError::from)?;
+            xflow_sim::simulate_with_seed(&program, inputs, machine, cfg.clone(), seed).map_err(PipelineError::from)
+        })
+    }
+
     /// Delete this session's persisted artifacts, returning how many files
     /// were removed. Only files matching the artifact naming scheme are
     /// touched; a memory-only session removes nothing.
@@ -435,6 +480,36 @@ fn main() {
         assert_eq!(s.registry().get("session.parse.hits"), stats.parse.hits);
         assert_eq!(s.registry().get("session.plan.misses"), stats.plan.misses);
         assert_eq!(format!("{stats}"), "memory hits: 6, disk hits: 0, misses: 6");
+    }
+
+    #[test]
+    fn sim_reports_are_cached_outside_the_model_chain() {
+        let s = Session::new();
+        let i = InputSpec::from_pairs([("N", 32.0)]);
+        let m = xflow_hw::bgq();
+        let cfg = SimConfig::default();
+        let a = s.sim_report(SRC, &i, &m, &cfg, 42).unwrap();
+        let b = s.sim_report(SRC, &i, &m, &cfg, 42).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "warm lookup returns the cached artifact");
+        let stats = s.stats();
+        assert_eq!(stats.sim.misses, 1);
+        assert_eq!(stats.sim.hits, 1);
+        // the model chain stays six stages wide — simulation is opt-in
+        s.model(SRC, &i).unwrap();
+        assert_eq!(s.stats().misses(), 7, "model() builds its six stages, sim stays at one");
+    }
+
+    #[test]
+    fn sim_key_covers_machine_seed_and_overrides() {
+        let i = InputSpec::from_pairs([("N", 32.0)]);
+        let salt = key_salt();
+        let base = derive_sim_key(salt, SRC, &i, &xflow_hw::bgq(), &SimConfig::default(), 1);
+        assert_eq!(base, derive_sim_key(salt, SRC, &i, &xflow_hw::bgq(), &SimConfig::default(), 1));
+        assert_ne!(base, derive_sim_key(salt, SRC, &i, &xflow_hw::xeon(), &SimConfig::default(), 1));
+        assert_ne!(base, derive_sim_key(salt, SRC, &i, &xflow_hw::bgq(), &SimConfig::default(), 2));
+        let mut cfg = SimConfig::default();
+        cfg.vector_overrides.insert(xflow_minilang::MStmtId(3), 0.5);
+        assert_ne!(base, derive_sim_key(salt, SRC, &i, &xflow_hw::bgq(), &cfg, 1));
     }
 
     #[test]

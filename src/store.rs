@@ -99,16 +99,19 @@ pub struct CacheStats {
     pub bet: StageStats,
     pub plan: StageStats,
     pub kernel: StageStats,
+    /// The simulator oracle stage (fed by `xflow oracle`, not by
+    /// [`Session::model`](crate::Session::model)'s six-stage chain).
+    pub sim: StageStats,
 }
 
 impl CacheStats {
-    fn stages(&self) -> [&StageStats; 6] {
-        [&self.parse, &self.profile, &self.translate, &self.bet, &self.plan, &self.kernel]
+    fn stages(&self) -> [&StageStats; 7] {
+        [&self.parse, &self.profile, &self.translate, &self.bet, &self.plan, &self.kernel, &self.sim]
     }
 
     /// Named per-stage counters, in pipeline order (`xflow cache stats`
     /// renders these as a table).
-    pub fn per_stage(&self) -> [(&'static str, &StageStats); 6] {
+    pub fn per_stage(&self) -> [(&'static str, &StageStats); 7] {
         [
             ("parse", &self.parse),
             ("profile", &self.profile),
@@ -116,6 +119,7 @@ impl CacheStats {
             ("bet", &self.bet),
             ("plan", &self.plan),
             ("kernel", &self.kernel),
+            ("sim", &self.sim),
         ]
     }
 
@@ -446,6 +450,9 @@ pub struct ArtifactStore {
     pub(crate) bet: StageStore<Bet>,
     pub(crate) plan: StageStore<ProjectionPlan>,
     pub(crate) kernel: StageStore<PlanKernel>,
+    /// Ground-truth simulator reports, keyed over
+    /// program × inputs × machine × seed × sim-config (`xflow oracle`).
+    pub(crate) sim: StageStore<xflow_sim::SimReport>,
 }
 
 impl Default for ArtifactStore {
@@ -467,6 +474,7 @@ impl ArtifactStore {
             bet: StageStore::new("bet", capacity, shards, &registry),
             plan: StageStore::new("plan", capacity, shards, &registry),
             kernel: StageStore::new("kernel", capacity, shards, &registry),
+            sim: StageStore::new("sim", capacity, shards, &registry),
             config,
             registry,
         }
@@ -503,6 +511,7 @@ impl ArtifactStore {
             bet: self.bet.counters.snapshot(),
             plan: self.plan.counters.snapshot(),
             kernel: self.kernel.counters.snapshot(),
+            sim: self.sim.counters.snapshot(),
         }
     }
 
@@ -578,7 +587,7 @@ fn is_artifact_file(name: &str) -> bool {
     let mut parts = rest.splitn(2, '-');
     let stage = parts.next().unwrap_or("");
     let Some(hashes) = parts.next() else { return false };
-    matches!(stage, "parse" | "profile" | "translate" | "bet" | "plan" | "kernel")
+    matches!(stage, "parse" | "profile" | "translate" | "bet" | "plan" | "kernel" | "sim")
         && hashes.len() == 33
         && hashes.as_bytes()[16] == b'-'
         && hashes.chars().enumerate().all(|(i, c)| i == 16 || c.is_ascii_hexdigit())
@@ -588,7 +597,7 @@ fn is_artifact_file(name: &str) -> bool {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskCacheReport {
     /// Artifact files per stage, in pipeline order.
-    pub per_stage: [usize; 6],
+    pub per_stage: [usize; 7],
     /// Total artifact files.
     pub entries: usize,
     /// Total artifact bytes.
@@ -597,7 +606,7 @@ pub struct DiskCacheReport {
 
 impl DiskCacheReport {
     /// Stage names matching `per_stage` order.
-    pub const STAGES: [&'static str; 6] = ["parse", "profile", "translate", "bet", "plan", "kernel"];
+    pub const STAGES: [&'static str; 7] = ["parse", "profile", "translate", "bet", "plan", "kernel", "sim"];
 }
 
 /// Scan a cache directory (missing directory → empty report).
@@ -656,7 +665,7 @@ mod tests {
         stats.parse = StageStats { hits: 3, disk_hits: 1, misses: 1, evictions: 0, singleflight_waits: 2 };
         stats.kernel = StageStats { hits: 0, disk_hits: 0, misses: 5, evictions: 0, singleflight_waits: 0 };
         let names: Vec<&str> = stats.per_stage().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, ["parse", "profile", "translate", "bet", "plan", "kernel"]);
+        assert_eq!(names, ["parse", "profile", "translate", "bet", "plan", "kernel", "sim"]);
         assert_eq!(stats.per_stage()[0].1.singleflight_waits, 2);
         // 4 hits of 10 lookups
         assert!((stats.hit_ratio() - 0.4).abs() < 1e-12, "{}", stats.hit_ratio());

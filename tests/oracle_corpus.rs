@@ -1,0 +1,59 @@
+//! Integration tests for the oracle driver's content-addressed `sim`
+//! stage: a cold run simulates every combo once, a warm re-run over the
+//! same cache directory loads every report from disk, and the emitted
+//! corpus is byte-identical either way.
+
+use xflow::xflow_workloads::Scale;
+use xflow::{build_corpus, builtin_programs, generated_programs, OracleOptions, Session};
+use xflow_hw::{bgq, xeon};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xflow-oracle-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn warm_oracle_rerun_hits_the_sim_stage_for_every_combo() {
+    let dir = temp_dir("warm");
+    let programs = builtin_programs(&[Scale::Test]);
+    let machines = [bgq(), xeon()];
+    let combos = programs.len() * machines.len();
+    let opts = OracleOptions { jobs: 2, ..Default::default() };
+
+    // cold: every combo simulates (and persists) exactly once
+    let cold_session = Session::with_cache_dir(&dir);
+    let cold = build_corpus(&cold_session, &programs, &machines, &opts).unwrap();
+    assert_eq!(cold.combos, combos);
+    let stats = cold_session.stats();
+    assert_eq!(stats.sim.misses as usize, combos, "cold run simulates each combo once");
+    assert_eq!(stats.sim.disk_hits, 0);
+
+    // warm: a fresh session over the same directory never simulates
+    let warm_session = Session::with_cache_dir(&dir);
+    let warm = build_corpus(&warm_session, &programs, &machines, &opts).unwrap();
+    let stats = warm_session.stats();
+    assert_eq!(stats.sim.disk_hits as usize, combos, "warm rerun loads every report from disk");
+    assert_eq!(stats.sim.misses, 0, "warm rerun must not simulate");
+
+    // and the corpus is byte-identical across cache states
+    assert_eq!(cold.to_json(), warm.to_json());
+    assert!(cold.records.len() >= 100, "corpus carries ≥100 training points, got {}", cold.records.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_memory_session_dedups_repeat_combos() {
+    let session = Session::new();
+    let programs = generated_programs(2);
+    let machines = [bgq()];
+    let opts = OracleOptions { jobs: 1, ..Default::default() };
+    let a = build_corpus(&session, &programs, &machines, &opts).unwrap();
+    let b = build_corpus(&session, &programs, &machines, &opts).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    let stats = session.stats();
+    assert_eq!(stats.sim.misses, 2, "each combo simulates once");
+    assert_eq!(stats.sim.hits, 2, "the second corpus reuses both in-memory reports");
+}

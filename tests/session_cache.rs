@@ -139,7 +139,7 @@ fn disk_cache_warm_starts_a_fresh_session() {
     assert_eq!(cold.stats().misses(), 6);
     let report = xflow::session::disk_cache_report(&dir);
     assert_eq!(report.entries, 6, "one artifact per stage");
-    assert_eq!(report.per_stage, [1, 1, 1, 1, 1, 1]);
+    assert_eq!(report.per_stage, [1, 1, 1, 1, 1, 1, 0], "a model run leaves the sim stage untouched");
     assert!(report.bytes > 0);
 
     let warm = Session::with_cache_dir(&dir);
